@@ -1,0 +1,107 @@
+// Command ptibench regenerates every experiment of the paper's
+// evaluation (Section 7) plus the ablations called out in DESIGN.md,
+// printing paper-reported values next to measured ones. Absolute
+// numbers differ (the paper ran .NET on a Pentium 3 laptop); the
+// shape — who is slower, by roughly what factor — is the claim under
+// reproduction.
+//
+// Usage:
+//
+//	ptibench                 # run everything
+//	ptibench -exp 7.1        # invocation time
+//	ptibench -exp 7.2        # type description (de)serialization
+//	ptibench -exp 7.3        # object (de)serialization
+//	ptibench -exp 7.4        # conformance testing
+//	ptibench -exp transport  # Figure 1 protocol + optimistic vs eager
+//	ptibench -exp ablations  # cache, permutations, name-only, descriptors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, 7.1, 7.2, 7.3, 7.4, transport, ablations")
+	reps := flag.Int("reps", 5, "repetitions per measurement (averaged)")
+	flag.Parse()
+
+	if err := run(*exp, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, reps int) error {
+	experiments := []struct {
+		id   string
+		name string
+		fn   func(reps int) error
+	}{
+		{"7.1", "Invocation time (direct vs dynamic proxy)", exp71},
+		{"7.2", "Type description creation + (de)serialization", exp72},
+		{"7.3", "Object (de)serialization (SOAP and binary)", exp73},
+		{"7.4", "Conformance testing", exp74},
+		{"transport", "Figure 1 protocol + optimistic vs eager", expTransport},
+		{"match", "Conformance relation match rates (Section 2 comparisons)", expMatchRate},
+		{"ablations", "Design-choice ablations", expAblations},
+	}
+	ran := false
+	for _, e := range experiments {
+		if exp != "all" && exp != e.id {
+			continue
+		}
+		ran = true
+		fmt.Printf("\n=== Experiment %s: %s ===\n", e.id, e.name)
+		if err := e.fn(reps); err != nil {
+			return fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	fmt.Println()
+	return nil
+}
+
+// measure runs f iters times per repetition, reps repetitions, and
+// returns the average time per operation.
+func measure(reps, iters int, f func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	var total time.Duration
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(reps*iters)
+}
+
+// row prints one aligned result row.
+func row(label string, paper string, measured string, note string) {
+	fmt.Printf("  %-44s paper: %-14s measured: %-14s %s\n", label, paper, measured, note)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fµs", float64(d.Nanoseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	}
+}
+
+func ratio(slow, fast time.Duration) string {
+	if fast <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0fx", float64(slow)/float64(fast))
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+func TestSenderReceiverEndToEnd(t *testing.T) {
+	addr := freePort(t)
+	recvErr := make(chan error, 1)
+	go func() { recvErr <- runReceiver(addr, 2) }()
+
+	// Wait for the listener to come up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			_ = conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("receiver never listened")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if err := runSender(addr, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-recvErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("receiver did not finish")
+	}
+}
+
+func TestEagerSenderEndToEnd(t *testing.T) {
+	addr := freePort(t)
+	recvErr := make(chan error, 1)
+	go func() { recvErr <- runReceiver(addr, 1) }()
+	time.Sleep(300 * time.Millisecond)
+	if err := runSender(addr, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-recvErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("receiver did not finish")
+	}
+}
+
+func TestRunArgValidation(t *testing.T) {
+	if err := run("", "", "neither", 1, false, false); err == nil {
+		t.Error("bad role accepted")
+	}
+	if err := run("", "", "receive", 1, false, false); err == nil {
+		t.Error("receiver without -listen accepted")
+	}
+	if err := run("", "", "send", 1, false, true); err == nil {
+		t.Error("sender without -connect accepted")
+	}
+	if err := runSender("127.0.0.1:1", 1, false); err == nil {
+		t.Error("unreachable receiver accepted")
+	}
+	_ = fmt.Sprint() // keep fmt import if cases change
+}

@@ -1,0 +1,141 @@
+// Command typeinspect prints the XML TypeDescription (Section 5.2 of
+// the paper) of the built-in demo types and runs conformance checks
+// between them — a debugging aid for understanding what travels over
+// the wire and why two types do or do not conform.
+//
+// Usage:
+//
+//	typeinspect -list
+//	typeinspect -type PersonA
+//	typeinspect -conform PersonB,PersonA [-strict]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+
+	"pti/internal/conform"
+	"pti/internal/fixtures"
+	"pti/internal/lingua"
+	"pti/internal/typedesc"
+	"pti/internal/xmlenc"
+)
+
+func demoTypes() map[string]reflect.Type {
+	return map[string]reflect.Type{
+		"PersonA":     reflect.TypeOf(fixtures.PersonA{}),
+		"PersonB":     reflect.TypeOf(fixtures.PersonB{}),
+		"Person":      reflect.TypeOf((*fixtures.Person)(nil)).Elem(),
+		"Named":       reflect.TypeOf((*fixtures.Named)(nil)).Elem(),
+		"Employee":    reflect.TypeOf(fixtures.Employee{}),
+		"Address":     reflect.TypeOf(fixtures.Address{}),
+		"Contact":     reflect.TypeOf(fixtures.Contact{}),
+		"Node":        reflect.TypeOf(fixtures.Node{}),
+		"StockQuoteA": reflect.TypeOf(fixtures.StockQuoteA{}),
+		"StockQuoteB": reflect.TypeOf(fixtures.StockQuoteB{}),
+		"Swapped":     reflect.TypeOf(fixtures.Swapped{}),
+		"Swappee":     reflect.TypeOf(fixtures.Swappee{}),
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list available demo types")
+	typeName := flag.String("type", "", "print the XML description of this type")
+	idl := flag.Bool("idl", false, "with -type: print lingua-franca IDL instead of XML")
+	conformPair := flag.String("conform", "", "candidate,expected: run the conformance check")
+	strict := flag.Bool("strict", false, "use the paper's strict Figure 2 rule instead of the relaxed default")
+	flag.Parse()
+
+	if err := run(*list, *typeName, *idl, *conformPair, *strict); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, typeName string, idl bool, conformPair string, strict bool) error {
+	types := demoTypes()
+
+	switch {
+	case list:
+		names := make([]string, 0, len(types))
+		for n := range types {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+
+	case typeName != "":
+		t, ok := types[typeName]
+		if !ok {
+			return fmt.Errorf("unknown type %q (try -list)", typeName)
+		}
+		d, err := typedesc.Describe(t)
+		if err != nil {
+			return err
+		}
+		if idl {
+			fmt.Print(lingua.Format(d))
+			return nil
+		}
+		doc, err := xmlenc.MarshalDescription(d)
+		if err != nil {
+			return err
+		}
+		fmt.Print(string(doc))
+		return nil
+
+	case conformPair != "":
+		parts := strings.SplitN(conformPair, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-conform wants candidate,expected")
+		}
+		ct, ok := types[strings.TrimSpace(parts[0])]
+		if !ok {
+			return fmt.Errorf("unknown candidate %q", parts[0])
+		}
+		et, ok := types[strings.TrimSpace(parts[1])]
+		if !ok {
+			return fmt.Errorf("unknown expected %q", parts[1])
+		}
+		repo := typedesc.NewRepository()
+		for _, t := range types {
+			if d, err := typedesc.Describe(t); err == nil {
+				_ = repo.Add(d)
+			}
+		}
+		policy := conform.Relaxed(1)
+		if strict {
+			policy = conform.Strict()
+		}
+		checker := conform.New(repo, conform.WithPolicy(policy))
+		cd, err := typedesc.Describe(ct)
+		if err != nil {
+			return err
+		}
+		ed, err := typedesc.Describe(et)
+		if err != nil {
+			return err
+		}
+		r, err := checker.Check(cd, ed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s ≤is %s: %v\n", cd.Name, ed.Name, r.Conformant)
+		fmt.Printf("reason: %s\n", r.Reason)
+		if r.Conformant {
+			fmt.Printf("mapping: %s\n", r.Mapping)
+		}
+		return nil
+
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -type or -conform")
+	}
+}

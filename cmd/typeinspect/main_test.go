@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run(true, "", false, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunType(t *testing.T) {
+	if err := run(false, "PersonA", false, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, "PersonA", true, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, "Ghost", false, "", false); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestRunConform(t *testing.T) {
+	if err := run(false, "", false, "PersonB,PersonA", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, "", false, "PersonB,PersonA", true); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"PersonB", "Ghost,PersonA", "PersonB,Ghost"} {
+		if err := run(false, "", false, bad, false); err == nil {
+			t.Errorf("bad -conform %q accepted", bad)
+		}
+	}
+}
+
+func TestRunNothing(t *testing.T) {
+	err := run(false, "", false, "", false)
+	if err == nil || !strings.Contains(err.Error(), "nothing to do") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDemoTypesComplete(t *testing.T) {
+	types := demoTypes()
+	for _, name := range []string{"PersonA", "PersonB", "Person", "Employee", "StockQuoteA", "Swapped"} {
+		if _, ok := types[name]; !ok {
+			t.Errorf("demo type %s missing", name)
+		}
+	}
+}

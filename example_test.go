@@ -1,0 +1,84 @@
+package pti_test
+
+import (
+	"fmt"
+
+	"pti"
+	"pti/internal/fixtures"
+)
+
+// ExampleRuntime_ConformsTo shows the paper's motivating scenario:
+// two Person types written independently, unified by the implicit
+// structural conformance rules.
+func ExampleRuntime_ConformsTo() {
+	rt := pti.New()
+	_ = rt.Register(fixtures.PersonA{})
+	_ = rt.Register(fixtures.PersonB{})
+
+	res, _ := rt.ConformsTo(fixtures.PersonB{}, fixtures.PersonA{})
+	fmt.Println(res.Conformant)
+	mm, _ := res.Mapping.MethodFor("GetName")
+	fmt.Println(mm.Candidate)
+	// Output:
+	// true
+	// GetPersonName
+}
+
+// ExampleRuntime_NewInvoker shows a dynamic proxy executing a call in
+// the expected type's vocabulary.
+func ExampleRuntime_NewInvoker() {
+	rt := pti.New()
+	_ = rt.Register(fixtures.PersonA{})
+
+	inv, _ := rt.NewInvoker(&fixtures.PersonB{PersonName: "Grace"}, fixtures.PersonA{})
+	out, _ := inv.Call("GetName") // runs PersonB.GetPersonName
+	fmt.Println(out[0])
+	// Output:
+	// Grace
+}
+
+// ExampleRuntime_Marshal shows the Figure 3 hybrid envelope: marshal
+// one type, unmarshal as another.
+func ExampleRuntime_Marshal() {
+	rt := pti.New()
+	_ = rt.Register(fixtures.PersonA{})
+	_ = rt.Register(fixtures.PersonB{})
+
+	data, _ := rt.Marshal(fixtures.PersonB{PersonName: "Niklaus", PersonAge: 70})
+	bound, _, _ := rt.Unmarshal(data, fixtures.PersonA{})
+	p := bound.(*fixtures.PersonA)
+	fmt.Println(p.Name, p.Age)
+	// Output:
+	// Niklaus 70
+}
+
+// ExampleStrictPolicy shows that the paper's Figure 2 rule as written
+// rejects the very example that motivates it — which is why the
+// relaxed policy exists.
+func ExampleStrictPolicy() {
+	strict := pti.New(pti.WithPolicy(pti.StrictPolicy()))
+	_ = strict.Register(fixtures.PersonA{})
+	res, _ := strict.ConformsTo(fixtures.PersonB{}, fixtures.PersonA{})
+	fmt.Println(res.Conformant)
+
+	relaxed := pti.New(pti.WithPolicy(pti.RelaxedPolicy(1)))
+	_ = relaxed.Register(fixtures.PersonA{})
+	res, _ = relaxed.ConformsTo(fixtures.PersonB{}, fixtures.PersonA{})
+	fmt.Println(res.Conformant)
+	// Output:
+	// false
+	// true
+}
+
+// ExampleRuntime_Diff shows the structural diff tooling.
+func ExampleRuntime_Diff() {
+	rt := pti.New()
+	diff, _ := rt.Diff(fixtures.Swapped{}, fixtures.Swappee{})
+	for _, line := range diff {
+		if line != "" && line[0] == 'm' { // method lines only
+			fmt.Println(line)
+		}
+	}
+	// Output:
+	// method Combine: signature "Combine(string, int) (string)" vs "Combine(int, string) (string)"
+}

@@ -1,0 +1,102 @@
+// Command borrowlend demonstrates the borrow/lend abstraction with a
+// type-conformance criterion (the paper's Section 8 second
+// application): a lender offers a resource of type T2; a borrower
+// asks for "anything conforming to T1"; T2 matches implicitly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pti"
+)
+
+// Printer is the borrower's idea of a print service.
+type Printer struct {
+	Location string
+}
+
+// PrintDoc prints a document and reports the page count.
+func (p *Printer) PrintDoc(doc string) int { return len(doc) / 80 }
+
+// GetLocation returns where the printer lives.
+func (p *Printer) GetLocation() string { return p.Location }
+
+// Printers is the lender's independently written printer type: same
+// module, different vocabulary.
+type Printers struct {
+	PrinterLocation string
+	Jobs            int
+}
+
+// PrintTheDoc prints a document and reports the page count.
+func (p *Printers) PrintTheDoc(doc string) int {
+	p.Jobs++
+	return len(doc)/80 + 1
+}
+
+// GetPrinterLocation returns where the printer lives.
+func (p *Printers) GetPrinterLocation() string { return p.PrinterLocation }
+
+// Scanner is an unrelated lent resource: it must never match a
+// Printer request.
+type Scanner struct {
+	DPI int
+}
+
+// Scan scans a page.
+func (s *Scanner) Scan() []byte { return make([]byte, s.DPI) }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rt := pti.New(pti.WithPolicy(pti.RelaxedPolicy(2)))
+	if err := rt.Register(Printer{}); err != nil {
+		return err
+	}
+	market := rt.NewMarket()
+
+	// Lenders offer resources.
+	if _, err := market.Lend("hall-scanner", &Scanner{DPI: 600}); err != nil {
+		return err
+	}
+	if _, err := market.Lend("floor2-printer", &Printers{PrinterLocation: "Floor 2, Room 17"}); err != nil {
+		return err
+	}
+	fmt.Printf("market offers: %v\n", market.Offers())
+
+	// The borrower asks for a Printer; the lender only ever lent a
+	// "Printers". The conformance criterion matches them.
+	loan, err := market.Borrow(Printer{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("borrowed offer %q of type %s\n", loan.Offer.ID, loan.Offer.Desc.Name)
+	fmt.Printf("mapping: %s\n", loan.Mapping)
+
+	where, err := loan.Invoker.Call("GetLocation") // runs GetPrinterLocation
+	if err != nil {
+		return err
+	}
+	fmt.Printf("printer location: %v\n", where[0])
+
+	pages, err := loan.Invoker.Call("PrintDoc", string(make([]byte, 400))) // runs PrintTheDoc
+	if err != nil {
+		return err
+	}
+	fmt.Printf("printed %v page(s)\n", pages[0])
+
+	// While on loan, nobody else can borrow it.
+	if _, err := market.Borrow(Printer{}); err != nil {
+		fmt.Printf("second borrower correctly refused: %v\n", err)
+	}
+	if err := loan.Return(); err != nil {
+		return err
+	}
+	fmt.Printf("returned; market offers again: %v\n", market.Offers())
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command evolution demonstrates schema evolution across peers — the
+// "dynamic environment where new events of new types can be put into
+// the system through remote locations at runtime" (paper Section 3.1)
+// taken one step further: the *same* module evolves, and old and new
+// versions keep interoperating because conformance works on structure,
+// not on compiled identity.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pti"
+)
+
+// ProfileV1 is the original release of the user-profile module.
+type ProfileV1 struct {
+	Name string
+}
+
+// GetName returns the profile name.
+func (p *ProfileV1) GetName() string { return p.Name }
+
+// ProfileV2 is the next release: one field and one accessor were
+// added. V1 objects must still be consumable by V2 receivers (missing
+// data stays zero) and V2 objects by V1 receivers (extra data is
+// ignored).
+type ProfileV2 struct {
+	Name  string
+	Email string
+}
+
+// GetName returns the profile name.
+func (p *ProfileV2) GetName() string { return p.Name }
+
+// GetEmail returns the profile email.
+func (p *ProfileV2) GetEmail() string { return p.Email }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	oldRT := pti.New()
+	if err := oldRT.Register(ProfileV1{}); err != nil {
+		return err
+	}
+	newRT := pti.New()
+	if err := newRT.Register(ProfileV2{}); err != nil {
+		return err
+	}
+
+	// Old sender -> new receiver. V1 conforms to... V2? No: V2
+	// expects GetEmail, which V1 cannot provide. The conformance
+	// rules protect the receiver here.
+	res, err := newRT.ConformsTo(ProfileV1{}, ProfileV2{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("V1 usable as V2: %v (%s)\n", res.Conformant, res.Reason)
+
+	// The other direction is safe: V2 provides everything V1's
+	// consumers need.
+	res, err = oldRT.ConformsTo(ProfileV2{}, ProfileV1{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("V2 usable as V1: %v (%s)\n\n", res.Conformant, res.Reason)
+
+	// Ship a V2 object to a V1 peer over the optimistic protocol.
+	newPeer := newRT.NewPeer("v2-sender")
+	oldPeer := oldRT.NewPeer("v1-receiver")
+	defer newPeer.Close()
+	defer oldPeer.Close()
+
+	got := make(chan pti.Delivery, 1)
+	if err := oldPeer.OnReceive(ProfileV1{}, func(d pti.Delivery) { got <- d }); err != nil {
+		return err
+	}
+	conn, _ := pti.Connect(newPeer, oldPeer)
+	if err := newPeer.SendObject(conn, ProfileV2{Name: "Ada", Email: "ada@example.org"}); err != nil {
+		return err
+	}
+	select {
+	case d := <-got:
+		v1 := d.Bound.(*ProfileV1)
+		fmt.Printf("V1 receiver got %s object as ProfileV1{Name:%q} — extra field dropped safely\n",
+			d.TypeName, v1.Name)
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("delivery timed out")
+	}
+
+	// The diagnostic tools show exactly what changed between the
+	// versions.
+	diff, err := newRT.Diff(ProfileV1{}, ProfileV2{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nstructural diff V1 -> V2:")
+	for _, line := range diff {
+		fmt.Println("  " + line)
+	}
+
+	rep, err := newRT.Explain(ProfileV1{}, ProfileV2{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nwhy V1 cannot stand in for V2:")
+	for _, failure := range rep.Failures {
+		fmt.Println("  " + failure)
+	}
+	return nil
+}

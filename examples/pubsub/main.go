@@ -1,0 +1,109 @@
+// Command pubsub demonstrates type-based publish/subscribe enhanced
+// with type interoperability (the paper's Section 8 application): a
+// market-data publisher and a trading subscriber were written
+// independently — their event types share no code and use different
+// member names — yet the subscriber receives the publisher's events,
+// delivered as native instances of its own type.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"pti"
+)
+
+// Quote is the publisher's event type.
+type Quote struct {
+	Symbol string
+	Price  float64
+	Volume int
+}
+
+// GetSymbol returns the ticker symbol.
+func (q *Quote) GetSymbol() string { return q.Symbol }
+
+// GetPrice returns the quoted price.
+func (q *Quote) GetPrice() float64 { return q.Price }
+
+// GetVolume returns the traded volume.
+func (q *Quote) GetVolume() int { return q.Volume }
+
+// Quotes is the subscriber's event type, written by another team:
+// same module, more verbose vocabulary and different field order.
+type Quotes struct {
+	QuoteVolume int
+	QuoteSymbol string
+	QuotePrice  float64
+}
+
+// GetQuoteSymbol returns the ticker symbol.
+func (q *Quotes) GetQuoteSymbol() string { return q.QuoteSymbol }
+
+// GetQuotePrice returns the quoted price.
+func (q *Quotes) GetQuotePrice() float64 { return q.QuotePrice }
+
+// GetQuoteVolume returns the traded volume.
+func (q *Quotes) GetQuoteVolume() int { return q.QuoteVolume }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Publisher side: owns Quote.
+	pubRT := pti.New()
+	if err := pubRT.Register(Quote{}); err != nil {
+		return err
+	}
+	publisher := pubRT.NewPeer("publisher")
+	defer publisher.Close()
+
+	// Subscriber side: owns Quotes, has never seen Quote.
+	subRT := pti.New()
+	if err := subRT.Register(Quotes{}); err != nil {
+		return err
+	}
+	subscriber := subRT.NewPeer("subscriber")
+	defer subscriber.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	if err := subscriber.OnReceive(Quotes{}, func(d pti.Delivery) {
+		defer wg.Done()
+		q := d.Bound.(*Quotes)
+		fmt.Printf("subscriber got %-5s price=%7.2f volume=%5d (published as %s)\n",
+			q.QuoteSymbol, q.QuotePrice, q.QuoteVolume, d.TypeName)
+	}); err != nil {
+		return err
+	}
+
+	// Connect the two peers and publish.
+	cp, _ := pti.Connect(publisher, subscriber)
+	for _, q := range []Quote{
+		{Symbol: "NESN", Price: 102.48, Volume: 1500},
+		{Symbol: "ROG", Price: 251.10, Volume: 620},
+		{Symbol: "NOVN", Price: 89.32, Volume: 2100},
+	} {
+		if err := publisher.SendObject(cp, q); err != nil {
+			return err
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("timed out waiting for deliveries")
+	}
+
+	st := subscriber.Stats().Snapshot()
+	fmt.Printf("\noptimistic protocol: %d objects, %d type-info round trip(s), %d code round trip(s)\n",
+		st.ObjectsReceived, st.TypeInfoRequests, st.CodeRequests)
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command quickstart demonstrates the paper's motivating example
+// (Section 3.1): two programmers implement the same logical "Person"
+// module with different member names. Pragmatic type interoperability
+// lets one be used as the other — the conformance rules compute a
+// member mapping and a dynamic proxy interposes it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pti"
+)
+
+// Person is the first programmer's implementation.
+type Person struct {
+	Name string
+	Age  int
+}
+
+// GetName returns the person's name.
+func (p *Person) GetName() string { return p.Name }
+
+// SetName sets the person's name.
+func (p *Person) SetName(name string) { p.Name = name }
+
+// GetAge returns the person's age.
+func (p *Person) GetAge() int { return p.Age }
+
+// Persona is the second programmer's implementation of the same
+// module: same structure, different vocabulary.
+type Persona struct {
+	PersonName string
+	PersonAge  int
+}
+
+// GetPersonName returns the person's name.
+func (p *Persona) GetPersonName() string { return p.PersonName }
+
+// SetPersonName sets the person's name.
+func (p *Persona) SetPersonName(name string) { p.PersonName = name }
+
+// GetPersonAge returns the person's age.
+func (p *Persona) GetPersonAge() int { return p.PersonAge }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rt := pti.New()
+	if err := rt.Register(Person{}); err != nil {
+		return err
+	}
+	if err := rt.Register(Persona{}); err != nil {
+		return err
+	}
+
+	// 1. The XML type description (Section 5.2).
+	xml, err := rt.DescribeXML(Persona{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("--- TypeDescription of Persona (as shipped over the wire) ---")
+	fmt.Println(string(xml))
+
+	// 2. The conformance check (Section 4.2, rule (vi)).
+	res, err := rt.ConformsTo(Persona{}, Person{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Persona conforms to Person: %v (%s)\n", res.Conformant, res.Reason)
+	fmt.Printf("mapping: %s\n\n", res.Mapping)
+
+	// 3. Use a Persona wherever a Person is expected, through a
+	// dynamic proxy (Section 6).
+	someoneElsesObject := &Persona{PersonName: "Grace Hopper", PersonAge: 85}
+	inv, err := rt.NewInvoker(someoneElsesObject, Person{})
+	if err != nil {
+		return err
+	}
+	name, err := inv.Call("GetName") // executes GetPersonName
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inv.Call(\"GetName\") -> %v\n", name[0])
+
+	if _, err := inv.Call("SetName", "Grace Brewster Murray Hopper"); err != nil {
+		return err
+	}
+	fmt.Printf("after SetName, the Persona holds: %q\n", someoneElsesObject.PersonName)
+
+	// 4. Pass-by-value: marshal a Persona into the hybrid envelope
+	// (Figure 3) and unmarshal it as a Person.
+	data, err := rt.Marshal(Persona{PersonName: "Niklaus", PersonAge: 70})
+	if err != nil {
+		return err
+	}
+	bound, _, err := rt.Unmarshal(data, Person{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("unmarshalled as Person: %+v\n", bound.(*Person))
+	return nil
+}

@@ -1,0 +1,251 @@
+package borrowlend
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pti/internal/fixtures"
+	"pti/internal/registry"
+	"pti/internal/transport"
+)
+
+func newMarket(t *testing.T) *Market {
+	t.Helper()
+	reg := registry.New()
+	for _, v := range []interface{}{fixtures.PersonA{}, fixtures.StockQuoteA{}} {
+		if _, err := reg.Register(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewMarket(reg)
+}
+
+func TestLendAndBorrowExact(t *testing.T) {
+	m := newMarket(t)
+	if _, err := m.Lend("r1", &fixtures.PersonA{Name: "Lent", Age: 5}); err != nil {
+		t.Fatal(err)
+	}
+	loan, err := m.Borrow(fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := loan.Invoker.Call("GetName")
+	if err != nil || out[0] != "Lent" {
+		t.Errorf("GetName = %v, %v", out, err)
+	}
+	if err := loan.Return(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBorrowImplicitlyConformant(t *testing.T) {
+	// The paper's criterion: the lent resource's type T2 must
+	// conform to the requested T1 — here only implicitly.
+	m := newMarket(t)
+	if _, err := m.Lend("r1", &fixtures.PersonB{PersonName: "Implicit", PersonAge: 8}); err != nil {
+		t.Fatal(err)
+	}
+	loan, err := m.Borrow(fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loan.Offer.Desc.Name != "PersonB" {
+		t.Errorf("matched offer = %s", loan.Offer.Desc.Name)
+	}
+	out, err := loan.Invoker.Call("GetName")
+	if err != nil || out[0] != "Implicit" {
+		t.Errorf("GetName = %v, %v", out, err)
+	}
+	// Mutations act on the lender's object.
+	if _, err := loan.Invoker.Call("SetAge", 9); err != nil {
+		t.Fatal(err)
+	}
+	if loan.Offer.Resource.(*fixtures.PersonB).PersonAge != 9 {
+		t.Error("mutation lost")
+	}
+}
+
+func TestBorrowNoMatch(t *testing.T) {
+	m := newMarket(t)
+	if _, err := m.Lend("r1", &fixtures.StockQuoteB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Borrow(fixtures.PersonA{}); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("no match: %v", err)
+	}
+}
+
+func TestLoanExclusivity(t *testing.T) {
+	m := newMarket(t)
+	if _, err := m.Lend("r1", &fixtures.PersonA{Name: "Solo"}); err != nil {
+		t.Fatal(err)
+	}
+	loan, err := m.Borrow(fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On loan: a second borrower finds nothing.
+	if _, err := m.Borrow(fixtures.PersonA{}); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("double borrow: %v", err)
+	}
+	if err := loan.Return(); err != nil {
+		t.Fatal(err)
+	}
+	// Returned: borrowable again.
+	if _, err := m.Borrow(fixtures.PersonA{}); err != nil {
+		t.Errorf("borrow after return: %v", err)
+	}
+	// Double return is an error.
+	if err := loan.Return(); !errors.Is(err, ErrNotOnLoan) {
+		t.Errorf("double return: %v", err)
+	}
+}
+
+func TestMultipleOffersDeterministicMatch(t *testing.T) {
+	m := newMarket(t)
+	if _, err := m.Lend("first", &fixtures.PersonB{PersonName: "First"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Lend("second", &fixtures.PersonA{Name: "Second"}); err != nil {
+		t.Fatal(err)
+	}
+	loan, err := m.Borrow(fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loan.Offer.ID != "first" {
+		t.Errorf("matched %s, want first (insertion order)", loan.Offer.ID)
+	}
+}
+
+func TestRetract(t *testing.T) {
+	m := newMarket(t)
+	if _, err := m.Lend("r1", &fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Offers(); len(got) != 1 || got[0] != "r1" {
+		t.Errorf("Offers = %v", got)
+	}
+	loan, err := m.Borrow(fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Retract("r1"); !errors.Is(err, ErrAlreadyOnLoan) {
+		t.Errorf("retract on loan: %v", err)
+	}
+	_ = loan.Return()
+	if err := m.Retract("r1"); err != nil {
+		t.Errorf("retract: %v", err)
+	}
+	if err := m.Retract("r1"); err == nil {
+		t.Error("retract twice accepted")
+	}
+}
+
+func TestLendErrors(t *testing.T) {
+	m := newMarket(t)
+	if _, err := m.Lend("", &fixtures.PersonA{}); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := m.Lend("x", nil); err == nil {
+		t.Error("nil resource accepted")
+	}
+	if _, err := m.Lend("dup", &fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Lend("dup", &fixtures.PersonA{}); !errors.Is(err, ErrAlreadyLent) {
+		t.Errorf("dup id: %v", err)
+	}
+	if _, err := m.Borrow(nil); err == nil {
+		t.Error("Borrow(nil) accepted")
+	}
+}
+
+func TestBorrowRemote(t *testing.T) {
+	// Distributed BL: the lender exports the resource; the borrower
+	// reaches it by pass-by-reference with implicit conformance.
+	lenderReg := registry.New()
+	if _, err := lenderReg.Register(fixtures.PersonB{}); err != nil {
+		t.Fatal(err)
+	}
+	lender := transport.NewPeer(lenderReg, transport.WithName("lender"))
+
+	borrowerReg := registry.New()
+	if _, err := borrowerReg.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	borrower := transport.NewPeer(borrowerReg, transport.WithName("borrower"))
+	defer lender.Close()
+	defer borrower.Close()
+
+	if err := lender.Export("printer", &fixtures.PersonB{PersonName: "Resource"}); err != nil {
+		t.Fatal(err)
+	}
+	_, cb := transport.Connect(lender, borrower)
+	ref, err := BorrowRemote(borrower, cb, "printer", fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ref.Call("GetName")
+	if err != nil || out[0] != "Resource" {
+		t.Errorf("remote GetName = %v, %v", out, err)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	reg := registry.New()
+	if _, err := reg.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Date(2026, 6, 12, 12, 0, 0, 0, time.UTC)
+	m := NewMarket(reg, WithClock(func() time.Time { return clock }))
+
+	if _, err := m.Lend("leased", &fixtures.PersonA{Name: "L"}, WithLease(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	loan, err := m.Borrow(fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before expiry the resource is exclusively held.
+	if _, err := m.Borrow(fixtures.PersonA{}); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("double borrow before expiry: %v", err)
+	}
+	// After expiry the market reclaims it.
+	clock = clock.Add(2 * time.Minute)
+	loan2, err := m.Borrow(fixtures.PersonA{})
+	if err != nil {
+		t.Fatalf("borrow after expiry: %v", err)
+	}
+	// The stale loan can no longer be returned.
+	if err := loan.Return(); !errors.Is(err, ErrNotOnLoan) {
+		t.Errorf("stale return: %v", err)
+	}
+	if err := loan2.Return(); err != nil {
+		t.Errorf("fresh return: %v", err)
+	}
+}
+
+func TestLeaseZeroMeansUnlimited(t *testing.T) {
+	reg := registry.New()
+	if _, err := reg.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Now()
+	m := NewMarket(reg, WithClock(func() time.Time { return clock }))
+	if _, err := m.Lend("forever", &fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	loan, err := m.Borrow(fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(1000 * time.Hour)
+	if _, err := m.Borrow(fixtures.PersonA{}); !errors.Is(err, ErrNoMatch) {
+		t.Error("unlimited lease was reclaimed")
+	}
+	if err := loan.Return(); err != nil {
+		t.Error(err)
+	}
+}

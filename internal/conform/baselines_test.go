@@ -1,0 +1,213 @@
+package conform
+
+import (
+	"reflect"
+	"testing"
+
+	"pti/internal/fixtures"
+	"pti/internal/typedesc"
+)
+
+func TestExplicitCheckerAcceptsSubtyping(t *testing.T) {
+	repo := newRepo(t)
+	e := NewExplicit(repo)
+
+	personIface := reflect.TypeOf((*fixtures.Person)(nil)).Elem()
+	pa := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonA{}), typedesc.WithInterfaces(personIface))
+	person := mustResolve(t, repo, "Person")
+	emp := mustResolve(t, repo, "Employee")
+
+	r, err := e.Check(pa, person)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Conformant {
+		t.Errorf("explicit: PersonA vs Person: %s", r.Reason)
+	}
+
+	r, err = e.Check(emp, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Conformant {
+		t.Errorf("explicit: Employee vs PersonA: %s", r.Reason)
+	}
+
+	r, err = e.Check(pa, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Conformant {
+		t.Error("explicit: reflexivity")
+	}
+}
+
+func TestExplicitCheckerRejectsImplicit(t *testing.T) {
+	// The whole point of the paper: PersonB is NOT usable as PersonA
+	// under RMI/.NET-style conformance.
+	repo := newRepo(t)
+	e := NewExplicit(repo)
+	r, err := e.Check(mustResolve(t, repo, "PersonB"), mustResolve(t, repo, "PersonA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Conformant {
+		t.Fatal("explicit baseline must reject PersonB vs PersonA")
+	}
+	if _, err := e.Check(nil, nil); err == nil {
+		t.Error("nil check should error")
+	}
+}
+
+func TestNameOnlyCheckerIsPermissive(t *testing.T) {
+	n := NewNameOnly(Relaxed(1))
+	repo := newRepo(t)
+	r, err := n.Check(mustResolve(t, repo, "PersonB"), mustResolve(t, repo, "PersonA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Conformant {
+		t.Fatal("name-only should accept PersonB vs PersonA")
+	}
+	// The danger: it claims an identity mapping even though member
+	// names differ — the proxy tests demonstrate the runtime failure
+	// this causes.
+	if !r.Mapping.Identity {
+		t.Error("name-only mapping should be the (bogus) identity")
+	}
+
+	r, err = n.Check(mustResolve(t, repo, "Address"), mustResolve(t, repo, "PersonA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Conformant {
+		t.Error("name-only still rejects unrelated names")
+	}
+	if _, err := n.Check(nil, nil); err == nil {
+		t.Error("nil check should error")
+	}
+}
+
+func TestNameOnlyUnsoundnessVsFullRule(t *testing.T) {
+	// TwinA and TwinB share a name-distance of 1 but are shaped
+	// differently: name-only accepts, the full rule refuses. This is
+	// the paper's Section 4.2 warning made executable.
+	type TwinA struct{ Value int }
+	type TwinB struct{ Label string }
+	repo := typedesc.NewRepository()
+	da := typedesc.MustDescribe(reflect.TypeOf(TwinA{}))
+	db := typedesc.MustDescribe(reflect.TypeOf(TwinB{}))
+
+	nameOnly := NewNameOnly(Relaxed(1))
+	full := New(repo, WithPolicy(Relaxed(1)))
+
+	rn, err := nameOnly.Check(db, da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := full.Check(db, da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rn.Conformant {
+		t.Fatal("name-only should accept TwinB vs TwinA")
+	}
+	if rf.Conformant {
+		t.Fatal("full rule must reject TwinB vs TwinA (no conformant Value field)")
+	}
+}
+
+func TestTaggedCheckerRequiresTags(t *testing.T) {
+	repo := newRepo(t)
+	tagged := NewTagged(repo)
+	pa := mustResolve(t, repo, "PersonA")
+
+	// Same-shape type registered under the same name with a
+	// different identity simulates an independently written twin.
+	twin := pa.Clone()
+	twin.Identity = typedesc.MustDescribe(reflect.TypeOf(struct{ X int }{})).Identity
+
+	r, err := tagged.Check(twin, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Conformant {
+		t.Fatal("untagged types must not conform (legacy types never participate)")
+	}
+
+	tagged.Tag(pa.Identity)
+	r, err = tagged.Check(twin, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Conformant {
+		t.Fatal("one-sided tagging must not be enough")
+	}
+
+	tagged.Tag(twin.Identity)
+	r, err = tagged.Check(twin, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Conformant {
+		t.Fatalf("tagged same-shape types should conform: %s", r.Reason)
+	}
+}
+
+func TestTaggedCheckerRequiresSameHierarchy(t *testing.T) {
+	repo := newRepo(t)
+	tagged := NewTagged(repo)
+	emp := mustResolve(t, repo, "Employee") // Super = PersonA
+	pa := mustResolve(t, repo, "PersonA")   // no Super
+
+	tagged.Tag(emp.Identity)
+	tagged.Tag(pa.Identity)
+	r, err := tagged.Check(emp, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Conformant {
+		t.Fatal("different hierarchies must not conform under the Läufer baseline")
+	}
+	if _, err := tagged.Check(nil, nil); err == nil {
+		t.Error("nil check should error")
+	}
+}
+
+func TestBaselinesMatchRateComparison(t *testing.T) {
+	// The qualitative claim of the paper: implicit ⊇ explicit, and
+	// implicit unifies pairs explicit cannot. Quantified over the
+	// fixture corpus.
+	repo := newRepo(t)
+	full := New(repo, WithPolicy(Relaxed(1)))
+	explicit := NewExplicit(repo)
+
+	names := []string{"PersonA", "PersonB", "Employee", "StockQuoteA", "StockQuoteB", "Address"}
+	var fullCount, explicitCount int
+	for _, cn := range names {
+		for _, en := range names {
+			cand, exp := mustResolve(t, repo, cn), mustResolve(t, repo, en)
+			rf, err := full.Check(cand, exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := explicit.Check(cand, exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re.Conformant && !rf.Conformant {
+				t.Errorf("implicit must subsume explicit: %s vs %s", cn, en)
+			}
+			if rf.Conformant {
+				fullCount++
+			}
+			if re.Conformant {
+				explicitCount++
+			}
+		}
+	}
+	if fullCount <= explicitCount {
+		t.Errorf("implicit matched %d pairs, explicit %d; implicit should match strictly more",
+			fullCount, explicitCount)
+	}
+}

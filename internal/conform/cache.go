@@ -1,0 +1,75 @@
+package conform
+
+import (
+	"sync"
+
+	"pti/internal/guid"
+)
+
+// Cache memoizes conformance results keyed by (candidate identity,
+// expected identity, policy). The transport layer shares one Cache per
+// peer so that repeated receptions of the same type skip rule
+// evaluation entirely — the optimization the paper's optimistic
+// protocol is built around (Section 6.1).
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[cacheKey]*Result
+	hits    uint64
+	misses  uint64
+}
+
+type cacheKey struct {
+	cand   guid.GUID
+	exp    guid.GUID
+	policy string
+}
+
+// NewCache returns an empty Cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]*Result)}
+}
+
+func (c *Cache) get(cand, exp guid.GUID, p Policy) (*Result, bool) {
+	if cand.IsNil() || exp.IsNil() {
+		return nil, false
+	}
+	k := cacheKey{cand: cand, exp: exp, policy: p.fingerprint()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+func (c *Cache) put(cand, exp guid.GUID, p Policy, r *Result) {
+	k := cacheKey{cand: cand, exp: exp, policy: p.fingerprint()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[k] = r
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative cache hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// Reset discards all entries and counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[cacheKey]*Result)
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,178 @@
+package conform
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pti/internal/fixtures"
+	"pti/internal/typedesc"
+)
+
+func TestExplainConformantMatchesCheck(t *testing.T) {
+	repo := newRepo(t)
+	c := New(repo, WithPolicy(Relaxed(1)))
+	cand := mustResolve(t, repo, "PersonB")
+	exp := mustResolve(t, repo, "PersonA")
+
+	rep, err := c.Explain(cand, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Conformant {
+		t.Fatalf("Explain disagrees with Check: %v", rep.Failures)
+	}
+	if len(rep.Failures) != 0 {
+		t.Errorf("conformant report has failures: %v", rep.Failures)
+	}
+	if rep.Mapping == nil || len(rep.Mapping.Methods) != 4 || len(rep.Mapping.Fields) != 2 {
+		t.Errorf("mapping incomplete: %s", rep.Mapping)
+	}
+}
+
+func TestExplainCollectsAllFailures(t *testing.T) {
+	// Hollow shares nothing with PersonA: the report must name the
+	// type-name failure AND every unmatched member, not just the
+	// first.
+	type Hollow struct{ Unrelated bool }
+	repo := newRepo(t)
+	c := New(repo, WithPolicy(Relaxed(1)))
+	cand := typedesc.MustDescribe(reflect.TypeOf(Hollow{}))
+	exp := mustResolve(t, repo, "PersonA")
+
+	rep, err := c.Explain(cand, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Conformant {
+		t.Fatal("Hollow must not conform to PersonA")
+	}
+	// 1 name + 2 fields + 4 methods = 7 failures.
+	if len(rep.Failures) != 7 {
+		t.Errorf("failures = %d: %v", len(rep.Failures), rep.Failures)
+	}
+	joined := strings.Join(rep.Failures, "\n")
+	for _, want := range []string{"name", "Name", "Age", "GetName", "SetName", "GetAge", "SetAge"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestExplainShortCircuits(t *testing.T) {
+	repo := newRepo(t)
+	c := New(repo)
+	d := mustResolve(t, repo, "PersonA")
+	rep, err := c.Explain(d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Conformant || rep.ShortCircuit != "equivalent" {
+		t.Errorf("self Explain = %+v", rep)
+	}
+
+	emp := mustResolve(t, repo, "Employee")
+	rep, err = c.Explain(emp, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Conformant || rep.ShortCircuit != "explicit" {
+		t.Errorf("Employee Explain = %+v", rep)
+	}
+	if _, err := c.Explain(nil, nil); err == nil {
+		t.Error("nil Explain accepted")
+	}
+}
+
+func TestExplainAgreesWithCheckOnCorpus(t *testing.T) {
+	repo := newRepo(t)
+	c := New(repo, WithPolicy(Relaxed(1)))
+	names := []string{"PersonA", "PersonB", "Employee", "Address", "StockQuoteA", "StockQuoteB", "Node"}
+	for _, cn := range names {
+		for _, en := range names {
+			cand, exp := mustResolve(t, repo, cn), mustResolve(t, repo, en)
+			chk, err := c.Check(cand, exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.Explain(cand, exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chk.Conformant != rep.Conformant {
+				t.Errorf("%s vs %s: Check=%v Explain=%v (%v)",
+					cn, en, chk.Conformant, rep.Conformant, rep.Failures)
+			}
+		}
+	}
+}
+
+func TestExplainIgnoreConstructors(t *testing.T) {
+	withCtor := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonA{}),
+		typedesc.WithConstructor("NewPersonA", fixtures.NewPersonA))
+	cand := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonB{}))
+
+	p := Relaxed(1)
+	c := New(nil, WithPolicy(p))
+	rep, err := c.Explain(cand, withCtor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Conformant {
+		t.Fatal("missing ctor should fail")
+	}
+
+	p.IgnoreConstructors = true
+	c2 := New(nil, WithPolicy(p))
+	rep, err = c2.Explain(cand, withCtor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Conformant {
+		t.Fatalf("IgnoreConstructors Explain: %v", rep.Failures)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	repo := newRepo(t)
+	descs := []*typedesc.TypeDescription{
+		mustResolve(t, repo, "PersonA"),
+		mustResolve(t, repo, "PersonB"),
+		mustResolve(t, repo, "Employee"),
+		mustResolve(t, repo, "Address"),
+	}
+	full, err := BuildMatrix(New(repo, WithPolicy(Relaxed(1))), descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := BuildMatrix(NewExplicit(repo), descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Subsumes(explicit) {
+		t.Errorf("implicit must subsume explicit:\nfull:\n%s\nexplicit:\n%s", full, explicit)
+	}
+	if full.Matches() <= explicit.Matches() {
+		t.Errorf("implicit matches %d, explicit %d", full.Matches(), explicit.Matches())
+	}
+	// Diagonal is always conformant.
+	for i := range descs {
+		if !full.Cell[i][i] {
+			t.Errorf("diagonal %s not conformant", descs[i].Name)
+		}
+	}
+	// PersonB -> PersonA is the implicit extra.
+	if !full.Cell[1][0] {
+		t.Error("PersonB vs PersonA missing from implicit matrix")
+	}
+	if explicit.Cell[1][0] {
+		t.Error("PersonB vs PersonA present in explicit matrix")
+	}
+	s := full.String()
+	if !strings.Contains(s, "PersonA") || !strings.Contains(s, "✓") {
+		t.Errorf("matrix render:\n%s", s)
+	}
+	if explicit.Subsumes(full) {
+		t.Error("explicit must not subsume implicit on this corpus")
+	}
+}

@@ -1,0 +1,142 @@
+package conform
+
+import (
+	"fmt"
+	"strings"
+
+	"pti/internal/typedesc"
+)
+
+// Mapping records how a conformant candidate type maps onto the
+// expected type: which candidate member realizes each expected member
+// and under which argument permutation. Dynamic proxies (Section 6)
+// consume a Mapping to forward invocations, and the deserializer uses
+// the field mapping to bind generic objects to local types.
+type Mapping struct {
+	Candidate typedesc.TypeRef
+	Expected  typedesc.TypeRef
+
+	// Identity is true when candidate and expected are the same type
+	// (equivalence) or related by explicit subtyping; every member
+	// then maps to itself.
+	Identity bool
+
+	Methods []MethodMapping
+	Fields  []FieldMapping
+	Ctors   []CtorMapping
+}
+
+// MethodMapping maps one expected method onto a candidate method.
+type MethodMapping struct {
+	Expected  string
+	Candidate string
+	// Perm maps expected-argument positions to candidate-argument
+	// positions: candidate arg Perm[i] receives expected arg i. It
+	// is always a permutation of [0, arity).
+	Perm []int
+}
+
+// IsIdentityPerm reports whether the permutation is the identity.
+func (m MethodMapping) IsIdentityPerm() bool {
+	for i, p := range m.Perm {
+		if p != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply reorders expected-order arguments into candidate order.
+func (m MethodMapping) Apply(args []interface{}) ([]interface{}, error) {
+	if len(args) != len(m.Perm) {
+		return nil, fmt.Errorf("conform: method %s->%s expects %d args, got %d",
+			m.Expected, m.Candidate, len(m.Perm), len(args))
+	}
+	out := make([]interface{}, len(args))
+	for i, p := range m.Perm {
+		out[p] = args[i]
+	}
+	return out, nil
+}
+
+// FieldMapping maps one expected field onto a candidate field.
+type FieldMapping struct {
+	Expected  string
+	Candidate string
+}
+
+// CtorMapping maps one expected constructor onto a candidate
+// constructor, with the same permutation semantics as methods.
+type CtorMapping struct {
+	Expected  string
+	Candidate string
+	Perm      []int
+}
+
+// MethodFor returns the mapping for the expected method name. Under
+// an Identity mapping, every name maps to itself.
+func (m *Mapping) MethodFor(expected string) (MethodMapping, bool) {
+	if m == nil {
+		return MethodMapping{}, false
+	}
+	for _, mm := range m.Methods {
+		if mm.Expected == expected {
+			return mm, true
+		}
+	}
+	if m.Identity {
+		return MethodMapping{Expected: expected, Candidate: expected}, true
+	}
+	return MethodMapping{}, false
+}
+
+// FieldFor returns the mapping for the expected field name.
+func (m *Mapping) FieldFor(expected string) (FieldMapping, bool) {
+	if m == nil {
+		return FieldMapping{}, false
+	}
+	for _, fm := range m.Fields {
+		if fm.Expected == expected {
+			return fm, true
+		}
+	}
+	if m.Identity {
+		return FieldMapping{Expected: expected, Candidate: expected}, true
+	}
+	return FieldMapping{}, false
+}
+
+// String renders the mapping compactly for diagnostics.
+func (m *Mapping) String() string {
+	if m == nil {
+		return "<nil mapping>"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s => %s", m.Candidate.Name, m.Expected.Name)
+	if m.Identity {
+		sb.WriteString(" (identity)")
+	}
+	for _, mm := range m.Methods {
+		fmt.Fprintf(&sb, "; %s->%s", mm.Expected, mm.Candidate)
+		if !mm.IsIdentityPerm() {
+			fmt.Fprintf(&sb, "%v", mm.Perm)
+		}
+	}
+	for _, fm := range m.Fields {
+		fmt.Fprintf(&sb, "; .%s->.%s", fm.Expected, fm.Candidate)
+	}
+	return sb.String()
+}
+
+// Override pins a member correspondence before checking, resolving
+// the ambiguity the paper leaves "up to the programmer" (Section 4.2:
+// when a member matches several counterparts, "the rules do not
+// impose any criterion").
+type Override struct {
+	// Kind is "method", "field" or "ctor".
+	Kind string
+	// Expected is the member name on the expected type; Candidate
+	// the member it must map to on the candidate.
+	Expected  string
+	Candidate string
+}

@@ -1,0 +1,95 @@
+package conform
+
+import (
+	"fmt"
+	"strings"
+
+	"pti/internal/typedesc"
+)
+
+// Matrix is the pairwise conformance relation over a corpus of
+// descriptions: Cell[i][j] reports descs[i] ≤is descs[j]. The
+// benchmark harness and system tools use it to compare relations
+// (implicit vs explicit vs tagged) over the same corpus.
+type Matrix struct {
+	Names []string
+	Cell  [][]bool
+}
+
+// BuildMatrix evaluates rel over every ordered pair.
+func BuildMatrix(rel Relation, descs []*typedesc.TypeDescription) (*Matrix, error) {
+	m := &Matrix{
+		Names: make([]string, len(descs)),
+		Cell:  make([][]bool, len(descs)),
+	}
+	for i, d := range descs {
+		m.Names[i] = d.Name
+		m.Cell[i] = make([]bool, len(descs))
+		for j, e := range descs {
+			r, err := rel.Check(d, e)
+			if err != nil {
+				return nil, fmt.Errorf("conform: matrix %s vs %s: %w", d.Name, e.Name, err)
+			}
+			m.Cell[i][j] = r.Conformant
+		}
+	}
+	return m, nil
+}
+
+// Matches counts the true cells.
+func (m *Matrix) Matches() int {
+	n := 0
+	for _, row := range m.Cell {
+		for _, ok := range row {
+			if ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Subsumes reports whether every pair conformant under other is also
+// conformant under m — the ordering claim between relations
+// (implicit ⊇ explicit).
+func (m *Matrix) Subsumes(other *Matrix) bool {
+	if len(m.Cell) != len(other.Cell) {
+		return false
+	}
+	for i := range m.Cell {
+		for j := range m.Cell[i] {
+			if other.Cell[i][j] && !m.Cell[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix as an aligned table with ✓ marks.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	width := 4
+	for _, n := range m.Names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", width+1, "")
+	for j := range m.Names {
+		fmt.Fprintf(&sb, "%3d", j)
+	}
+	sb.WriteByte('\n')
+	for i, row := range m.Cell {
+		fmt.Fprintf(&sb, "%-*s", width+1, m.Names[i])
+		for _, ok := range row {
+			if ok {
+				sb.WriteString("  ✓")
+			} else {
+				sb.WriteString("  ·")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

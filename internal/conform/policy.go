@@ -1,0 +1,188 @@
+// Package conform implements the implicit structural type conformance
+// rules of Pragmatic Type Interoperability (ICDCS 2003, Section 4.2,
+// Figure 2). A type T implicitly structurally conforms to a type T'
+// (written T ≤is T') iff T conforms to T' on every aspect — name,
+// fields, supertypes, methods and constructors — or T and T' are
+// equivalent (same identity) or T explicitly conforms to T'
+// (subtyping). The checker works purely on TypeDescriptions, never on
+// implementations, matching the paper's goal of comparing types
+// "without having to transfer the implementation of them"
+// (Section 5).
+package conform
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"pti/internal/levenshtein"
+)
+
+// Policy tunes the name-conformance aspect. The paper's rule as
+// written requires a Levenshtein distance of zero on case-folded
+// names, but explicitly leaves room for generalization ("in order to
+// be more general, wildcards could be allowed"). The zero value is
+// the paper's strict rule.
+type Policy struct {
+	// TypeNameDistance is the maximum Levenshtein distance between
+	// type names (rule (i)).
+	TypeNameDistance int
+	// MemberNameDistance is the maximum Levenshtein distance between
+	// member (field, method, constructor) names.
+	MemberNameDistance int
+	// CaseSensitive disables the paper's case folding.
+	CaseSensitive bool
+	// Wildcards enables '*' and '?' in *expected* names (the paper's
+	// suggested generalization).
+	Wildcards bool
+	// TokenSubset accepts member names whose camel-case token
+	// sequence is an ordered subsequence of the other's: setName
+	// conforms to setPersonName, the paper's motivating example
+	// (Section 3.1).
+	TokenSubset bool
+	// NoPermutations disables the argument-permutation search of
+	// rule (iv); only the declared parameter order is considered.
+	NoPermutations bool
+	// IgnoreConstructors skips aspect (v). The paper's rule includes
+	// constructors; receivers that only consume objects (never
+	// construct them) can relax this, trading strictness for match
+	// rate — an ablation measured by the benchmark harness.
+	IgnoreConstructors bool
+	// BestMatch resolves ambiguous member correspondences by name
+	// distance (closest wins) instead of declaration order. The
+	// paper leaves the choice "up to the programmer" (Section 4.2);
+	// declaration order is the deterministic default, BestMatch the
+	// heuristic alternative, and Overrides the explicit one.
+	BestMatch bool
+	// MaxDepth bounds structural recursion. Zero means the default
+	// (32).
+	MaxDepth int
+}
+
+// Strict returns the paper's Figure 2 rule exactly as written:
+// case-insensitive name equality, permutations allowed.
+func Strict() Policy { return Policy{} }
+
+// Relaxed returns a policy accepting type names within distance k and
+// member names related by the token-subset rule (or within distance
+// k), which makes the paper's own Person example conformant.
+func Relaxed(k int) Policy {
+	return Policy{
+		TypeNameDistance:   k,
+		MemberNameDistance: k,
+		TokenSubset:        true,
+	}
+}
+
+const defaultMaxDepth = 32
+
+func (p Policy) maxDepth() int {
+	if p.MaxDepth > 0 {
+		return p.MaxDepth
+	}
+	return defaultMaxDepth
+}
+
+// typeNameConforms applies rule (i) to type names. The token-subset
+// generalization applies here too: BankAccount represents the same
+// module as Account the way setPersonName represents setName.
+func (p Policy) typeNameConforms(expected, candidate string) bool {
+	if p.nameConforms(expected, candidate, p.TypeNameDistance) {
+		return true
+	}
+	return p.TokenSubset && tokenSubset(expected, candidate)
+}
+
+// memberNameConforms applies the name rule to member names.
+func (p Policy) memberNameConforms(expected, candidate string) bool {
+	if p.nameConforms(expected, candidate, p.MemberNameDistance) {
+		return true
+	}
+	if p.TokenSubset && tokenSubset(expected, candidate) {
+		return true
+	}
+	return false
+}
+
+func (p Policy) nameConforms(expected, candidate string, maxDist int) bool {
+	if !p.CaseSensitive {
+		expected = strings.ToLower(expected)
+		candidate = strings.ToLower(candidate)
+	}
+	if p.Wildcards && strings.ContainsAny(expected, "*?") {
+		return levenshtein.MatchWildcard(expected, candidate)
+	}
+	return levenshtein.WithinDistance(expected, candidate, maxDist)
+}
+
+// exactNameEqual is the non-negotiable comparison used for primitive
+// type names: fuzzy-matching int against uint would be unsound.
+func (p Policy) exactNameEqual(a, b string) bool {
+	if p.CaseSensitive {
+		return a == b
+	}
+	return strings.EqualFold(a, b)
+}
+
+// fingerprint renders the policy for cache keys.
+func (p Policy) fingerprint() string {
+	return fmt.Sprintf("t%d|m%d|c%t|w%t|s%t|p%t|i%t|b%t|d%d",
+		p.TypeNameDistance, p.MemberNameDistance, p.CaseSensitive,
+		p.Wildcards, p.TokenSubset, p.NoPermutations, p.IgnoreConstructors,
+		p.BestMatch, p.maxDepth())
+}
+
+// tokenSubset reports whether the camel-case token sequence of the
+// shorter name is an ordered subsequence of the longer one's:
+// setName ⊑ setPersonName, GetSymbol ⊑ GetStockSymbol.
+func tokenSubset(a, b string) bool {
+	ta, tb := splitCamel(a), splitCamel(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return len(ta) == len(tb)
+	}
+	if len(ta) > len(tb) {
+		ta, tb = tb, ta
+	}
+	i := 0
+	for _, tok := range tb {
+		if i < len(ta) && ta[i] == tok {
+			i++
+		}
+	}
+	return i == len(ta)
+}
+
+// splitCamel splits a camelCase / PascalCase / snake_case identifier
+// into lowercase tokens.
+func splitCamel(s string) []string {
+	var (
+		tokens []string
+		cur    strings.Builder
+	)
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-':
+			flush()
+		case unicode.IsUpper(r):
+			// Start of a new token, unless we are inside an
+			// all-caps run (e.g. "ID", "XML") that has not ended.
+			if i > 0 && !unicode.IsUpper(runes[i-1]) {
+				flush()
+			} else if i > 0 && i+1 < len(runes) && unicode.IsUpper(runes[i-1]) && unicode.IsLower(runes[i+1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}

@@ -1,0 +1,170 @@
+// Package fixtures provides the demo types used throughout the test
+// suite, the examples and the benchmark harness. They model the
+// motivating example of the paper (Section 3.1): two programmers
+// implement the same logical "Person" module with different method
+// names, plus richer types exercising supertypes, interfaces, nesting
+// and constructors.
+package fixtures
+
+// PersonA is the first programmer's Person: setter/getter named
+// SetName/GetName (the paper's setName()/getName()).
+type PersonA struct {
+	Name string
+	Age  int
+}
+
+// NewPersonA constructs a PersonA.
+func NewPersonA(name string, age int) *PersonA {
+	return &PersonA{Name: name, Age: age}
+}
+
+// GetName returns the person's name.
+func (p *PersonA) GetName() string { return p.Name }
+
+// SetName sets the person's name.
+func (p *PersonA) SetName(name string) { p.Name = name }
+
+// GetAge returns the person's age.
+func (p *PersonA) GetAge() int { return p.Age }
+
+// SetAge sets the person's age.
+func (p *PersonA) SetAge(age int) { p.Age = age }
+
+// PersonB is the second programmer's Person: the same module with
+// setPersonName()/getPersonName() (Section 3.1). Its field and method
+// names diverge from PersonA's, yet the two types represent the same
+// software module.
+type PersonB struct {
+	PersonName string
+	PersonAge  int
+}
+
+// NewPersonB constructs a PersonB.
+func NewPersonB(name string, age int) *PersonB {
+	return &PersonB{PersonName: name, PersonAge: age}
+}
+
+// GetPersonName returns the person's name.
+func (p *PersonB) GetPersonName() string { return p.PersonName }
+
+// SetPersonName sets the person's name.
+func (p *PersonB) SetPersonName(name string) { p.PersonName = name }
+
+// GetPersonAge returns the person's age.
+func (p *PersonB) GetPersonAge() int { return p.PersonAge }
+
+// SetPersonAge sets the person's age.
+func (p *PersonB) SetPersonAge(age int) { p.PersonAge = age }
+
+// Person is the "type of interest" view both implementations satisfy
+// logically (but only PersonA satisfies nominally).
+type Person interface {
+	GetName() string
+	SetName(name string)
+}
+
+// Named is a one-method interface used in interface-conformance
+// tests.
+type Named interface {
+	GetName() string
+}
+
+// Employee extends PersonA by embedding (the Go analogue of the
+// paper's superclass relation, rule (iii)).
+type Employee struct {
+	PersonA
+	Company string
+	Salary  float64
+}
+
+// NewEmployee constructs an Employee.
+func NewEmployee(name string, age int, company string) *Employee {
+	return &Employee{PersonA: PersonA{Name: name, Age: age}, Company: company}
+}
+
+// GetCompany returns the employing company.
+func (e *Employee) GetCompany() string { return e.Company }
+
+// Address is a nested value type used by the hybrid-envelope tests
+// (the paper's Figure 3: object A containing an object B).
+type Address struct {
+	Street string
+	City   string
+	Zip    string
+}
+
+// Contact aggregates a person and an address — "object of type A
+// containing an object of a type B" (Figure 3).
+type Contact struct {
+	Who   PersonA
+	Where Address
+	Tags  []string
+}
+
+// NewContact constructs a Contact.
+func NewContact(name string, age int, city string) *Contact {
+	return &Contact{
+		Who:   PersonA{Name: name, Age: age},
+		Where: Address{City: city},
+	}
+}
+
+// GetCity returns the contact's city.
+func (c *Contact) GetCity() string { return c.Where.City }
+
+// Node is a self-referential type exercising cycle handling in
+// fingerprints, serializers and the conformance checker.
+type Node struct {
+	Value int
+	Next  *Node
+}
+
+// StockQuoteA is a publisher-side event type for the TPS example.
+type StockQuoteA struct {
+	Symbol string
+	Price  float64
+	Volume int
+}
+
+// GetSymbol returns the ticker symbol.
+func (q *StockQuoteA) GetSymbol() string { return q.Symbol }
+
+// GetPrice returns the quoted price.
+func (q *StockQuoteA) GetPrice() float64 { return q.Price }
+
+// GetVolume returns the traded volume.
+func (q *StockQuoteA) GetVolume() int { return q.Volume }
+
+// StockQuoteB is a subscriber-side event type written independently:
+// same module, more verbose member names and a different declaration
+// order. It conforms to StockQuoteA under the token-subset name rule
+// (GetSymbol ⊑ GetStockSymbol), just as the paper's setName conforms
+// to setPersonName.
+type StockQuoteB struct {
+	StockSymbol string
+	StockVolume int
+	StockPrice  float64
+}
+
+// GetStockSymbol returns the ticker symbol.
+func (q *StockQuoteB) GetStockSymbol() string { return q.StockSymbol }
+
+// GetStockPrice returns the quoted price.
+func (q *StockQuoteB) GetStockPrice() float64 { return q.StockPrice }
+
+// GetStockVolume returns the traded volume.
+func (q *StockQuoteB) GetStockVolume() int { return q.StockVolume }
+
+// Swapped has the same two-argument method as Swappee but with the
+// parameters in the opposite order, exercising the paper's argument
+// permutations (rule (iv)).
+type Swapped struct{}
+
+// Combine joins a label and a count, label first.
+func (Swapped) Combine(label string, count int) string { return label }
+
+// Swappee declares the permuted signature.
+type Swappee struct{}
+
+// Combine joins a count and a label, count first.
+func (Swappee) Combine(count int, label string) string { return label }

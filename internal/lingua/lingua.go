@@ -1,0 +1,452 @@
+// Package lingua implements a small explicit type-definition language
+// in the spirit of Renaissance's "lingua franca" IDL (paper
+// Section 2.6: "an IDL for structural subtyping distributed object
+// systems"). The paper contrasts its own approach — bound to the
+// platform's type system, not to an intermediate language — with
+// Renaissance's; this package makes that comparison executable: types
+// can be *defined* in the IDL, parsed into the very same
+// TypeDescription model that reflection produces, and then take part
+// in conformance checks against reflection-derived types.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//	struct PersonA : Super implements Named, Person {
+//	    field string Name;
+//	    field int Age;
+//	    string GetName();
+//	    void SetName(string name);
+//	    constructor NewPersonA(string name, int age);
+//	};
+//
+//	interface Person {
+//	    string GetName();
+//	    void SetName(string name);
+//	};
+//
+// Type syntax: primitive names (int, string, float64, ...), T[] for
+// slices, T[N] for arrays, map<K,V>, and T* for pointers. "void"
+// marks a method without return values.
+package lingua
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pti/internal/guid"
+	"pti/internal/typedesc"
+)
+
+// ErrSyntax is returned for malformed IDL source.
+var ErrSyntax = errors.New("lingua: syntax error")
+
+// Parse reads IDL source and returns one description per declared
+// type. Identities are derived deterministically from the canonical
+// (re-formatted) declaration text, so the same IDL parsed on two
+// peers yields equivalent types.
+func Parse(src string) ([]*typedesc.TypeDescription, error) {
+	p := &parser{lines: splitLines(src)}
+	var out []*typedesc.TypeDescription
+	for {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if d == nil {
+			break
+		}
+		d.Normalize()
+		d.Identity = guid.Derive("lingua:" + Format(d))
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no declarations", ErrSyntax)
+	}
+	return out, nil
+}
+
+// Format renders a description back into canonical IDL text. Only
+// struct and interface kinds have a declaration form; other kinds
+// render as their type syntax inside members.
+func Format(d *typedesc.TypeDescription) string {
+	var sb strings.Builder
+	switch d.Kind {
+	case typedesc.KindInterface:
+		fmt.Fprintf(&sb, "interface %s", d.Name)
+	default:
+		fmt.Fprintf(&sb, "struct %s", d.Name)
+		if d.Super != nil {
+			fmt.Fprintf(&sb, " : %s", d.Super.Name)
+		}
+	}
+	if len(d.Interfaces) > 0 && d.Kind != typedesc.KindInterface {
+		names := make([]string, len(d.Interfaces))
+		for i, r := range d.Interfaces {
+			names[i] = r.Name
+		}
+		fmt.Fprintf(&sb, " implements %s", strings.Join(names, ", "))
+	}
+	sb.WriteString(" {\n")
+	for _, f := range d.Fields {
+		if !f.Exported {
+			continue
+		}
+		fmt.Fprintf(&sb, "    field %s %s;\n", typeSyntax(f.Type), f.Name)
+	}
+	for _, m := range d.Methods {
+		ret := "void"
+		if len(m.Returns) == 1 {
+			ret = typeSyntax(m.Returns[0])
+		} else if len(m.Returns) > 1 {
+			parts := make([]string, len(m.Returns))
+			for i, r := range m.Returns {
+				parts[i] = typeSyntax(r)
+			}
+			ret = "(" + strings.Join(parts, ", ") + ")"
+		}
+		fmt.Fprintf(&sb, "    %s %s(%s);\n", ret, m.Name, paramSyntax(m.Params))
+	}
+	for _, c := range d.Constructors {
+		fmt.Fprintf(&sb, "    constructor %s(%s);\n", c.Name, paramSyntax(c.Params))
+	}
+	sb.WriteString("};\n")
+	return sb.String()
+}
+
+func paramSyntax(params []typedesc.TypeRef) string {
+	parts := make([]string, len(params))
+	for i, p := range params {
+		parts[i] = fmt.Sprintf("%s a%d", typeSyntax(p), i)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// typeSyntax renders a TypeRef in IDL type syntax.
+func typeSyntax(r typedesc.TypeRef) string {
+	name := r.Name
+	switch {
+	case strings.HasPrefix(name, "[]"):
+		return typeSyntax(typedesc.TypeRef{Name: name[2:]}) + "[]"
+	case strings.HasPrefix(name, "*"):
+		return typeSyntax(typedesc.TypeRef{Name: name[1:]}) + "*"
+	case strings.HasPrefix(name, "map["):
+		inner := name[len("map["):]
+		depth := 1
+		for i := 0; i < len(inner); i++ {
+			switch inner[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+				if depth == 0 {
+					return "map<" + inner[:i] + "," + inner[i+1:] + ">"
+				}
+			}
+		}
+		return name
+	case strings.HasPrefix(name, "["):
+		if end := strings.IndexByte(name, ']'); end > 0 {
+			return typeSyntax(typedesc.TypeRef{Name: name[end+1:]}) + name[:end+1]
+		}
+		return name
+	default:
+		return name
+	}
+}
+
+// parseTypeSyntax is the inverse of typeSyntax.
+func parseTypeSyntax(s string) (typedesc.TypeRef, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return typedesc.TypeRef{}, fmt.Errorf("%w: empty type", ErrSyntax)
+	}
+	switch {
+	case strings.HasSuffix(s, "[]"):
+		inner, err := parseTypeSyntax(s[:len(s)-2])
+		if err != nil {
+			return typedesc.TypeRef{}, err
+		}
+		return typedesc.TypeRef{Name: "[]" + inner.Name}, nil
+	case strings.HasSuffix(s, "*"):
+		inner, err := parseTypeSyntax(s[:len(s)-1])
+		if err != nil {
+			return typedesc.TypeRef{}, err
+		}
+		return typedesc.TypeRef{Name: "*" + inner.Name}, nil
+	case strings.HasSuffix(s, "]"):
+		open := strings.LastIndexByte(s, '[')
+		if open <= 0 {
+			return typedesc.TypeRef{}, fmt.Errorf("%w: bad array type %q", ErrSyntax, s)
+		}
+		n, err := strconv.Atoi(s[open+1 : len(s)-1])
+		if err != nil || n < 0 {
+			return typedesc.TypeRef{}, fmt.Errorf("%w: bad array length in %q", ErrSyntax, s)
+		}
+		inner, err := parseTypeSyntax(s[:open])
+		if err != nil {
+			return typedesc.TypeRef{}, err
+		}
+		return typedesc.TypeRef{Name: fmt.Sprintf("[%d]%s", n, inner.Name)}, nil
+	case strings.HasPrefix(s, "map<") && strings.HasSuffix(s, ">"):
+		inner := s[len("map<") : len(s)-1]
+		depth := 0
+		for i := 0; i < len(inner); i++ {
+			switch inner[i] {
+			case '<':
+				depth++
+			case '>':
+				depth--
+			case ',':
+				if depth == 0 {
+					k, err := parseTypeSyntax(inner[:i])
+					if err != nil {
+						return typedesc.TypeRef{}, err
+					}
+					v, err := parseTypeSyntax(inner[i+1:])
+					if err != nil {
+						return typedesc.TypeRef{}, err
+					}
+					return typedesc.TypeRef{Name: "map[" + k.Name + "]" + v.Name}, nil
+				}
+			}
+		}
+		return typedesc.TypeRef{}, fmt.Errorf("%w: bad map type %q", ErrSyntax, s)
+	default:
+		if !isIdentifier(s) {
+			return typedesc.TypeRef{}, fmt.Errorf("%w: bad type name %q", ErrSyntax, s)
+		}
+		return typedesc.TypeRef{Name: s}, nil
+	}
+}
+
+// --- parser -----------------------------------------------------------
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+func splitLines(src string) []string {
+	raw := strings.Split(src, "\n")
+	out := make([]string, 0, len(raw))
+	for _, line := range raw {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+func (p *parser) next() (string, bool) {
+	if p.pos >= len(p.lines) {
+		return "", false
+	}
+	line := p.lines[p.pos]
+	p.pos++
+	return line, true
+}
+
+// parseDecl parses one struct/interface declaration, or returns nil
+// at end of input.
+func (p *parser) parseDecl() (*typedesc.TypeDescription, error) {
+	header, ok := p.next()
+	if !ok {
+		return nil, nil
+	}
+	d := &typedesc.TypeDescription{}
+	switch {
+	case strings.HasPrefix(header, "struct "):
+		d.Kind = typedesc.KindStruct
+		header = strings.TrimPrefix(header, "struct ")
+	case strings.HasPrefix(header, "interface "):
+		d.Kind = typedesc.KindInterface
+		header = strings.TrimPrefix(header, "interface ")
+	default:
+		return nil, fmt.Errorf("%w: expected struct or interface, got %q", ErrSyntax, header)
+	}
+	if !strings.HasSuffix(header, "{") {
+		return nil, fmt.Errorf("%w: declaration header must end with '{': %q", ErrSyntax, header)
+	}
+	header = strings.TrimSpace(strings.TrimSuffix(header, "{"))
+
+	// name [: Super] [implements A, B]
+	if i := strings.Index(header, "implements"); i >= 0 {
+		for _, name := range strings.Split(header[i+len("implements"):], ",") {
+			name = strings.TrimSpace(name)
+			if !isIdentifier(name) {
+				return nil, fmt.Errorf("%w: bad interface name %q", ErrSyntax, name)
+			}
+			d.Interfaces = append(d.Interfaces, typedesc.TypeRef{Name: name})
+		}
+		header = strings.TrimSpace(header[:i])
+	}
+	if i := strings.IndexByte(header, ':'); i >= 0 {
+		super := strings.TrimSpace(header[i+1:])
+		if !isIdentifier(super) {
+			return nil, fmt.Errorf("%w: bad superclass %q", ErrSyntax, super)
+		}
+		d.Super = &typedesc.TypeRef{Name: super}
+		header = strings.TrimSpace(header[:i])
+	}
+	if !isIdentifier(header) {
+		return nil, fmt.Errorf("%w: bad type name %q", ErrSyntax, header)
+	}
+	d.Name = header
+
+	for {
+		line, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("%w: unterminated declaration of %s", ErrSyntax, d.Name)
+		}
+		if line == "};" || line == "}" {
+			return d, nil
+		}
+		if err := p.parseMember(d, line); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseMember(d *typedesc.TypeDescription, line string) error {
+	line = strings.TrimSuffix(line, ";")
+	switch {
+	case strings.HasPrefix(line, "field "):
+		rest := strings.TrimPrefix(line, "field ")
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			return fmt.Errorf("%w: field wants 'field <type> <name>': %q", ErrSyntax, line)
+		}
+		ref, err := parseTypeSyntax(parts[0])
+		if err != nil {
+			return err
+		}
+		if !isIdentifier(parts[1]) {
+			return fmt.Errorf("%w: bad field name %q", ErrSyntax, parts[1])
+		}
+		d.Fields = append(d.Fields, typedesc.Field{Name: parts[1], Type: ref, Exported: true})
+		return nil
+	case strings.HasPrefix(line, "constructor "):
+		rest := strings.TrimPrefix(line, "constructor ")
+		name, params, err := parseCall(rest)
+		if err != nil {
+			return err
+		}
+		d.Constructors = append(d.Constructors, typedesc.Constructor{Name: name, Params: params})
+		return nil
+	default:
+		// "<ret> Name(params)" with ret possibly "(a, b)".
+		var retPart, callPart string
+		if strings.HasPrefix(line, "(") {
+			end := strings.IndexByte(line, ')')
+			if end < 0 {
+				return fmt.Errorf("%w: bad return list: %q", ErrSyntax, line)
+			}
+			retPart = line[:end+1]
+			callPart = strings.TrimSpace(line[end+1:])
+		} else {
+			sp := strings.IndexByte(line, ' ')
+			if sp < 0 {
+				return fmt.Errorf("%w: bad member: %q", ErrSyntax, line)
+			}
+			retPart = line[:sp]
+			callPart = strings.TrimSpace(line[sp+1:])
+		}
+		name, params, err := parseCall(callPart)
+		if err != nil {
+			return err
+		}
+		m := typedesc.Method{Name: name, Params: params}
+		if retPart != "void" {
+			rets := []string{retPart}
+			if strings.HasPrefix(retPart, "(") {
+				rets = strings.Split(strings.Trim(retPart, "()"), ",")
+			}
+			for _, r := range rets {
+				ref, err := parseTypeSyntax(r)
+				if err != nil {
+					return err
+				}
+				m.Returns = append(m.Returns, ref)
+			}
+		}
+		d.Methods = append(d.Methods, m)
+		return nil
+	}
+}
+
+// parseCall parses "Name(type a, type b)".
+func parseCall(s string) (string, []typedesc.TypeRef, error) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("%w: bad signature %q", ErrSyntax, s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !isIdentifier(name) {
+		return "", nil, fmt.Errorf("%w: bad member name %q", ErrSyntax, name)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return name, nil, nil
+	}
+	var params []typedesc.TypeRef
+	depth := 0
+	start := 0
+	flush := func(end int) error {
+		part := strings.TrimSpace(inner[start:end])
+		fields := strings.Fields(part)
+		if len(fields) < 1 || len(fields) > 2 {
+			return fmt.Errorf("%w: bad parameter %q", ErrSyntax, part)
+		}
+		ref, err := parseTypeSyntax(fields[0])
+		if err != nil {
+			return err
+		}
+		params = append(params, ref)
+		return nil
+	}
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '<', '[', '(':
+			depth++
+		case '>', ']', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				if err := flush(i); err != nil {
+					return "", nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if err := flush(len(inner)); err != nil {
+		return "", nil, err
+	}
+	return name, params, nil
+}
+
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

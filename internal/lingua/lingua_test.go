@@ -1,0 +1,285 @@
+package lingua
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pti/internal/conform"
+	"pti/internal/fixtures"
+	"pti/internal/guid"
+	"pti/internal/typedesc"
+)
+
+const personIDL = `
+# The paper's Person module, defined in the lingua-franca IDL.
+struct PersonA {
+    field string Name;
+    field int Age;
+    string GetName();
+    void SetName(string name);
+    int GetAge();
+    void SetAge(int age);
+};
+`
+
+func TestParsePerson(t *testing.T) {
+	descs, err := Parse(personIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 1 {
+		t.Fatalf("descs = %d", len(descs))
+	}
+	d := descs[0]
+	if d.Name != "PersonA" || d.Kind != typedesc.KindStruct {
+		t.Errorf("header = %s %s", d.Name, d.Kind)
+	}
+	if len(d.Fields) != 2 || d.Fields[0].Name != "Name" || d.Fields[0].Type.Name != "string" {
+		t.Errorf("fields = %+v", d.Fields)
+	}
+	if len(d.Methods) != 4 {
+		t.Fatalf("methods = %+v", d.Methods)
+	}
+	set, ok := d.MethodByName("SetName")
+	if !ok || len(set.Params) != 1 || set.Params[0].Name != "string" || len(set.Returns) != 0 {
+		t.Errorf("SetName = %+v", set)
+	}
+	get, ok := d.MethodByName("GetName")
+	if !ok || len(get.Returns) != 1 || get.Returns[0].Name != "string" {
+		t.Errorf("GetName = %+v", get)
+	}
+	if d.Identity.IsNil() {
+		t.Error("identity missing")
+	}
+}
+
+func TestParseInheritanceAndInterfaces(t *testing.T) {
+	src := `
+interface Named {
+    string GetName();
+};
+struct Employee : PersonA implements Named {
+    field string Company;
+    field float64 Salary;
+    string GetCompany();
+    constructor NewEmployee(string name, int age, string company);
+};
+`
+	descs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 2 {
+		t.Fatalf("descs = %d", len(descs))
+	}
+	iface, emp := descs[0], descs[1]
+	if iface.Kind != typedesc.KindInterface || len(iface.Methods) != 1 {
+		t.Errorf("interface = %+v", iface)
+	}
+	if emp.Super == nil || emp.Super.Name != "PersonA" {
+		t.Errorf("Super = %v", emp.Super)
+	}
+	if len(emp.Interfaces) != 1 || emp.Interfaces[0].Name != "Named" {
+		t.Errorf("Interfaces = %v", emp.Interfaces)
+	}
+	if len(emp.Constructors) != 1 || len(emp.Constructors[0].Params) != 3 {
+		t.Errorf("Constructors = %+v", emp.Constructors)
+	}
+}
+
+func TestParseCompositeTypes(t *testing.T) {
+	src := `
+struct Box {
+    field int[] Numbers;
+    field string[3] Triple;
+    field map<string,int> Counts;
+    field PersonA* Owner;
+    int[] GetNumbers();
+    void SetCounts(map<string,int> counts);
+};
+`
+	descs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := descs[0]
+	want := map[string]string{
+		"Numbers": "[]int",
+		"Triple":  "[3]string",
+		"Counts":  "map[string]int",
+		"Owner":   "*PersonA",
+	}
+	for _, f := range d.Fields {
+		if want[f.Name] != f.Type.Name {
+			t.Errorf("field %s = %q, want %q", f.Name, f.Type.Name, want[f.Name])
+		}
+	}
+	m, _ := d.MethodByName("SetCounts")
+	if len(m.Params) != 1 || m.Params[0].Name != "map[string]int" {
+		t.Errorf("SetCounts = %+v", m)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	// Descriptions built by reflection render to IDL and parse back
+	// to the same structure (modulo identity, which is definition-
+	// route specific).
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(fixtures.PersonA{}),
+		reflect.TypeOf(fixtures.Employee{}),
+		reflect.TypeOf(fixtures.Contact{}),
+		reflect.TypeOf((*fixtures.Person)(nil)).Elem(),
+	} {
+		d := typedesc.MustDescribe(typ)
+		idl := Format(d)
+		back, err := Parse(idl)
+		if err != nil {
+			t.Fatalf("%s: parse(format): %v\nIDL:\n%s", d.Name, err, idl)
+		}
+		got := back[0]
+		got.Identity = d.Identity // definition routes differ by design
+		// Field/method/ctor structure must survive. Member refs from
+		// reflection carry identities the IDL cannot know; compare
+		// names only.
+		want := stripRefIdentities(d)
+		if !typedesc.Equal(got, want) {
+			t.Errorf("%s: round trip mismatch\nIDL:\n%s\ndiff: %v",
+				d.Name, idl, typedesc.Diff(got, want))
+		}
+	}
+}
+
+// stripRefIdentities clears every member TypeRef identity, keeping
+// names — the information an IDL declaration carries.
+func stripRefIdentities(d *typedesc.TypeDescription) *typedesc.TypeDescription {
+	c := d.Clone()
+	clear := func(r *typedesc.TypeRef) {
+		if r != nil {
+			r.Identity = guidNil
+		}
+	}
+	clear(c.Elem)
+	clear(c.Key)
+	clear(c.Super)
+	for i := range c.Interfaces {
+		clear(&c.Interfaces[i])
+	}
+	for i := range c.Fields {
+		clear(&c.Fields[i].Type)
+	}
+	for i := range c.Methods {
+		for j := range c.Methods[i].Params {
+			clear(&c.Methods[i].Params[j])
+		}
+		for j := range c.Methods[i].Returns {
+			clear(&c.Methods[i].Returns[j])
+		}
+	}
+	for i := range c.Constructors {
+		for j := range c.Constructors[i].Params {
+			clear(&c.Constructors[i].Params[j])
+		}
+	}
+	return c
+}
+
+func TestParseDeterministicIdentity(t *testing.T) {
+	a, err := Parse(personIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(personIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Identity != b[0].Identity {
+		t.Error("same IDL must derive the same identity")
+	}
+}
+
+func TestIDLTypeConformsToGoType(t *testing.T) {
+	// The headline interop: a type *defined in the IDL* conforms to
+	// a type *extracted from Go reflection* — the two definition
+	// routes meet in the same conformance relation.
+	descs, err := Parse(personIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idlPerson := descs[0]
+	goPerson := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonA{}))
+
+	checker := conform.New(nil, conform.WithPolicy(conform.Relaxed(1)))
+	r, err := checker.Check(idlPerson, goPerson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Conformant {
+		t.Fatalf("IDL PersonA should conform to Go PersonA: %s", r.Reason)
+	}
+	r, err = checker.Check(goPerson, idlPerson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Conformant {
+		t.Fatalf("Go PersonA should conform to IDL PersonA: %s", r.Reason)
+	}
+
+	// And the divergent PersonB still maps onto the IDL-defined
+	// type under the relaxed rule.
+	goB := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonB{}))
+	r, err = checker.Check(goB, idlPerson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Conformant {
+		t.Fatalf("PersonB vs IDL PersonA: %s", r.Reason)
+	}
+	mm, _ := r.Mapping.MethodFor("GetName")
+	if mm.Candidate != "GetPersonName" {
+		t.Errorf("mapping = %+v", mm)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"comments only", "# nothing here"},
+		{"bad keyword", "class Person {\n};"},
+		{"missing brace", "struct Person\n};"},
+		{"unterminated", "struct Person {\nfield int X;"},
+		{"bad field", "struct P {\nfield int;\n};"},
+		{"bad field name", "struct P {\nfield int 9x;\n};"},
+		{"bad type", "struct P {\nfield ma<p X;\n};"},
+		{"bad method", "struct P {\nGetName;\n};"},
+		{"bad ctor", "struct P {\nconstructor New P();\n};"},
+		{"bad super", "struct P : 9super {\n};"},
+		{"bad interface list", "struct P implements 9x {\n};"},
+		{"bad array len", "struct P {\nfield int[x] A;\n};"},
+		{"bad map", "struct P {\nfield map<int> M;\n};"},
+		{"bad name", "struct 9P {\n};"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); !errors.Is(err, ErrSyntax) {
+				t.Errorf("want ErrSyntax, got %v", err)
+			}
+		})
+	}
+}
+
+func TestFormatIsHumanReadable(t *testing.T) {
+	d := typedesc.MustDescribe(reflect.TypeOf(fixtures.Employee{}))
+	idl := Format(d)
+	for _, want := range []string{"struct Employee : PersonA", "field string Company", "string GetCompany()"} {
+		if !strings.Contains(idl, want) {
+			t.Errorf("IDL missing %q:\n%s", want, idl)
+		}
+	}
+}
+
+var guidNil = guid.Nil

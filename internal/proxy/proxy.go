@@ -1,0 +1,305 @@
+// Package proxy implements the dynamic proxies of Pragmatic Type
+// Interoperability (ICDCS 2003, Section 6): once a received object's
+// type is found to conform to a type of interest, every interaction
+// with the object goes through a proxy that interposes the
+// conformance mapping — renaming methods, permuting arguments and
+// translating field accesses. This is the Go analogue of .NET's
+// RealProxy / Java's java.lang.reflect.Proxy, and the invocation path
+// whose overhead the paper measures in Section 7.1.
+//
+// Go cannot synthesize interface implementations at runtime, so the
+// proxy exposes an explicit Call/Get/Set surface (see DESIGN.md's
+// substitution table); Bind additionally materializes a received
+// generic object into a locally registered conformant type, the
+// analogue of deserializing after the assembly download.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"pti/internal/conform"
+	"pti/internal/registry"
+	"pti/internal/typedesc"
+	"pti/internal/wire"
+)
+
+// Errors reported by proxies.
+var (
+	ErrNoSuchMethod = errors.New("proxy: no such method")
+	ErrNoSuchField  = errors.New("proxy: no such field")
+	ErrBadArguments = errors.New("proxy: bad arguments")
+	ErrNotBindable  = errors.New("proxy: object not bindable")
+)
+
+// Invoker is a dynamic proxy over a concrete Go value: calls are
+// expressed in the *expected* type's vocabulary and forwarded to the
+// candidate implementation through the mapping.
+type Invoker struct {
+	target reflect.Value
+	elem   reflect.Value // struct value for field access (if any)
+	m      *conform.Mapping
+}
+
+// NewInvoker wraps target (a struct pointer, struct value, or any
+// method-bearing value) with a conformance mapping. A nil mapping
+// means identity: method and field names pass through unchanged.
+func NewInvoker(target interface{}, m *conform.Mapping) (*Invoker, error) {
+	if target == nil {
+		return nil, fmt.Errorf("%w: nil target", ErrBadArguments)
+	}
+	rv := reflect.ValueOf(target)
+	// Methods with pointer receivers require an addressable value;
+	// re-box struct values behind a fresh pointer.
+	if rv.Kind() != reflect.Ptr {
+		p := reflect.New(rv.Type())
+		p.Elem().Set(rv)
+		rv = p
+	}
+	inv := &Invoker{target: rv, m: m}
+	if rv.Kind() == reflect.Ptr && rv.Elem().Kind() == reflect.Struct {
+		inv.elem = rv.Elem()
+	}
+	return inv, nil
+}
+
+// Target returns the wrapped value (always a pointer).
+func (p *Invoker) Target() interface{} { return p.target.Interface() }
+
+// Mapping returns the conformance mapping in force.
+func (p *Invoker) Mapping() *conform.Mapping { return p.m }
+
+// Call invokes the expected-type method name with expected-order
+// arguments, translating both through the mapping, and returns the
+// results.
+func (p *Invoker) Call(method string, args ...interface{}) ([]interface{}, error) {
+	name := method
+	perm := []int(nil)
+	if p.m != nil {
+		mm, ok := p.m.MethodFor(method)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s (no mapping)", ErrNoSuchMethod, method)
+		}
+		name = mm.Candidate
+		perm = mm.Perm
+	}
+	fn := p.target.MethodByName(name)
+	if !fn.IsValid() {
+		return nil, fmt.Errorf("%w: %s (mapped to %s)", ErrNoSuchMethod, method, name)
+	}
+	ft := fn.Type()
+	if ft.NumIn() != len(args) {
+		return nil, fmt.Errorf("%w: %s takes %d args, got %d", ErrBadArguments, name, ft.NumIn(), len(args))
+	}
+
+	ordered := args
+	if len(perm) == len(args) && len(args) > 0 {
+		ordered = make([]interface{}, len(args))
+		for i, slot := range perm {
+			ordered[slot] = args[i]
+		}
+	}
+	in := make([]reflect.Value, len(ordered))
+	for i, a := range ordered {
+		av, err := wire.Coerce(a, ft.In(i))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s arg %d: %v", ErrBadArguments, name, i, err)
+		}
+		in[i] = av
+	}
+	out := fn.Call(in)
+	results := make([]interface{}, len(out))
+	for i, o := range out {
+		results[i] = o.Interface()
+	}
+	return results, nil
+}
+
+// Get reads the expected-type field name through the mapping.
+func (p *Invoker) Get(field string) (interface{}, error) {
+	fv, err := p.fieldByExpectedName(field)
+	if err != nil {
+		return nil, err
+	}
+	return fv.Interface(), nil
+}
+
+// Set writes the expected-type field name through the mapping.
+func (p *Invoker) Set(field string, value interface{}) error {
+	fv, err := p.fieldByExpectedName(field)
+	if err != nil {
+		return err
+	}
+	av, err := wire.Coerce(value, fv.Type())
+	if err != nil {
+		return fmt.Errorf("%w: field %s: %v", ErrBadArguments, field, err)
+	}
+	fv.Set(av)
+	return nil
+}
+
+func (p *Invoker) fieldByExpectedName(field string) (reflect.Value, error) {
+	if !p.elem.IsValid() {
+		return reflect.Value{}, fmt.Errorf("%w: target is not a struct", ErrNoSuchField)
+	}
+	name := field
+	if p.m != nil {
+		fm, ok := p.m.FieldFor(field)
+		if !ok {
+			return reflect.Value{}, fmt.Errorf("%w: %s (no mapping)", ErrNoSuchField, field)
+		}
+		name = fm.Candidate
+	}
+	fv := p.elem.FieldByName(name)
+	if !fv.IsValid() {
+		return reflect.Value{}, fmt.Errorf("%w: %s (mapped to %s)", ErrNoSuchField, field, name)
+	}
+	return fv, nil
+}
+
+// View is a read-only mapped view over a generic (unbound) object:
+// the receiver can inspect fields in the expected type's vocabulary
+// even when no local implementation exists to bind to. Methods cannot
+// run without code — that is exactly the paper's reason for the code
+// download step.
+type View struct {
+	obj *wire.Object
+	m   *conform.Mapping
+}
+
+// NewView wraps a generic object with a mapping (nil = identity).
+func NewView(obj *wire.Object, m *conform.Mapping) (*View, error) {
+	if obj == nil {
+		return nil, fmt.Errorf("%w: nil object", ErrBadArguments)
+	}
+	return &View{obj: obj, m: m}, nil
+}
+
+// Get reads the expected-type field name.
+func (v *View) Get(field string) (interface{}, error) {
+	name := field
+	if v.m != nil {
+		fm, ok := v.m.FieldFor(field)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s (no mapping)", ErrNoSuchField, field)
+		}
+		name = fm.Candidate
+	}
+	val, ok := v.obj.Field(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (mapped to %s)", ErrNoSuchField, field, name)
+	}
+	return val, nil
+}
+
+// Object returns the underlying generic object.
+func (v *View) Object() *wire.Object { return v.obj }
+
+// Binder materializes received generic objects into locally
+// registered conformant Go types — the substitute for "the different
+// classes and interfaces that implement the types can be downloaded
+// and loaded into the memory in order to deserialize cleanly the
+// object" (Section 6.2).
+type Binder struct {
+	reg     *registry.Registry
+	checker *conform.Checker
+
+	mu       sync.Mutex
+	mappings map[string]*conform.Mapping // sourceTypeName|targetName -> mapping
+}
+
+// NewBinder builds a Binder. The checker must resolve both local
+// descriptions (the registry's) and any remote descriptions received
+// so far (typically via typedesc.MultiResolver).
+func NewBinder(reg *registry.Registry, checker *conform.Checker) *Binder {
+	return &Binder{
+		reg:      reg,
+		checker:  checker,
+		mappings: make(map[string]*conform.Mapping),
+	}
+}
+
+// Bind materializes obj into the Go type registered for the expected
+// reference. The object's own type (obj.TypeName) must conform to the
+// expected type; its mapping drives field translation, recursively
+// for nested objects.
+func (b *Binder) Bind(obj *wire.Object, expected typedesc.TypeRef) (interface{}, *conform.Mapping, error) {
+	if obj == nil {
+		return nil, nil, fmt.Errorf("%w: nil object", ErrBadArguments)
+	}
+	entry, ok := b.reg.Lookup(expected)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: no local implementation registered for %s", ErrNotBindable, expected)
+	}
+	m, err := b.mappingFor(obj.TypeName, entry.Description)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := wire.ToGo(obj, reflect.PtrTo(entry.Type), b.resolveField)
+	if err != nil {
+		return nil, nil, fmt.Errorf("proxy: bind %s as %s: %w", obj.TypeName, expected.Name, err)
+	}
+	return out, m, nil
+}
+
+// FieldResolver exposes the binder's mapped field resolution for use
+// with wire codecs directly (the transport layer decodes invocation
+// arguments this way).
+func (b *Binder) FieldResolver() wire.FieldResolver { return b.resolveField }
+
+// BindValue materializes any generic value (object, list, map or
+// primitive) into the given Go type with mapped field names.
+func (b *Binder) BindValue(v wire.Value, t reflect.Type) (interface{}, error) {
+	return wire.ToGo(v, t, b.resolveField)
+}
+
+// resolveField is the wire.FieldResolver consulting conformance
+// mappings per (source type, target type) pair.
+func (b *Binder) resolveField(target reflect.Type, source *wire.Object, field string) string {
+	if source == nil || source.TypeName == "" {
+		return field
+	}
+	targetName := typedesc.CanonicalName(target)
+	if source.TypeName == targetName {
+		return field
+	}
+	td, err := b.reg.Resolve(typedesc.TypeRef{Name: targetName})
+	if err != nil {
+		return field
+	}
+	m, err := b.mappingFor(source.TypeName, td)
+	if err != nil || m == nil {
+		return field
+	}
+	if fm, ok := m.FieldFor(field); ok {
+		return fm.Candidate
+	}
+	return field
+}
+
+// mappingFor returns (and memoizes) the conformance mapping from the
+// named source type onto the target description.
+func (b *Binder) mappingFor(sourceName string, target *typedesc.TypeDescription) (*conform.Mapping, error) {
+	key := sourceName + "|" + target.Name
+	b.mu.Lock()
+	if m, ok := b.mappings[key]; ok {
+		b.mu.Unlock()
+		return m, nil
+	}
+	b.mu.Unlock()
+
+	r, err := b.checker.CheckRefs(typedesc.TypeRef{Name: sourceName}, target.Ref())
+	if err != nil {
+		return nil, fmt.Errorf("proxy: check %s vs %s: %w", sourceName, target.Name, err)
+	}
+	if !r.Conformant {
+		return nil, fmt.Errorf("%w: %s does not conform to %s: %s",
+			ErrNotBindable, sourceName, target.Name, r.Reason)
+	}
+	b.mu.Lock()
+	b.mappings[key] = r.Mapping
+	b.mu.Unlock()
+	return r.Mapping, nil
+}

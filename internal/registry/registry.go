@@ -1,0 +1,306 @@
+// Package registry is the local "assembly" store of a peer: the Go
+// types, constructors and interfaces the peer has implementations
+// for, together with their TypeDescriptions and download paths. It
+// plays the role of the paper's local assembly cache — the thing the
+// receiver consults to decide whether "the corresponding classes or
+// interfaces implementing the types are locally available"
+// (Section 6.2) — and, per DESIGN.md, "downloading the code" becomes
+// binding to an entry registered here.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"pti/internal/typedesc"
+	"pti/internal/wire"
+)
+
+// Errors reported by the registry.
+var (
+	ErrNotRegistered  = errors.New("registry: type not registered")
+	ErrBadConstructor = errors.New("registry: bad constructor")
+)
+
+// Entry is one registered implementation.
+type Entry struct {
+	// Type is the Go type implementing the module.
+	Type reflect.Type
+	// Description is the structural description advertised for the
+	// type.
+	Description *typedesc.TypeDescription
+	// Constructors maps constructor names to callable functions.
+	Constructors map[string]reflect.Value
+	// DownloadPaths are where remote peers can fetch this type's
+	// description and code.
+	DownloadPaths []string
+}
+
+// Construct invokes the named constructor with the given arguments.
+func (e *Entry) Construct(name string, args ...interface{}) (interface{}, error) {
+	fn, ok := e.Constructors[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s has no constructor %q", ErrBadConstructor, e.Description.Name, name)
+	}
+	ft := fn.Type()
+	if ft.NumIn() != len(args) {
+		return nil, fmt.Errorf("%w: %s takes %d args, got %d", ErrBadConstructor, name, ft.NumIn(), len(args))
+	}
+	in := make([]reflect.Value, len(args))
+	for i, a := range args {
+		av, err := wire.Coerce(a, ft.In(i))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s arg %d: %v", ErrBadConstructor, name, i, err)
+		}
+		in[i] = av
+	}
+	out := fn.Call(in)
+	return out[0].Interface(), nil
+}
+
+// Registry is the thread-safe store of entries. Its description
+// repository doubles as the typedesc.Resolver handed to conformance
+// checkers.
+type Registry struct {
+	mu     sync.RWMutex
+	byID   map[string]*Entry
+	byName map[string]*Entry
+	repo   *typedesc.Repository
+	ifaces []reflect.Type
+}
+
+// New returns an empty Registry.
+func New() *Registry {
+	return &Registry{
+		byID:   make(map[string]*Entry),
+		byName: make(map[string]*Entry),
+		repo:   typedesc.NewRepository(),
+	}
+}
+
+// Option customizes a registration.
+type Option func(*regOptions)
+
+type regOptions struct {
+	ctorNames []string
+	ctorFns   []interface{}
+	paths     []string
+}
+
+// WithConstructor registers a constructor function under name.
+func WithConstructor(name string, fn interface{}) Option {
+	return func(o *regOptions) {
+		o.ctorNames = append(o.ctorNames, name)
+		o.ctorFns = append(o.ctorFns, fn)
+	}
+}
+
+// WithDownloadPaths attaches download locations advertised with the
+// type (Section 6.1).
+func WithDownloadPaths(paths ...string) Option {
+	return func(o *regOptions) { o.paths = append(o.paths, paths...) }
+}
+
+// DeclareInterface registers an interface type so that (a) its
+// description resolves and (b) subsequently registered types
+// advertise it when they implement it.
+func (r *Registry) DeclareInterface(iface interface{}) error {
+	t := reflect.TypeOf(iface)
+	if t != nil && t.Kind() == reflect.Ptr && t.Elem().Kind() == reflect.Interface {
+		t = t.Elem()
+	}
+	if t == nil || t.Kind() != reflect.Interface {
+		return fmt.Errorf("registry: DeclareInterface wants a pointer-to-interface, got %T", iface)
+	}
+	d, err := typedesc.Describe(t)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ifaces = append(r.ifaces, t)
+	return r.repo.Add(d)
+}
+
+// Register adds the type of v (an instance, or a reflect.Type) to the
+// registry and returns its entry. Nested named struct types reachable
+// through exported fields are described and added to the description
+// repository automatically, so conformance checks on field types
+// resolve without extra registrations.
+func (r *Registry) Register(v interface{}, opts ...Option) (*Entry, error) {
+	t, ok := v.(reflect.Type)
+	if !ok {
+		t = reflect.TypeOf(v)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("registry: Register(nil)")
+	}
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+
+	var o regOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	descOpts := []typedesc.Option{
+		typedesc.WithInterfaces(r.ifaces...),
+		typedesc.WithDownloadPaths(o.paths...),
+	}
+	for i, name := range o.ctorNames {
+		descOpts = append(descOpts, typedesc.WithConstructor(name, o.ctorFns[i]))
+	}
+	d, err := typedesc.Describe(t, descOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	entry := &Entry{
+		Type:          t,
+		Description:   d,
+		Constructors:  make(map[string]reflect.Value, len(o.ctorNames)),
+		DownloadPaths: append([]string(nil), o.paths...),
+	}
+	for i, name := range o.ctorNames {
+		fn := reflect.ValueOf(o.ctorFns[i])
+		if fn.Kind() != reflect.Func {
+			return nil, fmt.Errorf("%w: %s is not a func", ErrBadConstructor, name)
+		}
+		entry.Constructors[name] = fn
+	}
+
+	if err := r.repo.Add(d); err != nil {
+		return nil, err
+	}
+	r.byID[d.Identity.String()] = entry
+	r.byName[d.Name] = entry
+
+	// Auto-describe reachable named types so nested conformance
+	// resolves (Section 5.2's "subtype description might already be
+	// available at the receiver side").
+	r.describeReachable(t, make(map[reflect.Type]bool))
+	return entry, nil
+}
+
+// describeReachable walks field/elem types, adding descriptions (not
+// full entries) for named structs and interfaces.
+func (r *Registry) describeReachable(t reflect.Type, seen map[reflect.Type]bool) {
+	if t == nil || seen[t] {
+		return
+	}
+	seen[t] = true
+	switch t.Kind() {
+	case reflect.Ptr, reflect.Slice, reflect.Array:
+		r.addDescription(t)
+		r.describeReachable(t.Elem(), seen)
+	case reflect.Map:
+		r.addDescription(t)
+		r.describeReachable(t.Key(), seen)
+		r.describeReachable(t.Elem(), seen)
+	case reflect.Struct:
+		r.addDescription(t)
+		r.addDescription(reflect.PtrTo(t))
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() && !f.Anonymous {
+				continue
+			}
+			r.describeReachable(f.Type, seen)
+		}
+	case reflect.Interface:
+		r.addDescription(t)
+	}
+}
+
+func (r *Registry) addDescription(t reflect.Type) {
+	if t.Kind() == reflect.Struct || t.Kind() == reflect.Interface {
+		if t.Name() == "" {
+			return
+		}
+	}
+	d, err := typedesc.Describe(t, typedesc.WithInterfaces(r.ifaces...))
+	if err != nil {
+		return
+	}
+	if r.repo.Contains(d.Ref()) {
+		return
+	}
+	_ = r.repo.Add(d)
+}
+
+// Unregister removes a type's entry. Its description stays in the
+// repository (other descriptions may reference it); only the
+// implementation binding disappears — the local "assembly" was
+// unloaded.
+func (r *Registry) Unregister(ref typedesc.TypeRef) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var entry *Entry
+	if !ref.Identity.IsNil() {
+		entry = r.byID[ref.Identity.String()]
+	}
+	if entry == nil && ref.Name != "" {
+		entry = r.byName[ref.Name]
+	}
+	if entry == nil {
+		return false
+	}
+	delete(r.byID, entry.Description.Identity.String())
+	delete(r.byName, entry.Description.Name)
+	return true
+}
+
+// Lookup finds the entry for a type reference (identity first, then
+// name).
+func (r *Registry) Lookup(ref typedesc.TypeRef) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !ref.Identity.IsNil() {
+		if e, ok := r.byID[ref.Identity.String()]; ok {
+			return e, true
+		}
+	}
+	if ref.Name != "" {
+		if e, ok := r.byName[ref.Name]; ok {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// LookupGo finds the entry registered for a Go type.
+func (r *Registry) LookupGo(t reflect.Type) (*Entry, bool) {
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	return r.Lookup(typedesc.RefOf(t))
+}
+
+// Entries returns a snapshot of all registered entries.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, 0, len(r.byID))
+	for _, e := range r.byID {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Descriptions exposes the registry's description repository; it
+// implements typedesc.Resolver and is shared with conformance
+// checkers and the transport layer.
+func (r *Registry) Descriptions() *typedesc.Repository { return r.repo }
+
+// Resolve implements typedesc.Resolver directly on the registry.
+func (r *Registry) Resolve(ref typedesc.TypeRef) (*typedesc.TypeDescription, error) {
+	return r.repo.Resolve(ref)
+}
+
+var _ typedesc.Resolver = (*Registry)(nil)

@@ -1,0 +1,294 @@
+package tps
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"pti/internal/conform"
+	"pti/internal/fixtures"
+	"pti/internal/registry"
+	"pti/internal/transport"
+)
+
+func newBroker(t *testing.T, opts ...BrokerOption) *Broker {
+	t.Helper()
+	reg := registry.New()
+	for _, v := range []interface{}{fixtures.StockQuoteA{}, fixtures.PersonA{}} {
+		if _, err := reg.Register(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewBroker(reg, opts...)
+}
+
+func TestExactTypeDelivery(t *testing.T) {
+	b := newBroker(t)
+	var got []Event
+	if _, err := b.Subscribe(fixtures.StockQuoteA{}, func(e Event) { got = append(got, e) }); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Publish(&fixtures.StockQuoteA{Symbol: "NOVN", Price: 90, Volume: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(got) != 1 {
+		t.Fatalf("delivered %d, handler saw %d", n, len(got))
+	}
+	q, ok := got[0].Bound.(*fixtures.StockQuoteA)
+	if !ok {
+		t.Fatalf("Bound = %T", got[0].Bound)
+	}
+	if q.Symbol != "NOVN" {
+		t.Errorf("Bound = %+v", q)
+	}
+}
+
+func TestConformantTypeDelivery(t *testing.T) {
+	// The headline scenario: the publisher's event type was written
+	// independently of the subscriber's.
+	b := newBroker(t)
+	var got []Event
+	if _, err := b.Subscribe(fixtures.StockQuoteA{}, func(e Event) { got = append(got, e) }); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Publish(&fixtures.StockQuoteB{StockSymbol: "ROG", StockPrice: 250.5, StockVolume: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered = %d", n)
+	}
+	e := got[0]
+	if e.TypeName != "StockQuoteB" {
+		t.Errorf("TypeName = %q", e.TypeName)
+	}
+	// Native instance of the subscriber's type.
+	q, ok := e.Bound.(*fixtures.StockQuoteA)
+	if !ok {
+		t.Fatalf("Bound = %T", e.Bound)
+	}
+	if q.Symbol != "ROG" || q.Price != 250.5 || q.Volume != 70 {
+		t.Errorf("Bound = %+v", q)
+	}
+	// And the dynamic proxy over the original publisher object.
+	out, err := e.Invoker.Call("GetSymbol")
+	if err != nil || out[0] != "ROG" {
+		t.Errorf("Invoker GetSymbol = %v, %v", out, err)
+	}
+}
+
+func TestNonConformantNotDelivered(t *testing.T) {
+	b := newBroker(t)
+	if _, err := b.Subscribe(fixtures.StockQuoteA{}, func(e Event) {
+		t.Error("PersonB delivered to stock subscriber")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Publish(&fixtures.PersonB{PersonName: "Not a stock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("delivered = %d", n)
+	}
+	_, _, dropped := b.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	b := newBroker(t)
+	count := 0
+	for i := 0; i < 3; i++ {
+		if _, err := b.Subscribe(fixtures.StockQuoteA{}, func(e Event) { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := b.Publish(&fixtures.StockQuoteA{Symbol: "UBSG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || count != 3 {
+		t.Errorf("delivered = %d, handled = %d", n, count)
+	}
+}
+
+func TestInterfaceSubscription(t *testing.T) {
+	b := newBroker(t)
+	var got []Event
+	if _, err := b.Subscribe((*fixtures.Named)(nil), func(e Event) { got = append(got, e) }); err != nil {
+		t.Fatal(err)
+	}
+	// PersonA has GetName; Named is one method. Name "PersonA" vs
+	// "Named" is distance > 1, so this only matches under a looser
+	// policy — use one.
+	loose := newBroker(t, WithPolicy(conform.Policy{
+		TypeNameDistance:   10,
+		MemberNameDistance: 0,
+		TokenSubset:        true,
+	}))
+	if _, err := loose.Subscribe((*fixtures.Named)(nil), func(e Event) { got = append(got, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loose.Publish(&fixtures.PersonA{Name: "Iface"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("interface subscription got %d events", len(got))
+	}
+	out, err := got[0].Invoker.Call("GetName")
+	if err != nil || out[0] != "Iface" {
+		t.Errorf("GetName via interface = %v, %v", out, err)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	b := newBroker(t)
+	s, err := b.Subscribe(fixtures.StockQuoteA{}, func(e Event) {
+		t.Error("cancelled subscription fired")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel()
+	if b.SubscriberCount() != 0 {
+		t.Error("subscription not removed")
+	}
+	if _, err := b.Publish(&fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+	var nilSub *Subscription
+	nilSub.Cancel() // must not panic
+}
+
+func TestSubscribeErrors(t *testing.T) {
+	b := newBroker(t)
+	if _, err := b.Subscribe(fixtures.StockQuoteA{}, nil); !errors.Is(err, ErrBadInterest) {
+		t.Errorf("nil handler: %v", err)
+	}
+	if _, err := b.Subscribe(nil, func(Event) {}); !errors.Is(err, ErrBadInterest) {
+		t.Errorf("nil interest: %v", err)
+	}
+	if _, err := b.Publish(nil); !errors.Is(err, ErrBadEvent) {
+		t.Errorf("nil event: %v", err)
+	}
+}
+
+func TestSubscribeByReflectType(t *testing.T) {
+	b := newBroker(t)
+	fired := false
+	if _, err := b.Subscribe(reflect.TypeOf(fixtures.StockQuoteA{}), func(Event) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(&fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("reflect.Type subscription did not fire")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	b := newBroker(t)
+	if _, err := b.Subscribe(fixtures.StockQuoteA{}, func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = b.Publish(&fixtures.StockQuoteA{})
+	_, _ = b.Publish(&fixtures.StockQuoteB{})
+	_, _ = b.Publish(&fixtures.PersonA{Name: "no sub"})
+	pub, del, drop := b.Stats()
+	if pub != 3 || del != 2 || drop != 1 {
+		t.Errorf("stats = %d published, %d delivered, %d dropped", pub, del, drop)
+	}
+}
+
+func TestDistributedTPSViaTransport(t *testing.T) {
+	// Publisher peer owns StockQuoteB; subscriber peer's broker
+	// subscribes to StockQuoteA.
+	pubReg := registry.New()
+	if _, err := pubReg.Register(fixtures.StockQuoteB{}); err != nil {
+		t.Fatal(err)
+	}
+	pub := transport.NewPeer(pubReg, transport.WithName("publisher"))
+
+	subReg := registry.New()
+	if _, err := subReg.Register(fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+	subPeer := transport.NewPeer(subReg, transport.WithName("subscriber"))
+	defer pub.Close()
+	defer subPeer.Close()
+
+	broker := NewBroker(subReg)
+	events := make(chan Event, 1)
+	if _, err := broker.Subscribe(fixtures.StockQuoteA{}, func(e Event) { events <- e }); err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachPeer(broker, subPeer, fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, _ := transport.Connect(pub, subPeer)
+	if err := pub.SendObject(cp, fixtures.StockQuoteB{StockSymbol: "SREN", StockPrice: 95.2, StockVolume: 1200}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-events:
+		q, ok := e.Bound.(*fixtures.StockQuoteA)
+		if !ok {
+			t.Fatalf("Bound = %T", e.Bound)
+		}
+		if q.Symbol != "SREN" || q.Volume != 1200 {
+			t.Errorf("event = %+v", q)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("distributed event not delivered")
+	}
+}
+
+func TestSubscribePattern(t *testing.T) {
+	b := newBroker(t)
+	var got []Event
+	sub, err := b.SubscribePattern("stockquote*", func(e Event) { got = append(got, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(&fixtures.StockQuoteA{Symbol: "ZURN"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(&fixtures.StockQuoteB{StockSymbol: "GIVN"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(&fixtures.PersonA{Name: "no match"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("pattern subscription got %d events, want 2", len(got))
+	}
+	// Pattern deliveries carry the original object behind an
+	// identity invoker.
+	out, err := got[0].Invoker.Call("GetSymbol")
+	if err != nil || out[0] != "ZURN" {
+		t.Errorf("pattern invoker = %v, %v", out, err)
+	}
+	if _, ok := got[1].Bound.(*fixtures.StockQuoteB); !ok {
+		t.Errorf("Bound = %T", got[1].Bound)
+	}
+	sub.Cancel()
+	if n, _ := b.Publish(&fixtures.StockQuoteA{}); n != 0 {
+		t.Error("cancelled pattern subscription still fired")
+	}
+}
+
+func TestSubscribePatternErrors(t *testing.T) {
+	b := newBroker(t)
+	if _, err := b.SubscribePattern("", func(Event) {}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := b.SubscribePattern("*", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}

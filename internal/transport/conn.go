@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"pti/internal/guid"
+	"pti/internal/typedesc"
+)
+
+// Connection errors.
+var (
+	ErrClosed         = errors.New("transport: connection closed")
+	ErrRequestTimeout = errors.New("transport: request timed out")
+	ErrRemote         = errors.New("transport: remote error")
+)
+
+// Conn is one bidirectional link between two peers. All protocol
+// exchanges of Figure 1 run over a Conn; requests are correlated by
+// sequence number so concurrent exchanges interleave safely.
+type Conn struct {
+	peer *Peer
+	rw   net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan *Message
+	closed  bool
+
+	done chan struct{}
+}
+
+func newConn(p *Peer, rw net.Conn) *Conn {
+	c := &Conn{
+		peer:    p,
+		rw:      rw,
+		pending: make(map[uint64]chan *Message),
+		done:    make(chan struct{}),
+	}
+	p.track(c)
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down and unblocks pending requests.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for seq, ch := range c.pending {
+		close(ch)
+		delete(c.pending, seq)
+	}
+	c.mu.Unlock()
+	err := c.rw.Close()
+	<-c.done
+	c.peer.untrack(c)
+	return err
+}
+
+func (c *Conn) readLoop() {
+	defer close(c.done)
+	for {
+		m, n, err := ReadMessage(c.rw)
+		if err != nil {
+			c.failPending()
+			return
+		}
+		c.peer.stats.bytesReceived.Add(uint64(n))
+		switch m.Type {
+		case MsgTypeInfoReply, MsgCodeReply, MsgInvokeReply, MsgLookupReply, MsgError:
+			c.mu.Lock()
+			ch, ok := c.pending[m.Seq]
+			if ok {
+				delete(c.pending, m.Seq)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+		default:
+			// Requests may themselves wait for replies on this
+			// connection (the receiver asks the sender for type
+			// info while handling an object), so they must not
+			// block the read loop.
+			c.peer.handleAsync(c, m)
+		}
+	}
+}
+
+func (c *Conn) failPending() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for seq, ch := range c.pending {
+		close(ch)
+		delete(c.pending, seq)
+	}
+}
+
+// send writes a one-way message.
+func (c *Conn) send(m *Message) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	n, err := WriteMessage(c.rw, m)
+	c.peer.stats.bytesSent.Add(uint64(n))
+	return err
+}
+
+// reply answers a request, echoing its sequence number.
+func (c *Conn) reply(req *Message, t MsgType, body []byte) error {
+	return c.send(&Message{Type: t, Seq: req.Seq, Body: body})
+}
+
+// replyError answers a request with an error message.
+func (c *Conn) replyError(req *Message, err error) error {
+	return c.reply(req, MsgError, []byte(err.Error()))
+}
+
+// request performs a correlated request/reply exchange.
+func (c *Conn) request(t MsgType, body []byte) (*Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	ch := make(chan *Message, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	if err := c.send(&Message{Type: t, Seq: seq, Body: body}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	timer := time.NewTimer(c.peer.requestTimeout)
+	defer timer.Stop()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		if m.Type == MsgError {
+			return nil, fmt.Errorf("%w: %s", ErrRemote, m.Body)
+		}
+		return m, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrRequestTimeout, t)
+	}
+}
+
+// encodeRef renders a TypeRef for request bodies.
+func encodeRef(ref typedesc.TypeRef) []byte {
+	return []byte(ref.Name + "\x00" + ref.Identity.String())
+}
+
+// decodeRef parses a TypeRef request body.
+func decodeRef(body []byte) (typedesc.TypeRef, error) {
+	parts := strings.SplitN(string(body), "\x00", 2)
+	if len(parts) != 2 {
+		return typedesc.TypeRef{}, fmt.Errorf("%w: bad type ref", ErrBadFrame)
+	}
+	id, err := guid.Parse(parts[1])
+	if err != nil {
+		return typedesc.TypeRef{}, fmt.Errorf("%w: bad type ref identity", ErrBadFrame)
+	}
+	return typedesc.TypeRef{Name: parts[0], Identity: id}, nil
+}

@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"pti/internal/fixtures"
+	"pti/internal/lingua"
+	"pti/internal/registry"
+	"pti/internal/typedesc"
+)
+
+// TestIDLDefinedInterest subscribes with a type of interest defined
+// purely in the lingua-franca IDL: no Go type exists for it on the
+// receiver, yet a conformant PersonB object is matched and delivered
+// as a mapped view.
+func TestIDLDefinedInterest(t *testing.T) {
+	descs, err := lingua.Parse(`
+struct Person {
+    field string Name;
+    field int Age;
+    string GetName();
+    void SetName(string name);
+    int GetAge();
+    void SetAge(int age);
+};
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := senderPeer(t)
+	b := NewPeer(registry.New(), WithName("idl-receiver"))
+	defer a.Close()
+	defer b.Close()
+
+	deliveries := make(chan Delivery, 1)
+	if err := b.OnReceiveDescription(descs[0], func(d Delivery) { deliveries <- d }); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := Connect(a, b)
+	if err := a.SendObject(ca, fixtures.PersonB{PersonName: "Dynamic", PersonAge: 23}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case d := <-deliveries:
+		if d.Bound != nil {
+			t.Error("no Go type exists; Bound should be nil")
+		}
+		if d.View == nil {
+			t.Fatal("View missing")
+		}
+		// The view speaks the IDL type's vocabulary.
+		name, err := d.View.Get("Name")
+		if err != nil || name != "Dynamic" {
+			t.Errorf("View.Get(Name) = %v, %v", name, err)
+		}
+		age, err := d.View.Get("Age")
+		if err != nil || age != int64(23) {
+			t.Errorf("View.Get(Age) = %v, %v", age, err)
+		}
+		mm, ok := d.Mapping.MethodFor("GetName")
+		if !ok || mm.Candidate != "GetPersonName" {
+			t.Errorf("GetName mapping = %+v", mm)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no delivery: %+v", b.Stats().Snapshot())
+	}
+}
+
+// TestOnReceiveDescriptionRejectsBad verifies validation at the
+// dynamic-subscription boundary.
+func TestOnReceiveDescriptionRejectsBad(t *testing.T) {
+	p := NewPeer(registry.New())
+	defer p.Close()
+	if err := p.OnReceiveDescription(nil, nil); err == nil {
+		t.Error("nil description accepted")
+	}
+	bad := descsOf(t)[0].Clone()
+	bad.Kind = 0
+	if err := p.OnReceiveDescription(bad, nil); err == nil {
+		t.Error("invalid description accepted")
+	}
+}
+
+func descsOf(t *testing.T) []*typedesc.TypeDescription {
+	t.Helper()
+	descs, err := lingua.Parse("struct X {\nfield int A;\n};")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return descs
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"fmt"
+
+	"pti/internal/typedesc"
+)
+
+// EventKind classifies a protocol trace event. The kinds map directly
+// onto the steps of the paper's Figure 1, plus the remoting and
+// failure paths.
+type EventKind int
+
+// Protocol trace events.
+const (
+	// EventObjectSent: step 1, sender side.
+	EventObjectSent EventKind = iota + 1
+	// EventObjectReceived: step 1, receiver side.
+	EventObjectReceived
+	// EventTypeInfoRequested: step 2 (receiver asks).
+	EventTypeInfoRequested
+	// EventTypeInfoServed: step 3 (sender answers).
+	EventTypeInfoServed
+	// EventConformanceChecked: the rules check between steps 3 and 4.
+	EventConformanceChecked
+	// EventCodeRequested: step 4.
+	EventCodeRequested
+	// EventCodeServed: step 5, sender side.
+	EventCodeServed
+	// EventDelivered: "object usable".
+	EventDelivered
+	// EventDropped: no conformant interest, or a protocol failure.
+	EventDropped
+	// EventInvoked: a pass-by-reference invocation was serviced.
+	EventInvoked
+)
+
+var eventNames = map[EventKind]string{
+	EventObjectSent:         "object-sent",
+	EventObjectReceived:     "object-received",
+	EventTypeInfoRequested:  "type-info-requested",
+	EventTypeInfoServed:     "type-info-served",
+	EventConformanceChecked: "conformance-checked",
+	EventCodeRequested:      "code-requested",
+	EventCodeServed:         "code-served",
+	EventDelivered:          "delivered",
+	EventDropped:            "dropped",
+	EventInvoked:            "invoked",
+}
+
+// String returns the event kind's dashed name.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one protocol trace record.
+type Event struct {
+	Kind EventKind
+	// Type is the type reference involved, when one is known.
+	Type typedesc.TypeRef
+	// Detail carries kind-specific context (conformance outcome,
+	// drop reason, invoked method).
+	Detail string
+}
+
+// String renders "kind type (detail)".
+func (e Event) String() string {
+	s := e.Kind.String()
+	if e.Type.Name != "" {
+		s += " " + e.Type.Name
+	}
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// Observer receives protocol trace events. Observers are called
+// synchronously on protocol goroutines and must be fast and
+// non-blocking; they may be called concurrently.
+type Observer func(Event)
+
+// WithObserver attaches a protocol tracer to the peer.
+func WithObserver(obs Observer) PeerOption {
+	return func(p *Peer) { p.observer = obs }
+}
+
+// emit publishes an event to the observer, if any.
+func (p *Peer) emit(kind EventKind, ref typedesc.TypeRef, detail string) {
+	if p.observer == nil {
+		return
+	}
+	p.observer(Event{Kind: kind, Type: ref, Detail: detail})
+}

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pti/internal/fixtures"
+	"pti/internal/typedesc"
+)
+
+// recorder collects events thread-safely.
+type recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *recorder) observe(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+func (r *recorder) kinds() []EventKind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EventKind, len(r.events))
+	for i, e := range r.events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+// TestObserverTracesFigure1 asserts that a cold reception emits the
+// protocol steps in Figure 1 order.
+func TestObserverTracesFigure1(t *testing.T) {
+	rec := &recorder{}
+	a := senderPeer(t, WithObserver(rec.observe))
+	b := receiverPeer(t, WithObserver(rec.observe))
+	defer a.Close()
+	defer b.Close()
+
+	deliveries := make(chan Delivery, 1)
+	if err := b.OnReceive(fixtures.PersonA{}, func(d Delivery) { deliveries <- d }); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := Connect(a, b)
+	if err := a.SendObject(ca, fixtures.PersonB{PersonName: "Traced", PersonAge: 1}); err != nil {
+		t.Fatal(err)
+	}
+	awaitDelivery(t, deliveries)
+
+	want := []EventKind{
+		EventObjectSent,         // step 1, sender
+		EventObjectReceived,     // step 1, receiver
+		EventTypeInfoRequested,  // step 2
+		EventTypeInfoServed,     // step 3
+		EventConformanceChecked, // rules check
+		EventCodeRequested,      // step 4
+		EventCodeServed,         // step 5
+		EventDelivered,          // object usable
+	}
+	got := rec.kinds()
+	// The trace must contain the steps as a subsequence, in order.
+	wi := 0
+	for _, k := range got {
+		if wi < len(want) && k == want[wi] {
+			wi++
+		}
+	}
+	if wi != len(want) {
+		t.Fatalf("Figure 1 sequence incomplete: matched %d/%d steps in %v", wi, len(want), got)
+	}
+}
+
+// TestObserverWarmPathSkipsSteps asserts the second reception traces
+// only receive → check → deliver.
+func TestObserverWarmPathSkipsSteps(t *testing.T) {
+	rec := &recorder{}
+	a := senderPeer(t)
+	b := receiverPeer(t, WithObserver(rec.observe))
+	defer a.Close()
+	defer b.Close()
+	deliveries := make(chan Delivery, 2)
+	if err := b.OnReceive(fixtures.PersonA{}, func(d Delivery) { deliveries <- d }); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := Connect(a, b)
+	for i := 0; i < 2; i++ {
+		if err := a.SendObject(ca, fixtures.PersonB{PersonName: "W", PersonAge: i}); err != nil {
+			t.Fatal(err)
+		}
+		awaitDelivery(t, deliveries)
+	}
+	var infoReqs, delivered int
+	for _, k := range rec.kinds() {
+		switch k {
+		case EventTypeInfoRequested:
+			infoReqs++
+		case EventDelivered:
+			delivered++
+		}
+	}
+	if infoReqs != 1 {
+		t.Errorf("type-info requests traced = %d, want 1", infoReqs)
+	}
+	if delivered != 2 {
+		t.Errorf("deliveries traced = %d, want 2", delivered)
+	}
+}
+
+// TestObserverDropAndInvoke covers the failure and remoting events.
+func TestObserverDropAndInvoke(t *testing.T) {
+	rec := &recorder{}
+	a := senderPeer(t, WithObserver(rec.observe))
+	b := receiverPeer(t, WithObserver(rec.observe))
+	defer a.Close()
+	defer b.Close()
+	if err := b.OnReceive(fixtures.PersonA{}, func(Delivery) {}); err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := Connect(a, b)
+	if err := a.SendObject(ca, fixtures.Address{City: "Drop"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Export("p", &fixtures.PersonB{PersonName: "Inv"}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := b.Remote(cb, "p", fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Call("GetName"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var dropped, invoked bool
+		for _, e := range rec.kinds() {
+			if e == EventDropped {
+				dropped = true
+			}
+			if e == EventInvoked {
+				invoked = true
+			}
+		}
+		if dropped && invoked {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("missing drop/invoke events: %v", rec.kinds())
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Kind:   EventConformanceChecked,
+		Type:   typedesc.TypeRef{Name: "PersonB"},
+		Detail: "vs PersonA: true",
+	}
+	s := e.String()
+	for _, want := range []string{"conformance-checked", "PersonB", "vs PersonA"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q missing %q", s, want)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+	kinds := []EventKind{
+		EventObjectSent, EventObjectReceived, EventTypeInfoRequested,
+		EventTypeInfoServed, EventConformanceChecked, EventCodeRequested,
+		EventCodeServed, EventDelivered, EventDropped, EventInvoked,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if s := k.String(); s == "" || seen[s] {
+			t.Errorf("bad or duplicate kind name %q", s)
+		} else {
+			seen[s] = true
+		}
+	}
+}

@@ -1,0 +1,799 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"time"
+
+	"pti/internal/conform"
+	"pti/internal/proxy"
+	"pti/internal/registry"
+	"pti/internal/typedesc"
+	"pti/internal/wire"
+	"pti/internal/xmlenc"
+)
+
+// Peer errors.
+var (
+	ErrNotRegistered = errors.New("transport: type not registered")
+	ErrNoConformance = errors.New("transport: no conformant type of interest")
+)
+
+// Delivery is a received object handed to an interest handler. When
+// the peer has a local implementation for the type of interest, Bound
+// carries a materialized instance and Invoker a dynamic proxy over
+// it; otherwise View gives mapped read access to the generic object.
+type Delivery struct {
+	From     *Conn
+	TypeName string
+	Expected typedesc.TypeRef
+	Mapping  *conform.Mapping
+	Bound    interface{}
+	Invoker  *proxy.Invoker
+	View     *proxy.View
+}
+
+type interest struct {
+	desc    *typedesc.TypeDescription
+	handler func(Delivery)
+}
+
+type export struct {
+	invoker *proxy.Invoker
+	desc    *typedesc.TypeDescription
+}
+
+// Peer is one participant of the protocol: it owns a local registry
+// ("assemblies"), a repository of remotely learned descriptions, a
+// conformance checker with cache, and any number of connections.
+type Peer struct {
+	name           string
+	reg            *registry.Registry
+	remote         *typedesc.Repository
+	cache          *conform.Cache
+	checker        *conform.Checker
+	binder         *proxy.Binder
+	codec          wire.Codec
+	eager          bool
+	compress       bool
+	codePadding    int
+	requestTimeout time.Duration
+	observer       Observer
+	stats          Stats
+
+	mu        sync.Mutex
+	interests []*interest
+	exports   map[string]*export
+	conns     map[*Conn]struct{}
+	codeSeen  map[string]bool
+	inflight  map[string]chan struct{}
+	listener  net.Listener
+	acceptWG  sync.WaitGroup
+	handlerWG sync.WaitGroup
+	closed    bool
+}
+
+// PeerOption customizes a Peer.
+type PeerOption func(*Peer)
+
+// WithName labels the peer in diagnostics.
+func WithName(name string) PeerOption {
+	return func(p *Peer) { p.name = name }
+}
+
+// WithPolicy sets the conformance policy (default Relaxed(1) with
+// token-subset member matching — the pragmatic configuration that
+// unifies the paper's Person example).
+func WithPolicy(pol conform.Policy) PeerOption {
+	return func(p *Peer) {
+		p.checker = conform.New(typedesc.MultiResolver{p.reg, p.remote},
+			conform.WithPolicy(pol), conform.WithCache(p.cache))
+		p.binder = proxy.NewBinder(p.reg, p.checker)
+	}
+}
+
+// WithCodec selects the payload codec (default binary; the paper's
+// prototype defaults to SOAP with binary as the alternative).
+func WithCodec(c wire.Codec) PeerOption {
+	return func(p *Peer) { p.codec = c }
+}
+
+// Eager switches the peer to the non-optimistic baseline: every
+// object ships with its full type description and code blob inline.
+func Eager() PeerOption {
+	return func(p *Peer) { p.eager = true }
+}
+
+// WithCodePadding sets the simulated assembly size appended to code
+// blobs (default 4096 bytes), standing in for real CIL/bytecode.
+func WithCodePadding(n int) PeerOption {
+	return func(p *Peer) { p.codePadding = n }
+}
+
+// WithRequestTimeout bounds each request/reply exchange.
+func WithRequestTimeout(d time.Duration) PeerOption {
+	return func(p *Peer) { p.requestTimeout = d }
+}
+
+// NewPeer builds a peer around a local registry.
+func NewPeer(reg *registry.Registry, opts ...PeerOption) *Peer {
+	p := &Peer{
+		name:           "peer",
+		reg:            reg,
+		remote:         typedesc.NewRepository(),
+		cache:          conform.NewCache(),
+		codec:          wire.Binary{},
+		codePadding:    4096,
+		requestTimeout: 5 * time.Second,
+		exports:        make(map[string]*export),
+		conns:          make(map[*Conn]struct{}),
+		codeSeen:       make(map[string]bool),
+		inflight:       make(map[string]chan struct{}),
+	}
+	p.checker = conform.New(typedesc.MultiResolver{p.reg, p.remote},
+		conform.WithPolicy(conform.Relaxed(1)), conform.WithCache(p.cache))
+	p.binder = proxy.NewBinder(p.reg, p.checker)
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Stats exposes the peer's counters.
+func (p *Peer) Stats() *Stats { return &p.stats }
+
+// Registry returns the peer's local registry.
+func (p *Peer) Registry() *registry.Registry { return p.reg }
+
+// Checker returns the peer's conformance checker.
+func (p *Peer) Checker() *conform.Checker { return p.checker }
+
+// RemoteDescriptions returns the repository of descriptions learned
+// from other peers.
+func (p *Peer) RemoteDescriptions() *typedesc.Repository { return p.remote }
+
+// OnReceive registers a type of interest: v is an instance of a
+// registered type, a reflect.Type, or a pointer to an interface. Each
+// received object is matched against interests in registration order;
+// the first conformant one gets the delivery.
+//
+// Handlers may be invoked concurrently (each incoming message is
+// processed on its own goroutine); handlers sharing state must
+// synchronize.
+func (p *Peer) OnReceive(v interface{}, handler func(Delivery)) error {
+	t, ok := v.(reflect.Type)
+	if !ok {
+		t = reflect.TypeOf(v)
+	}
+	if t == nil {
+		return fmt.Errorf("transport: OnReceive(nil)")
+	}
+	if t.Kind() == reflect.Ptr && t.Elem().Kind() == reflect.Interface {
+		t = t.Elem()
+	}
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	var desc *typedesc.TypeDescription
+	if e, ok := p.reg.LookupGo(t); ok {
+		desc = e.Description
+	} else {
+		d, err := typedesc.Describe(t)
+		if err != nil {
+			return fmt.Errorf("transport: describe interest: %w", err)
+		}
+		desc = d
+		// Interests must resolve for conformance checks.
+		if err := p.remote.Add(d); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.interests = append(p.interests, &interest{desc: desc, handler: handler})
+	return nil
+}
+
+// OnReceiveDescription registers a type of interest given only as a
+// TypeDescription — no compiled Go type required. This is the fully
+// dynamic subscription route: the description may come from the
+// lingua-franca IDL or from another peer. Matching objects are
+// delivered as mapped generic views (there is no local implementation
+// to bind to).
+func (p *Peer) OnReceiveDescription(desc *typedesc.TypeDescription, handler func(Delivery)) error {
+	if desc == nil {
+		return fmt.Errorf("transport: OnReceiveDescription(nil)")
+	}
+	if err := desc.Validate(); err != nil {
+		return err
+	}
+	if err := p.remote.Add(desc); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.interests = append(p.interests, &interest{desc: desc.Clone(), handler: handler})
+	return nil
+}
+
+// Listen accepts connections on addr ("127.0.0.1:0" for an ephemeral
+// port). The chosen address is available via Addr.
+func (p *Peer) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen: %w", err)
+	}
+	p.mu.Lock()
+	p.listener = ln
+	p.mu.Unlock()
+	p.acceptWG.Add(1)
+	go func() {
+		defer p.acceptWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			newConn(p, conn)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the listening address, if any.
+func (p *Peer) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.listener == nil {
+		return ""
+	}
+	return p.listener.Addr().String()
+}
+
+// Dial connects to a listening peer.
+func (p *Peer) Dial(addr string) (*Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, p.requestTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newConn(p, conn), nil
+}
+
+// Connect wires two peers through an in-memory pipe — the test and
+// benchmark transport.
+func Connect(a, b *Peer) (*Conn, *Conn) {
+	c1, c2 := net.Pipe()
+	return newConn(a, c1), newConn(b, c2)
+}
+
+// Close shuts the peer down: listener, connections, handlers.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.listener
+	conns := make([]*Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	p.acceptWG.Wait()
+	p.handlerWG.Wait()
+	return nil
+}
+
+func (p *Peer) track(c *Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conns[c] = struct{}{}
+}
+
+func (p *Peer) untrack(c *Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.conns, c)
+}
+
+// handleAsync processes an incoming request off the read loop.
+func (p *Peer) handleAsync(c *Conn, m *Message) {
+	p.handlerWG.Add(1)
+	go func() {
+		defer p.handlerWG.Done()
+		p.handleRequest(c, m)
+	}()
+}
+
+func (p *Peer) handleRequest(c *Conn, m *Message) {
+	switch m.Type {
+	case MsgObject:
+		p.handleObject(c, m)
+	case MsgTypeInfoRequest:
+		p.handleTypeInfo(c, m)
+	case MsgCodeRequest:
+		p.handleCode(c, m)
+	case MsgInvokeRequest:
+		p.handleInvoke(c, m)
+	case MsgLookupRequest:
+		p.handleLookup(c, m)
+	default:
+		_ = c.replyError(m, fmt.Errorf("unexpected message %s", m.Type))
+	}
+}
+
+// --- sender side ----------------------------------------------------
+
+// SendObject serializes v and sends it over c following the
+// optimistic protocol: only the envelope (type names, download paths,
+// payload) travels; descriptions and code go on demand. The type of v
+// must be registered.
+func (p *Peer) SendObject(c *Conn, v interface{}) error {
+	t := reflect.TypeOf(v)
+	entry, ok := p.reg.LookupGo(t)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotRegistered, t)
+	}
+
+	payload, err := p.codec.Encode(v)
+	if err != nil {
+		return fmt.Errorf("transport: encode object: %w", err)
+	}
+	env := &xmlenc.Envelope{
+		Type:     entry.Description.Ref(),
+		Encoding: xmlenc.PayloadEncoding(p.codec.Name()),
+		Payload:  payload,
+		Assemblies: []xmlenc.AssemblyInfo{
+			{Type: entry.Description.Ref(), DownloadPaths: entry.DownloadPaths},
+		},
+	}
+	// Figure 3: nested types' assembly information rides along.
+	for _, f := range entry.Description.Fields {
+		if d, err := p.reg.Resolve(f.Type); err == nil && d.Kind == typedesc.KindStruct {
+			env.Assemblies = append(env.Assemblies, xmlenc.AssemblyInfo{
+				Type:          d.Ref(),
+				DownloadPaths: d.DownloadPaths,
+			})
+		}
+	}
+	envBytes, err := xmlenc.MarshalEnvelope(env)
+	if err != nil {
+		return fmt.Errorf("transport: marshal envelope: %w", err)
+	}
+
+	var body []byte
+	if p.eager {
+		descXML, err := xmlenc.MarshalDescription(entry.Description)
+		if err != nil {
+			return err
+		}
+		code := p.codeBlob(entry.Description)
+		body = packEager(descXML, code, envBytes)
+	} else {
+		body = append([]byte{flagOptimistic}, envBytes...)
+	}
+	if p.compress {
+		compressed, err := deflateBytes(body[1:])
+		if err != nil {
+			return err
+		}
+		flag := flagOptimisticCompressed
+		if body[0] == flagEager {
+			flag = flagEagerCompressed
+		}
+		body = append([]byte{flag}, compressed...)
+	}
+	p.stats.objectsSent.Add(1)
+	p.emit(EventObjectSent, entry.Description.Ref(), "")
+	return c.send(&Message{Type: MsgObject, Body: body})
+}
+
+// Broadcast sends v to every currently connected peer (the publisher
+// pattern of the TPS application). It returns the number of
+// connections reached and the first error encountered.
+func (p *Peer) Broadcast(v interface{}) (int, error) {
+	p.mu.Lock()
+	conns := make([]*Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+
+	var firstErr error
+	sent := 0
+	for _, c := range conns {
+		if err := p.SendObject(c, v); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, firstErr
+}
+
+// ConnCount returns the number of live connections.
+func (p *Peer) ConnCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// Object-message body flags. Compression is a per-message property,
+// so peers need no negotiation: the receiver dispatches on the flag.
+const (
+	flagOptimistic           byte = 0
+	flagEager                byte = 1
+	flagOptimisticCompressed byte = 2
+	flagEagerCompressed      byte = 3
+)
+
+func isEagerFlag(f byte) bool      { return f == flagEager || f == flagEagerCompressed }
+func isCompressedFlag(f byte) bool { return f == flagOptimisticCompressed || f == flagEagerCompressed }
+
+func packEager(desc, code, env []byte) []byte {
+	body := make([]byte, 0, 1+12+len(desc)+len(code)+len(env))
+	body = append(body, flagEager)
+	body = appendChunk(body, desc)
+	body = appendChunk(body, code)
+	body = append(body, env...)
+	return body
+}
+
+func appendChunk(dst, chunk []byte) []byte {
+	n := len(chunk)
+	dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	return append(dst, chunk...)
+}
+
+func readChunk(src []byte) (chunk, rest []byte, err error) {
+	if len(src) < 4 {
+		return nil, nil, fmt.Errorf("%w: short chunk header", ErrBadFrame)
+	}
+	n := int(src[0])<<24 | int(src[1])<<16 | int(src[2])<<8 | int(src[3])
+	if n < 0 || n > len(src)-4 {
+		return nil, nil, fmt.Errorf("%w: chunk length %d", ErrBadFrame, n)
+	}
+	return src[4 : 4+n], src[4+n:], nil
+}
+
+// codeBlob simulates the assembly bytes for a type: its description
+// XML (the part a real system would need anyway) plus padding
+// standing in for executable code.
+func (p *Peer) codeBlob(d *typedesc.TypeDescription) []byte {
+	xmlBytes, err := xmlenc.MarshalDescription(d)
+	if err != nil {
+		xmlBytes = []byte(d.Name)
+	}
+	return append(xmlBytes, make([]byte, p.codePadding)...)
+}
+
+// --- receiver side (Figure 1 steps 2-5) ------------------------------
+
+func (p *Peer) handleObject(c *Conn, m *Message) {
+	p.stats.objectsReceived.Add(1)
+	if len(m.Body) == 0 {
+		p.stats.objectsDropped.Add(1)
+		p.emit(EventDropped, typedesc.TypeRef{}, "empty body")
+		return
+	}
+	body := m.Body[1:]
+	eagerDelivery := isEagerFlag(m.Body[0])
+	if isCompressedFlag(m.Body[0]) {
+		inflated, err := inflateBytes(body)
+		if err != nil {
+			p.stats.objectsDropped.Add(1)
+			return
+		}
+		body = inflated
+	}
+	var inlineDesc *typedesc.TypeDescription
+	if eagerDelivery {
+		descXML, rest, err := readChunk(body)
+		if err != nil {
+			p.stats.objectsDropped.Add(1)
+			return
+		}
+		if d, err := xmlenc.UnmarshalDescription(descXML); err == nil {
+			inlineDesc = d
+			_ = p.remote.Add(d)
+		}
+		// The inline code blob: consumed (and ignored — code is the
+		// local implementation in this reproduction).
+		_, rest, err = readChunk(rest)
+		if err != nil {
+			p.stats.objectsDropped.Add(1)
+			return
+		}
+		body = rest
+	}
+
+	env, err := xmlenc.UnmarshalEnvelope(body)
+	if err != nil {
+		p.stats.objectsDropped.Add(1)
+		p.emit(EventDropped, typedesc.TypeRef{}, "malformed envelope")
+		return
+	}
+	p.emit(EventObjectReceived, env.Type, "")
+
+	// Step 2+3: obtain the type description (cache first —
+	// optimistic fast path; then the sending peer; then the
+	// envelope's download paths, Section 6.1).
+	desc := inlineDesc
+	if desc == nil {
+		desc, err = p.ensureDescription(c, env.Type)
+		if err != nil {
+			desc, err = p.fetchFromDownloadPaths(env)
+			if err != nil {
+				p.stats.objectsDropped.Add(1)
+				p.emit(EventDropped, env.Type, "no type description")
+				return
+			}
+		}
+	}
+
+	// Rules check against the registered types of interest.
+	p.mu.Lock()
+	interests := append([]*interest(nil), p.interests...)
+	p.mu.Unlock()
+
+	var (
+		matched *interest
+		result  *conform.Result
+	)
+	for _, in := range interests {
+		r, err := p.checker.Check(desc, in.desc)
+		if err != nil {
+			continue
+		}
+		p.emit(EventConformanceChecked, desc.Ref(),
+			fmt.Sprintf("vs %s: %v", in.desc.Name, r.Conformant))
+		if r.Conformant {
+			matched, result = in, r
+			break
+		}
+	}
+	if matched == nil {
+		p.stats.objectsDropped.Add(1)
+		p.emit(EventDropped, desc.Ref(), "no conformant type of interest")
+		return
+	}
+
+	// Step 4+5: acquire the code. With a local conformant
+	// implementation registered, the "download" is the (cached)
+	// code-manifest exchange. An eager delivery carried its code
+	// inline, so nothing is requested. Concurrent first receptions
+	// of the same type collapse into one download.
+	if !eagerDelivery {
+		p.downloadCodeOnce(c, env.Type, desc)
+	}
+
+	delivery, err := p.buildDelivery(c, env, desc, matched, result)
+	if err != nil {
+		p.stats.objectsDropped.Add(1)
+		p.emit(EventDropped, desc.Ref(), err.Error())
+		return
+	}
+	p.stats.objectsDelivered.Add(1)
+	p.emit(EventDelivered, desc.Ref(), "as "+matched.desc.Name)
+	matched.handler(delivery)
+}
+
+func (p *Peer) buildDelivery(c *Conn, env *xmlenc.Envelope, desc *typedesc.TypeDescription, in *interest, r *conform.Result) (Delivery, error) {
+	codec, err := wire.ByName(string(env.Encoding))
+	if err != nil {
+		return Delivery{}, err
+	}
+	gv, err := codec.DecodeGeneric(env.Payload)
+	if err != nil {
+		return Delivery{}, fmt.Errorf("transport: decode payload: %w", err)
+	}
+	obj, ok := gv.(*wire.Object)
+	if !ok {
+		return Delivery{}, fmt.Errorf("transport: payload is %T, not an object", gv)
+	}
+
+	d := Delivery{
+		From:     c,
+		TypeName: desc.Name,
+		Expected: in.desc.Ref(),
+		Mapping:  r.Mapping,
+	}
+	if _, ok := p.reg.Lookup(in.desc.Ref()); ok {
+		bound, mapping, err := p.binder.Bind(obj, in.desc.Ref())
+		if err != nil {
+			return Delivery{}, err
+		}
+		d.Bound = bound
+		d.Mapping = mapping
+		inv, err := proxy.NewInvoker(bound, nil)
+		if err != nil {
+			return Delivery{}, err
+		}
+		d.Invoker = inv
+		return d, nil
+	}
+	view, err := proxy.NewView(obj, r.Mapping)
+	if err != nil {
+		return Delivery{}, err
+	}
+	d.View = view
+	return d, nil
+}
+
+// ensureDescription returns the description for ref, asking the
+// remote peer only on a cache miss (the optimistic protocol's
+// on-demand step). Concurrent misses for the same type collapse into
+// one request (single flight), so a burst of objects of a new type
+// costs one round trip, not one per object.
+func (p *Peer) ensureDescription(c *Conn, ref typedesc.TypeRef) (*typedesc.TypeDescription, error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		if d, err := p.reg.Resolve(ref); err == nil {
+			p.stats.descriptorHits.Add(1)
+			return d, nil
+		}
+		if d, err := p.remote.Resolve(ref); err == nil {
+			p.stats.descriptorHits.Add(1)
+			return d, nil
+		}
+		leader, wait := p.claim("desc|" + ref.String())
+		if !leader {
+			wait()
+			continue
+		}
+		d, err := p.fetchDescription(c, ref)
+		p.release("desc|" + ref.String())
+		return d, err
+	}
+	return nil, fmt.Errorf("transport: type info for %s: fetch did not converge", ref)
+}
+
+func (p *Peer) fetchDescription(c *Conn, ref typedesc.TypeRef) (*typedesc.TypeDescription, error) {
+	p.stats.typeInfoRequests.Add(1)
+	p.emit(EventTypeInfoRequested, ref, "")
+	reply, err := c.request(MsgTypeInfoRequest, encodeRef(ref))
+	if err != nil {
+		return nil, fmt.Errorf("transport: type info for %s: %w", ref, err)
+	}
+	d, err := xmlenc.UnmarshalDescription(reply.Body)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bad type info for %s: %w", ref, err)
+	}
+	if err := p.remote.Add(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// fetchFromDownloadPaths resolves the envelope's root type through
+// the download paths it advertises (Section 6.1: objects travel with
+// "a description of the download path where to get the complete type
+// representation"). Used when the originating connection cannot
+// supply the description.
+func (p *Peer) fetchFromDownloadPaths(env *xmlenc.Envelope) (*typedesc.TypeDescription, error) {
+	asm, ok := env.AssemblyFor(env.Type.Identity)
+	if !ok || len(asm.DownloadPaths) == 0 {
+		return nil, fmt.Errorf("transport: no download paths for %s", env.Type)
+	}
+	resolver := &HTTPResolver{BaseURLs: asm.DownloadPaths}
+	d, err := resolver.Resolve(env.Type)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.typeInfoRequests.Add(1)
+	if err := p.remote.Add(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// claim starts or joins an in-flight fetch. The leader (true return)
+// must call release; followers get a wait function.
+func (p *Peer) claim(key string) (leader bool, wait func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ch, ok := p.inflight[key]; ok {
+		return false, func() { <-ch }
+	}
+	ch := make(chan struct{})
+	p.inflight[key] = ch
+	return true, nil
+}
+
+func (p *Peer) release(key string) {
+	p.mu.Lock()
+	ch := p.inflight[key]
+	delete(p.inflight, key)
+	p.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// downloadCodeOnce performs the Figure 1 code exchange the first time
+// a type is seen. A failed download is not fatal: the object can
+// still be delivered as a generic view.
+func (p *Peer) downloadCodeOnce(c *Conn, ref typedesc.TypeRef, d *typedesc.TypeDescription) {
+	for attempt := 0; attempt < 3; attempt++ {
+		if p.codeSeenBefore(d) {
+			return
+		}
+		leader, wait := p.claim("code|" + d.Identity.String())
+		if !leader {
+			wait()
+			continue
+		}
+		p.stats.codeRequests.Add(1)
+		p.emit(EventCodeRequested, ref, "")
+		if _, err := c.request(MsgCodeRequest, encodeRef(ref)); err == nil {
+			p.markCodeSeen(d)
+		}
+		p.release("code|" + d.Identity.String())
+		return
+	}
+}
+
+func (p *Peer) codeSeenBefore(d *typedesc.TypeDescription) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.codeSeen[d.Identity.String()]
+}
+
+func (p *Peer) markCodeSeen(d *typedesc.TypeDescription) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.codeSeen[d.Identity.String()] = true
+}
+
+// --- server-side request handlers ------------------------------------
+
+func (p *Peer) handleTypeInfo(c *Conn, m *Message) {
+	ref, err := decodeRef(m.Body)
+	if err != nil {
+		_ = c.replyError(m, err)
+		return
+	}
+	d, err := p.reg.Resolve(ref)
+	if err != nil {
+		if d2, err2 := p.remote.Resolve(ref); err2 == nil {
+			d = d2
+		} else {
+			_ = c.replyError(m, fmt.Errorf("unknown type %s", ref))
+			return
+		}
+	}
+	xmlBytes, err := xmlenc.MarshalDescription(d)
+	if err != nil {
+		_ = c.replyError(m, err)
+		return
+	}
+	p.emit(EventTypeInfoServed, d.Ref(), "")
+	_ = c.reply(m, MsgTypeInfoReply, xmlBytes)
+}
+
+func (p *Peer) handleCode(c *Conn, m *Message) {
+	ref, err := decodeRef(m.Body)
+	if err != nil {
+		_ = c.replyError(m, err)
+		return
+	}
+	d, err := p.reg.Resolve(ref)
+	if err != nil {
+		_ = c.replyError(m, fmt.Errorf("no code for %s", ref))
+		return
+	}
+	p.emit(EventCodeServed, d.Ref(), "")
+	_ = c.reply(m, MsgCodeReply, p.codeBlob(d))
+}

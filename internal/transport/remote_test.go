@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pti/internal/conform"
+	"pti/internal/fixtures"
+	"pti/internal/registry"
+)
+
+// Greeter is an exported service type with struct parameters and
+// results, exercising argument and result serialization.
+type Greeter struct {
+	Prefix string
+}
+
+// Greet greets a person.
+func (g *Greeter) Greet(p fixtures.PersonA) string { return g.Prefix + p.Name }
+
+// Make builds a person.
+func (g *Greeter) Make(name string, age int) *fixtures.PersonA {
+	return &fixtures.PersonA{Name: name, Age: age}
+}
+
+// Fail always errors... by returning an error-like string; remote
+// invocation surfaces Go errors from the proxy layer, so a missing
+// method is the canonical failure exercised below.
+
+func remotePair(t *testing.T) (*Peer, *Peer, *Conn, *Conn) {
+	t.Helper()
+	regA := registry.New()
+	if _, err := regA.Register(fixtures.PersonB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regA.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regA.Register(Greeter{}); err != nil {
+		t.Fatal(err)
+	}
+	a := NewPeer(regA, WithName("server"))
+
+	regB := registry.New()
+	if _, err := regB.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewPeer(regB, WithName("client"))
+
+	ca, cb := Connect(a, b)
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+	})
+	return a, b, ca, cb
+}
+
+func TestRemoteInvocationImplicitConformance(t *testing.T) {
+	// Server exports a PersonB; client invokes it through the
+	// PersonA vocabulary — the Section 6 pass-by-reference scenario
+	// where T2 matches T1 "implicitly (only)".
+	a, b, _, cb := remotePair(t)
+	_ = a
+	if err := a.Export("person", &fixtures.PersonB{PersonName: "Lovelace", PersonAge: 36}); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := b.Remote(cb, "person", fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.TypeName() != "PersonB" {
+		t.Errorf("TypeName = %q", ref.TypeName())
+	}
+
+	out, err := ref.Call("GetName")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "Lovelace" {
+		t.Errorf("GetName = %v", out)
+	}
+
+	if _, err := ref.Call("SetName", "Ada"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = ref.Call("GetName")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "Ada" {
+		t.Errorf("after SetName = %v", out)
+	}
+	// Mutation happened on the server-side object, not a copy.
+	if a.Stats().Snapshot().Invokes != 3 {
+		t.Errorf("Invokes = %d", a.Stats().Snapshot().Invokes)
+	}
+}
+
+func TestRemoteStructArgsAndResults(t *testing.T) {
+	a, b, _, cb := remotePair(t)
+	if err := a.Export("greeter", &Greeter{Prefix: "hello "}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := b.Remote(cb, "greeter", Greeter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ref.Call("Greet", fixtures.PersonA{Name: "World"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "hello World" {
+		t.Errorf("Greet = %v", out)
+	}
+
+	out, err = ref.Call("Make", "Turing", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := out[0].(*fixtures.PersonA)
+	if !ok {
+		t.Fatalf("Make result = %T", out[0])
+	}
+	if p.Name != "Turing" || p.Age != 41 {
+		t.Errorf("Make = %+v", p)
+	}
+}
+
+func TestRemoteUnknownExport(t *testing.T) {
+	_, b, _, cb := remotePair(t)
+	if _, err := b.Remote(cb, "nope", fixtures.PersonA{}); !errors.Is(err, ErrRemote) {
+		t.Errorf("unknown export: %v", err)
+	}
+}
+
+func TestRemoteNonConformantExpected(t *testing.T) {
+	a, b, _, cb := remotePair(t)
+	if err := a.Export("person", &fixtures.PersonB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Remote(cb, "person", fixtures.Address{}); !errors.Is(err, ErrNoConformance) {
+		t.Errorf("non-conformant expected: %v", err)
+	}
+}
+
+func TestRemoteUnknownMethod(t *testing.T) {
+	a, b, _, cb := remotePair(t)
+	if err := a.Export("person", &fixtures.PersonB{PersonName: "X"}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := b.Remote(cb, "person", fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Call("Vanish"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestRemoteBadArity(t *testing.T) {
+	a, b, _, cb := remotePair(t)
+	if err := a.Export("person", &fixtures.PersonB{}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := b.Remote(cb, "person", fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Call("SetName", "a", "b"); !errors.Is(err, ErrRemote) {
+		t.Errorf("bad arity: %v", err)
+	}
+}
+
+func TestUnexport(t *testing.T) {
+	a, b, _, cb := remotePair(t)
+	if err := a.Export("temp", &fixtures.PersonB{}); err != nil {
+		t.Fatal(err)
+	}
+	a.Unexport("temp")
+	if _, err := b.Remote(cb, "temp", fixtures.PersonA{}); err == nil {
+		t.Error("unexported object still reachable")
+	}
+	if err := a.Export("", &fixtures.PersonB{}); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty export name: %v", err)
+	}
+}
+
+func TestRemotePermutedArguments(t *testing.T) {
+	regA := registry.New()
+	if _, err := regA.Register(fixtures.Swapped{}); err != nil {
+		t.Fatal(err)
+	}
+	a := NewPeer(regA, WithName("server"))
+
+	regB := registry.New()
+	if _, err := regB.Register(fixtures.Swappee{}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewPeer(regB, WithName("client"), WithPolicy(conform.Relaxed(2)))
+	ca, cb := Connect(a, b)
+	_ = ca
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+
+	if err := a.Export("svc", fixtures.Swapped{}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := b.Remote(cb, "svc", fixtures.Swappee{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swappee order: (count, label); Swapped executes (label, count).
+	out, err := ref.Call("Combine", 5, "permuted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "permuted" {
+		t.Errorf("Combine = %v", out)
+	}
+}
+
+func TestRemoteCrossTypeArgument(t *testing.T) {
+	// The client passes a PersonB value where the server's method
+	// declares PersonA: the server's binder maps the fields on
+	// arrival — pass-by-value interoperability inside
+	// pass-by-reference invocation.
+	a, b, _, cb := remotePair(t)
+	if err := a.Export("greeter", &Greeter{Prefix: "hi "}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := b.Remote(cb, "greeter", Greeter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ref.Call("Greet", fixtures.PersonB{PersonName: "CrossType", PersonAge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != "hi CrossType" {
+		t.Errorf("Greet = %v", out)
+	}
+}

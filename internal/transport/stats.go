@@ -1,0 +1,64 @@
+package transport
+
+import "sync/atomic"
+
+// Stats counts protocol activity. All fields are updated atomically;
+// read them through Snapshot. The benchmark harness reports these to
+// quantify the paper's "saves network resources" claim for the
+// optimistic protocol.
+type Stats struct {
+	bytesSent        atomic.Uint64
+	bytesReceived    atomic.Uint64
+	objectsSent      atomic.Uint64
+	objectsReceived  atomic.Uint64
+	objectsDelivered atomic.Uint64
+	objectsDropped   atomic.Uint64
+	typeInfoRequests atomic.Uint64
+	codeRequests     atomic.Uint64
+	invokes          atomic.Uint64
+	descriptorHits   atomic.Uint64
+}
+
+// StatsSnapshot is an immutable copy of the counters.
+type StatsSnapshot struct {
+	BytesSent        uint64
+	BytesReceived    uint64
+	ObjectsSent      uint64
+	ObjectsReceived  uint64
+	ObjectsDelivered uint64
+	ObjectsDropped   uint64
+	TypeInfoRequests uint64
+	CodeRequests     uint64
+	Invokes          uint64
+	DescriptorHits   uint64
+}
+
+// Snapshot returns the current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		BytesSent:        s.bytesSent.Load(),
+		BytesReceived:    s.bytesReceived.Load(),
+		ObjectsSent:      s.objectsSent.Load(),
+		ObjectsReceived:  s.objectsReceived.Load(),
+		ObjectsDelivered: s.objectsDelivered.Load(),
+		ObjectsDropped:   s.objectsDropped.Load(),
+		TypeInfoRequests: s.typeInfoRequests.Load(),
+		CodeRequests:     s.codeRequests.Load(),
+		Invokes:          s.invokes.Load(),
+		DescriptorHits:   s.descriptorHits.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	s.bytesSent.Store(0)
+	s.bytesReceived.Store(0)
+	s.objectsSent.Store(0)
+	s.objectsReceived.Store(0)
+	s.objectsDelivered.Store(0)
+	s.objectsDropped.Store(0)
+	s.typeInfoRequests.Store(0)
+	s.codeRequests.Store(0)
+	s.invokes.Store(0)
+	s.descriptorHits.Store(0)
+}

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pti/internal/fixtures"
+	"pti/internal/registry"
+)
+
+// TestConcurrentSendersOneReceiver hammers a receiver with parallel
+// senders over independent connections: all objects must be delivered
+// exactly once, and the single-flight machinery must keep the
+// type-info round trips at one per sender connection at most.
+func TestConcurrentSendersOneReceiver(t *testing.T) {
+	const (
+		senders       = 8
+		objsPerSender = 25
+	)
+	recvReg := registry.New()
+	if _, err := recvReg.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	receiver := NewPeer(recvReg, WithName("receiver"))
+	defer receiver.Close()
+
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	total := make(chan struct{}, senders*objsPerSender)
+	if err := receiver.OnReceive(fixtures.PersonA{}, func(d Delivery) {
+		p := d.Bound.(*fixtures.PersonA)
+		mu.Lock()
+		seen[p.Name]++
+		mu.Unlock()
+		total <- struct{}{}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := receiver.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Senders stay alive until every delivery is confirmed: the
+	// optimistic protocol fetches descriptions from the *sending*
+	// connection, so closing a sender with objects still in flight
+	// legitimately drops them (unless download paths are set).
+	var (
+		wg        sync.WaitGroup
+		peersMu   sync.Mutex
+		sendPeers []*Peer
+	)
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			reg := registry.New()
+			if _, err := reg.Register(fixtures.PersonB{}); err != nil {
+				t.Error(err)
+				return
+			}
+			peer := NewPeer(reg, WithName("sender"))
+			peersMu.Lock()
+			sendPeers = append(sendPeers, peer)
+			peersMu.Unlock()
+			conn, err := peer.Dial(receiver.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < objsPerSender; i++ {
+				name := string(rune('A'+id)) + "-" + string(rune('0'+i%10))
+				if err := peer.SendObject(conn, fixtures.PersonB{PersonName: name, PersonAge: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	defer func() {
+		for _, p := range sendPeers {
+			_ = p.Close()
+		}
+	}()
+
+	deadline := time.After(20 * time.Second)
+	for received := 0; received < senders*objsPerSender; received++ {
+		select {
+		case <-total:
+		case <-deadline:
+			t.Fatalf("received %d/%d objects: %+v", received, senders*objsPerSender,
+				receiver.Stats().Snapshot())
+		}
+	}
+	st := receiver.Stats().Snapshot()
+	if st.ObjectsDelivered != senders*objsPerSender {
+		t.Errorf("delivered = %d", st.ObjectsDelivered)
+	}
+	if st.ObjectsDropped != 0 {
+		t.Errorf("dropped = %d", st.ObjectsDropped)
+	}
+	// Descriptor is fetched at most once per connection thanks to
+	// the shared repository + single flight; after the first
+	// connection caches it, later ones hit the cache.
+	if st.TypeInfoRequests > senders {
+		t.Errorf("TypeInfoRequests = %d, want <= %d", st.TypeInfoRequests, senders)
+	}
+}
+
+// TestConcurrentRemoteInvocations runs parallel remote calls against
+// one exported object.
+func TestConcurrentRemoteInvocations(t *testing.T) {
+	regA := registry.New()
+	if _, err := regA.Register(fixtures.PersonB{}); err != nil {
+		t.Fatal(err)
+	}
+	server := NewPeer(regA, WithName("server"))
+	regB := registry.New()
+	if _, err := regB.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	client := NewPeer(regB, WithName("client"))
+	defer server.Close()
+	defer client.Close()
+
+	if err := server.Export("shared", &fixtures.PersonB{PersonName: "Shared", PersonAge: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, cb := Connect(server, client)
+	ref, err := client.Remote(cb, "shared", fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*10)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				out, err := ref.Call("GetName")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if out[0] != "Shared" {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := server.Stats().Snapshot().Invokes; got != callers*10 {
+		t.Errorf("Invokes = %d, want %d", got, callers*10)
+	}
+}
+
+// TestPeerCloseUnblocksHandlers closes a peer while exchanges are in
+// flight; Close must return (no deadlock) and pending requests fail
+// cleanly.
+func TestPeerCloseUnblocksHandlers(t *testing.T) {
+	a := NewPeer(registry.New(), WithName("a"), WithRequestTimeout(30*time.Second))
+	regB := registry.New()
+	if _, err := regB.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewPeer(regB, WithName("b"), WithRequestTimeout(30*time.Second))
+	ca, cb := Connect(a, b)
+	_ = ca
+	_ = cb
+
+	done := make(chan struct{})
+	go func() {
+		_ = a.Close()
+		_ = b.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked")
+	}
+}

@@ -1,0 +1,158 @@
+package typedesc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diff reports the structural differences between two descriptions as
+// human-readable lines, one per divergence. It is a tooling aid for
+// developers inspecting why two independently written types diverge
+// (download-path and identity differences are structural metadata and
+// are included).
+func Diff(a, b *TypeDescription) []string {
+	var out []string
+	add := func(format string, args ...interface{}) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	switch {
+	case a == nil && b == nil:
+		return nil
+	case a == nil:
+		return []string{"first description is nil"}
+	case b == nil:
+		return []string{"second description is nil"}
+	}
+
+	if a.Name != b.Name {
+		add("name: %q vs %q", a.Name, b.Name)
+	}
+	if a.Identity != b.Identity {
+		add("identity: %s vs %s", a.Identity, b.Identity)
+	}
+	if a.Kind != b.Kind {
+		add("kind: %s vs %s", a.Kind, b.Kind)
+	}
+	if a.Len != b.Len {
+		add("array length: %d vs %d", a.Len, b.Len)
+	}
+	diffRefPtr(&out, "element type", a.Elem, b.Elem)
+	diffRefPtr(&out, "key type", a.Key, b.Key)
+	diffRefPtr(&out, "superclass", a.Super, b.Super)
+
+	diffNamedSet(&out, "interface", refNames(a.Interfaces), refNames(b.Interfaces))
+
+	aFields, bFields := fieldIndex(a), fieldIndex(b)
+	diffNamedSet(&out, "field", fieldKeys(aFields), fieldKeys(bFields))
+	for name, fa := range aFields {
+		if fb, ok := bFields[name]; ok && fa.Type.Name != fb.Type.Name {
+			add("field %s: type %s vs %s", name, fa.Type.Name, fb.Type.Name)
+		}
+	}
+
+	aMethods, bMethods := methodIndex(a), methodIndex(b)
+	diffNamedSet(&out, "method", methodKeys(aMethods), methodKeys(bMethods))
+	for name, ma := range aMethods {
+		mb, ok := bMethods[name]
+		if !ok {
+			continue
+		}
+		if sa, sb := ma.Signature(), mb.Signature(); sa != sb {
+			add("method %s: signature %q vs %q", name, sa, sb)
+		}
+	}
+
+	aCtors, bCtors := ctorNames(a), ctorNames(b)
+	diffNamedSet(&out, "constructor", aCtors, bCtors)
+	return out
+}
+
+func diffRefPtr(out *[]string, what string, a, b *TypeRef) {
+	switch {
+	case a == nil && b == nil:
+	case a == nil:
+		*out = append(*out, fmt.Sprintf("%s: none vs %s", what, b.Name))
+	case b == nil:
+		*out = append(*out, fmt.Sprintf("%s: %s vs none", what, a.Name))
+	case a.Name != b.Name:
+		*out = append(*out, fmt.Sprintf("%s: %s vs %s", what, a.Name, b.Name))
+	}
+}
+
+func diffNamedSet(out *[]string, what string, a, b []string) {
+	inA := make(map[string]bool, len(a))
+	for _, n := range a {
+		inA[n] = true
+	}
+	inB := make(map[string]bool, len(b))
+	for _, n := range b {
+		inB[n] = true
+	}
+	var onlyA, onlyB []string
+	for _, n := range a {
+		if !inB[n] {
+			onlyA = append(onlyA, n)
+		}
+	}
+	for _, n := range b {
+		if !inA[n] {
+			onlyB = append(onlyB, n)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	for _, n := range onlyA {
+		*out = append(*out, fmt.Sprintf("%s %s: only in first", what, n))
+	}
+	for _, n := range onlyB {
+		*out = append(*out, fmt.Sprintf("%s %s: only in second", what, n))
+	}
+}
+
+func refNames(refs []TypeRef) []string {
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+func fieldIndex(d *TypeDescription) map[string]Field {
+	out := make(map[string]Field, len(d.Fields))
+	for _, f := range d.Fields {
+		out[f.Name] = f
+	}
+	return out
+}
+
+func methodIndex(d *TypeDescription) map[string]Method {
+	out := make(map[string]Method, len(d.Methods))
+	for _, m := range d.Methods {
+		out[m.Name] = m
+	}
+	return out
+}
+
+func ctorNames(d *TypeDescription) []string {
+	out := make([]string, len(d.Constructors))
+	for i, c := range d.Constructors {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func fieldKeys(m map[string]Field) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func methodKeys(m map[string]Method) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package typedesc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pti/internal/fixtures"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	d := MustDescribe(reflect.TypeOf(fixtures.PersonA{}))
+	if diff := Diff(d, d.Clone()); len(diff) != 0 {
+		t.Errorf("identical descriptions diff: %v", diff)
+	}
+	if diff := Diff(nil, nil); diff != nil {
+		t.Errorf("nil/nil diff: %v", diff)
+	}
+}
+
+func TestDiffNilSides(t *testing.T) {
+	d := MustDescribe(reflect.TypeOf(fixtures.PersonA{}))
+	if diff := Diff(nil, d); len(diff) != 1 {
+		t.Errorf("nil first: %v", diff)
+	}
+	if diff := Diff(d, nil); len(diff) != 1 {
+		t.Errorf("nil second: %v", diff)
+	}
+}
+
+func TestDiffPersonAB(t *testing.T) {
+	a := MustDescribe(reflect.TypeOf(fixtures.PersonA{}))
+	b := MustDescribe(reflect.TypeOf(fixtures.PersonB{}))
+	diff := Diff(a, b)
+	joined := strings.Join(diff, "\n")
+	for _, want := range []string{
+		`name: "PersonA" vs "PersonB"`,
+		"identity:",
+		"field Name: only in first",
+		"field PersonName: only in second",
+		"method GetName: only in first",
+		"method GetPersonName: only in second",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diff missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestDiffFieldTypeChange(t *testing.T) {
+	type V1 struct{ Count int }
+	type V2 struct{ Count int64 }
+	a := MustDescribe(reflect.TypeOf(V1{}))
+	b := MustDescribe(reflect.TypeOf(V2{}))
+	b.Name = "V1" // isolate the field-type change
+	joined := strings.Join(Diff(a, b), "\n")
+	if !strings.Contains(joined, "field Count: type int vs int64") {
+		t.Errorf("diff missing field type change:\n%s", joined)
+	}
+}
+
+func TestDiffSignatureChange(t *testing.T) {
+	a := MustDescribe(reflect.TypeOf(fixtures.Swapped{}))
+	b := MustDescribe(reflect.TypeOf(fixtures.Swappee{}))
+	b.Name = a.Name
+	joined := strings.Join(Diff(a, b), "\n")
+	if !strings.Contains(joined, "method Combine: signature") {
+		t.Errorf("diff missing signature change:\n%s", joined)
+	}
+}
+
+func TestDiffSuperAndKindAndCtors(t *testing.T) {
+	emp := MustDescribe(reflect.TypeOf(fixtures.Employee{}))
+	addr := MustDescribe(reflect.TypeOf(fixtures.Address{}))
+	joined := strings.Join(Diff(emp, addr), "\n")
+	if !strings.Contains(joined, "superclass: PersonA vs none") {
+		t.Errorf("diff missing superclass:\n%s", joined)
+	}
+
+	withCtor := MustDescribe(reflect.TypeOf(fixtures.PersonA{}),
+		WithConstructor("NewPersonA", fixtures.NewPersonA))
+	plain := MustDescribe(reflect.TypeOf(fixtures.PersonA{}))
+	joined = strings.Join(Diff(withCtor, plain), "\n")
+	if !strings.Contains(joined, "constructor NewPersonA: only in first") {
+		t.Errorf("diff missing constructor:\n%s", joined)
+	}
+
+	slice := MustDescribe(reflect.TypeOf([]int{}))
+	arr := MustDescribe(reflect.TypeOf([3]int{}))
+	joined = strings.Join(Diff(slice, arr), "\n")
+	if !strings.Contains(joined, "kind: slice vs array") {
+		t.Errorf("diff missing kind:\n%s", joined)
+	}
+	if !strings.Contains(joined, "array length: 0 vs 3") {
+		t.Errorf("diff missing length:\n%s", joined)
+	}
+}
+
+func TestDiffMapKeyElem(t *testing.T) {
+	a := MustDescribe(reflect.TypeOf(map[string]int{}))
+	b := MustDescribe(reflect.TypeOf(map[int]string{}))
+	joined := strings.Join(Diff(a, b), "\n")
+	if !strings.Contains(joined, "key type: string vs int") {
+		t.Errorf("diff missing key type:\n%s", joined)
+	}
+	if !strings.Contains(joined, "element type: int vs string") {
+		t.Errorf("diff missing element type:\n%s", joined)
+	}
+}

@@ -1,0 +1,145 @@
+package typedesc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotFound is returned when a repository cannot resolve a
+// reference.
+var ErrNotFound = errors.New("typedesc: description not found")
+
+// Resolver resolves a TypeRef to its full description. The
+// conformance checker uses a Resolver to look at nested types
+// (Section 5.2: descriptions are not recursive; nested descriptions
+// "might already be available at the receiver side").
+type Resolver interface {
+	Resolve(ref TypeRef) (*TypeDescription, error)
+}
+
+// Repository is an in-memory, thread-safe description cache indexed
+// by identity and by name. It plays the role of the receiver-side
+// store that makes the transport protocol optimistic: a hit here
+// skips the type-information round trip of Figure 1.
+type Repository struct {
+	mu     sync.RWMutex
+	byID   map[string]*TypeDescription
+	byName map[string]*TypeDescription
+	hits   uint64
+	misses uint64
+}
+
+var _ Resolver = (*Repository)(nil)
+
+// NewRepository returns an empty Repository.
+func NewRepository() *Repository {
+	return &Repository{
+		byID:   make(map[string]*TypeDescription),
+		byName: make(map[string]*TypeDescription),
+	}
+}
+
+// Add stores d, replacing any previous description with the same
+// identity. The description is cloned so later caller mutations do
+// not corrupt the cache.
+func (r *Repository) Add(d *TypeDescription) error {
+	if d == nil {
+		return fmt.Errorf("typedesc: Add nil description")
+	}
+	if d.Identity.IsNil() {
+		return fmt.Errorf("typedesc: Add %q without identity", d.Name)
+	}
+	c := d.Clone()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byID[c.Identity.String()] = c
+	if c.Name != "" {
+		r.byName[c.Name] = c
+	}
+	return nil
+}
+
+// Resolve implements Resolver: identity match first, then name.
+func (r *Repository) Resolve(ref TypeRef) (*TypeDescription, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !ref.Identity.IsNil() {
+		if d, ok := r.byID[ref.Identity.String()]; ok {
+			r.hits++
+			return d, nil
+		}
+	}
+	if ref.Name != "" {
+		if d, ok := r.byName[ref.Name]; ok {
+			r.hits++
+			return d, nil
+		}
+	}
+	r.misses++
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, ref)
+}
+
+// Contains reports whether the repository can resolve ref.
+func (r *Repository) Contains(ref TypeRef) bool {
+	_, err := r.Resolve(ref)
+	return err == nil
+}
+
+// Len returns the number of descriptions stored (by identity).
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}
+
+// Stats returns cumulative resolve hits and misses; the transport
+// benchmarks report these as the optimistic-protocol cache
+// effectiveness.
+func (r *Repository) Stats() (hits, misses uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hits, r.misses
+}
+
+// All returns a snapshot of every stored description.
+func (r *Repository) All() []*TypeDescription {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*TypeDescription, 0, len(r.byID))
+	for _, d := range r.byID {
+		out = append(out, d)
+	}
+	return out
+}
+
+// MultiResolver tries each resolver in order, returning the first
+// success. It lets the conformance checker consult a local repository
+// first and fall back to a remote fetcher.
+type MultiResolver []Resolver
+
+var _ Resolver = MultiResolver(nil)
+
+// Resolve implements Resolver.
+func (m MultiResolver) Resolve(ref TypeRef) (*TypeDescription, error) {
+	var firstErr error
+	for _, r := range m {
+		d, err := r.Resolve(ref)
+		if err == nil {
+			return d, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("%w: %s", ErrNotFound, ref)
+	}
+	return nil, firstErr
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(ref TypeRef) (*TypeDescription, error)
+
+// Resolve implements Resolver.
+func (f ResolverFunc) Resolve(ref TypeRef) (*TypeDescription, error) { return f(ref) }

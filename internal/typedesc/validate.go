@@ -1,0 +1,87 @@
+package typedesc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidDescription is returned by Validate for descriptions that
+// are internally inconsistent. Wire boundaries validate before
+// trusting a received description.
+var ErrInvalidDescription = errors.New("typedesc: invalid description")
+
+// Validate checks internal consistency: identification, kind-specific
+// shape, and member well-formedness. It does not resolve references.
+func (d *TypeDescription) Validate() error {
+	if d == nil {
+		return fmt.Errorf("%w: nil", ErrInvalidDescription)
+	}
+	if d.Name == "" && d.Identity.IsNil() {
+		return fmt.Errorf("%w: neither name nor identity", ErrInvalidDescription)
+	}
+	switch d.Kind {
+	case KindPrimitive, KindStruct, KindInterface, KindFunc:
+	case KindPointer, KindSlice:
+		if d.Elem == nil {
+			return fmt.Errorf("%w: %s %q without element type", ErrInvalidDescription, d.Kind, d.Name)
+		}
+	case KindArray:
+		if d.Elem == nil {
+			return fmt.Errorf("%w: array %q without element type", ErrInvalidDescription, d.Name)
+		}
+		if d.Len < 0 {
+			return fmt.Errorf("%w: array %q with negative length", ErrInvalidDescription, d.Name)
+		}
+	case KindMap:
+		if d.Elem == nil || d.Key == nil {
+			return fmt.Errorf("%w: map %q missing key or element type", ErrInvalidDescription, d.Name)
+		}
+	default:
+		return fmt.Errorf("%w: kind %v", ErrInvalidDescription, d.Kind)
+	}
+
+	fieldNames := make(map[string]bool, len(d.Fields))
+	for _, f := range d.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("%w: %q has an unnamed field", ErrInvalidDescription, d.Name)
+		}
+		if fieldNames[f.Name] {
+			return fmt.Errorf("%w: %q has duplicate field %q", ErrInvalidDescription, d.Name, f.Name)
+		}
+		fieldNames[f.Name] = true
+		if f.Type.IsZero() {
+			return fmt.Errorf("%w: field %s.%s has no type", ErrInvalidDescription, d.Name, f.Name)
+		}
+	}
+	methodNames := make(map[string]bool, len(d.Methods))
+	for _, m := range d.Methods {
+		if m.Name == "" {
+			return fmt.Errorf("%w: %q has an unnamed method", ErrInvalidDescription, d.Name)
+		}
+		if methodNames[m.Name] {
+			return fmt.Errorf("%w: %q has duplicate method %q", ErrInvalidDescription, d.Name, m.Name)
+		}
+		methodNames[m.Name] = true
+		for i, p := range m.Params {
+			if p.IsZero() {
+				return fmt.Errorf("%w: %s.%s parameter %d has no type", ErrInvalidDescription, d.Name, m.Name, i)
+			}
+		}
+		for i, r := range m.Returns {
+			if r.IsZero() {
+				return fmt.Errorf("%w: %s.%s return %d has no type", ErrInvalidDescription, d.Name, m.Name, i)
+			}
+		}
+	}
+	for _, c := range d.Constructors {
+		if c.Name == "" {
+			return fmt.Errorf("%w: %q has an unnamed constructor", ErrInvalidDescription, d.Name)
+		}
+		for i, p := range c.Params {
+			if p.IsZero() {
+				return fmt.Errorf("%w: %s.%s parameter %d has no type", ErrInvalidDescription, d.Name, c.Name, i)
+			}
+		}
+	}
+	return nil
+}

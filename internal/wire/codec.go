@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Codec pairs one payload encoding with the generic value model. The
+// transport layer selects a codec per the envelope's encoding tag.
+type Codec interface {
+	// Name tags the encoding ("soap" or "binary"), matching the
+	// envelope attribute.
+	Name() string
+	// Encode serializes a Go value.
+	Encode(v interface{}) ([]byte, error)
+	// DecodeGeneric parses a stream into the generic model — the
+	// path taken when the receiver does not (yet) know the type.
+	DecodeGeneric(data []byte) (Value, error)
+	// Decode materializes a stream into a Go value of type t,
+	// translating field names through resolve (nil = identity).
+	Decode(data []byte, t reflect.Type, resolve FieldResolver) (interface{}, error)
+}
+
+// SOAP is the XML codec of Section 6.2.
+type SOAP struct{}
+
+// Binary is the compact codec of Section 6.2.
+type Binary struct{}
+
+var (
+	_ Codec = SOAP{}
+	_ Codec = Binary{}
+)
+
+// Name implements Codec.
+func (SOAP) Name() string { return "soap" }
+
+// Encode implements Codec.
+func (SOAP) Encode(v interface{}) ([]byte, error) {
+	gv, err := FromGo(v)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeSOAP(gv)
+}
+
+// DecodeGeneric implements Codec.
+func (SOAP) DecodeGeneric(data []byte) (Value, error) {
+	return DecodeSOAP(data)
+}
+
+// Decode implements Codec.
+func (SOAP) Decode(data []byte, t reflect.Type, resolve FieldResolver) (interface{}, error) {
+	gv, err := DecodeSOAP(data)
+	if err != nil {
+		return nil, err
+	}
+	return ToGo(gv, t, resolve)
+}
+
+// Name implements Codec.
+func (Binary) Name() string { return "binary" }
+
+// Encode implements Codec.
+func (Binary) Encode(v interface{}) ([]byte, error) {
+	gv, err := FromGo(v)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeBinary(gv)
+}
+
+// DecodeGeneric implements Codec.
+func (Binary) DecodeGeneric(data []byte) (Value, error) {
+	return DecodeBinary(data)
+}
+
+// Decode implements Codec.
+func (Binary) Decode(data []byte, t reflect.Type, resolve FieldResolver) (interface{}, error) {
+	gv, err := DecodeBinary(data)
+	if err != nil {
+		return nil, err
+	}
+	return ToGo(gv, t, resolve)
+}
+
+// ByName returns the codec for an envelope encoding tag.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "soap":
+		return SOAP{}, nil
+	case "binary":
+		return Binary{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown codec %q", name)
+	}
+}

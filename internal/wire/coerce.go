@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Coerce adapts a dynamic argument to a parameter type, allowing only
+// loss-free, non-surprising conversions: numeric widenings and
+// same-kind conversions. String/numeric crossings are rejected (Go's
+// Convert would silently produce string(65) == "A"). It is used by
+// reflective invocation paths — constructors and dynamic proxies.
+func Coerce(a interface{}, t reflect.Type) (reflect.Value, error) {
+	if a == nil {
+		switch t.Kind() {
+		case reflect.Ptr, reflect.Slice, reflect.Map, reflect.Interface, reflect.Func, reflect.Chan:
+			return reflect.Zero(t), nil
+		default:
+			return reflect.Value{}, fmt.Errorf("nil into %s", t)
+		}
+	}
+	av := reflect.ValueOf(a)
+	if av.Type() == t || av.Type().AssignableTo(t) {
+		return av, nil
+	}
+	if av.Type().ConvertibleTo(t) && safeConversion(av.Type(), t) {
+		return av.Convert(t), nil
+	}
+	return reflect.Value{}, fmt.Errorf("%s into %s", av.Type(), t)
+}
+
+// safeConversion permits numeric widenings and same-kind-class
+// conversions but rejects string<->numeric crossings.
+func safeConversion(from, to reflect.Type) bool {
+	isNum := func(k reflect.Kind) bool {
+		return k >= reflect.Int && k <= reflect.Float64
+	}
+	if isNum(from.Kind()) && isNum(to.Kind()) {
+		return true
+	}
+	return from.Kind() == to.Kind()
+}

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBinaryDecoderNeverPanicsOnRandomBytes feeds the binary decoder
+// random garbage: it must return an error or a value, never panic and
+// never allocate absurdly (the readLen guard).
+func TestBinaryDecoderNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(0xBAD))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(256)
+		buf := make([]byte, n)
+		r.Read(buf)
+		if n > 0 {
+			buf[0] = binMagic // get past the magic check half the time
+			if r.Intn(2) == 0 && n > 1 {
+				buf[0] = byte(r.Intn(256))
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on input %x: %v", buf, p)
+				}
+			}()
+			_, _ = DecodeBinary(buf)
+		}()
+	}
+}
+
+// TestBinaryDecoderMutatedValidStreams flips bytes of valid streams.
+func TestBinaryDecoderMutatedValidStreams(t *testing.T) {
+	valid, err := Binary{}.Encode(struct {
+		Name string
+		Vals []int
+		M    map[string]int
+	}{Name: "x", Vals: []int{1, 2}, M: map[string]int{"k": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		mutated := append([]byte(nil), valid...)
+		for j := 0; j < 1+r.Intn(4); j++ {
+			mutated[r.Intn(len(mutated))] ^= byte(1 << r.Intn(8))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutation %x: %v", mutated, p)
+				}
+			}()
+			_, _ = DecodeBinary(mutated)
+		}()
+	}
+}
+
+// TestSOAPDecoderNeverPanicsOnRandomBytes does the same for the XML
+// decoder.
+func TestSOAPDecoderNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(0x50AF))
+	corpus := []string{
+		"<Envelope><Body>", "</Body></Envelope>", "<value ", `type="long"`,
+		`href="#ref-1"`, `nil="true"`, ">", "</value>", "123", "<item", "&amp;",
+	}
+	for i := 0; i < 3000; i++ {
+		var doc []byte
+		for j := 0; j < r.Intn(12); j++ {
+			doc = append(doc, corpus[r.Intn(len(corpus))]...)
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on doc %q: %v", doc, p)
+				}
+			}()
+			_, _ = DecodeSOAP(doc)
+		}()
+	}
+}
+
+// TestDeepNestingBounded verifies a deeply nested stream is rejected
+// rather than exhausting the stack.
+func TestDeepNestingBounded(t *testing.T) {
+	// Hand-build a binary stream of maxBinDepth+10 nested lists.
+	var buf []byte
+	buf = append(buf, binMagic)
+	depth := maxBinDepth + 10
+	for i := 0; i < depth; i++ {
+		buf = append(buf, tagList)
+		buf = append(buf, 0) // empty elem type
+		buf = append(buf, 1) // one item
+	}
+	buf = append(buf, tagNil)
+	if _, err := DecodeBinary(buf); err == nil {
+		t.Error("over-deep stream accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package xmlenc
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+
+	"pti/internal/guid"
+	"pti/internal/typedesc"
+)
+
+// PayloadEncoding names the serialization used for the embedded
+// object payload (Section 6.2: "The SOAP or binary serializations are
+// used to serialize efficiently the whole object").
+type PayloadEncoding string
+
+// Supported payload encodings.
+const (
+	EncodingSOAP   PayloadEncoding = "soap"
+	EncodingBinary PayloadEncoding = "binary"
+)
+
+// AssemblyInfo describes one "assembly" involved in the payload: the
+// type it implements and where its description and code can be
+// downloaded (Figure 3: "<Assembly A information> <Assembly B
+// information>").
+type AssemblyInfo struct {
+	Type          typedesc.TypeRef
+	DownloadPaths []string
+}
+
+// Envelope is the hybrid XML message of Figure 3: human-readable type
+// information and download paths wrapped around an efficiently
+// serialized object payload. The payload is opaque at this layer.
+type Envelope struct {
+	// Type is the root object's type.
+	Type typedesc.TypeRef
+	// Assemblies lists the root type and every nested type the
+	// receiver may need to resolve (object A's and object B's
+	// assembly information in Figure 3).
+	Assemblies []AssemblyInfo
+	// Encoding tags how Payload was produced.
+	Encoding PayloadEncoding
+	// Payload is the serialized object.
+	Payload []byte
+}
+
+type xmlAssembly struct {
+	Type          xmlRef   `xml:"Type"`
+	DownloadPaths []string `xml:"DownloadPath"`
+}
+
+type xmlEnvelope struct {
+	XMLName    xml.Name      `xml:"Message"`
+	Type       xmlRef        `xml:"TypeInfo"`
+	Assemblies []xmlAssembly `xml:"Assembly"`
+	Payload    xmlPayload    `xml:"Payload"`
+}
+
+type xmlPayload struct {
+	Encoding string `xml:"encoding,attr"`
+	// Data is base64-encoded by encoding/xml on []byte... it is not;
+	// encode explicitly as CDATA-safe base64 via string field below.
+	Data string `xml:",chardata"`
+}
+
+// MarshalEnvelope renders the envelope as an XML document. The binary
+// payload is base64-encoded inside the <Payload> element so the
+// surrounding message stays valid, human-readable XML.
+func MarshalEnvelope(e *Envelope) ([]byte, error) {
+	if e == nil {
+		return nil, fmt.Errorf("%w: nil envelope", ErrMalformed)
+	}
+	if e.Encoding != EncodingSOAP && e.Encoding != EncodingBinary {
+		return nil, fmt.Errorf("%w: unknown payload encoding %q", ErrMalformed, e.Encoding)
+	}
+	x := xmlEnvelope{
+		Type: refToXML(e.Type),
+		Payload: xmlPayload{
+			Encoding: string(e.Encoding),
+			Data:     base64Encode(e.Payload),
+		},
+	}
+	for _, a := range e.Assemblies {
+		x.Assemblies = append(x.Assemblies, xmlAssembly{
+			Type:          refToXML(a.Type),
+			DownloadPaths: append([]string(nil), a.DownloadPaths...),
+		})
+	}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(x); err != nil {
+		return nil, fmt.Errorf("xmlenc: encode envelope: %w", err)
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalEnvelope parses an XML document produced by
+// MarshalEnvelope.
+func UnmarshalEnvelope(data []byte) (*Envelope, error) {
+	var x xmlEnvelope
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	typ, err := refFromXML(x.Type)
+	if err != nil {
+		return nil, err
+	}
+	if typ.IsZero() {
+		return nil, fmt.Errorf("%w: envelope missing TypeInfo", ErrMalformed)
+	}
+	enc := PayloadEncoding(x.Payload.Encoding)
+	if enc != EncodingSOAP && enc != EncodingBinary {
+		return nil, fmt.Errorf("%w: unknown payload encoding %q", ErrMalformed, x.Payload.Encoding)
+	}
+	payload, err := base64Decode(x.Payload.Data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad payload: %v", ErrMalformed, err)
+	}
+	e := &Envelope{Type: typ, Encoding: enc, Payload: payload}
+	for _, a := range x.Assemblies {
+		ref, err := refFromXML(a.Type)
+		if err != nil {
+			return nil, err
+		}
+		e.Assemblies = append(e.Assemblies, AssemblyInfo{
+			Type:          ref,
+			DownloadPaths: a.DownloadPaths,
+		})
+	}
+	return e, nil
+}
+
+// AssemblyFor returns the assembly info for the given identity, if
+// present.
+func (e *Envelope) AssemblyFor(id guid.GUID) (AssemblyInfo, bool) {
+	for _, a := range e.Assemblies {
+		if a.Type.Identity == id {
+			return a, true
+		}
+	}
+	return AssemblyInfo{}, false
+}

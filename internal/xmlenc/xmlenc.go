@@ -1,0 +1,242 @@
+// Package xmlenc serializes TypeDescriptions and the transport
+// envelope as XML, reproducing the paper's representation choices:
+// "Types in our system are represented as XML structures"
+// (Section 5.2) and the hybrid scheme of Section 6.2 / Figure 3 where
+// an XML message carries type information and download paths and
+// embeds the SOAP-or-binary serialized object.
+package xmlenc
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+
+	"pti/internal/guid"
+	"pti/internal/typedesc"
+)
+
+// ErrMalformed is returned when a document parses as XML but does not
+// describe a valid TypeDescription or Envelope.
+var ErrMalformed = errors.New("xmlenc: malformed document")
+
+// --- XML DTOs -------------------------------------------------------
+
+type xmlRef struct {
+	Name     string `xml:"name,attr"`
+	Identity string `xml:"identity,attr,omitempty"`
+}
+
+type xmlField struct {
+	Name     string `xml:"name,attr"`
+	Exported bool   `xml:"exported,attr"`
+	Type     xmlRef `xml:"Type"`
+}
+
+type xmlMethod struct {
+	Name    string   `xml:"name,attr"`
+	Params  []xmlRef `xml:"Param"`
+	Returns []xmlRef `xml:"Return"`
+}
+
+type xmlCtor struct {
+	Name   string   `xml:"name,attr"`
+	Params []xmlRef `xml:"Param"`
+}
+
+type xmlDescription struct {
+	XMLName       xml.Name    `xml:"TypeDescription"`
+	Name          string      `xml:"name,attr"`
+	Identity      string      `xml:"identity,attr"`
+	Kind          string      `xml:"kind,attr"`
+	Len           int         `xml:"len,attr,omitempty"`
+	Elem          *xmlRef     `xml:"Elem"`
+	Key           *xmlRef     `xml:"Key"`
+	Super         *xmlRef     `xml:"Super"`
+	Interfaces    []xmlRef    `xml:"Interface"`
+	Fields        []xmlField  `xml:"Field"`
+	Methods       []xmlMethod `xml:"Method"`
+	Constructors  []xmlCtor   `xml:"Constructor"`
+	DownloadPaths []string    `xml:"DownloadPath"`
+}
+
+// --- conversions ----------------------------------------------------
+
+func refToXML(r typedesc.TypeRef) xmlRef {
+	x := xmlRef{Name: r.Name}
+	if !r.Identity.IsNil() {
+		x.Identity = r.Identity.String()
+	}
+	return x
+}
+
+func refFromXML(x xmlRef) (typedesc.TypeRef, error) {
+	r := typedesc.TypeRef{Name: x.Name}
+	if x.Identity != "" {
+		id, err := guid.Parse(x.Identity)
+		if err != nil {
+			return r, fmt.Errorf("%w: bad identity %q: %v", ErrMalformed, x.Identity, err)
+		}
+		r.Identity = id
+	}
+	return r, nil
+}
+
+func refPtrToXML(r *typedesc.TypeRef) *xmlRef {
+	if r == nil {
+		return nil
+	}
+	x := refToXML(*r)
+	return &x
+}
+
+func refPtrFromXML(x *xmlRef) (*typedesc.TypeRef, error) {
+	if x == nil {
+		return nil, nil
+	}
+	r, err := refFromXML(*x)
+	if err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func refsToXML(rs []typedesc.TypeRef) []xmlRef {
+	if rs == nil {
+		return nil
+	}
+	out := make([]xmlRef, len(rs))
+	for i, r := range rs {
+		out[i] = refToXML(r)
+	}
+	return out
+}
+
+func refsFromXML(xs []xmlRef) ([]typedesc.TypeRef, error) {
+	if xs == nil {
+		return nil, nil
+	}
+	out := make([]typedesc.TypeRef, len(xs))
+	for i, x := range xs {
+		r, err := refFromXML(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// MarshalDescription renders d as an indented XML document — the
+// human-readable representation the paper favours for type
+// descriptions.
+func MarshalDescription(d *typedesc.TypeDescription) ([]byte, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: nil description", ErrMalformed)
+	}
+	x := xmlDescription{
+		Name:          d.Name,
+		Identity:      d.Identity.String(),
+		Kind:          d.Kind.String(),
+		Len:           d.Len,
+		Elem:          refPtrToXML(d.Elem),
+		Key:           refPtrToXML(d.Key),
+		Super:         refPtrToXML(d.Super),
+		Interfaces:    refsToXML(d.Interfaces),
+		DownloadPaths: append([]string(nil), d.DownloadPaths...),
+	}
+	for _, f := range d.Fields {
+		x.Fields = append(x.Fields, xmlField{Name: f.Name, Exported: f.Exported, Type: refToXML(f.Type)})
+	}
+	for _, m := range d.Methods {
+		x.Methods = append(x.Methods, xmlMethod{
+			Name:    m.Name,
+			Params:  refsToXML(m.Params),
+			Returns: refsToXML(m.Returns),
+		})
+	}
+	for _, c := range d.Constructors {
+		x.Constructors = append(x.Constructors, xmlCtor{Name: c.Name, Params: refsToXML(c.Params)})
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(x); err != nil {
+		return nil, fmt.Errorf("xmlenc: encode description: %w", err)
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalDescription parses an XML document produced by
+// MarshalDescription.
+func UnmarshalDescription(data []byte) (*typedesc.TypeDescription, error) {
+	var x xmlDescription
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if x.Name == "" && x.Identity == "" {
+		return nil, fmt.Errorf("%w: missing name and identity", ErrMalformed)
+	}
+	id, err := guid.Parse(x.Identity)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad identity %q", ErrMalformed, x.Identity)
+	}
+	kind := typedesc.ParseKind(x.Kind)
+	if kind == typedesc.KindInvalid {
+		return nil, fmt.Errorf("%w: bad kind %q", ErrMalformed, x.Kind)
+	}
+
+	d := &typedesc.TypeDescription{
+		Name:          x.Name,
+		Identity:      id,
+		Kind:          kind,
+		Len:           x.Len,
+		DownloadPaths: x.DownloadPaths,
+	}
+	if d.Elem, err = refPtrFromXML(x.Elem); err != nil {
+		return nil, err
+	}
+	if d.Key, err = refPtrFromXML(x.Key); err != nil {
+		return nil, err
+	}
+	if d.Super, err = refPtrFromXML(x.Super); err != nil {
+		return nil, err
+	}
+	if d.Interfaces, err = refsFromXML(x.Interfaces); err != nil {
+		return nil, err
+	}
+	for _, f := range x.Fields {
+		r, err := refFromXML(f.Type)
+		if err != nil {
+			return nil, err
+		}
+		d.Fields = append(d.Fields, typedesc.Field{Name: f.Name, Exported: f.Exported, Type: r})
+	}
+	for _, m := range x.Methods {
+		params, err := refsFromXML(m.Params)
+		if err != nil {
+			return nil, err
+		}
+		returns, err := refsFromXML(m.Returns)
+		if err != nil {
+			return nil, err
+		}
+		d.Methods = append(d.Methods, typedesc.Method{Name: m.Name, Params: params, Returns: returns})
+	}
+	for _, c := range x.Constructors {
+		params, err := refsFromXML(c.Params)
+		if err != nil {
+			return nil, err
+		}
+		d.Constructors = append(d.Constructors, typedesc.Constructor{Name: c.Name, Params: params})
+	}
+	// Descriptions arrive from other peers: never trust them
+	// unvalidated.
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return d, nil
+}

@@ -1,0 +1,240 @@
+package xmlenc
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pti/internal/fixtures"
+	"pti/internal/guid"
+	"pti/internal/typedesc"
+)
+
+func describe(t *testing.T, typ reflect.Type, opts ...typedesc.Option) *typedesc.TypeDescription {
+	t.Helper()
+	d, err := typedesc.Describe(typ, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDescriptionRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		typ  reflect.Type
+		opts []typedesc.Option
+	}{
+		{"personA with ctor", reflect.TypeOf(fixtures.PersonA{}),
+			[]typedesc.Option{
+				typedesc.WithConstructor("NewPersonA", fixtures.NewPersonA),
+				typedesc.WithDownloadPaths("http://peer-a/types/PersonA"),
+			}},
+		{"personB", reflect.TypeOf(fixtures.PersonB{}), nil},
+		{"employee with super", reflect.TypeOf(fixtures.Employee{}), nil},
+		{"interface", reflect.TypeOf((*fixtures.Person)(nil)).Elem(), nil},
+		{"slice", reflect.TypeOf([]fixtures.PersonA{}), nil},
+		{"map", reflect.TypeOf(map[string]int{}), nil},
+		{"array", reflect.TypeOf([4]byte{}), nil},
+		{"pointer", reflect.TypeOf(&fixtures.PersonA{}), nil},
+		{"primitive", reflect.TypeOf(3.14), nil},
+		{"recursive node", reflect.TypeOf(fixtures.Node{}), nil},
+		{"contact nested", reflect.TypeOf(fixtures.Contact{}), nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := describe(t, tt.typ, tt.opts...)
+			data, err := MarshalDescription(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := UnmarshalDescription(data)
+			if err != nil {
+				t.Fatalf("unmarshal: %v\ndocument:\n%s", err, data)
+			}
+			// Download paths are carried through the XML too.
+			if !typedesc.Equal(got, d) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v\ndoc:\n%s", got, d, data)
+			}
+			if len(got.DownloadPaths) != len(d.DownloadPaths) {
+				t.Errorf("download paths lost: %v vs %v", got.DownloadPaths, d.DownloadPaths)
+			}
+		})
+	}
+}
+
+func TestDescriptionIsHumanReadableXML(t *testing.T) {
+	d := describe(t, reflect.TypeOf(fixtures.PersonA{}))
+	data, err := MarshalDescription(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"<TypeDescription", `name="PersonA"`, `kind="struct"`,
+		`<Field name="Name"`, `<Method name="GetName"`, "<?xml",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q:\n%s", want, doc)
+		}
+	}
+}
+
+func TestMarshalDescriptionNil(t *testing.T) {
+	if _, err := MarshalDescription(nil); !errors.Is(err, ErrMalformed) {
+		t.Errorf("want ErrMalformed, got %v", err)
+	}
+}
+
+func TestUnmarshalDescriptionErrors(t *testing.T) {
+	valid, _ := MarshalDescription(typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonA{})))
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"not xml", "this is { not xml"},
+		{"empty", ""},
+		{"wrong root is tolerated by encoding/xml but empty fields are not",
+			"<TypeDescription/>"},
+		{"bad identity", strings.Replace(string(valid), `identity="`, `identity="zz`, 1)},
+		{"bad kind", strings.Replace(string(valid), `kind="struct"`, `kind="alien"`, 1)},
+		{"truncated", string(valid[:len(valid)/2])},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalDescription([]byte(tt.doc)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	personRef := typedesc.RefOf(reflect.TypeOf(fixtures.PersonA{}))
+	addrRef := typedesc.RefOf(reflect.TypeOf(fixtures.Address{}))
+	e := &Envelope{
+		Type: personRef,
+		Assemblies: []AssemblyInfo{
+			{Type: personRef, DownloadPaths: []string{"http://peer-a/code/PersonA"}},
+			{Type: addrRef, DownloadPaths: []string{"http://peer-a/code/Address", "http://mirror/code/Address"}},
+		},
+		Encoding: EncodingSOAP,
+		Payload:  []byte("<soap>not really</soap>\x00\x01\x02"),
+	}
+	data, err := MarshalEnvelope(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalEnvelope(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\ndoc:\n%s", err, data)
+	}
+	if got.Type != e.Type {
+		t.Errorf("Type = %v, want %v", got.Type, e.Type)
+	}
+	if got.Encoding != EncodingSOAP {
+		t.Errorf("Encoding = %q", got.Encoding)
+	}
+	if !bytes.Equal(got.Payload, e.Payload) {
+		t.Errorf("Payload mismatch: %q vs %q", got.Payload, e.Payload)
+	}
+	if len(got.Assemblies) != 2 {
+		t.Fatalf("Assemblies = %v", got.Assemblies)
+	}
+	if got.Assemblies[1].DownloadPaths[1] != "http://mirror/code/Address" {
+		t.Errorf("download paths mismatch: %v", got.Assemblies[1])
+	}
+}
+
+func TestEnvelopeBinaryEncoding(t *testing.T) {
+	ref := typedesc.RefOf(reflect.TypeOf(fixtures.PersonA{}))
+	e := &Envelope{Type: ref, Encoding: EncodingBinary, Payload: []byte{0xde, 0xad, 0xbe, 0xef}}
+	data, err := MarshalEnvelope(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Encoding != EncodingBinary || !bytes.Equal(got.Payload, e.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestEnvelopeErrors(t *testing.T) {
+	ref := typedesc.RefOf(reflect.TypeOf(fixtures.PersonA{}))
+	if _, err := MarshalEnvelope(nil); err == nil {
+		t.Error("nil envelope should fail")
+	}
+	if _, err := MarshalEnvelope(&Envelope{Type: ref, Encoding: "carrier-pigeon"}); err == nil {
+		t.Error("unknown encoding should fail")
+	}
+	if _, err := UnmarshalEnvelope([]byte("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := UnmarshalEnvelope([]byte("<Message/>")); err == nil {
+		t.Error("missing type info should fail")
+	}
+	valid, _ := MarshalEnvelope(&Envelope{Type: ref, Encoding: EncodingSOAP, Payload: []byte("x")})
+	corrupted := strings.Replace(string(valid), `encoding="soap"`, `encoding="morse"`, 1)
+	if _, err := UnmarshalEnvelope([]byte(corrupted)); err == nil {
+		t.Error("bad encoding attr should fail")
+	}
+	badPayload := strings.Replace(string(valid), "eA==", "!!!!", 1)
+	if _, err := UnmarshalEnvelope([]byte(badPayload)); err == nil {
+		t.Error("bad base64 should fail")
+	}
+}
+
+func TestEnvelopeAssemblyFor(t *testing.T) {
+	ref := typedesc.RefOf(reflect.TypeOf(fixtures.PersonA{}))
+	e := &Envelope{
+		Type:       ref,
+		Assemblies: []AssemblyInfo{{Type: ref, DownloadPaths: []string{"p"}}},
+		Encoding:   EncodingSOAP,
+	}
+	if _, ok := e.AssemblyFor(ref.Identity); !ok {
+		t.Error("AssemblyFor should find the assembly")
+	}
+	if _, ok := e.AssemblyFor(guid.Derive("other")); ok {
+		t.Error("AssemblyFor found a ghost")
+	}
+}
+
+func TestEnvelopePayloadQuick(t *testing.T) {
+	ref := typedesc.RefOf(reflect.TypeOf(fixtures.PersonA{}))
+	f := func(payload []byte) bool {
+		e := &Envelope{Type: ref, Encoding: EncodingBinary, Payload: payload}
+		data, err := MarshalEnvelope(e)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalEnvelope(data)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDescriptionRoundTripPreservesIdentityExactly(t *testing.T) {
+	d := describe(t, reflect.TypeOf(fixtures.Employee{}))
+	data, _ := MarshalDescription(d)
+	got, err := UnmarshalDescription(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Identity != d.Identity {
+		t.Errorf("identity changed: %s -> %s", d.Identity, got.Identity)
+	}
+	if got.Super == nil || got.Super.Identity != d.Super.Identity {
+		t.Error("super identity lost")
+	}
+}

@@ -1,0 +1,362 @@
+// Package pti is a Go implementation of Pragmatic Type
+// Interoperability (Baehni, Eugster, Guerraoui, Altherr — ICDCS
+// 2003): it lets types that were written by different programmers —
+// with different member names, field orders, even argument orders —
+// be used interchangeably as long as they represent the same software
+// module, for both pass-by-value and pass-by-reference semantics in a
+// distributed setting.
+//
+// The Runtime facade ties together the building blocks:
+//
+//   - implicit structural conformance rules (Section 4 of the paper),
+//   - XML type descriptions built by introspection (Section 5),
+//   - hybrid XML + SOAP/binary object serialization (Section 6),
+//   - the optimistic transport protocol of Figure 1,
+//   - dynamic proxies interposing the conformance mapping.
+//
+// Quick start:
+//
+//	rt := pti.New()
+//	_ = rt.Register(PersonA{})
+//	res, _ := rt.ConformsTo(PersonB{}, PersonA{})
+//	if res.Conformant {
+//	    inv, _ := rt.NewInvoker(&PersonB{...}, PersonA{})
+//	    name, _ := inv.Call("GetName") // runs PersonB.GetPersonName
+//	}
+package pti
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"pti/internal/borrowlend"
+	"pti/internal/conform"
+	"pti/internal/lingua"
+	"pti/internal/proxy"
+	"pti/internal/registry"
+	"pti/internal/tps"
+	"pti/internal/transport"
+	"pti/internal/typedesc"
+	"pti/internal/wire"
+	"pti/internal/xmlenc"
+)
+
+// Re-exported building-block types. Aliases keep the internal
+// packages as the single source of truth while giving users one
+// import.
+type (
+	// Policy tunes the name-conformance rules (Section 4.2).
+	Policy = conform.Policy
+	// Result is the outcome of a conformance check.
+	Result = conform.Result
+	// Mapping realizes a conformance: member renames and argument
+	// permutations.
+	Mapping = conform.Mapping
+	// Override pins an ambiguous member correspondence.
+	Override = conform.Override
+	// TypeDescription is the flat structural description of a type
+	// (Section 5).
+	TypeDescription = typedesc.TypeDescription
+	// TypeRef references a type by name and 128-bit identity.
+	TypeRef = typedesc.TypeRef
+	// Invoker is a dynamic proxy over a concrete value (Section 6).
+	Invoker = proxy.Invoker
+	// View is a mapped read-only view over a generic received
+	// object.
+	View = proxy.View
+	// Peer is a transport participant running the optimistic
+	// protocol of Figure 1.
+	Peer = transport.Peer
+	// Conn is one link between two peers.
+	Conn = transport.Conn
+	// Delivery is a received object.
+	Delivery = transport.Delivery
+	// RemoteRef is a pass-by-reference proxy to a remote object.
+	RemoteRef = transport.RemoteRef
+	// Broker is a type-based publish/subscribe broker (Section 8).
+	Broker = tps.Broker
+	// BrokerEvent is a delivered publish/subscribe notification.
+	BrokerEvent = tps.Event
+	// Market is a borrow/lend market (Section 8).
+	Market = borrowlend.Market
+	// Loan is a borrowed resource.
+	Loan = borrowlend.Loan
+)
+
+// Connect wires two peers through an in-memory pipe (tests, demos).
+func Connect(a, b *Peer) (*Conn, *Conn) { return transport.Connect(a, b) }
+
+// ParseIDL parses lingua-franca IDL source (the explicit
+// type-definition route of the paper's Section 2.6 comparison) into
+// type descriptions that participate in conformance checks exactly
+// like reflection-derived ones.
+func ParseIDL(src string) ([]*TypeDescription, error) { return lingua.Parse(src) }
+
+// FormatIDL renders a description as lingua-franca IDL text.
+func FormatIDL(d *TypeDescription) string { return lingua.Format(d) }
+
+// StrictPolicy returns the paper's Figure 2 rule exactly as written
+// (case-insensitive name equality).
+func StrictPolicy() Policy { return conform.Strict() }
+
+// RelaxedPolicy returns the pragmatic default: type names within
+// Levenshtein distance k, member names related by camel-case token
+// subset — the configuration that unifies the paper's own
+// setName/setPersonName example.
+func RelaxedPolicy(k int) Policy { return conform.Relaxed(k) }
+
+// ErrNotConformant is returned when a mapped operation is requested
+// for a non-conformant pair.
+var ErrNotConformant = errors.New("pti: types do not conform")
+
+// Runtime is the top-level entry point: a registry of local types
+// plus a conformance checker and serialization machinery.
+type Runtime struct {
+	reg     *registry.Registry
+	cache   *conform.Cache
+	checker *conform.Checker
+	binder  *proxy.Binder
+	codec   wire.Codec
+	policy  Policy
+}
+
+// Option customizes a Runtime.
+type Option func(*Runtime)
+
+// WithPolicy sets the conformance policy (default RelaxedPolicy(1)).
+func WithPolicy(p Policy) Option {
+	return func(r *Runtime) { r.policy = p }
+}
+
+// WithSOAP selects the SOAP XML payload codec (default is binary).
+func WithSOAP() Option {
+	return func(r *Runtime) { r.codec = wire.SOAP{} }
+}
+
+// WithBinary selects the binary payload codec.
+func WithBinary() Option {
+	return func(r *Runtime) { r.codec = wire.Binary{} }
+}
+
+// New builds a Runtime.
+func New(opts ...Option) *Runtime {
+	r := &Runtime{
+		reg:    registry.New(),
+		cache:  conform.NewCache(),
+		codec:  wire.Binary{},
+		policy: RelaxedPolicy(1),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.checker = conform.New(r.reg, conform.WithPolicy(r.policy), conform.WithCache(r.cache))
+	r.binder = proxy.NewBinder(r.reg, r.checker)
+	return r
+}
+
+// RegisterOption configures a type registration.
+type RegisterOption = registry.Option
+
+// WithConstructor declares a constructor for the registered type
+// (rule (v) of the conformance rules compares constructors).
+func WithConstructor(name string, fn interface{}) RegisterOption {
+	return registry.WithConstructor(name, fn)
+}
+
+// WithDownloadPaths attaches download locations to the registered
+// type (Section 6.1).
+func WithDownloadPaths(paths ...string) RegisterOption {
+	return registry.WithDownloadPaths(paths...)
+}
+
+// Register adds a local type (an instance or reflect.Type) to the
+// runtime.
+func (r *Runtime) Register(v interface{}, opts ...RegisterOption) error {
+	_, err := r.reg.Register(v, opts...)
+	return err
+}
+
+// DeclareInterface registers an interface type (pass a pointer to it,
+// e.g. (*Person)(nil)) so implementations advertise it.
+func (r *Runtime) DeclareInterface(iface interface{}) error {
+	return r.reg.DeclareInterface(iface)
+}
+
+// Describe builds (or retrieves) the TypeDescription of v's type.
+func (r *Runtime) Describe(v interface{}) (*TypeDescription, error) {
+	t, ok := v.(reflect.Type)
+	if !ok {
+		t = reflect.TypeOf(v)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("pti: Describe(nil)")
+	}
+	if t.Kind() == reflect.Ptr && t.Elem().Kind() == reflect.Interface {
+		t = t.Elem()
+	}
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	if e, found := r.reg.LookupGo(t); found {
+		return e.Description, nil
+	}
+	return typedesc.Describe(t)
+}
+
+// DescribeXML renders the XML type description of v's type — the
+// wire form of Section 5.2.
+func (r *Runtime) DescribeXML(v interface{}) ([]byte, error) {
+	d, err := r.Describe(v)
+	if err != nil {
+		return nil, err
+	}
+	return xmlenc.MarshalDescription(d)
+}
+
+// ConformsTo checks whether the type of candidate implicitly
+// structurally conforms to the type of expected (rule (vi)).
+func (r *Runtime) ConformsTo(candidate, expected interface{}) (*Result, error) {
+	cd, err := r.Describe(candidate)
+	if err != nil {
+		return nil, err
+	}
+	ed, err := r.Describe(expected)
+	if err != nil {
+		return nil, err
+	}
+	return r.checker.Check(cd, ed)
+}
+
+// Report is a full conformance diagnostic (every violated aspect).
+type Report = conform.Report
+
+// Explain runs the full rule set without early exit, reporting every
+// violated aspect — the diagnostic companion to ConformsTo.
+func (r *Runtime) Explain(candidate, expected interface{}) (*Report, error) {
+	cd, err := r.Describe(candidate)
+	if err != nil {
+		return nil, err
+	}
+	ed, err := r.Describe(expected)
+	if err != nil {
+		return nil, err
+	}
+	return r.checker.Explain(cd, ed)
+}
+
+// Diff lists the structural differences between the descriptions of
+// two types, one human-readable line per divergence.
+func (r *Runtime) Diff(a, b interface{}) ([]string, error) {
+	da, err := r.Describe(a)
+	if err != nil {
+		return nil, err
+	}
+	db, err := r.Describe(b)
+	if err != nil {
+		return nil, err
+	}
+	return typedesc.Diff(da, db), nil
+}
+
+// NewInvoker wraps target in a dynamic proxy presenting the expected
+// type's vocabulary. It fails with ErrNotConformant when the types do
+// not conform.
+func (r *Runtime) NewInvoker(target, expected interface{}) (*Invoker, error) {
+	res, err := r.ConformsTo(target, expected)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Conformant {
+		return nil, fmt.Errorf("%w: %s", ErrNotConformant, res.Reason)
+	}
+	return proxy.NewInvoker(target, res.Mapping)
+}
+
+// Marshal serializes v into the hybrid envelope of Figure 3: an XML
+// message with type information and download paths embedding the
+// codec payload. The type of v must be registered.
+func (r *Runtime) Marshal(v interface{}) ([]byte, error) {
+	t := reflect.TypeOf(v)
+	entry, ok := r.reg.LookupGo(t)
+	if !ok {
+		return nil, fmt.Errorf("pti: %s is not registered", t)
+	}
+	payload, err := r.codec.Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	env := &xmlenc.Envelope{
+		Type:     entry.Description.Ref(),
+		Encoding: xmlenc.PayloadEncoding(r.codec.Name()),
+		Payload:  payload,
+		Assemblies: []xmlenc.AssemblyInfo{
+			{Type: entry.Description.Ref(), DownloadPaths: entry.DownloadPaths},
+		},
+	}
+	return xmlenc.MarshalEnvelope(env)
+}
+
+// Unmarshal parses an envelope and materializes the object as the
+// expected type, which the object's type must conform to. It returns
+// the bound value and the mapping used.
+func (r *Runtime) Unmarshal(data []byte, expected interface{}) (interface{}, *Mapping, error) {
+	env, err := xmlenc.UnmarshalEnvelope(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	codec, err := wire.ByName(string(env.Encoding))
+	if err != nil {
+		return nil, nil, err
+	}
+	gv, err := codec.DecodeGeneric(env.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	obj, ok := gv.(*wire.Object)
+	if !ok {
+		return nil, nil, fmt.Errorf("pti: payload is %T, not an object", gv)
+	}
+	ed, err := r.Describe(expected)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.binder.Bind(obj, ed.Ref())
+}
+
+// PeerOption customizes a transport peer built by NewPeer; see the
+// transport package's options (Eager, WithCompression, WithObserver,
+// WithRequestTimeout, ...).
+type PeerOption = transport.PeerOption
+
+// ProtocolEvent is one protocol trace record (Figure 1 steps made
+// visible); attach a tracer with WithObserver.
+type ProtocolEvent = transport.Event
+
+// WithObserver traces the peer's protocol exchanges.
+func WithObserver(obs func(ProtocolEvent)) PeerOption {
+	return transport.WithObserver(obs)
+}
+
+// NewPeer builds a transport peer sharing this runtime's registry and
+// policy.
+func (r *Runtime) NewPeer(name string, opts ...PeerOption) *Peer {
+	base := []transport.PeerOption{
+		transport.WithName(name),
+		transport.WithPolicy(r.policy),
+		transport.WithCodec(r.codec),
+	}
+	return transport.NewPeer(r.reg, append(base, opts...)...)
+}
+
+// NewBroker builds a type-based publish/subscribe broker over this
+// runtime's registry and policy.
+func (r *Runtime) NewBroker() *Broker {
+	return tps.NewBroker(r.reg, tps.WithPolicy(r.policy))
+}
+
+// NewMarket builds a borrow/lend market over this runtime's registry
+// and policy.
+func (r *Runtime) NewMarket() *Market {
+	return borrowlend.NewMarket(r.reg, borrowlend.WithPolicy(r.policy))
+}
