@@ -1,0 +1,29 @@
+# CI gate and developer conveniences. `make check` is the gate:
+# vet plus the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check vet test test-race bench bench-plan build
+
+check: vet test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Full paper-table benchmark run.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Just the compiled-invocation-plan vs reflective-dispatch comparison
+# and the sharded conformance-cache numbers (see BENCHMARKS.md).
+bench-plan:
+	$(GO) test -run '^$$' -bench 'InvokerCall|CheckCached|InvocationProxy' -benchmem .

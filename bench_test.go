@@ -70,6 +70,90 @@ func BenchmarkInvocationProxyMapped(b *testing.B) {
 	}
 }
 
+// --- Compiled invocation plans ---------------------------------------
+
+// benchMappedInvoker builds the PersonB→PersonA invoker whose mapping
+// renames every member, through a cached checker so the plan is the
+// one memoized alongside the conformance result.
+func benchMappedInvoker(b *testing.B) *proxy.Invoker {
+	b.Helper()
+	checker := conform.New(nil,
+		conform.WithPolicy(conform.Relaxed(1)), conform.WithCache(conform.NewCache()))
+	cd := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonB{}))
+	ed := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonA{}))
+	res, err := checker.Check(cd, ed)
+	if err != nil || !res.Conformant {
+		b.Fatalf("fixture pair: %v %v", res, err)
+	}
+	target := &fixtures.PersonB{PersonName: "bench"}
+	plan, err := checker.PlanFor(res, reflect.TypeOf(target))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inv, err := proxy.NewInvokerWithPlan(target, res.Mapping, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inv
+}
+
+// BenchmarkInvokerCallCompiled measures the mapped proxy call through
+// a compiled invocation plan: no string lookups, no per-call name
+// resolution — the method index, parameter types and permutation were
+// fixed when the conformance mapping was first produced.
+func BenchmarkInvokerCallCompiled(b *testing.B) {
+	inv := benchMappedInvoker(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inv.Call("GetName"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInvokerCallReflective is the seed's per-call name
+// resolution (mapping scan + MethodByName every invocation), retained
+// as Invoker.CallReflective — the baseline the compiled plan is
+// measured against.
+func BenchmarkInvokerCallReflective(b *testing.B) {
+	inv := benchMappedInvoker(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inv.CallReflective("GetName"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckCachedParallel hammers the sharded conformance cache
+// from all procs at once — the heavy-concurrent-receive scenario the
+// striped read path exists for. Compare with the serial
+// BenchmarkConformanceCheckCached to see per-op scaling.
+func BenchmarkCheckCachedParallel(b *testing.B) {
+	repo := typedesc.NewRepository()
+	cd := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonB{}))
+	ed := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonA{}))
+	checker := conform.New(repo,
+		conform.WithPolicy(conform.Relaxed(1)), conform.WithCache(conform.NewCache()))
+	if r, err := checker.Check(cd, ed); err != nil || !r.Conformant {
+		b.Fatalf("warmup: %v %v", r, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r, err := checker.Check(cd, ed)
+			if err != nil || !r.Conformant {
+				// b.Fatal must not run off the benchmark goroutine.
+				b.Error("cached check failed")
+				return
+			}
+		}
+	})
+}
+
 // --- Section 7.2: type description -----------------------------------
 
 // BenchmarkTypeDescriptionCreateSerialize is §7.2's create + XML

@@ -1,0 +1,3 @@
+module pti
+
+go 1.22

@@ -1,7 +1,10 @@
 package conform
 
 import (
+	"reflect"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"pti/internal/guid"
 )
@@ -11,11 +14,38 @@ import (
 // peer so that repeated receptions of the same type skip rule
 // evaluation entirely — the optimization the paper's optimistic
 // protocol is built around (Section 6.1).
+//
+// The cache is striped into shards so that concurrent readers on the
+// hot path (every object reception of an already-checked type) never
+// serialize on a single lock: the read path takes only a per-shard
+// RLock and the hit/miss counters are atomics. Each cached Result also
+// carries the compiled invocation plans derived from its mapping (see
+// Plan), memoized per concrete target type.
 type Cache struct {
+	shards [cacheShardCount]cacheShard
+}
+
+// cacheShardCount must be a power of two (shard selection masks the
+// key hash). 64 shards keep the per-shard collision probability low
+// even with hundreds of goroutines hammering the cache.
+const cacheShardCount = 64
+
+// cacheShard owns a stripe of the key space. The hit/miss counters
+// live per shard too — a single global atomic would put every reader
+// back on one shared cache line, undoing the striping — and _pad
+// rounds the struct up to a multiple of 128 bytes (two cache lines,
+// covering the adjacent-line prefetcher) so neighbouring shards in
+// the array never false-share.
+type cacheShard struct {
+	cacheShardData
+	_pad [128 - unsafe.Sizeof(cacheShardData{})%128]byte //nolint:unused // spacer
+}
+
+type cacheShardData struct {
 	mu      sync.RWMutex
-	entries map[cacheKey]*Result
-	hits    uint64
-	misses  uint64
+	entries map[cacheKey]*cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
 }
 
 type cacheKey struct {
@@ -24,52 +54,143 @@ type cacheKey struct {
 	policy string
 }
 
-// NewCache returns an empty Cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[cacheKey]*Result)}
+// cacheEntry pairs a memoized Result with the compiled invocation
+// plans derived from it, one per concrete Go target type.
+type cacheEntry struct {
+	res   *Result
+	plans sync.Map // reflect.Type -> *Plan
 }
 
-func (c *Cache) get(cand, exp guid.GUID, p Policy) (*Result, bool) {
+// NewCache returns an empty Cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]*cacheEntry)
+	}
+	return c
+}
+
+// shardFor selects the shard by an FNV-1a hash of the two identities.
+// The policy fingerprint is deliberately excluded: a single checker
+// uses one policy, so it carries no entropy worth hashing.
+func (c *Cache) shardFor(k cacheKey) *cacheShard {
+	h := uint32(2166136261)
+	for _, b := range k.cand {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	for _, b := range k.exp {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return &c.shards[h&(cacheShardCount-1)]
+}
+
+// read finds an entry under the shard's read lock. With count set it
+// also bumps the hit/miss counters *inside* the critical section, so
+// a concurrent Reset (which zeroes counters under the write lock)
+// can never interleave between the map read and the counter bump.
+func (s *cacheShard) read(k cacheKey, count bool) (*cacheEntry, bool) {
+	s.mu.RLock()
+	e, ok := s.entries[k]
+	if count {
+		if ok {
+			s.hits.Add(1)
+		} else {
+			s.misses.Add(1)
+		}
+	}
+	s.mu.RUnlock()
+	return e, ok
+}
+
+// get reports the cached Result for the triple. fp is the caller's
+// precomputed policy fingerprint (see Checker), so the read path
+// performs no formatting and no allocation.
+func (c *Cache) get(cand, exp guid.GUID, fp string) (*Result, bool) {
 	if cand.IsNil() || exp.IsNil() {
 		return nil, false
 	}
-	k := cacheKey{cand: cand, exp: exp, policy: p.fingerprint()}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.entries[k]
+	k := cacheKey{cand: cand, exp: exp, policy: fp}
+	e, ok := c.shardFor(k).read(k, true)
 	if ok {
-		c.hits++
-	} else {
-		c.misses++
+		return e.res, true
 	}
-	return r, ok
+	return nil, false
 }
 
-func (c *Cache) put(cand, exp guid.GUID, p Policy, r *Result) {
-	k := cacheKey{cand: cand, exp: exp, policy: p.fingerprint()}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[k] = r
+// put stores a Result and returns the canonical one for the key: an
+// existing entry is kept (results are deterministic per key, and
+// keeping it preserves any plans already compiled against it), and
+// the caller is handed that entry's Result so every holder shares one
+// Mapping pointer — the identity the plan memoization keys on.
+func (c *Cache) put(cand, exp guid.GUID, fp string, r *Result) *Result {
+	k := cacheKey{cand: cand, exp: exp, policy: fp}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		r = e.res
+	} else {
+		s.entries[k] = &cacheEntry{res: r}
+	}
+	s.mu.Unlock()
+	return r
+}
+
+// planFor returns the compiled invocation plan for the cached triple
+// against the concrete target type, compiling and memoizing it on
+// first use. ok is false when the triple is not cached (the caller
+// should compile without memoization). The plan is always compiled
+// from the *cached* result's mapping — not the caller's — so a lost
+// first-Check race cannot pin a plan whose mapping pointer differs
+// from the one every future cached Check hands out.
+func (c *Cache) planFor(cand, exp guid.GUID, fp string, target reflect.Type) (*Plan, error, bool) {
+	if cand.IsNil() || exp.IsNil() {
+		return nil, nil, false
+	}
+	k := cacheKey{cand: cand, exp: exp, policy: fp}
+	e, ok := c.shardFor(k).read(k, false)
+	if !ok {
+		return nil, nil, false
+	}
+	if p, ok := e.plans.Load(target); ok {
+		return p.(*Plan), nil, true
+	}
+	p, err := CompilePlan(target, e.res.Mapping)
+	if err != nil {
+		return nil, err, true
+	}
+	actual, _ := e.plans.LoadOrStore(target, p)
+	return actual.(*Plan), nil, true
 }
 
 // Len returns the number of cached results.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Stats returns cumulative cache hits and misses.
 func (c *Cache) Stats() (hits, misses uint64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
 }
 
 // Reset discards all entries and counters.
 func (c *Cache) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[cacheKey]*Result)
-	c.hits, c.misses = 0, 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[cacheKey]*cacheEntry)
+		s.hits.Store(0)
+		s.misses.Store(0)
+		s.mu.Unlock()
+	}
 }

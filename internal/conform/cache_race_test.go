@@ -1,0 +1,178 @@
+package conform
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"pti/internal/fixtures"
+	"pti/internal/guid"
+	"pti/internal/typedesc"
+)
+
+// These tests exist to be run under -race: they hammer the sharded
+// cache from many goroutines and assert the counters and entry counts
+// stay exact, which fails loudly if any path regresses to unsynchro-
+// nized access or the read path starts mutating shared state.
+
+func TestCacheConcurrentHitsMissesExact(t *testing.T) {
+	const (
+		goroutines = 16
+		opsPerG    = 500
+	)
+	c := NewCache()
+	fp := Strict().fingerprint()
+	hitKey := [2]guid.GUID{guid.Derive("hit-cand"), guid.Derive("hit-exp")}
+	missKey := [2]guid.GUID{guid.Derive("miss-cand"), guid.Derive("miss-exp")}
+	c.put(hitKey[0], hitKey[1], fp, &Result{Conformant: true})
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerG; i++ {
+				if _, ok := c.get(hitKey[0], hitKey[1], fp); !ok {
+					t.Error("expected hit")
+					return
+				}
+				if _, ok := c.get(missKey[0], missKey[1], fp); ok {
+					t.Error("expected miss")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	hits, misses := c.Stats()
+	if want := uint64(goroutines * opsPerG); hits != want || misses != want {
+		t.Errorf("Stats() = (%d, %d), want (%d, %d)", hits, misses, want, want)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheConcurrentPutGetAcrossShards(t *testing.T) {
+	const (
+		writers = 8
+		keys    = 256 // spread across all shards
+	)
+	c := NewCache()
+	fp := Relaxed(1).fingerprint()
+	ids := make([]guid.GUID, keys)
+	for i := range ids {
+		ids[i] = guid.Derive("type-" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := (i + w) % keys
+				c.put(ids[k], ids[(k+1)%keys], fp, &Result{Conformant: k%2 == 0})
+				if r, ok := c.get(ids[k], ids[(k+1)%keys], fp); !ok || r == nil {
+					t.Error("entry vanished after put")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Len() != keys {
+		t.Errorf("Len() = %d, want %d", c.Len(), keys)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Len() after Reset = %d, want 0", c.Len())
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Errorf("Stats() after Reset = (%d, %d), want zeros", h, m)
+	}
+}
+
+// TestCheckerConcurrentCheckAndPlan drives the public surface the
+// transport hot path uses — Check on a cached pair plus PlanFor — from
+// many goroutines, and asserts plan memoization: every goroutine must
+// observe the *same* compiled plan instance for a given target type.
+func TestCheckerConcurrentCheckAndPlan(t *testing.T) {
+	cd := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonB{}))
+	ed := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonA{}))
+	checker := New(nil, WithPolicy(Relaxed(1)), WithCache(NewCache()))
+	target := reflect.TypeOf(&fixtures.PersonB{})
+
+	// Warm the cache so every goroutine takes the read path.
+	if r, err := checker.Check(cd, ed); err != nil || !r.Conformant {
+		t.Fatalf("warmup check: %v %v", r, err)
+	}
+
+	const goroutines = 16
+	plans := make([]*Plan, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r, err := checker.Check(cd, ed)
+				if err != nil || !r.Conformant {
+					t.Errorf("check: %v %v", r, err)
+					return
+				}
+				p, err := checker.PlanFor(r, target)
+				if err != nil {
+					t.Errorf("plan: %v", err)
+					return
+				}
+				plans[g] = p
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for g := 1; g < goroutines; g++ {
+		if plans[g] != plans[0] {
+			t.Fatalf("goroutine %d saw a different plan instance: %p vs %p", g, plans[g], plans[0])
+		}
+	}
+	if mp, ok := plans[0].Method("GetName"); !ok || mp.Candidate != "GetPersonName" || mp.Index < 0 {
+		t.Fatalf("compiled plan misses GetName: %+v ok=%v", mp, ok)
+	}
+}
+
+// TestPlanMemoizationPointerKindPair pins that plan memoization
+// engages even when the checked pair is pointer-kind: Check caches
+// under the pointer description's identity while the mapping carries
+// the dereferenced element refs, and PlanFor must bridge the two.
+func TestPlanMemoizationPointerKindPair(t *testing.T) {
+	repo := typedesc.NewRepository()
+	if err := repo.Add(typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonB{}))); err != nil {
+		t.Fatal(err)
+	}
+	cdPtr := typedesc.MustDescribe(reflect.TypeOf(&fixtures.PersonB{}))
+	ed := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonA{}))
+	checker := New(repo, WithPolicy(Relaxed(1)), WithCache(NewCache()))
+
+	r, err := checker.Check(cdPtr, ed)
+	if err != nil || !r.Conformant {
+		t.Fatalf("pointer-kind check: %v %v", r, err)
+	}
+	target := reflect.TypeOf(&fixtures.PersonB{})
+	p1, err := checker.PlanFor(r, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := checker.PlanFor(r, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("plan memoization did not engage for a pointer-kind pair")
+	}
+}

@@ -3,7 +3,9 @@ package conform
 import (
 	"errors"
 	"fmt"
+	"reflect"
 
+	"pti/internal/guid"
 	"pti/internal/levenshtein"
 	"pti/internal/typedesc"
 )
@@ -20,12 +22,20 @@ type Result struct {
 	Conformant bool
 	Reason     string
 	Mapping    *Mapping
+
+	// cacheCand/cacheExp remember the identities this result was
+	// cached under. They can differ from the Mapping's refs: checking
+	// *T against U caches under *T's identity while the mapping
+	// (built after pointer dereference) carries T's. PlanFor keys on
+	// these so plan memoization engages for pointer-kind pairs too.
+	cacheCand, cacheExp guid.GUID
 }
 
 // Checker evaluates the implicit structural conformance relation
 // T ≤is T' over TypeDescriptions. It is safe for concurrent use.
 type Checker struct {
 	policy    Policy
+	fp        string // policy fingerprint, precomputed for cache keys
 	resolver  typedesc.Resolver
 	cache     *Cache
 	overrides []Override
@@ -62,6 +72,7 @@ func New(resolver typedesc.Resolver, opts ...CheckerOption) *Checker {
 	for _, opt := range opts {
 		opt(c)
 	}
+	c.fp = c.policy.fingerprint()
 	return c
 }
 
@@ -76,7 +87,7 @@ func (c *Checker) Check(candidate, expected *typedesc.TypeDescription) (*Result,
 		return nil, ErrNilDescription
 	}
 	if c.cache != nil {
-		if r, ok := c.cache.get(candidate.Identity, expected.Identity, c.policy); ok {
+		if r, ok := c.cache.get(candidate.Identity, expected.Identity, c.fp); ok {
 			return r, nil
 		}
 	}
@@ -86,9 +97,41 @@ func (c *Checker) Check(candidate, expected *typedesc.TypeDescription) (*Result,
 	}
 	r := ctx.check(candidate, expected, true)
 	if c.cache != nil && !candidate.Identity.IsNil() && !expected.Identity.IsNil() {
-		c.cache.put(candidate.Identity, expected.Identity, c.policy, r)
+		// Stamp the key before publishing the result, then let put
+		// return the canonical Result for the key (a concurrent first
+		// Check may have won the race), so every caller shares one
+		// Mapping pointer and downstream plan reuse engages.
+		r.cacheCand, r.cacheExp = candidate.Identity, expected.Identity
+		r = c.cache.put(candidate.Identity, expected.Identity, c.fp, r)
 	}
 	return r, nil
+}
+
+// PlanFor compiles (or retrieves) the invocation plan realizing the
+// conformance result r against the concrete Go type target — the type
+// an Invoker will dispatch on, normally a pointer to the candidate's
+// struct type. When the checker has a cache and the result's pair is
+// memoized there, the compiled plan is memoized alongside it, so the
+// hot path of a repeated reception costs two lock-free map lookups
+// and zero compilations.
+func (c *Checker) PlanFor(r *Result, target reflect.Type) (*Plan, error) {
+	if r == nil || !r.Conformant {
+		return nil, ErrNotConformant
+	}
+	m := r.Mapping
+	if c.cache != nil && m != nil {
+		// Prefer the identities the result was cached under; the
+		// mapping's own refs can be the dereferenced element types.
+		cand, exp := r.cacheCand, r.cacheExp
+		if cand.IsNil() || exp.IsNil() {
+			cand, exp = m.Candidate.Identity, m.Expected.Identity
+		}
+		p, err, ok := c.cache.planFor(cand, exp, c.fp, target)
+		if ok {
+			return p, err
+		}
+	}
+	return CompilePlan(target, m)
 }
 
 // CheckRefs resolves both references and checks conformance. It is

@@ -1,0 +1,221 @@
+package conform
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// ErrNotConformant is returned by PlanFor when asked to compile a plan
+// for a failed conformance result.
+var ErrNotConformant = errors.New("conform: result is not conformant")
+
+// Plan is a Mapping compiled against one concrete Go type: every
+// name-based decision a dynamic proxy would otherwise make per call —
+// resolving the expected method name to a candidate method, finding
+// that method on the target, locating mapped fields — is done once,
+// here, and reduced to integer indices. The paper's optimistic
+// protocol (Section 6.1) assumes repeated receptions of an
+// already-checked type are near-free; the Plan is what makes the
+// subsequent *invocations* near-free too.
+//
+// Plans are immutable after compilation and safe for concurrent use.
+type Plan struct {
+	// Target is the concrete type the plan dispatches on (normally a
+	// pointer to the candidate struct).
+	Target reflect.Type
+	// Mapping is the source mapping (nil for a pure identity plan).
+	Mapping *Mapping
+
+	// passthrough is true when unmapped names fall through unchanged
+	// (nil or identity mappings); false means a name absent from the
+	// plan has no mapping at all.
+	passthrough bool
+
+	methods map[string]*MethodPlan
+	fields  map[string]*FieldPlan
+}
+
+// MethodPlan is one compiled method dispatch: expected name, candidate
+// name, the candidate's method index on the target type and the
+// argument permutation.
+type MethodPlan struct {
+	Expected  string
+	Candidate string
+	// Index is the method's index on the plan's target type, or -1
+	// when the mapping names a method the target does not have.
+	Index int
+	// NumIn is the method's arity (receiver excluded).
+	NumIn int
+	// In holds the candidate parameter types, in candidate order.
+	In []reflect.Type
+	// Perm maps expected-argument positions to candidate positions;
+	// nil means the identity permutation.
+	Perm []int
+}
+
+// FieldPlan is one compiled field access: expected name, candidate
+// name and the field's index path on the target's struct type.
+type FieldPlan struct {
+	Expected  string
+	Candidate string
+	// Index is the field index path (for reflect.Value.FieldByIndex),
+	// or nil when the mapping names a field the target does not have.
+	Index []int
+}
+
+// CompilePlan compiles mapping m against target. A nil mapping (or an
+// identity mapping) compiles to a passthrough plan over the target's
+// full exported method and field sets. Compilation never fails for a
+// well-formed target; members the mapping names but the target lacks
+// are recorded with a negative index so call-time errors match the
+// reflective path's.
+func CompilePlan(target reflect.Type, m *Mapping) (*Plan, error) {
+	if target == nil {
+		return nil, fmt.Errorf("conform: CompilePlan(nil target)")
+	}
+	p := &Plan{
+		Target:      target,
+		Mapping:     m,
+		passthrough: m == nil || m.Identity,
+		methods:     make(map[string]*MethodPlan),
+		fields:      make(map[string]*FieldPlan),
+	}
+
+	// Candidate method name -> index on target.
+	byName := make(map[string]int, target.NumMethod())
+	for i := 0; i < target.NumMethod(); i++ {
+		byName[target.Method(i).Name] = i
+	}
+
+	compileMethod := func(expected, candidate string, perm []int) {
+		mp := &MethodPlan{Expected: expected, Candidate: candidate, Index: -1}
+		if idx, ok := byName[candidate]; ok {
+			mt := target.Method(idx).Type
+			mp.Index = idx
+			// Method(i).Type includes the receiver as In(0).
+			mp.NumIn = mt.NumIn() - 1
+			mp.In = make([]reflect.Type, mp.NumIn)
+			for j := 0; j < mp.NumIn; j++ {
+				mp.In[j] = mt.In(j + 1)
+			}
+		}
+		if perm != nil && !(MethodMapping{Perm: perm}).IsIdentityPerm() {
+			mp.Perm = perm
+		}
+		p.methods[expected] = mp
+	}
+
+	var elem reflect.Type
+	switch {
+	case target.Kind() == reflect.Ptr && target.Elem().Kind() == reflect.Struct:
+		elem = target.Elem()
+	case target.Kind() == reflect.Struct:
+		elem = target
+	}
+	compileField := func(expected, candidate string) {
+		fp := &FieldPlan{Expected: expected, Candidate: candidate}
+		if elem != nil {
+			if sf, ok := elem.FieldByName(candidate); ok {
+				fp.Index = sf.Index
+			}
+		}
+		p.fields[expected] = fp
+	}
+
+	if m != nil {
+		for _, mm := range m.Methods {
+			compileMethod(mm.Expected, mm.Candidate, mm.Perm)
+		}
+		for _, fm := range m.Fields {
+			compileField(fm.Expected, fm.Candidate)
+		}
+	}
+	if p.passthrough {
+		// Identity: every target member not explicitly mapped is
+		// reachable under its own name.
+		for name := range byName {
+			if _, done := p.methods[name]; done {
+				continue
+			}
+			compileMethod(name, name, nil)
+		}
+		if elem != nil {
+			for i := 0; i < elem.NumField(); i++ {
+				f := elem.Field(i)
+				if !f.IsExported() {
+					continue
+				}
+				if _, done := p.fields[f.Name]; done {
+					continue
+				}
+				compileField(f.Name, f.Name)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Method returns the compiled plan for the expected method name.
+// A false return means the mapping has no entry for the name at all
+// (distinct from an entry whose candidate is missing on the target,
+// which returns a plan with Index < 0). For passthrough plans over
+// non-struct method sets the name may still be absent; callers treat
+// that as a missing method.
+func (p *Plan) Method(expected string) (*MethodPlan, bool) {
+	mp, ok := p.methods[expected]
+	return mp, ok
+}
+
+// Field returns the compiled plan for the expected field name, with
+// the same semantics as Method. Passthrough plans only pre-compile
+// top-level exported fields; promoted (embedded) fields fall back to
+// the caller's dynamic lookup.
+func (p *Plan) Field(expected string) (*FieldPlan, bool) {
+	fp, ok := p.fields[expected]
+	return fp, ok
+}
+
+// Passthrough reports whether unmapped names pass through unchanged
+// (nil or identity mapping).
+func (p *Plan) Passthrough() bool { return p.passthrough }
+
+// NumMethods returns the number of compiled method entries.
+func (p *Plan) NumMethods() int { return len(p.methods) }
+
+// String renders the plan compactly for diagnostics.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan %s", p.Target)
+	if p.passthrough {
+		sb.WriteString(" (passthrough)")
+	}
+	names := make([]string, 0, len(p.methods))
+	for name := range p.methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mp := p.methods[name]
+		fmt.Fprintf(&sb, "; %s->%s#%d", mp.Expected, mp.Candidate, mp.Index)
+		if mp.Perm != nil {
+			fmt.Fprintf(&sb, "%v", mp.Perm)
+		}
+	}
+	return sb.String()
+}
+
+// PlanTargetOf returns the type a plan must be compiled against to
+// dispatch on v: proxies re-box non-pointer values behind a fresh
+// pointer, so the plan target is always the pointer type. Keeping
+// this normalization in one place guarantees every plan producer
+// (runtime facade, broker, transport) agrees with the proxy's rule.
+func PlanTargetOf(v interface{}) reflect.Type {
+	t := reflect.TypeOf(v)
+	if t != nil && t.Kind() != reflect.Ptr {
+		t = reflect.PtrTo(t)
+	}
+	return t
+}

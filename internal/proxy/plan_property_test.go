@@ -1,0 +1,282 @@
+package proxy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pti/internal/conform"
+	"pti/internal/fixtures"
+	"pti/internal/typedesc"
+)
+
+// planPair is one conformant (candidate implementation, expected
+// description) pair drawn from the fixtures, with generators for the
+// call surface: valid method names, plausible-but-wrong names, and a
+// fresh target factory so compiled and reflective dispatch each get an
+// identical, independent instance (calls may mutate state).
+type planPair struct {
+	name       string
+	newTarget  func(r *rand.Rand) interface{}
+	expected   reflect.Type
+	methods    []string // expected-vocabulary method names
+	badMethods []string
+	fields     []string // expected-vocabulary field names
+	argGens    map[string]func(r *rand.Rand) []interface{}
+}
+
+func propertyPairs(t *testing.T) []planPair {
+	t.Helper()
+	strArg := func(r *rand.Rand) []interface{} { return []interface{}{fmt.Sprintf("s%d", r.Intn(100))} }
+	intArg := func(r *rand.Rand) []interface{} { return []interface{}{r.Intn(100)} }
+	none := func(*rand.Rand) []interface{} { return nil }
+	return []planPair{
+		{
+			name: "PersonB->PersonA",
+			newTarget: func(r *rand.Rand) interface{} {
+				return &fixtures.PersonB{PersonName: fmt.Sprintf("n%d", r.Intn(50)), PersonAge: r.Intn(90)}
+			},
+			expected:   reflect.TypeOf(fixtures.PersonA{}),
+			methods:    []string{"GetName", "SetName", "GetAge", "SetAge"},
+			badMethods: []string{"GetNombre", "Delete", "GetPersonName"},
+			fields:     []string{"Name", "Age"},
+			argGens: map[string]func(r *rand.Rand) []interface{}{
+				"GetName": none, "GetAge": none, "SetName": strArg, "SetAge": intArg,
+			},
+		},
+		{
+			name: "StockQuoteA->StockQuoteB",
+			newTarget: func(r *rand.Rand) interface{} {
+				return &fixtures.StockQuoteA{Symbol: "ABC", Price: float64(r.Intn(1000)) / 10, Volume: r.Intn(10000)}
+			},
+			expected:   reflect.TypeOf(fixtures.StockQuoteB{}),
+			methods:    []string{"GetStockSymbol", "GetStockPrice", "GetStockVolume"},
+			badMethods: []string{"GetTicker", "SetStockPrice"},
+			fields:     []string{"StockSymbol", "StockPrice", "StockVolume"},
+			argGens: map[string]func(r *rand.Rand) []interface{}{
+				"GetStockSymbol": none, "GetStockPrice": none, "GetStockVolume": none,
+			},
+		},
+		{
+			name:       "Swapped->Swappee (permuted args)",
+			newTarget:  func(*rand.Rand) interface{} { return fixtures.Swapped{} },
+			expected:   reflect.TypeOf(fixtures.Swappee{}),
+			methods:    []string{"Combine"},
+			badMethods: []string{"Merge"},
+			argGens: map[string]func(r *rand.Rand) []interface{}{
+				"Combine": func(r *rand.Rand) []interface{} {
+					return []interface{}{r.Intn(10), fmt.Sprintf("L%d", r.Intn(10))}
+				},
+			},
+		},
+		{
+			name: "Employee->PersonA (subtype)",
+			newTarget: func(r *rand.Rand) interface{} {
+				return fixtures.NewEmployee(fmt.Sprintf("e%d", r.Intn(50)), r.Intn(60), "ACME")
+			},
+			expected:   reflect.TypeOf(fixtures.PersonA{}),
+			methods:    []string{"GetName", "SetName", "GetAge", "SetAge"},
+			badMethods: []string{"Fire"},
+			fields:     []string{"Name", "Age"},
+			argGens: map[string]func(r *rand.Rand) []interface{}{
+				"GetName": none, "GetAge": none, "SetName": strArg, "SetAge": intArg,
+			},
+		},
+	}
+}
+
+func checkPair(t *testing.T, repo *typedesc.Repository, checker *conform.Checker, p planPair, target interface{}) *conform.Result {
+	t.Helper()
+	tt := reflect.TypeOf(target)
+	for tt.Kind() == reflect.Ptr {
+		tt = tt.Elem()
+	}
+	cd := typedesc.MustDescribe(tt)
+	ed := typedesc.MustDescribe(p.expected)
+	_ = repo.Add(cd)
+	_ = repo.Add(ed)
+	r, err := checker.Check(cd, ed)
+	if err != nil {
+		t.Fatalf("%s: check: %v", p.name, err)
+	}
+	if !r.Conformant {
+		t.Fatalf("%s: not conformant: %s", p.name, r.Reason)
+	}
+	return r
+}
+
+// TestPlanDispatchEquivalence is the property test of the compiled
+// invocation-plan layer: for randomized conformant type pairs, method
+// choices and argument vectors — valid and invalid alike — dispatch
+// through the compiled plan must produce exactly the same results,
+// the same errors and the same post-call target state as the
+// reflective reference path.
+func TestPlanDispatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	repo := typedesc.NewRepository()
+	checker := conform.New(repo, conform.WithPolicy(conform.Relaxed(1)), conform.WithCache(conform.NewCache()))
+	pairs := propertyPairs(t)
+
+	for trial := 0; trial < 3000; trial++ {
+		p := pairs[rng.Intn(len(pairs))]
+		t1 := p.newTarget(rng)
+		// t2 is a byte-identical clone of t1 so mutating calls start
+		// from the same state on both dispatch paths.
+		t2 := cloneValue(t1)
+
+		res := checkPair(t, repo, checker, p, t1)
+		invCompiled, err := NewInvoker(t1, res.Mapping)
+		if err != nil {
+			t.Fatalf("%s: NewInvoker: %v", p.name, err)
+		}
+		invReference, err := NewInvoker(t2, res.Mapping)
+		if err != nil {
+			t.Fatalf("%s: NewInvoker: %v", p.name, err)
+		}
+
+		method, args := randomCall(rng, p)
+		gotOut, gotErr := invCompiled.Call(method, args...)
+		wantOut, wantErr := invReference.CallReflective(method, args...)
+
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%s: Call(%s, %v) error divergence: compiled=%v reflective=%v",
+				p.name, method, args, gotErr, wantErr)
+		}
+		if gotErr != nil && gotErr.Error() != wantErr.Error() {
+			t.Fatalf("%s: Call(%s, %v) error text divergence:\n  compiled:   %v\n  reflective: %v",
+				p.name, method, args, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(gotOut, wantOut) {
+			t.Fatalf("%s: Call(%s, %v) = %#v, reflective = %#v",
+				p.name, method, args, gotOut, wantOut)
+		}
+		if !reflect.DeepEqual(invCompiled.Target(), invReference.Target()) {
+			t.Fatalf("%s: post-call state divergence after %s(%v): %#v vs %#v",
+				p.name, method, args, invCompiled.Target(), invReference.Target())
+		}
+
+		// Field access goes through the same compiled plan; compare
+		// against the mapping-driven reflective resolution inline.
+		for _, f := range p.fields {
+			gotV, gotErr := invCompiled.Get(f)
+			wantV, wantErr := reflectiveGet(invReference, f)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s: Get(%s) error divergence: %v vs %v", p.name, f, gotErr, wantErr)
+			}
+			if gotErr == nil && !reflect.DeepEqual(gotV, wantV) {
+				t.Fatalf("%s: Get(%s) = %#v, reflective = %#v", p.name, f, gotV, wantV)
+			}
+		}
+	}
+}
+
+// randomCall picks a method (usually valid, sometimes invalid) and an
+// argument vector (usually well-typed, sometimes wrong arity or type).
+func randomCall(rng *rand.Rand, p planPair) (string, []interface{}) {
+	var method string
+	switch {
+	case len(p.badMethods) > 0 && rng.Intn(5) == 0:
+		method = p.badMethods[rng.Intn(len(p.badMethods))]
+	default:
+		method = p.methods[rng.Intn(len(p.methods))]
+	}
+	var args []interface{}
+	if gen, ok := p.argGens[method]; ok {
+		args = gen(rng)
+	}
+	switch rng.Intn(8) {
+	case 0: // wrong arity: extra argument
+		args = append(args, rng.Intn(3))
+	case 1: // wrong type in some slot
+		if len(args) > 0 {
+			args[rng.Intn(len(args))] = struct{ X chan int }{}
+		}
+	}
+	return method, args
+}
+
+// reflectiveGet resolves a field read the pre-plan way: mapping scan,
+// then FieldByName.
+func reflectiveGet(inv *Invoker, field string) (interface{}, error) {
+	name := field
+	if m := inv.Mapping(); m != nil {
+		fm, ok := m.FieldFor(field)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s (no mapping)", ErrNoSuchField, field)
+		}
+		name = fm.Candidate
+	}
+	rv := reflect.ValueOf(inv.Target())
+	for rv.Kind() == reflect.Ptr {
+		rv = rv.Elem()
+	}
+	if rv.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("%w: target is not a struct", ErrNoSuchField)
+	}
+	fv := rv.FieldByName(name)
+	if !fv.IsValid() {
+		return nil, fmt.Errorf("%w: %s (mapped to %s)", ErrNoSuchField, field, name)
+	}
+	return fv.Interface(), nil
+}
+
+// cloneValue deep-copies a fixture target (pointer to struct or plain
+// struct) so two invokers start from identical state.
+func cloneValue(v interface{}) interface{} {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Ptr {
+		return v // value types are copied by interface boxing already
+	}
+	out := reflect.New(rv.Type().Elem())
+	out.Elem().Set(rv.Elem())
+	return out.Interface()
+}
+
+// TestCompiledCallZeroNameResolutionAllocs asserts the core promise of
+// the plan layer with testing.AllocsPerRun: resolving an expected
+// method name to an invocable target method through a compiled plan
+// allocates nothing. (The reflective path's MethodByName allocates on
+// every call.)
+func TestCompiledCallZeroNameResolutionAllocs(t *testing.T) {
+	checker := conform.New(nil, conform.WithPolicy(conform.Relaxed(1)))
+	cd := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonB{}))
+	ed := typedesc.MustDescribe(reflect.TypeOf(fixtures.PersonA{}))
+	res, err := checker.Check(cd, ed)
+	if err != nil || !res.Conformant {
+		t.Fatalf("fixture pair: %v %v", res, err)
+	}
+	inv, err := NewInvoker(&fixtures.PersonB{PersonName: "alloc"}, res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sink reflect.Value
+	allocs := testing.AllocsPerRun(200, func() {
+		mp, ok := inv.plan.Method("GetName")
+		if !ok || mp.Index < 0 {
+			panic("plan lookup failed")
+		}
+		sink = inv.target.Method(mp.Index)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Errorf("compiled name resolution allocates %.1f times per call, want 0", allocs)
+	}
+
+	// And end to end: the compiled Call must allocate strictly less
+	// than the reflective path it replaces.
+	compiled := testing.AllocsPerRun(200, func() {
+		if _, err := inv.Call("GetName"); err != nil {
+			panic(err)
+		}
+	})
+	reflective := testing.AllocsPerRun(200, func() {
+		if _, err := inv.CallReflective("GetName"); err != nil {
+			panic(err)
+		}
+	})
+	if compiled >= reflective {
+		t.Errorf("compiled Call allocates %.1f/op, reflective %.1f/op — want strictly fewer", compiled, reflective)
+	}
+}

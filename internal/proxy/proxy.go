@@ -36,17 +36,30 @@ var (
 
 // Invoker is a dynamic proxy over a concrete Go value: calls are
 // expressed in the *expected* type's vocabulary and forwarded to the
-// candidate implementation through the mapping.
+// candidate implementation through the mapping. Dispatch runs through
+// a compiled invocation plan (conform.Plan): name resolution,
+// method-index lookup and argument permutation are decided once at
+// construction, so the per-call cost is the reflect.Call itself.
 type Invoker struct {
 	target reflect.Value
 	elem   reflect.Value // struct value for field access (if any)
 	m      *conform.Mapping
+	plan   *conform.Plan
 }
 
 // NewInvoker wraps target (a struct pointer, struct value, or any
 // method-bearing value) with a conformance mapping. A nil mapping
-// means identity: method and field names pass through unchanged.
+// means identity: method and field names pass through unchanged. The
+// invocation plan is compiled here; use NewInvokerWithPlan to reuse a
+// plan cached alongside a conformance result.
 func NewInvoker(target interface{}, m *conform.Mapping) (*Invoker, error) {
+	return NewInvokerWithPlan(target, m, nil)
+}
+
+// NewInvokerWithPlan wraps target like NewInvoker but reuses plan when
+// it was compiled for target's normalized (pointer) type; a nil or
+// mismatched plan is compiled fresh.
+func NewInvokerWithPlan(target interface{}, m *conform.Mapping, plan *conform.Plan) (*Invoker, error) {
 	if target == nil {
 		return nil, fmt.Errorf("%w: nil target", ErrBadArguments)
 	}
@@ -58,7 +71,14 @@ func NewInvoker(target interface{}, m *conform.Mapping) (*Invoker, error) {
 		p.Elem().Set(rv)
 		rv = p
 	}
-	inv := &Invoker{target: rv, m: m}
+	if plan == nil || plan.Target != rv.Type() || plan.Mapping != m {
+		compiled, err := conform.CompilePlan(rv.Type(), m)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadArguments, err)
+		}
+		plan = compiled
+	}
+	inv := &Invoker{target: rv, m: m, plan: plan}
 	if rv.Kind() == reflect.Ptr && rv.Elem().Kind() == reflect.Struct {
 		inv.elem = rv.Elem()
 	}
@@ -71,10 +91,58 @@ func (p *Invoker) Target() interface{} { return p.target.Interface() }
 // Mapping returns the conformance mapping in force.
 func (p *Invoker) Mapping() *conform.Mapping { return p.m }
 
+// Plan returns the compiled invocation plan in force.
+func (p *Invoker) Plan() *conform.Plan { return p.plan }
+
 // Call invokes the expected-type method name with expected-order
-// arguments, translating both through the mapping, and returns the
-// results.
+// arguments, translating both through the compiled plan, and returns
+// the results. No name resolution happens here: the method index,
+// parameter types and argument permutation were fixed at compile time.
 func (p *Invoker) Call(method string, args ...interface{}) ([]interface{}, error) {
+	mp, ok := p.plan.Method(method)
+	if !ok {
+		if p.plan.Passthrough() {
+			return nil, fmt.Errorf("%w: %s (mapped to %s)", ErrNoSuchMethod, method, method)
+		}
+		return nil, fmt.Errorf("%w: %s (no mapping)", ErrNoSuchMethod, method)
+	}
+	if mp.Index < 0 {
+		return nil, fmt.Errorf("%w: %s (mapped to %s)", ErrNoSuchMethod, method, mp.Candidate)
+	}
+	if mp.NumIn != len(args) {
+		return nil, fmt.Errorf("%w: %s takes %d args, got %d", ErrBadArguments, mp.Candidate, mp.NumIn, len(args))
+	}
+	fn := p.target.Method(mp.Index)
+
+	ordered := args
+	if len(mp.Perm) == len(args) && len(args) > 0 {
+		ordered = make([]interface{}, len(args))
+		for i, slot := range mp.Perm {
+			ordered[slot] = args[i]
+		}
+	}
+	in := make([]reflect.Value, len(ordered))
+	for i, a := range ordered {
+		av, err := wire.Coerce(a, mp.In[i])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s arg %d: %v", ErrBadArguments, mp.Candidate, i, err)
+		}
+		in[i] = av
+	}
+	out := fn.Call(in)
+	results := make([]interface{}, len(out))
+	for i, o := range out {
+		results[i] = o.Interface()
+	}
+	return results, nil
+}
+
+// CallReflective is the uncompiled reference path: it re-resolves the
+// method mapping by name and looks the method up via reflection on
+// every invocation, exactly as the proxy worked before invocation
+// plans. It is retained as the semantic baseline for the plan
+// equivalence property tests and the benchmark suite.
+func (p *Invoker) CallReflective(method string, args ...interface{}) ([]interface{}, error) {
 	name := method
 	perm := []int(nil)
 	if p.m != nil {
@@ -144,17 +212,20 @@ func (p *Invoker) fieldByExpectedName(field string) (reflect.Value, error) {
 	if !p.elem.IsValid() {
 		return reflect.Value{}, fmt.Errorf("%w: target is not a struct", ErrNoSuchField)
 	}
-	name := field
-	if p.m != nil {
-		fm, ok := p.m.FieldFor(field)
-		if !ok {
-			return reflect.Value{}, fmt.Errorf("%w: %s (no mapping)", ErrNoSuchField, field)
+	if fp, ok := p.plan.Field(field); ok {
+		if fp.Index == nil {
+			return reflect.Value{}, fmt.Errorf("%w: %s (mapped to %s)", ErrNoSuchField, field, fp.Candidate)
 		}
-		name = fm.Candidate
+		return p.elem.FieldByIndex(fp.Index), nil
 	}
-	fv := p.elem.FieldByName(name)
+	if !p.plan.Passthrough() {
+		return reflect.Value{}, fmt.Errorf("%w: %s (no mapping)", ErrNoSuchField, field)
+	}
+	// Passthrough fallback: promoted (embedded) fields are not
+	// pre-compiled; resolve them dynamically as before.
+	fv := p.elem.FieldByName(field)
 	if !fv.IsValid() {
-		return reflect.Value{}, fmt.Errorf("%w: %s (mapped to %s)", ErrNoSuchField, field, name)
+		return reflect.Value{}, fmt.Errorf("%w: %s (mapped to %s)", ErrNoSuchField, field, field)
 	}
 	return fv, nil
 }
@@ -166,26 +237,37 @@ func (p *Invoker) fieldByExpectedName(field string) (reflect.Value, error) {
 // download step.
 type View struct {
 	obj *wire.Object
-	m   *conform.Mapping
+	// names is the field mapping compiled into a direct lookup table
+	// (expected -> candidate); passthrough mirrors conform.Plan.
+	names       map[string]string
+	passthrough bool
 }
 
-// NewView wraps a generic object with a mapping (nil = identity).
+// NewView wraps a generic object with a mapping (nil = identity). The
+// field-name translation table is compiled here so each Get is a
+// single map lookup instead of a linear mapping scan.
 func NewView(obj *wire.Object, m *conform.Mapping) (*View, error) {
 	if obj == nil {
 		return nil, fmt.Errorf("%w: nil object", ErrBadArguments)
 	}
-	return &View{obj: obj, m: m}, nil
+	v := &View{obj: obj, passthrough: m == nil || m.Identity}
+	if m != nil && len(m.Fields) > 0 {
+		v.names = make(map[string]string, len(m.Fields))
+		for _, fm := range m.Fields {
+			v.names[fm.Expected] = fm.Candidate
+		}
+	}
+	return v, nil
 }
 
 // Get reads the expected-type field name.
 func (v *View) Get(field string) (interface{}, error) {
-	name := field
-	if v.m != nil {
-		fm, ok := v.m.FieldFor(field)
-		if !ok {
+	name, ok := v.names[field]
+	if !ok {
+		if !v.passthrough {
 			return nil, fmt.Errorf("%w: %s (no mapping)", ErrNoSuchField, field)
 		}
-		name = fm.Candidate
+		name = field
 	}
 	val, ok := v.obj.Field(name)
 	if !ok {
@@ -206,7 +288,7 @@ type Binder struct {
 	reg     *registry.Registry
 	checker *conform.Checker
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	mappings map[string]*conform.Mapping // sourceTypeName|targetName -> mapping
 }
 
@@ -283,12 +365,12 @@ func (b *Binder) resolveField(target reflect.Type, source *wire.Object, field st
 // named source type onto the target description.
 func (b *Binder) mappingFor(sourceName string, target *typedesc.TypeDescription) (*conform.Mapping, error) {
 	key := sourceName + "|" + target.Name
-	b.mu.Lock()
-	if m, ok := b.mappings[key]; ok {
-		b.mu.Unlock()
+	b.mu.RLock()
+	m, ok := b.mappings[key]
+	b.mu.RUnlock()
+	if ok {
 		return m, nil
 	}
-	b.mu.Unlock()
 
 	r, err := b.checker.CheckRefs(typedesc.TypeRef{Name: sourceName}, target.Ref())
 	if err != nil {

@@ -1,0 +1,109 @@
+package registry
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"pti/internal/conform"
+	"pti/internal/fixtures"
+	"pti/internal/typedesc"
+)
+
+// TestRegistryConcurrentRegisterLookup hammers Register, Lookup,
+// LookupGo, Entries and Resolve from many goroutines. Run under -race
+// this pins down the registry's locking discipline; the assertions
+// pin down that concurrent duplicate registrations converge to one
+// entry per type.
+func TestRegistryConcurrentRegisterLookup(t *testing.T) {
+	const goroutines = 12
+	r := New()
+	types := []interface{}{
+		fixtures.PersonA{}, fixtures.PersonB{}, fixtures.Employee{},
+		fixtures.Contact{}, fixtures.Address{}, fixtures.StockQuoteA{},
+		fixtures.StockQuoteB{}, fixtures.Swapped{}, fixtures.Swappee{},
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				v := types[(g+i)%len(types)]
+				if _, err := r.Register(v); err != nil {
+					t.Errorf("Register(%T): %v", v, err)
+					return
+				}
+				if _, ok := r.LookupGo(reflect.TypeOf(v)); !ok {
+					t.Errorf("LookupGo(%T) missed after Register", v)
+					return
+				}
+				if _, err := r.Resolve(typedesc.RefOf(reflect.TypeOf(v))); err != nil {
+					t.Errorf("Resolve(%T): %v", v, err)
+					return
+				}
+				_ = r.Entries()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if got := len(r.Entries()); got != len(types) {
+		t.Errorf("Entries() = %d entries, want %d", got, len(types))
+	}
+	for _, v := range types {
+		e, ok := r.LookupGo(reflect.TypeOf(v))
+		if !ok {
+			t.Errorf("LookupGo(%T) = miss", v)
+			continue
+		}
+		if e.Type != reflect.TypeOf(v) {
+			t.Errorf("entry for %T holds %v", v, e.Type)
+		}
+	}
+}
+
+// TestEntryPlanForConcurrent asserts the per-entry plan memoization is
+// race-free and returns one shared instance per mapping key.
+func TestEntryPlanForConcurrent(t *testing.T) {
+	r := New()
+	e, err := r.Register(fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	plans := make([]interface{}, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p, err := e.PlanFor(nil)
+				if err != nil {
+					t.Errorf("PlanFor: %v", err)
+					return
+				}
+				plans[g] = p
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for g := 1; g < goroutines; g++ {
+		if plans[g] != plans[0] {
+			t.Fatalf("goroutine %d saw a different plan instance", g)
+		}
+	}
+	plan := plans[0].(*conform.Plan)
+	if mp, ok := plan.Method("GetName"); !ok || mp.Index < 0 {
+		t.Fatalf("identity plan misses GetName: %+v ok=%v", mp, ok)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"reflect"
 	"sync"
 
+	"pti/internal/conform"
 	"pti/internal/typedesc"
 	"pti/internal/wire"
 )
@@ -36,6 +37,32 @@ type Entry struct {
 	// DownloadPaths are where remote peers can fetch this type's
 	// description and code.
 	DownloadPaths []string
+
+	// The identity (passthrough) invocation plan for this entry's
+	// pointer type, compiled once on first use. The transport layer
+	// and broker pull delivery invokers through here so repeated
+	// receptions of a cached type reuse one compiled plan.
+	idPlanOnce sync.Once
+	idPlan     *conform.Plan
+	idPlanErr  error
+}
+
+// PlanFor returns the compiled invocation plan for this entry's
+// pointer type under mapping m. The identity plan (nil mapping) is
+// compiled once and memoized — it is the plan every bound delivery
+// dispatches through. Plans for non-nil mappings are compiled fresh
+// and deliberately not retained here: mapped plans are memoized
+// alongside their conformance results in the checker's cache
+// (conform.Checker.PlanFor), which is also what keys them correctly
+// per policy.
+func (e *Entry) PlanFor(m *conform.Mapping) (*conform.Plan, error) {
+	if m == nil {
+		e.idPlanOnce.Do(func() {
+			e.idPlan, e.idPlanErr = conform.CompilePlan(reflect.PtrTo(e.Type), nil)
+		})
+		return e.idPlan, e.idPlanErr
+	}
+	return conform.CompilePlan(reflect.PtrTo(e.Type), m)
 }
 
 // Construct invokes the named constructor with the given arguments.

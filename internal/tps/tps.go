@@ -79,6 +79,11 @@ type Broker struct {
 	subs   []*sub
 	nextID int
 
+	// idPlans memoizes passthrough invocation plans per published
+	// event pointer type, for pattern deliveries of types the
+	// registry does not know (registered types use Entry.PlanFor).
+	idPlans sync.Map // reflect.Type -> *conform.Plan
+
 	published atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
@@ -219,7 +224,7 @@ func (b *Broker) Publish(event interface{}) (int, error) {
 			if !levenshtein.MatchWildcardFold(s.pattern, desc.Name) {
 				continue
 			}
-			inv, err := proxy.NewInvoker(event, nil)
+			inv, err := proxy.NewInvokerWithPlan(event, nil, b.identityPlanOf(event, t))
 			if err != nil {
 				b.dropped.Add(1)
 				continue
@@ -247,6 +252,29 @@ func (b *Broker) Publish(event interface{}) (int, error) {
 	return delivered, nil
 }
 
+// identityPlanOf returns the memoized passthrough plan for an event's
+// pointer type: the registry entry's plan when the event type is
+// registered, the broker's per-type plan map otherwise. Pattern
+// deliveries dispatch identity-mapped invokers through it without
+// recompiling per publish.
+func (b *Broker) identityPlanOf(event interface{}, t reflect.Type) *conform.Plan {
+	tt := conform.PlanTargetOf(event)
+	if e, ok := b.reg.LookupGo(t); ok && reflect.PtrTo(e.Type) == tt {
+		if p, err := e.PlanFor(nil); err == nil {
+			return p
+		}
+	}
+	if p, ok := b.idPlans.Load(tt); ok {
+		return p.(*conform.Plan)
+	}
+	p, err := conform.CompilePlan(tt, nil)
+	if err != nil {
+		return nil // NewInvokerWithPlan compiles its own fallback
+	}
+	actual, _ := b.idPlans.LoadOrStore(tt, p)
+	return actual.(*conform.Plan)
+}
+
 func (b *Broker) describeEvent(t reflect.Type) (*typedesc.TypeDescription, error) {
 	if e, ok := b.reg.LookupGo(t); ok {
 		return e.Description, nil
@@ -265,7 +293,14 @@ func (b *Broker) describeEvent(t reflect.Type) (*typedesc.TypeDescription, error
 }
 
 func (b *Broker) buildEvent(event interface{}, t reflect.Type, desc *typedesc.TypeDescription, s *sub, r *conform.Result) (Event, error) {
-	inv, err := proxy.NewInvoker(event, r.Mapping)
+	// Reuse the invocation plan compiled alongside the cached
+	// conformance result: a repeated publication of an already-checked
+	// event type dispatches straight through precomputed indices.
+	plan, err := b.checker.PlanFor(r, conform.PlanTargetOf(event))
+	if err != nil {
+		return Event{}, err
+	}
+	inv, err := proxy.NewInvokerWithPlan(event, r.Mapping, plan)
 	if err != nil {
 		return Event{}, err
 	}

@@ -611,14 +611,22 @@ func (p *Peer) buildDelivery(c *Conn, env *xmlenc.Envelope, desc *typedesc.TypeD
 		Expected: in.desc.Ref(),
 		Mapping:  r.Mapping,
 	}
-	if _, ok := p.reg.Lookup(in.desc.Ref()); ok {
+	if e, ok := p.reg.Lookup(in.desc.Ref()); ok {
 		bound, mapping, err := p.binder.Bind(obj, in.desc.Ref())
 		if err != nil {
 			return Delivery{}, err
 		}
 		d.Bound = bound
 		d.Mapping = mapping
-		inv, err := proxy.NewInvoker(bound, nil)
+		// The bound value is a native instance of the interest type;
+		// its invoker is identity-mapped and reuses the compiled plan
+		// memoized on the registry entry, so the cached receive path
+		// performs no per-delivery name resolution.
+		plan, err := e.PlanFor(nil)
+		if err != nil {
+			return Delivery{}, err
+		}
+		inv, err := proxy.NewInvokerWithPlan(bound, nil, plan)
 		if err != nil {
 			return Delivery{}, err
 		}

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"pti/internal/fixtures"
+	"pti/internal/registry"
+)
+
+// TestWarmReceiveConcurrentConnections exercises the optimistic fast
+// path under contention: one receiver, many in-memory connections, all
+// sending the *same already-checked type* concurrently. Every receive
+// goes through the sharded conformance cache and the memoized
+// invocation plan; run under -race this guards the whole cached
+// receive pipeline (cache read path, registry entry plans, binder
+// mapping memoization).
+func TestWarmReceiveConcurrentConnections(t *testing.T) {
+	const (
+		conns       = 8
+		objsPerConn = 40
+	)
+	recvReg := registry.New()
+	if _, err := recvReg.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	receiver := NewPeer(recvReg, WithName("receiver"))
+	defer receiver.Close()
+
+	deliveries := make(chan Delivery, conns*objsPerConn)
+	if err := receiver.OnReceive(fixtures.PersonA{}, func(d Delivery) {
+		deliveries <- d
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sendReg := registry.New()
+	if _, err := sendReg.Register(fixtures.PersonB{}); err != nil {
+		t.Fatal(err)
+	}
+	sender := NewPeer(sendReg, WithName("sender"))
+	defer sender.Close()
+
+	// Warm the caches over one connection so the concurrent phase hits
+	// only the cached path.
+	warm, _ := Connect(sender, receiver)
+	if err := sender.SendObject(warm, fixtures.PersonB{PersonName: "warmup"}); err != nil {
+		t.Fatal(err)
+	}
+	<-deliveries
+
+	senderConns := make([]*Conn, conns)
+	for i := range senderConns {
+		senderConns[i], _ = Connect(sender, receiver)
+	}
+
+	var wg sync.WaitGroup
+	for i, c := range senderConns {
+		wg.Add(1)
+		go func(i int, c *Conn) {
+			defer wg.Done()
+			for j := 0; j < objsPerConn; j++ {
+				if err := sender.SendObject(c, fixtures.PersonB{PersonName: "p", PersonAge: i*objsPerConn + j}); err != nil {
+					t.Errorf("conn %d send %d: %v", i, j, err)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	ages := make(map[int]bool)
+	for n := 0; n < conns*objsPerConn; n++ {
+		d := <-deliveries
+		p, ok := d.Bound.(*fixtures.PersonA)
+		if !ok {
+			t.Fatalf("delivery %d bound to %T", n, d.Bound)
+		}
+		if ages[p.Age] {
+			t.Fatalf("age %d delivered twice", p.Age)
+		}
+		ages[p.Age] = true
+		// The delivery invoker must dispatch through its compiled
+		// identity plan.
+		out, err := d.Invoker.Call("GetAge")
+		if err != nil {
+			t.Fatalf("delivery invoker: %v", err)
+		}
+		if out[0].(int) != p.Age {
+			t.Fatalf("invoker GetAge = %v, want %d", out[0], p.Age)
+		}
+	}
+
+	if h, _ := receiver.cache.Stats(); h == 0 {
+		t.Error("warm path recorded no conformance-cache hits")
+	}
+}
