@@ -1,9 +1,24 @@
 # CI gate and developer conveniences. `make check` is the gate:
-# vet plus the full test suite under the race detector.
+# vet plus the full test suite under the race detector. `make soak`
+# runs the fabric churn scenario long-form, and `make bench-json`
+# emits the committed perf-trajectory artifact. `make help` lists
+# everything.
 
 GO ?= go
 
-.PHONY: check vet test test-race bench bench-plan build
+.PHONY: help check vet test test-race bench bench-plan bench-json soak build
+
+help:
+	@echo "Targets:"
+	@echo "  check       CI gate: vet + full test suite under -race"
+	@echo "  build       go build ./..."
+	@echo "  vet         go vet ./..."
+	@echo "  test        go test ./..."
+	@echo "  test-race   go test -race ./..."
+	@echo "  soak        long-form fabric soak under -race (seed printed; replay with PTI_SEED=n)"
+	@echo "  bench       full paper-table benchmark run"
+	@echo "  bench-plan  compiled-plan vs reflective dispatch + cache numbers"
+	@echo "  bench-json  fabric scenario metrics -> BENCH_PR2.json (committed perf trajectory)"
 
 check: vet test-race
 
@@ -19,6 +34,13 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Long-form deterministic churn over the simulation fabric: five
+# nodes, lossy/duplicating/reordering links, repeated crash/restart,
+# under the race detector. The fabric seed is printed at the start of
+# the run; a failure replays byte-identically with PTI_SEED=<seed>.
+soak:
+	PTI_SOAK=1 $(GO) test -race -run 'TestFabricSoak' -count=1 -v ./internal/transport
+
 # Full paper-table benchmark run.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -27,3 +49,8 @@ bench:
 # and the sharded conformance-cache numbers (see BENCHMARKS.md).
 bench-plan:
 	$(GO) test -run '^$$' -bench 'InvokerCall|CheckCached|InvocationProxy' -benchmem .
+
+# Machine-readable scenario metrics: match rate and delivery counts
+# per fault profile, written to BENCH_PR2.json (see BENCHMARKS.md).
+bench-json:
+	$(GO) run ./cmd/ptibench -exp scenario -reps 2 -seed 42 -json BENCH_PR2.json

@@ -14,6 +14,8 @@
 //	ptibench -exp 7.4        # conformance testing
 //	ptibench -exp transport  # Figure 1 protocol + optimistic vs eager
 //	ptibench -exp ablations  # cache, permutations, name-only, descriptors
+//	ptibench -exp scenario -seed 42 -json BENCH_PR2.json
+//	                         # fabric fault-profile scenarios
 package main
 
 import (
@@ -23,8 +25,13 @@ import (
 	"time"
 )
 
+var (
+	seed    = flag.Int64("seed", 1, "fabric seed for -exp scenario (replays the fault schedule)")
+	jsonOut = flag.String("json", "", "write scenario metrics to this JSON file")
+)
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, 7.1, 7.2, 7.3, 7.4, transport, ablations")
+	exp := flag.String("exp", "all", "experiment to run: all, 7.1, 7.2, 7.3, 7.4, transport, scenario, ablations")
 	reps := flag.Int("reps", 5, "repetitions per measurement (averaged)")
 	flag.Parse()
 
@@ -45,6 +52,7 @@ func run(exp string, reps int) error {
 		{"7.3", "Object (de)serialization (SOAP and binary)", exp73},
 		{"7.4", "Conformance testing", exp74},
 		{"transport", "Figure 1 protocol + optimistic vs eager", expTransport},
+		{"scenario", "Fabric fault-profile scenarios (delivery + match rate)", expScenario},
 		{"match", "Conformance relation match rates (Section 2 comparisons)", expMatchRate},
 		{"ablations", "Design-choice ablations", expAblations},
 	}

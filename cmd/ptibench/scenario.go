@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"pti/internal/fixtures"
+	"pti/internal/registry"
+	"pti/internal/transport"
+)
+
+// expScenario drives the optimistic protocol across the simulation
+// fabric's fault profiles and reports delivery counts and match rate
+// (delivered/published) under each. All randomness derives from
+// -seed; a surprising result replays exactly by re-running with the
+// printed seed. With -json the metrics are also written as a machine-
+// readable file (the perf-trajectory artifact `make bench-json`
+// commits as BENCH_PR2.json).
+func expScenario(reps int) error {
+	objects := 50 * reps
+	profiles := []struct {
+		name string
+		prof transport.FaultProfile
+		note string
+	}{
+		{"perfect", transport.FaultProfile{},
+			"baseline: every object must land"},
+		{"latency-2ms", transport.FaultProfile{
+			Latency: 2 * time.Millisecond, Jitter: time.Millisecond},
+			"pure delay: at-most-once regime, zero loss"},
+		{"lossy-10pct", transport.FaultProfile{
+			Latency: 200 * time.Microsecond, DropRate: 0.10},
+			"drops hit objects and protocol round trips alike"},
+		{"lossy-30pct", transport.FaultProfile{
+			Latency: 200 * time.Microsecond, DropRate: 0.30},
+			"heavy loss: match rate collapses without retry"},
+		{"dup-reorder", transport.FaultProfile{
+			Latency: 200 * time.Microsecond, DupRate: 0.10, ReorderRate: 0.25},
+			"duplicates re-check against the cache; reorder delays only"},
+		{"bandwidth-256KBps", transport.FaultProfile{
+			Bandwidth: 256 * 1024},
+			"shaped link: delivery spread over transmission time"},
+	}
+
+	type scenarioResult struct {
+		Profile      string  `json:"profile"`
+		Sent         uint64  `json:"sent"`
+		Received     uint64  `json:"received"`
+		Delivered    uint64  `json:"delivered"`
+		Dropped      uint64  `json:"dropped"`
+		MatchRate    float64 `json:"match_rate"`
+		TypeInfoReqs uint64  `json:"type_info_requests"`
+		CodeReqs     uint64  `json:"code_requests"`
+		FramesLost   uint64  `json:"frames_lost"`
+		FramesDuped  uint64  `json:"frames_duplicated"`
+		ElapsedMs    float64 `json:"elapsed_ms"`
+	}
+	results := make([]scenarioResult, 0, len(profiles))
+
+	fmt.Printf("  fabric seed: %d (rerun with -seed %d to replay)\n", *seed, *seed)
+	fmt.Printf("  %-20s %8s %9s %10s %8s %10s %8s\n",
+		"profile", "sent", "received", "delivered", "match", "typeinfo", "elapsed")
+	for _, pr := range profiles {
+		f := transport.NewFabric(*seed)
+		regA := registry.New()
+		if _, err := regA.Register(fixtures.PersonB{},
+			registry.WithConstructor("NewPersonB", fixtures.NewPersonB)); err != nil {
+			return err
+		}
+		regB := registry.New()
+		if _, err := regB.Register(fixtures.PersonA{},
+			registry.WithConstructor("NewPersonA", fixtures.NewPersonA)); err != nil {
+			return err
+		}
+		na, err := f.AddPeerWithRegistry("pub", regA,
+			transport.WithRequestTimeout(250*time.Millisecond))
+		if err != nil {
+			return err
+		}
+		nb, err := f.AddPeerWithRegistry("sub", regB,
+			transport.WithRequestTimeout(250*time.Millisecond))
+		if err != nil {
+			return err
+		}
+		if _, _, err := f.Connect("pub", "sub", pr.prof); err != nil {
+			return err
+		}
+		// Delivery counts come from the peer's Stats; the handler only
+		// has to exist for the interest to match.
+		if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(transport.Delivery) {}); err != nil {
+			return err
+		}
+		conn, _ := na.ConnTo("sub")
+
+		start := time.Now()
+		for i := 0; i < objects; i++ {
+			if err := na.Peer().SendObject(conn, fixtures.PersonB{
+				PersonName: "bench", PersonAge: i,
+			}); err != nil {
+				return err
+			}
+		}
+		// Quiesce: receptions resolve to delivered or dropped.
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			st := nb.Peer().Stats().Snapshot()
+			if st.ObjectsReceived > 0 && st.ObjectsReceived == st.ObjectsDelivered+st.ObjectsDropped {
+				// One extra settle pass for frames still in flight.
+				time.Sleep(20 * time.Millisecond)
+				st2 := nb.Peer().Stats().Snapshot()
+				if st2.ObjectsReceived == st.ObjectsReceived {
+					break
+				}
+				continue
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		elapsed := time.Since(start)
+
+		st := nb.Peer().Stats().Snapshot()
+		fs := f.Stats()
+		res := scenarioResult{
+			Profile:      pr.name,
+			Sent:         uint64(objects),
+			Received:     st.ObjectsReceived,
+			Delivered:    st.ObjectsDelivered,
+			Dropped:      st.ObjectsDropped,
+			MatchRate:    float64(st.ObjectsDelivered) / float64(objects),
+			TypeInfoReqs: st.TypeInfoRequests,
+			CodeReqs:     st.CodeRequests,
+			FramesLost:   fs.FramesDropped,
+			FramesDuped:  fs.FramesDuplicated,
+			ElapsedMs:    float64(elapsed.Nanoseconds()) / 1e6,
+		}
+		results = append(results, res)
+		fmt.Printf("  %-20s %8d %9d %10d %7.0f%% %10d %8s  %s\n",
+			pr.name, res.Sent, res.Received, res.Delivered,
+			res.MatchRate*100, res.TypeInfoReqs, fmtDur(elapsed), pr.note)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut != "" {
+		doc := struct {
+			Seed      int64            `json:"seed"`
+			Objects   int              `json:"objects_per_profile"`
+			Scenarios []scenarioResult `json:"scenarios"`
+		}{Seed: *seed, Objects: objects, Scenarios: results}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", *jsonOut)
+	}
+	return nil
+}

@@ -44,8 +44,15 @@ type cacheShard struct {
 type cacheShardData struct {
 	mu      sync.RWMutex
 	entries map[cacheKey]*cacheEntry
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	// order is the insertion ring the second-chance eviction hand
+	// sweeps; it mirrors the key set of entries exactly. cap 0 means
+	// unbounded.
+	order     []cacheKey
+	hand      int
+	cap       int
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type cacheKey struct {
@@ -59,15 +66,45 @@ type cacheKey struct {
 type cacheEntry struct {
 	res   *Result
 	plans sync.Map // reflect.Type -> *Plan
+	// referenced is the second-chance bit: set on every read hit
+	// (under the shard's RLock — hence atomic), cleared when the
+	// eviction hand passes over the entry. An entry is only evicted
+	// after surviving one full unreferenced sweep interval.
+	referenced atomic.Bool
 }
 
-// NewCache returns an empty Cache.
-func NewCache() *Cache {
+// NewCache returns an empty, unbounded Cache.
+func NewCache() *Cache { return NewCacheWithCapacity(0) }
+
+// NewCacheWithCapacity returns a Cache bounded to roughly capacity
+// entries (0 = unbounded). The bound is enforced per shard — each of
+// the 64 stripes holds at most ⌈capacity/64⌉ entries — with cheap
+// second-chance eviction: a read hit marks an entry referenced, and
+// an insert into a full shard evicts the first entry the clock hand
+// finds unmarked, unmarking the ones it passes. Long-lived peers on
+// churning type populations stay bounded; hot pairs survive.
+func NewCacheWithCapacity(capacity int) *Cache {
+	perShard := 0
+	if capacity > 0 {
+		perShard = (capacity + cacheShardCount - 1) / cacheShardCount
+		if perShard < 1 {
+			perShard = 1
+		}
+	}
 	c := &Cache{}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[cacheKey]*cacheEntry)
+		c.shards[i].cap = perShard
 	}
 	return c
+}
+
+// Capacity returns the total entry bound (0 = unbounded).
+func (c *Cache) Capacity() int {
+	if c.shards[0].cap == 0 {
+		return 0
+	}
+	return c.shards[0].cap * cacheShardCount
 }
 
 // shardFor selects the shard by an FNV-1a hash of the two identities.
@@ -91,6 +128,13 @@ func (c *Cache) shardFor(k cacheKey) *cacheShard {
 func (s *cacheShard) read(k cacheKey, count bool) (*cacheEntry, bool) {
 	s.mu.RLock()
 	e, ok := s.entries[k]
+	// The second-chance bit only matters on bounded shards, and
+	// test-then-set keeps steady-state hits read-only — an
+	// unconditional Store would bounce the entry's cache line between
+	// cores on exactly the hot path the striping protects.
+	if ok && s.cap > 0 && !e.referenced.Load() {
+		e.referenced.Store(true)
+	}
 	if count {
 		if ok {
 			s.hits.Add(1)
@@ -129,10 +173,39 @@ func (c *Cache) put(cand, exp guid.GUID, fp string, r *Result) *Result {
 	if e, ok := s.entries[k]; ok {
 		r = e.res
 	} else {
+		if s.cap > 0 && len(s.entries) >= s.cap {
+			s.evictOneLocked()
+		}
 		s.entries[k] = &cacheEntry{res: r}
+		s.order = append(s.order, k)
 	}
 	s.mu.Unlock()
 	return r
+}
+
+// evictOneLocked runs the second-chance clock hand: entries with the
+// referenced bit set get it cleared and are skipped; the first
+// unreferenced entry is evicted. After a full lap everything has been
+// unmarked, so the hand's own start position is evicted — the loop
+// always terminates within 2·len(order) steps.
+func (s *cacheShardData) evictOneLocked() {
+	for range [2]struct{}{} {
+		for n := len(s.order); n > 0; n-- {
+			if s.hand >= len(s.order) {
+				s.hand = 0
+			}
+			k := s.order[s.hand]
+			e := s.entries[k]
+			if e != nil && e.referenced.Swap(false) {
+				s.hand++
+				continue
+			}
+			delete(s.entries, k)
+			s.order = append(s.order[:s.hand], s.order[s.hand+1:]...)
+			s.evictions.Add(1)
+			return
+		}
+	}
 }
 
 // planFor returns the compiled invocation plan for the cached triple
@@ -183,14 +256,27 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	return hits, misses
 }
 
+// Evictions returns the cumulative number of entries displaced by the
+// capacity bound.
+func (c *Cache) Evictions() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].evictions.Load()
+	}
+	return n
+}
+
 // Reset discards all entries and counters.
 func (c *Cache) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		s.entries = make(map[cacheKey]*cacheEntry)
+		s.order = nil
+		s.hand = 0
 		s.hits.Store(0)
 		s.misses.Store(0)
+		s.evictions.Store(0)
 		s.mu.Unlock()
 	}
 }

@@ -143,7 +143,13 @@ func typeSyntax(r typedesc.TypeRef) string {
 			case ']':
 				depth--
 				if depth == 0 {
-					return "map<" + inner[:i] + "," + inner[i+1:] + ">"
+					// Key and value are themselves in Go type syntax
+					// and must be converted recursively — a map value
+					// of *T or [N]T would otherwise leak Go spelling
+					// into the IDL and fail to re-parse.
+					key := typeSyntax(typedesc.TypeRef{Name: inner[:i]})
+					val := typeSyntax(typedesc.TypeRef{Name: inner[i+1:]})
+					return "map<" + key + "," + val + ">"
 				}
 			}
 		}
@@ -192,29 +198,19 @@ func parseTypeSyntax(s string) (typedesc.TypeRef, error) {
 		}
 		return typedesc.TypeRef{Name: fmt.Sprintf("[%d]%s", n, inner.Name)}, nil
 	case strings.HasPrefix(s, "map<") && strings.HasSuffix(s, ">"):
-		inner := s[len("map<") : len(s)-1]
-		depth := 0
-		for i := 0; i < len(inner); i++ {
-			switch inner[i] {
-			case '<':
-				depth++
-			case '>':
-				depth--
-			case ',':
-				if depth == 0 {
-					k, err := parseTypeSyntax(inner[:i])
-					if err != nil {
-						return typedesc.TypeRef{}, err
-					}
-					v, err := parseTypeSyntax(inner[i+1:])
-					if err != nil {
-						return typedesc.TypeRef{}, err
-					}
-					return typedesc.TypeRef{Name: "map[" + k.Name + "]" + v.Name}, nil
-				}
-			}
+		parts := splitTopLevel(s[len("map<") : len(s)-1])
+		if len(parts) != 2 {
+			return typedesc.TypeRef{}, fmt.Errorf("%w: bad map type %q", ErrSyntax, s)
 		}
-		return typedesc.TypeRef{}, fmt.Errorf("%w: bad map type %q", ErrSyntax, s)
+		k, err := parseTypeSyntax(parts[0])
+		if err != nil {
+			return typedesc.TypeRef{}, err
+		}
+		v, err := parseTypeSyntax(parts[1])
+		if err != nil {
+			return typedesc.TypeRef{}, err
+		}
+		return typedesc.TypeRef{Name: "map[" + k.Name + "]" + v.Name}, nil
 	default:
 		if !isIdentifier(s) {
 			return typedesc.TypeRef{}, fmt.Errorf("%w: bad type name %q", ErrSyntax, s)
@@ -367,7 +363,9 @@ func (p *parser) parseMember(d *typedesc.TypeDescription, line string) error {
 		if retPart != "void" {
 			rets := []string{retPart}
 			if strings.HasPrefix(retPart, "(") {
-				rets = strings.Split(strings.Trim(retPart, "()"), ",")
+				// Commas inside map<K,V> do not separate returns:
+				// split at bracket depth zero only.
+				rets = splitTopLevel(strings.Trim(retPart, "()"))
 			}
 			for _, r := range rets {
 				ref, err := parseTypeSyntax(r)
@@ -380,6 +378,26 @@ func (p *parser) parseMember(d *typedesc.TypeDescription, line string) error {
 		d.Methods = append(d.Methods, m)
 		return nil
 	}
+}
+
+// splitTopLevel splits s at commas outside any <>, [] or () nesting.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<', '[', '(':
+			depth++
+		case '>', ']', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
 }
 
 // parseCall parses "Name(type a, type b)".
@@ -397,38 +415,16 @@ func parseCall(s string) (string, []typedesc.TypeRef, error) {
 		return name, nil, nil
 	}
 	var params []typedesc.TypeRef
-	depth := 0
-	start := 0
-	flush := func(end int) error {
-		part := strings.TrimSpace(inner[start:end])
+	for _, part := range splitTopLevel(inner) {
 		fields := strings.Fields(part)
 		if len(fields) < 1 || len(fields) > 2 {
-			return fmt.Errorf("%w: bad parameter %q", ErrSyntax, part)
+			return "", nil, fmt.Errorf("%w: bad parameter %q", ErrSyntax, strings.TrimSpace(part))
 		}
 		ref, err := parseTypeSyntax(fields[0])
 		if err != nil {
-			return err
+			return "", nil, err
 		}
 		params = append(params, ref)
-		return nil
-	}
-	for i := 0; i < len(inner); i++ {
-		switch inner[i] {
-		case '<', '[', '(':
-			depth++
-		case '>', ']', ')':
-			depth--
-		case ',':
-			if depth == 0 {
-				if err := flush(i); err != nil {
-					return "", nil, err
-				}
-				start = i + 1
-			}
-		}
-	}
-	if err := flush(len(inner)); err != nil {
-		return "", nil, err
 	}
 	return name, params, nil
 }

@@ -1,0 +1,251 @@
+package lingua
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pti/internal/typedesc"
+)
+
+// Property suite for the IDL round trip: for any description the
+// generator can produce, parse(format(d)) is structurally equal to d
+// after one normalization, format is a fixpoint from then on, and the
+// derived identity is stable. A second set of properties asserts the
+// parser is total on mutated input: malformed source yields ErrSyntax
+// (or a valid parse), never a panic.
+
+const propertySeed = 20260728
+
+// genIdent produces a deterministic exported identifier.
+func genIdent(rng *rand.Rand, prefix string, i int) string {
+	letters := "ABCDEFGHR"
+	return fmt.Sprintf("%s%c%c%d", prefix,
+		letters[rng.Intn(len(letters))], 'a'+rune(rng.Intn(26)), i)
+}
+
+// genTypeRef draws from the IDL-expressible type syntax: primitives,
+// named types, slices, fixed arrays, maps and pointers, recursively
+// up to a small depth.
+func genTypeRef(rng *rand.Rand, depth int) typedesc.TypeRef {
+	prims := []string{"int", "string", "bool", "float64", "int64", "byte"}
+	if depth <= 0 || rng.Intn(3) > 0 {
+		if rng.Intn(4) == 0 {
+			return typedesc.TypeRef{Name: genIdent(rng, "T", rng.Intn(5))}
+		}
+		return typedesc.TypeRef{Name: prims[rng.Intn(len(prims))]}
+	}
+	inner := genTypeRef(rng, depth-1)
+	switch rng.Intn(4) {
+	case 0:
+		return typedesc.TypeRef{Name: "[]" + inner.Name}
+	case 1:
+		return typedesc.TypeRef{Name: fmt.Sprintf("[%d]%s", rng.Intn(8)+1, inner.Name)}
+	case 2:
+		key := []string{"string", "int"}[rng.Intn(2)]
+		return typedesc.TypeRef{Name: "map[" + key + "]" + inner.Name}
+	default:
+		return typedesc.TypeRef{Name: "*" + inner.Name}
+	}
+}
+
+func genParams(rng *rand.Rand, max int) []typedesc.TypeRef {
+	n := rng.Intn(max + 1)
+	out := make([]typedesc.TypeRef, n)
+	for i := range out {
+		out[i] = genTypeRef(rng, 2)
+	}
+	return out
+}
+
+// genDescription produces one struct or interface declaration within
+// the subset the IDL can express: exported unique member names,
+// methods with 0–3 params and 0–2 returns, optional superclass,
+// interface list and constructors for structs.
+func genDescription(rng *rand.Rand, i int) *typedesc.TypeDescription {
+	d := &typedesc.TypeDescription{Name: genIdent(rng, "Gen", i)}
+	if rng.Intn(4) == 0 {
+		d.Kind = typedesc.KindInterface
+	} else {
+		d.Kind = typedesc.KindStruct
+		if rng.Intn(3) == 0 {
+			d.Super = &typedesc.TypeRef{Name: genIdent(rng, "Super", i)}
+		}
+		for j, n := 0, rng.Intn(3); j < n; j++ {
+			d.Interfaces = append(d.Interfaces, typedesc.TypeRef{Name: genIdent(rng, "Iface", j)})
+		}
+		for j, n := 0, rng.Intn(4); j < n; j++ {
+			d.Fields = append(d.Fields, typedesc.Field{
+				Name:     genIdent(rng, "Field", j),
+				Type:     genTypeRef(rng, 2),
+				Exported: true,
+			})
+		}
+		for j, n := 0, rng.Intn(2); j < n; j++ {
+			d.Constructors = append(d.Constructors, typedesc.Constructor{
+				Name:   genIdent(rng, "New", j),
+				Params: genParams(rng, 3),
+			})
+		}
+	}
+	for j, n := 0, rng.Intn(5); j < n; j++ {
+		m := typedesc.Method{
+			Name:   genIdent(rng, "Do", j),
+			Params: genParams(rng, 3),
+		}
+		for k, r := 0, rng.Intn(3); k < r; k++ {
+			m.Returns = append(m.Returns, genTypeRef(rng, 2))
+		}
+		d.Methods = append(d.Methods, m)
+	}
+	return d
+}
+
+// TestPropertyParseFormatParseRoundTrip: format a generated
+// description, parse it, format again — the reparse must be
+// structurally identical, the second format a byte-for-byte fixpoint,
+// and the derived identity stable.
+func TestPropertyParseFormatParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(propertySeed))
+	for iter := 0; iter < 300; iter++ {
+		gen := genDescription(rng, iter)
+		idl := Format(gen)
+		first, err := Parse(idl)
+		if err != nil {
+			t.Fatalf("iter %d: parse(format(gen)): %v\nIDL:\n%s", iter, err, idl)
+		}
+		if len(first) != 1 {
+			t.Fatalf("iter %d: %d declarations from one", iter, len(first))
+		}
+		d1 := first[0]
+		idl2 := Format(d1)
+		second, err := Parse(idl2)
+		if err != nil {
+			t.Fatalf("iter %d: reparse: %v\nIDL:\n%s", iter, err, idl2)
+		}
+		d2 := second[0]
+		if !typedesc.Equal(d1, d2) {
+			t.Fatalf("iter %d: round trip not structurally stable\nfirst:\n%s\nsecond:\n%s\ndiff: %v",
+				iter, idl, idl2, typedesc.Diff(d1, d2))
+		}
+		if idl2 != Format(d2) {
+			t.Fatalf("iter %d: format is not a fixpoint\n%q\nvs\n%q", iter, idl2, Format(d2))
+		}
+		if d1.Identity != d2.Identity || d1.Identity.IsNil() {
+			t.Fatalf("iter %d: identity unstable: %s vs %s", iter, d1.Identity, d2.Identity)
+		}
+		if err := d1.Validate(); err != nil {
+			t.Fatalf("iter %d: parsed description invalid: %v", iter, err)
+		}
+	}
+}
+
+// TestPropertyMultiDeclRoundTrip round-trips several declarations in
+// one source file, in order.
+func TestPropertyMultiDeclRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(propertySeed + 1))
+	for iter := 0; iter < 50; iter++ {
+		n := rng.Intn(4) + 2
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(Format(genDescription(rng, iter*10+i)))
+			sb.WriteString("\n")
+		}
+		descs, err := Parse(sb.String())
+		if err != nil {
+			t.Fatalf("iter %d: %v\nIDL:\n%s", iter, err, sb.String())
+		}
+		if len(descs) != n {
+			t.Fatalf("iter %d: parsed %d of %d declarations", iter, len(descs), n)
+		}
+		for i, d := range descs {
+			re, err := Parse(Format(d))
+			if err != nil {
+				t.Fatalf("iter %d decl %d: %v", iter, i, err)
+			}
+			if !typedesc.Equal(d, re[0]) {
+				t.Fatalf("iter %d decl %d: not stable: %v", iter, i, typedesc.Diff(d, re[0]))
+			}
+		}
+	}
+}
+
+// TestPropertyParserTotalOnMutatedInput mutates valid IDL with random
+// edits — truncation, line deletion, byte substitution, duplication —
+// and requires Parse to return (an error or a parse), never panic,
+// and to return ErrSyntax-classified errors only.
+func TestPropertyParserTotalOnMutatedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(propertySeed + 2))
+	junk := []byte("{}();,<>[]*#:x9 \t")
+	for iter := 0; iter < 500; iter++ {
+		src := Format(genDescription(rng, iter))
+		b := []byte(src)
+		for edits, n := 0, rng.Intn(4)+1; edits < n; edits++ {
+			if len(b) == 0 {
+				break
+			}
+			switch rng.Intn(4) {
+			case 0: // truncate
+				b = b[:rng.Intn(len(b))]
+			case 1: // substitute a byte
+				b[rng.Intn(len(b))] = junk[rng.Intn(len(junk))]
+			case 2: // delete a span
+				i := rng.Intn(len(b))
+				j := i + rng.Intn(len(b)-i)
+				b = append(b[:i], b[j:]...)
+			case 3: // duplicate a span
+				i := rng.Intn(len(b))
+				j := i + rng.Intn(len(b)-i)
+				b = append(b[:j], b[i:]...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("iter %d: parser panicked on mutated input: %v\ninput:\n%s", iter, r, b)
+				}
+			}()
+			descs, err := Parse(string(b))
+			if err == nil {
+				// Survived the mutation: the result must still be valid.
+				for _, d := range descs {
+					if verr := d.Validate(); verr != nil {
+						t.Fatalf("iter %d: parse accepted invalid description: %v\ninput:\n%s", iter, verr, b)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// TestParseErrorPathsExtended covers malformed shapes the original
+// error table misses: broken return lists, parameter arity junk,
+// nested composite syntax errors and stray trailing input.
+func TestParseErrorPathsExtended(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"unclosed return tuple", "struct P {\n(int Get();\n};"},
+		{"ctor bad name", "struct P {\nconstructor 9New();\n};"},
+		{"param three tokens", "struct P {\nvoid M(int a b);\n};"},
+		{"param empty between commas", "struct P {\nvoid M(int a, , int b);\n};"},
+		{"map missing value", "struct P {\nfield map<string,> M;\n};"},
+		{"nested map broken", "struct P {\nfield map<string,map<int> M;\n};"},
+		{"array length negative", "struct P {\nfield int[-1] A;\n};"},
+		{"pointer to nothing", "struct P {\nfield * X;\n};"},
+		{"method missing parens", "struct P {\nint GetName;\n};"},
+		{"decl after garbage", "garbage here\nstruct P {\n};"},
+		{"implements empty name", "struct P implements , Q {\n};"},
+		{"super missing name", "struct P : {\n};"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			descs, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("accepted malformed input, got %d descs", len(descs))
+			}
+		})
+	}
+}

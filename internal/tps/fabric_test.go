@@ -1,0 +1,116 @@
+package tps
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pti/internal/fixtures"
+	"pti/internal/registry"
+	"pti/internal/transport"
+)
+
+// TestAttachNodeBridgesFabricIntoBroker is the distributed-TPS
+// scenario over the simulation fabric: a remote publisher's objects
+// cross a latency-and-duplication link into a local broker, where a
+// subscriber with an independently written type receives them through
+// the conformance mapping.
+func TestAttachNodeBridgesFabricIntoBroker(t *testing.T) {
+	f := transport.NewFabric(99)
+	defer f.Close()
+
+	regPub := registry.New()
+	if _, err := regPub.Register(fixtures.StockQuoteB{}); err != nil {
+		t.Fatal(err)
+	}
+	regSub := registry.New()
+	if _, err := regSub.Register(fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := f.AddPeerWithRegistry("pub", regPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := f.AddPeerWithRegistry("sub", regSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Connect("pub", "sub", transport.FaultProfile{
+		Latency: time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	broker := NewBroker(regSub)
+	var mu sync.Mutex
+	var symbols []string
+	if _, err := broker.Subscribe(fixtures.StockQuoteA{}, func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if q, ok := e.Bound.(*fixtures.StockQuoteA); ok {
+			symbols = append(symbols, q.Symbol)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachNode(broker, sub, fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, _ := pub.ConnTo("sub")
+	if err := pub.Peer().SendObject(conn, fixtures.StockQuoteB{
+		StockSymbol: "PTI", StockPrice: 42.0, StockVolume: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(symbols)
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(symbols) != 1 || symbols[0] != "PTI" {
+		t.Fatalf("symbols = %v, want [PTI]", symbols)
+	}
+	published, delivered, _ := broker.Stats()
+	if published != 1 || delivered != 1 {
+		t.Errorf("broker stats: published=%d delivered=%d", published, delivered)
+	}
+}
+
+// TestAttachNodeRejectsCrashedNode: attaching a crashed node is an
+// error, not a silent no-op — the caller must reattach after restart.
+func TestAttachNodeRejectsCrashedNode(t *testing.T) {
+	f := transport.NewFabric(100)
+	defer f.Close()
+	reg := registry.New()
+	if _, err := reg.Register(fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.AddPeerWithRegistry("n", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Crash("n"); err != nil {
+		t.Fatal(err)
+	}
+	broker := NewBroker(reg)
+	if err := AttachNode(broker, n, fixtures.StockQuoteA{}); !errors.Is(err, transport.ErrNodeCrashed) {
+		t.Errorf("AttachNode(crashed) = %v, want transport.ErrNodeCrashed", err)
+	}
+	// After restart the attach works again.
+	if _, err := f.Restart("n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachNode(broker, n, fixtures.StockQuoteA{}); err != nil {
+		t.Errorf("AttachNode(restarted) = %v", err)
+	}
+}

@@ -342,3 +342,19 @@ func AttachPeer(b *Broker, p *transport.Peer, typeOfInterest interface{}) error 
 		}
 	})
 }
+
+// AttachNode bridges a simulation-fabric node into the broker, the
+// scenario-testing form of AttachPeer: the node's peer — connected to
+// the rest of the fabric through fault-injected virtual links — feeds
+// every received conformant object into the local broker. Reattach
+// after a crash/restart cycle; the restarted peer starts with no
+// interests, exactly like a restarted process.
+func AttachNode(b *Broker, n *transport.Node, typeOfInterest interface{}) error {
+	p := n.Peer()
+	if p == nil {
+		// A down node is a liveness condition, not a bad interest:
+		// callers retry after Restart.
+		return fmt.Errorf("tps: attach %s: %w", n.Name(), transport.ErrNodeCrashed)
+	}
+	return AttachPeer(b, p, typeOfInterest)
+}

@@ -72,7 +72,13 @@ func (c *Conn) readLoop() {
 	for {
 		m, n, err := ReadMessage(c.rw)
 		if err != nil {
+			// The remote side died (EOF) or the stream broke: fail
+			// pending exchanges and reap the connection, so a peer
+			// whose counterpart crashed does not keep broadcasting
+			// into a dead conn.
 			c.failPending()
+			_ = c.rw.Close()
+			c.peer.untrack(c)
 			return
 		}
 		c.peer.stats.bytesReceived.Add(uint64(n))
@@ -126,8 +132,17 @@ func (c *Conn) replyError(req *Message, err error) error {
 	return c.reply(req, MsgError, []byte(err.Error()))
 }
 
-// request performs a correlated request/reply exchange.
+// request performs a correlated request/reply exchange. It fails fast
+// with ErrPeerClosed the moment the owning peer shuts down — an
+// in-flight description or code fetch must never hold Peer.Close
+// hostage for the full request timeout (crash/restart schedules in
+// the simulation fabric hit this constantly).
 func (c *Conn) request(t MsgType, body []byte) (*Message, error) {
+	select {
+	case <-c.peer.closeCh:
+		return nil, ErrPeerClosed
+	default:
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -157,6 +172,11 @@ func (c *Conn) request(t MsgType, body []byte) (*Message, error) {
 			return nil, fmt.Errorf("%w: %s", ErrRemote, m.Body)
 		}
 		return m, nil
+	case <-c.peer.closeCh:
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrPeerClosed, t)
 	case <-timer.C:
 		c.mu.Lock()
 		delete(c.pending, seq)

@@ -1,0 +1,648 @@
+package transport
+
+import (
+	"os"
+	"reflect"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pti/internal/conform"
+	"pti/internal/fixtures"
+	"pti/internal/lingua"
+	"pti/internal/registry"
+)
+
+// The scenario suite drives the optimistic protocol across the
+// simulation fabric's fault axes — the "as many scenarios as you can
+// imagine" item of the ROADMAP. Every scenario prints its fabric seed
+// on failure; re-running with that seed replays the identical fault
+// schedule (see TestFabricScheduleReplaysByteIdentically).
+
+// scenarioSeed lets a failing run be replayed: PTI_SEED=n go test ...
+func scenarioSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	if s := os.Getenv("PTI_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad PTI_SEED %q: %v", s, err)
+		}
+		return n
+	}
+	return def
+}
+
+// mappingFingerprint reduces a conformance result to the part that
+// must agree across peers: the verdict and the member
+// correspondences. (Expected-side identities may differ between
+// definition routes; the correspondences may not.)
+type mappingFingerprint struct {
+	Conformant bool
+	Identity   bool
+	Fields     []conform.FieldMapping
+	Methods    []conform.MethodMapping
+	Ctors      []conform.CtorMapping
+}
+
+func fingerprintOf(conformant bool, m *conform.Mapping) mappingFingerprint {
+	fp := mappingFingerprint{Conformant: conformant}
+	if m != nil {
+		fp.Identity = m.Identity
+		fp.Fields = m.Fields
+		fp.Methods = m.Methods
+		fp.Ctors = m.Ctors
+	}
+	return fp
+}
+
+const scenarioPersonIDL = `
+struct PersonA {
+    field string Name;
+    field int Age;
+    string GetName();
+    void SetName(string name);
+    int GetAge();
+    void SetAge(int age);
+};
+`
+
+// TestScenarioPartitionHealConvergence is the acceptance scenario: a
+// publisher and two subscribers with divergent registries, one
+// subscriber partitioned away mid-stream. After the heal, the late
+// subscriber must run its own optimistic re-check and land on the
+// same conformance result as the peer that never lost connectivity.
+func TestScenarioPartitionHealConvergence(t *testing.T) {
+	seed := scenarioSeed(t, 1001)
+	f := NewFabric(seed)
+	defer f.Close()
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+
+	regPub := registry.New()
+	if _, err := regPub.Register(fixtures.PersonB{},
+		registry.WithConstructor("NewPersonB", fixtures.NewPersonB)); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := f.AddPeerWithRegistry("pub", regPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The subscribers' registries diverge from the publisher's — and
+	// from each other's definition route: both take their interest
+	// from the same IDL text, so their conformance results are
+	// comparable in full.
+	descs, err := lingua.Parse(scenarioPersonIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interest := descs[0]
+
+	type subscriber struct {
+		node       *Node
+		deliveries chan Delivery
+	}
+	subs := make(map[string]*subscriber)
+	for _, name := range []string{"subA", "subB"} {
+		n, err := f.AddPeerWithRegistry(name, registry.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &subscriber{node: n, deliveries: make(chan Delivery, 8)}
+		if err := n.Peer().OnReceiveDescription(interest.Clone(), func(d Delivery) {
+			s.deliveries <- d
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := f.Connect("pub", name, FaultProfile{
+			Latency: 500 * time.Microsecond, Jitter: 500 * time.Microsecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		subs[name] = s
+	}
+
+	// Partition subB away and publish: only subA hears it.
+	f.Partition([]string{"pub", "subA"}, []string{"subB"})
+	if sent, err := pub.Peer().Broadcast(fixtures.PersonB{PersonName: "during", PersonAge: 1}); err != nil || sent != 2 {
+		t.Fatalf("broadcast during partition: sent=%d err=%v", sent, err)
+	}
+	d := awaitDelivery(t, subs["subA"].deliveries)
+	if d.View == nil || d.Bound != nil {
+		t.Fatalf("description-only interest should deliver a view, got %+v", d)
+	}
+	select {
+	case d := <-subs["subB"].deliveries:
+		t.Fatalf("partitioned subscriber received %+v", d)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Heal and publish again: subB now performs its own cold-path
+	// re-check and converges.
+	f.Heal()
+	if sent, err := pub.Peer().Broadcast(fixtures.PersonB{PersonName: "after", PersonAge: 2}); err != nil || sent != 2 {
+		t.Fatalf("broadcast after heal: sent=%d err=%v", sent, err)
+	}
+	dA := awaitDelivery(t, subs["subA"].deliveries)
+	dB := awaitDelivery(t, subs["subB"].deliveries)
+	if got, _ := dB.View.Get("Name"); got != "after" {
+		t.Errorf("subB view Name = %v", got)
+	}
+
+	// Convergence: the mapping each peer computed independently must
+	// agree member-for-member.
+	fpA := fingerprintOf(true, dA.Mapping)
+	fpB := fingerprintOf(true, dB.Mapping)
+	if !reflect.DeepEqual(fpA, fpB) {
+		t.Errorf("mappings diverged:\nsubA: %+v\nsubB: %+v", fpA, fpB)
+	}
+	// And each peer arrived at it through its own protocol exchange —
+	// the optimistic re-check, not gossip.
+	for name, s := range subs {
+		st := s.node.Peer().Stats().Snapshot()
+		if st.TypeInfoRequests != 1 {
+			t.Errorf("%s TypeInfoRequests = %d, want 1 (own cold fetch)", name, st.TypeInfoRequests)
+		}
+	}
+	// The checkers agree too when asked point-blank for the cached
+	// result (the conform.Result convergence the issue names).
+	var results []mappingFingerprint
+	for _, s := range subs {
+		cand, err := s.node.Peer().RemoteDescriptions().Resolve(dA.Mapping.Candidate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.node.Peer().Checker().Check(cand, interest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, fingerprintOf(r.Conformant, r.Mapping))
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("checker results diverged: %+v vs %+v", results[0], results[1])
+	}
+}
+
+// TestScenarioCrashRestartCacheIntegrity crashes a warmed-up receiver
+// mid-stream and verifies the restarted peer rebuilds its conformance
+// state from the protocol — same mapping, fresh fetch, no stale
+// cache entries surviving the crash.
+func TestScenarioCrashRestartCacheIntegrity(t *testing.T) {
+	seed := scenarioSeed(t, 2002)
+	f := NewFabric(seed)
+	defer f.Close()
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+
+	regA := registry.New()
+	if _, err := regA.Register(fixtures.PersonB{},
+		registry.WithConstructor("NewPersonB", fixtures.NewPersonB)); err != nil {
+		t.Fatal(err)
+	}
+	regB := registry.New()
+	if _, err := regB.Register(fixtures.PersonA{},
+		registry.WithConstructor("NewPersonA", fixtures.NewPersonA)); err != nil {
+		t.Fatal(err)
+	}
+	na, err := f.AddPeerWithRegistry("a", regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := f.AddPeerWithRegistry("b", regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Connect("a", "b", FaultProfile{Latency: 300 * time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	const warm = 5
+	var mu sync.Mutex
+	var mappings []mappingFingerprint
+	var ages []int
+	collect := func(d Delivery) {
+		mu.Lock()
+		mappings = append(mappings, fingerprintOf(true, d.Mapping))
+		ages = append(ages, d.Bound.(*fixtures.PersonA).Age)
+		mu.Unlock()
+	}
+	if err := nb.Peer().OnReceive(fixtures.PersonA{}, collect); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < warm; i++ {
+		if _, err := na.Peer().Broadcast(fixtures.PersonB{PersonName: "w", PersonAge: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitUntil(5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(ages) == warm
+	}) {
+		t.Fatalf("warm-up deliveries = %d, want %d", len(ages), warm)
+	}
+	preCrash := nb.Peer().Stats().Snapshot()
+	if preCrash.TypeInfoRequests != 1 {
+		t.Fatalf("warm-up TypeInfoRequests = %d, want 1 (cache amortizes)", preCrash.TypeInfoRequests)
+	}
+	mu.Lock()
+	preMapping := mappings[0]
+	mappings, ages = nil, nil
+	mu.Unlock()
+
+	// Crash mid-stream: broadcasts issued while down reach nobody.
+	if err := f.Crash("b"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(2*time.Second, func() bool { return na.Peer().ConnCount() == 0 })
+	if sent, _ := na.Peer().Broadcast(fixtures.PersonB{PersonName: "lost", PersonAge: 99}); sent != 0 {
+		t.Errorf("broadcast into crashed fabric reached %d conns", sent)
+	}
+
+	nb2, err := f.Restart("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nb2.Peer().OnReceive(fixtures.PersonA{}, collect); err != nil {
+		t.Fatal(err)
+	}
+	const after = 5
+	for i := 0; i < after; i++ {
+		if _, err := na.Peer().Broadcast(fixtures.PersonB{PersonName: "r", PersonAge: 100 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitUntil(5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(ages) == after
+	}) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("post-restart deliveries = %d, want %d", len(ages), after)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	// The crashed peer's caches died with it: the restarted peer
+	// re-fetched and re-checked from scratch...
+	postStats := nb2.Peer().Stats().Snapshot()
+	if postStats.TypeInfoRequests != 1 {
+		t.Errorf("post-restart TypeInfoRequests = %d, want 1", postStats.TypeInfoRequests)
+	}
+	// ...and landed on exactly the mapping the pre-crash peer used —
+	// no corruption, no divergence, every delivery consistent.
+	for i, m := range mappings {
+		if !reflect.DeepEqual(m, preMapping) {
+			t.Errorf("delivery %d mapping diverged after restart:\npre:  %+v\npost: %+v", i, preMapping, m)
+		}
+	}
+	sort.Ints(ages)
+	for i, age := range ages {
+		if age != 100+i {
+			t.Errorf("post-restart ages = %v, want 100..104 exactly once each", ages)
+			break
+		}
+	}
+}
+
+// TestScenarioEagerOptimisticEquivalenceUnderReordering runs the same
+// publication sequence over two identically seeded fabrics — one
+// optimistic, one eager — under heavy reordering, and demands the two
+// modes deliver exactly the same objects. The protocol modes differ
+// in wire cost, never in semantics (the paper's Section 7 framing).
+func TestScenarioEagerOptimisticEquivalenceUnderReordering(t *testing.T) {
+	seed := scenarioSeed(t, 3003)
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+	run := func(eager bool) (ages []int, typeInfo uint64) {
+		var opts []PeerOption
+		if eager {
+			opts = append(opts, Eager())
+		}
+		f, na, nb := fabricPair(t, seed, FaultProfile{
+			Latency:     300 * time.Microsecond,
+			Jitter:      300 * time.Microsecond,
+			ReorderRate: 0.5,
+		}, opts, nil)
+		defer f.Close()
+		var mu sync.Mutex
+		if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(d Delivery) {
+			mu.Lock()
+			ages = append(ages, d.Bound.(*fixtures.PersonA).Age)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ca, _ := na.ConnTo("b")
+		const n = 25
+		for i := 0; i < n; i++ {
+			if err := na.Peer().SendObject(ca, fixtures.PersonB{PersonName: "e", PersonAge: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !waitUntil(10*time.Second, func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(ages) == n
+		}) {
+			mu.Lock()
+			defer mu.Unlock()
+			t.Fatalf("eager=%t delivered %d/%d under reordering", eager, len(ages), n)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		sort.Ints(ages)
+		return ages, nb.Peer().Stats().Snapshot().TypeInfoRequests
+	}
+
+	optAges, optTI := run(false)
+	eagAges, eagTI := run(true)
+	if !reflect.DeepEqual(optAges, eagAges) {
+		t.Errorf("modes diverged under reordering:\noptimistic: %v\neager:      %v", optAges, eagAges)
+	}
+	if optTI != 1 {
+		t.Errorf("optimistic TypeInfoRequests = %d, want 1", optTI)
+	}
+	if eagTI != 0 {
+		t.Errorf("eager TypeInfoRequests = %d, want 0 (description ships inline)", eagTI)
+	}
+}
+
+// TestScenarioAtMostOnceAccounting: when the fabric guarantees
+// at-most-once (no drop, no dup, no reorder — just latency), the
+// peer's Stats must account for exactly-once delivery: nothing lost,
+// nothing duplicated, frame counters balanced.
+func TestScenarioAtMostOnceAccounting(t *testing.T) {
+	seed := scenarioSeed(t, 4004)
+	prof := FaultProfile{Latency: 200 * time.Microsecond, Jitter: 300 * time.Microsecond}
+	if !prof.perfect() {
+		t.Fatal("profile must be fault-free for this scenario")
+	}
+	f, na, nb := fabricPair(t, seed, prof, nil, nil)
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(d Delivery) {
+		mu.Lock()
+		seen[d.Bound.(*fixtures.PersonA).Age]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := na.ConnTo("b")
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := na.Peer().SendObject(ca, fixtures.PersonB{PersonName: "x", PersonAge: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitUntil(10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) == n
+	}) {
+		t.Fatalf("unique deliveries = %d, want %d", len(seen), n)
+	}
+	mu.Lock()
+	for age, count := range seen {
+		if count != 1 {
+			t.Errorf("object %d delivered %d times over an at-most-once fabric", age, count)
+		}
+	}
+	mu.Unlock()
+
+	as, bs := na.Peer().Stats().Snapshot(), nb.Peer().Stats().Snapshot()
+	if as.ObjectsSent != n {
+		t.Errorf("sender ObjectsSent = %d, want %d", as.ObjectsSent, n)
+	}
+	if bs.ObjectsReceived != n || bs.ObjectsDelivered != n || bs.ObjectsDropped != 0 {
+		t.Errorf("receiver accounting: received=%d delivered=%d dropped=%d, want %d/%d/0",
+			bs.ObjectsReceived, bs.ObjectsDelivered, bs.ObjectsDropped, n, n)
+	}
+	// Frame-level accounting: everything offered was delivered.
+	if !waitUntil(2*time.Second, func() bool {
+		s := f.Stats()
+		return s.FramesSent == s.FramesDelivered
+	}) {
+		t.Errorf("frame accounting unbalanced: %+v", f.Stats())
+	}
+	s := f.Stats()
+	if s.FramesDropped != 0 || s.FramesDuplicated != 0 || s.FramesReordered != 0 || s.PartitionDrops != 0 {
+		t.Errorf("faults recorded on a fault-free fabric: %+v", s)
+	}
+}
+
+// TestScenarioLossyLinkEventualDelivery: on a badly lossy link the
+// application-level retry (re-publication) eventually lands an
+// object, and repeated receptions of the already-checked type cost
+// re-checks against the cache, not new protocol round trips beyond
+// the ones the losses forced.
+func TestScenarioLossyLinkEventualDelivery(t *testing.T) {
+	seed := scenarioSeed(t, 5005)
+	f, na, nb := fabricPair(t, seed, FaultProfile{
+		Latency:  200 * time.Microsecond,
+		DropRate: 0.4,
+	}, nil, []PeerOption{WithRequestTimeout(150 * time.Millisecond)})
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+	_ = f
+
+	var delivered atomic.Uint64
+	if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(Delivery) { delivered.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := na.ConnTo("b")
+	// Re-publish until at least one copy survives the loss schedule
+	// end-to-end (object frame + description exchange + code
+	// exchange all have to get lucky at 60% per frame).
+	deadline := time.Now().Add(20 * time.Second)
+	sends := 0
+	for delivered.Load() == 0 && time.Now().Before(deadline) {
+		if err := na.Peer().SendObject(ca, fixtures.PersonB{PersonName: "retry", PersonAge: sends}); err != nil {
+			t.Fatal(err)
+		}
+		sends++
+		time.Sleep(20 * time.Millisecond)
+	}
+	if delivered.Load() == 0 {
+		t.Fatalf("no delivery after %d sends over lossy link", sends)
+	}
+	bs := nb.Peer().Stats().Snapshot()
+	t.Logf("lossy link: %d sends, %d received, %d delivered, %d dropped, %d type-info fetches",
+		sends, bs.ObjectsReceived, bs.ObjectsDelivered, bs.ObjectsDropped, bs.TypeInfoRequests)
+	// Every reception was either delivered or accounted as dropped —
+	// loss never wedges an object in between.
+	if bs.ObjectsReceived != bs.ObjectsDelivered+bs.ObjectsDropped {
+		t.Errorf("reception accounting leaked: received=%d != delivered=%d + dropped=%d",
+			bs.ObjectsReceived, bs.ObjectsDelivered, bs.ObjectsDropped)
+	}
+}
+
+// TestFabricSoak is the long-running churn scenario: a five-node
+// fabric under a moderately hostile profile with concurrent
+// publishers, while one subscriber crash/restarts repeatedly. The
+// assertions are the protocol's global invariants — accounting
+// balance on every peer, convergent mappings, no deadlock, no race
+// (run under -race via `make soak`). PTI_SOAK=1 extends the run.
+func TestFabricSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak scenario skipped in -short mode")
+	}
+	seed := scenarioSeed(t, time.Now().UnixNano())
+	t.Logf("fabric soak seed=%d (replay with PTI_SEED=%d)", seed, seed)
+
+	rounds := 4
+	perRound := 30
+	if os.Getenv("PTI_SOAK") != "" {
+		rounds, perRound = 20, 100
+	}
+
+	f := NewFabric(seed)
+	defer f.Close()
+
+	prof := FaultProfile{
+		Latency:     200 * time.Microsecond,
+		Jitter:      300 * time.Microsecond,
+		DropRate:    0.05,
+		DupRate:     0.05,
+		ReorderRate: 0.1,
+	}
+	newReg := func(v interface{}, name string, ctor interface{}) *registry.Registry {
+		reg := registry.New()
+		if _, err := reg.Register(v, registry.WithConstructor(name, ctor)); err != nil {
+			t.Fatal(err)
+		}
+		return reg
+	}
+	pubs := []string{"pub1", "pub2"}
+	subsNames := []string{"sub1", "sub2", "sub3"}
+	for _, p := range pubs {
+		if _, err := f.AddPeerWithRegistry(p, newReg(fixtures.PersonB{}, "NewPersonB", fixtures.NewPersonB),
+			WithRequestTimeout(200*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	maps := make(map[string][]mappingFingerprint)
+	subscribe := func(name string) {
+		n := f.Node(name)
+		if err := n.Peer().OnReceive(fixtures.PersonA{}, func(d Delivery) {
+			mu.Lock()
+			maps[name] = append(maps[name], fingerprintOf(true, d.Mapping))
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range subsNames {
+		if _, err := f.AddPeerWithRegistry(s, newReg(fixtures.PersonA{}, "NewPersonA", fixtures.NewPersonA),
+			WithRequestTimeout(200*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pubs {
+			if _, _, err := f.Connect(p, s, prof); err != nil {
+				t.Fatal(err)
+			}
+		}
+		subscribe(s)
+	}
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for _, p := range pubs {
+			wg.Add(1)
+			go func(p string, round int) {
+				defer wg.Done()
+				peer := f.Node(p).Peer()
+				for i := 0; i < perRound; i++ {
+					_, _ = peer.Broadcast(fixtures.PersonB{PersonName: p, PersonAge: round*perRound + i})
+				}
+			}(p, round)
+		}
+		// Mid-round chaos on sub3: crash, let traffic flow past the
+		// dead node, restart, resubscribe.
+		if round%2 == 1 {
+			if err := f.Crash("sub3"); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(10 * time.Millisecond)
+			if _, err := f.Restart("sub3"); err != nil {
+				t.Fatal(err)
+			}
+			subscribe("sub3")
+		}
+		wg.Wait()
+	}
+
+	// Invariant 1: per-peer accounting must converge — every reception
+	// resolves to delivered or dropped once the in-flight description
+	// and code exchanges (bounded by the request timeout) drain. A
+	// reception that never resolves is a wedged handler, which is
+	// exactly what this soak exists to catch.
+	balanced := func() bool {
+		for _, s := range subsNames {
+			p := f.Node(s).Peer()
+			if p == nil {
+				continue
+			}
+			st := p.Stats().Snapshot()
+			if st.ObjectsReceived != st.ObjectsDelivered+st.ObjectsDropped {
+				return false
+			}
+		}
+		return true
+	}
+	if !waitUntil(20*time.Second, balanced) {
+		for _, s := range subsNames {
+			if p := f.Node(s).Peer(); p != nil {
+				st := p.Stats().Snapshot()
+				t.Errorf("%s accounting never converged: received=%d delivered=%d dropped=%d (seed=%d)",
+					s, st.ObjectsReceived, st.ObjectsDelivered, st.ObjectsDropped, seed)
+			}
+		}
+	}
+	// Invariant 2: every delivery on every peer across every crash
+	// epoch used the same conformance mapping.
+	mu.Lock()
+	defer mu.Unlock()
+	var ref *mappingFingerprint
+	total := 0
+	for name, ms := range maps {
+		total += len(ms)
+		for _, m := range ms {
+			if ref == nil {
+				r := m
+				ref = &r
+				continue
+			}
+			if !reflect.DeepEqual(m, *ref) {
+				t.Fatalf("%s observed divergent mapping (seed=%d):\nref: %+v\ngot: %+v", name, seed, *ref, m)
+			}
+		}
+	}
+	if total == 0 {
+		t.Errorf("soak delivered nothing (seed=%d)", seed)
+	}
+	t.Logf("soak: %d deliveries across %d subscribers, fabric %+v (seed=%d)",
+		total, len(subsNames), f.Stats(), seed)
+}

@@ -1,0 +1,27 @@
+package transport
+
+// Link is one bidirectional frame path between two peers: the minimal
+// surface the protocol's sender-side operations need. *Conn — a link
+// over a real byte stream (TCP, an in-memory pipe, or a fabric
+// endpoint) — is the canonical implementation; the simulation fabric
+// hands out *Conns over virtual endpoints, so Peer.SendObject,
+// handleObject and fetchDescription run unmodified over either a real
+// network or a simulated one.
+type Link interface {
+	// Send writes a one-way message.
+	Send(m *Message) error
+	// Request performs a correlated request/reply exchange, failing
+	// with ErrRequestTimeout, ErrClosed or ErrPeerClosed.
+	Request(t MsgType, body []byte) (*Message, error)
+	// Close tears the link down, unblocking pending requests.
+	Close() error
+}
+
+var _ Link = (*Conn)(nil)
+
+// Send writes a one-way message over the connection.
+func (c *Conn) Send(m *Message) error { return c.send(m) }
+
+// Request performs a correlated request/reply exchange over the
+// connection.
+func (c *Conn) Request(t MsgType, body []byte) (*Message, error) { return c.request(t, body) }

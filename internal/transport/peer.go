@@ -20,6 +20,10 @@ import (
 var (
 	ErrNotRegistered = errors.New("transport: type not registered")
 	ErrNoConformance = errors.New("transport: no conformant type of interest")
+	// ErrPeerClosed fails in-flight request/reply exchanges the moment
+	// the owning peer shuts down, instead of letting them run out the
+	// request timeout.
+	ErrPeerClosed = errors.New("transport: peer closed")
 )
 
 // Delivery is a received object handed to an interest handler. When
@@ -74,6 +78,11 @@ type Peer struct {
 	acceptWG  sync.WaitGroup
 	handlerWG sync.WaitGroup
 	closed    bool
+
+	// closeCh is closed when the peer shuts down; pending
+	// request/reply exchanges select on it to fail fast with
+	// ErrPeerClosed.
+	closeCh chan struct{}
 }
 
 // PeerOption customizes a Peer.
@@ -84,14 +93,30 @@ func WithName(name string) PeerOption {
 	return func(p *Peer) { p.name = name }
 }
 
+// rebuildChecker reconstructs the checker and binder around the
+// peer's current cache — the single place checker wiring lives, so
+// policy and cache options compose in either order.
+func (p *Peer) rebuildChecker(pol conform.Policy) {
+	p.checker = conform.New(typedesc.MultiResolver{p.reg, p.remote},
+		conform.WithPolicy(pol), conform.WithCache(p.cache))
+	p.binder = proxy.NewBinder(p.reg, p.checker)
+}
+
 // WithPolicy sets the conformance policy (default Relaxed(1) with
 // token-subset member matching — the pragmatic configuration that
 // unifies the paper's Person example).
 func WithPolicy(pol conform.Policy) PeerOption {
+	return func(p *Peer) { p.rebuildChecker(pol) }
+}
+
+// WithCacheCapacity bounds the peer's conformance cache to roughly n
+// entries with second-chance eviction (0 = unbounded, the default) —
+// the long-lived-peer configuration where the type population churns
+// past what should stay resident.
+func WithCacheCapacity(n int) PeerOption {
 	return func(p *Peer) {
-		p.checker = conform.New(typedesc.MultiResolver{p.reg, p.remote},
-			conform.WithPolicy(pol), conform.WithCache(p.cache))
-		p.binder = proxy.NewBinder(p.reg, p.checker)
+		p.cache = conform.NewCacheWithCapacity(n)
+		p.rebuildChecker(p.checker.Policy())
 	}
 }
 
@@ -132,10 +157,9 @@ func NewPeer(reg *registry.Registry, opts ...PeerOption) *Peer {
 		conns:          make(map[*Conn]struct{}),
 		codeSeen:       make(map[string]bool),
 		inflight:       make(map[string]chan struct{}),
+		closeCh:        make(chan struct{}),
 	}
-	p.checker = conform.New(typedesc.MultiResolver{p.reg, p.remote},
-		conform.WithPolicy(conform.Relaxed(1)), conform.WithCache(p.cache))
-	p.binder = proxy.NewBinder(p.reg, p.checker)
+	p.rebuildChecker(conform.Relaxed(1))
 	for _, opt := range opts {
 		opt(p)
 	}
@@ -193,6 +217,12 @@ func (p *Peer) OnReceive(v interface{}, handler func(Delivery)) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		// Registering on a dead peer would silently never fire; fail
+		// so callers racing a shutdown (fabric crash schedules) know
+		// to re-register on the restarted peer.
+		return fmt.Errorf("transport: OnReceive: %w", ErrPeerClosed)
+	}
 	p.interests = append(p.interests, &interest{desc: desc, handler: handler})
 	return nil
 }
@@ -215,6 +245,9 @@ func (p *Peer) OnReceiveDescription(desc *typedesc.TypeDescription, handler func
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("transport: OnReceiveDescription: %w", ErrPeerClosed)
+	}
 	p.interests = append(p.interests, &interest{desc: desc.Clone(), handler: handler})
 	return nil
 }
@@ -277,6 +310,7 @@ func (p *Peer) Close() error {
 		return nil
 	}
 	p.closed = true
+	close(p.closeCh)
 	ln := p.listener
 	conns := make([]*Conn, 0, len(p.conns))
 	for c := range p.conns {
@@ -335,11 +369,12 @@ func (p *Peer) handleRequest(c *Conn, m *Message) {
 
 // --- sender side ----------------------------------------------------
 
-// SendObject serializes v and sends it over c following the
+// SendObject serializes v and sends it over l following the
 // optimistic protocol: only the envelope (type names, download paths,
 // payload) travels; descriptions and code go on demand. The type of v
-// must be registered.
-func (p *Peer) SendObject(c *Conn, v interface{}) error {
+// must be registered. l is normally a *Conn — over real TCP, an
+// in-memory pipe, or a simulation-fabric endpoint.
+func (p *Peer) SendObject(l Link, v interface{}) error {
 	t := reflect.TypeOf(v)
 	entry, ok := p.reg.LookupGo(t)
 	if !ok {
@@ -396,7 +431,7 @@ func (p *Peer) SendObject(c *Conn, v interface{}) error {
 	}
 	p.stats.objectsSent.Add(1)
 	p.emit(EventObjectSent, entry.Description.Ref(), "")
-	return c.send(&Message{Type: MsgObject, Body: body})
+	return l.Send(&Message{Type: MsgObject, Body: body})
 }
 
 // Broadcast sends v to every currently connected peer (the publisher
@@ -646,7 +681,7 @@ func (p *Peer) buildDelivery(c *Conn, env *xmlenc.Envelope, desc *typedesc.TypeD
 // on-demand step). Concurrent misses for the same type collapse into
 // one request (single flight), so a burst of objects of a new type
 // costs one round trip, not one per object.
-func (p *Peer) ensureDescription(c *Conn, ref typedesc.TypeRef) (*typedesc.TypeDescription, error) {
+func (p *Peer) ensureDescription(l Link, ref typedesc.TypeRef) (*typedesc.TypeDescription, error) {
 	for attempt := 0; attempt < 3; attempt++ {
 		if d, err := p.reg.Resolve(ref); err == nil {
 			p.stats.descriptorHits.Add(1)
@@ -661,17 +696,17 @@ func (p *Peer) ensureDescription(c *Conn, ref typedesc.TypeRef) (*typedesc.TypeD
 			wait()
 			continue
 		}
-		d, err := p.fetchDescription(c, ref)
+		d, err := p.fetchDescription(l, ref)
 		p.release("desc|" + ref.String())
 		return d, err
 	}
 	return nil, fmt.Errorf("transport: type info for %s: fetch did not converge", ref)
 }
 
-func (p *Peer) fetchDescription(c *Conn, ref typedesc.TypeRef) (*typedesc.TypeDescription, error) {
+func (p *Peer) fetchDescription(l Link, ref typedesc.TypeRef) (*typedesc.TypeDescription, error) {
 	p.stats.typeInfoRequests.Add(1)
 	p.emit(EventTypeInfoRequested, ref, "")
-	reply, err := c.request(MsgTypeInfoRequest, encodeRef(ref))
+	reply, err := l.Request(MsgTypeInfoRequest, encodeRef(ref))
 	if err != nil {
 		return nil, fmt.Errorf("transport: type info for %s: %w", ref, err)
 	}
@@ -733,7 +768,7 @@ func (p *Peer) release(key string) {
 // downloadCodeOnce performs the Figure 1 code exchange the first time
 // a type is seen. A failed download is not fatal: the object can
 // still be delivered as a generic view.
-func (p *Peer) downloadCodeOnce(c *Conn, ref typedesc.TypeRef, d *typedesc.TypeDescription) {
+func (p *Peer) downloadCodeOnce(l Link, ref typedesc.TypeRef, d *typedesc.TypeDescription) {
 	for attempt := 0; attempt < 3; attempt++ {
 		if p.codeSeenBefore(d) {
 			return
@@ -745,7 +780,7 @@ func (p *Peer) downloadCodeOnce(c *Conn, ref typedesc.TypeRef, d *typedesc.TypeD
 		}
 		p.stats.codeRequests.Add(1)
 		p.emit(EventCodeRequested, ref, "")
-		if _, err := c.request(MsgCodeRequest, encodeRef(ref)); err == nil {
+		if _, err := l.Request(MsgCodeRequest, encodeRef(ref)); err == nil {
 			p.markCodeSeen(d)
 		}
 		p.release("code|" + d.Identity.String())

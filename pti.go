@@ -97,6 +97,17 @@ type (
 	Peer = transport.Peer
 	// Conn is one link between two peers.
 	Conn = transport.Conn
+	// Link is the frame-path abstraction both real connections and
+	// simulated fabric links satisfy.
+	Link = transport.Link
+	// Fabric is the deterministic multi-peer simulation network with
+	// fault injection (latency, loss, duplication, reordering,
+	// partitions, crash/restart), seeded for replay.
+	Fabric = transport.Fabric
+	// FabricNode is one simulated peer of a Fabric.
+	FabricNode = transport.Node
+	// FaultProfile describes one fabric link direction's behaviour.
+	FaultProfile = transport.FaultProfile
 	// Delivery is a received object.
 	Delivery = transport.Delivery
 	// RemoteRef is a pass-by-reference proxy to a remote object.
@@ -140,12 +151,13 @@ var ErrNotConformant = errors.New("pti: types do not conform")
 // Runtime is the top-level entry point: a registry of local types
 // plus a conformance checker and serialization machinery.
 type Runtime struct {
-	reg     *registry.Registry
-	cache   *conform.Cache
-	checker *conform.Checker
-	binder  *proxy.Binder
-	codec   wire.Codec
-	policy  Policy
+	reg      *registry.Registry
+	cache    *conform.Cache
+	checker  *conform.Checker
+	binder   *proxy.Binder
+	codec    wire.Codec
+	policy   Policy
+	cacheCap int
 }
 
 // Option customizes a Runtime.
@@ -166,17 +178,24 @@ func WithBinary() Option {
 	return func(r *Runtime) { r.codec = wire.Binary{} }
 }
 
+// WithCacheCapacity bounds the runtime's conformance cache — and the
+// cache of every peer it builds — to roughly n entries with
+// second-chance eviction (0 = unbounded, the default).
+func WithCacheCapacity(n int) Option {
+	return func(r *Runtime) { r.cacheCap = n }
+}
+
 // New builds a Runtime.
 func New(opts ...Option) *Runtime {
 	r := &Runtime{
 		reg:    registry.New(),
-		cache:  conform.NewCache(),
 		codec:  wire.Binary{},
 		policy: RelaxedPolicy(1),
 	}
 	for _, opt := range opts {
 		opt(r)
 	}
+	r.cache = conform.NewCacheWithCapacity(r.cacheCap)
 	r.checker = conform.New(r.reg, conform.WithPolicy(r.policy), conform.WithCache(r.cache))
 	r.binder = proxy.NewBinder(r.reg, r.checker)
 	return r
@@ -387,15 +406,40 @@ func WithObserver(obs func(ProtocolEvent)) PeerOption {
 	return transport.WithObserver(obs)
 }
 
+// Eager switches a peer to the non-optimistic baseline: every object
+// ships with its full type description and code blob inline.
+func Eager() PeerOption { return transport.Eager() }
+
 // NewPeer builds a transport peer sharing this runtime's registry and
 // policy.
 func (r *Runtime) NewPeer(name string, opts ...PeerOption) *Peer {
-	base := []transport.PeerOption{
-		transport.WithName(name),
+	return transport.NewPeer(r.reg, append(r.basePeerOptions(transport.WithName(name)), opts...)...)
+}
+
+func (r *Runtime) basePeerOptions(extra ...PeerOption) []transport.PeerOption {
+	base := append(extra,
 		transport.WithPolicy(r.policy),
 		transport.WithCodec(r.codec),
+	)
+	if r.cacheCap > 0 {
+		base = append(base, transport.WithCacheCapacity(r.cacheCap))
 	}
-	return transport.NewPeer(r.reg, append(base, opts...)...)
+	return base
+}
+
+// NewFabric builds a deterministic multi-peer simulation fabric whose
+// peers default to this runtime's registry, policy, codec and cache
+// bound. Every random choice on the fabric derives from seed, so a
+// failing scenario replays from its printed seed:
+//
+//	f := rt.NewFabric(42)
+//	a, _ := f.AddPeer("a")
+//	b, _ := f.AddPeer("b", pti.Eager())
+//	f.Connect("a", "b", pti.FaultProfile{Latency: 2 * time.Millisecond, DropRate: 0.1})
+func (r *Runtime) NewFabric(seed int64) *Fabric {
+	return transport.NewFabric(seed,
+		transport.WithFabricRegistry(r.reg),
+		transport.WithFabricPeerOptions(r.basePeerOptions()...))
 }
 
 // NewBroker builds a type-based publish/subscribe broker over this

@@ -1,0 +1,99 @@
+package pti_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pti"
+)
+
+// Facade-level fabric types: the user writes types once, registers
+// them with the Runtime, and drives multi-peer fault scenarios
+// through Runtime.NewFabric without touching internal packages.
+
+type quoteV1 struct {
+	Symbol string
+	Price  float64
+}
+
+func (q *quoteV1) GetSymbol() string { return q.Symbol }
+func (q *quoteV1) GetPrice() float64 { return q.Price }
+
+// TestRuntimeNewFabricEndToEnd: the facade builds a seeded fabric
+// whose peers share the runtime's registry, and the optimistic
+// protocol delivers across a faulty link.
+func TestRuntimeNewFabricEndToEnd(t *testing.T) {
+	rt := pti.New()
+	if err := rt.Register(quoteV1{}); err != nil {
+		t.Fatal(err)
+	}
+	f := rt.NewFabric(2026)
+	defer f.Close()
+	if f.Seed() != 2026 {
+		t.Errorf("Seed = %d", f.Seed())
+	}
+
+	a, err := f.AddPeer("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.AddPeer("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Connect("a", "b", pti.FaultProfile{
+		Latency: time.Millisecond,
+		DupRate: 0.0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []string
+	if err := b.Peer().OnReceive(quoteV1{}, func(d pti.Delivery) {
+		mu.Lock()
+		if q, ok := d.Bound.(*quoteV1); ok {
+			got = append(got, q.Symbol)
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	conn, ok := a.ConnTo("b")
+	if !ok {
+		t.Fatal("no conn a→b")
+	}
+	if err := a.Peer().SendObject(conn, quoteV1{Symbol: "FAB", Price: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != "FAB" {
+		t.Fatalf("got = %v, want [FAB]", got)
+	}
+}
+
+// TestRuntimeCacheCapacityOption: the bound threads from pti.New to
+// the runtime's own conformance cache (peers inherit it too).
+func TestRuntimeCacheCapacityOption(t *testing.T) {
+	rt := pti.New(pti.WithCacheCapacity(128))
+	if err := rt.Register(quoteV1{}); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: conformance still works under a bounded cache.
+	res, err := rt.ConformsTo(quoteV1{}, quoteV1{})
+	if err != nil || !res.Conformant {
+		t.Fatalf("ConformsTo = %+v, %v", res, err)
+	}
+}
