@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: help check vet test test-race bench bench-plan bench-json soak build
+.PHONY: help check vet test test-race bench bench-plan bench-wire bench-json soak build
 
 help:
 	@echo "Targets:"
@@ -18,7 +18,8 @@ help:
 	@echo "  soak        long-form fabric soak under -race (seed printed; replay with PTI_SEED=n)"
 	@echo "  bench       full paper-table benchmark run"
 	@echo "  bench-plan  compiled-plan vs reflective dispatch + cache numbers"
-	@echo "  bench-json  fabric scenario metrics -> BENCH_PR2.json (committed perf trajectory)"
+	@echo "  bench-wire  compiled vs reflective wire codecs + SendObject end-to-end"
+	@echo "  bench-json  fabric scenario metrics -> BENCH_PR3.json (committed perf trajectory)"
 
 check: vet test-race
 
@@ -50,7 +51,14 @@ bench:
 bench-plan:
 	$(GO) test -run '^$$' -bench 'InvokerCall|CheckCached|InvocationProxy' -benchmem .
 
+# Compiled vs reflective wire codec programs (see BENCHMARKS.md's
+# wire table) plus the end-to-end SendObject paths over an in-memory
+# pipe and over the simulation fabric.
+bench-wire:
+	$(GO) test -run '^$$' -bench 'EncodeBinary|EncodeSOAP|DecodeBinary' -benchmem ./internal/wire
+	$(GO) test -run '^$$' -bench 'SendObject' -benchmem ./internal/transport
+
 # Machine-readable scenario metrics: match rate and delivery counts
-# per fault profile, written to BENCH_PR2.json (see BENCHMARKS.md).
+# per fault profile, written to BENCH_PR3.json (see BENCHMARKS.md).
 bench-json:
-	$(GO) run ./cmd/ptibench -exp scenario -reps 2 -seed 42 -json BENCH_PR2.json
+	$(GO) run ./cmd/ptibench -exp scenario -reps 2 -seed 42 -json BENCH_PR3.json

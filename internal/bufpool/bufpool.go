@@ -1,0 +1,43 @@
+// Package bufpool is the shared pooled-buffer plumbing of the encode
+// paths (wire codecs, xmlenc marshalers): working buffers come from a
+// process-wide pool and results are copied out at exact size, so the
+// steady-state cost of encoding is the bytes of the result itself,
+// not grow-and-throw scratch garbage.
+package bufpool
+
+import (
+	"bytes"
+	"sync"
+)
+
+var pool = sync.Pool{
+	New: func() interface{} { return new(bytes.Buffer) },
+}
+
+// Get returns a pooled, reset bytes.Buffer.
+func Get() *bytes.Buffer { return pool.Get().(*bytes.Buffer) }
+
+// Put resets b and returns it to the pool.
+func Put(b *bytes.Buffer) {
+	b.Reset()
+	pool.Put(b)
+}
+
+// Finish snapshots a pooled buffer into an exact-size result slice
+// and returns the buffer to the pool.
+func Finish(b *bytes.Buffer) []byte {
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	Put(b)
+	return out
+}
+
+// Grow extends dst by n uninitialized bytes the caller overwrites,
+// reallocating only when capacity runs out (append-style doubling).
+func Grow(dst []byte, n int) []byte {
+	l := len(dst)
+	for cap(dst) < l+n {
+		dst = append(dst[:cap(dst)], 0)
+	}
+	return dst[:l+n]
+}

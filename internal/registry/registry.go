@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"pti/internal/conform"
 	"pti/internal/typedesc"
 	"pti/internal/wire"
+	"pti/internal/xmlenc"
 )
 
 // Errors reported by the registry.
@@ -45,6 +47,129 @@ type Entry struct {
 	idPlanOnce sync.Once
 	idPlan     *conform.Plan
 	idPlanErr  error
+
+	// The compiled wire codec program for this entry's type — the
+	// serialization counterpart of the invocation plan, compiled once
+	// on first use (wire.CompileProgram).
+	progOnce sync.Once
+	prog     *wire.Program
+	progErr  error
+
+	// The marshaled XML type description: immutable once the entry
+	// exists, but the seed re-rendered it on every eager send, every
+	// type-info reply and every code blob.
+	descXMLOnce sync.Once
+	descXML     []byte
+	descXMLErr  error
+
+	// Per-encoding compiled envelope templates plus the envelope's
+	// static assembly list (root type + nested struct fields),
+	// computed on first send. Re-registering this type builds a fresh
+	// Entry, which drops these caches wholesale; re-registering a
+	// *nested* type leaves this entry in place, so the snapshot is
+	// additionally tagged with the resolver's generation and rebuilt
+	// when the registry has changed underneath it.
+	envMu         sync.Mutex
+	envAssemblies []xmlenc.AssemblyInfo
+	envTemplates  map[xmlenc.PayloadEncoding]*xmlenc.EnvelopeTemplate
+	envGen        uint64
+}
+
+// generationed is implemented by resolvers whose contents can change
+// over time (the Registry); the envelope caches use the generation to
+// notice re-registrations of nested types.
+type generationed interface {
+	Generation() uint64
+}
+
+// Program returns the compiled wire codec program for this entry's
+// type, compiling it on first use. The program is the encode/decode
+// fast path SendObject and the remoting layer dispatch through; types
+// outside the direct subset still get a (non-direct) program whose
+// only job is making the fallback decision once.
+func (e *Entry) Program() (*wire.Program, error) {
+	e.progOnce.Do(func() {
+		e.prog, e.progErr = wire.CompileProgram(e.Type)
+	})
+	return e.prog, e.progErr
+}
+
+// DescriptionXML returns the entry's marshaled type description,
+// rendering it once.
+func (e *Entry) DescriptionXML() ([]byte, error) {
+	e.descXMLOnce.Do(func() {
+		e.descXML, e.descXMLErr = xmlenc.MarshalDescription(e.Description)
+	})
+	return e.descXML, e.descXMLErr
+}
+
+// Assemblies returns the envelope's static assembly list: the root
+// type plus every nested struct field type, with their download
+// paths. It is computed on first use resolving field types through
+// resolver (normally the owning registry) and rebuilt when the
+// resolver's generation changes — i.e. when any registration could
+// have changed a nested type's download paths.
+func (e *Entry) Assemblies(resolver typedesc.Resolver) []xmlenc.AssemblyInfo {
+	e.envMu.Lock()
+	defer e.envMu.Unlock()
+	e.ensureEnvLocked(resolver)
+	return e.envAssemblies
+}
+
+// ensureEnvLocked (re)builds the assembly snapshot — invalidating any
+// compiled templates with it — when absent or stale against the
+// resolver's generation.
+func (e *Entry) ensureEnvLocked(resolver typedesc.Resolver) {
+	var gen uint64
+	if g, ok := resolver.(generationed); ok {
+		gen = g.Generation()
+	}
+	if e.envAssemblies == nil || gen != e.envGen {
+		e.envAssemblies = e.buildAssembliesLocked(resolver)
+		e.envTemplates = nil
+		e.envGen = gen
+	}
+}
+
+func (e *Entry) buildAssembliesLocked(resolver typedesc.Resolver) []xmlenc.AssemblyInfo {
+	asm := []xmlenc.AssemblyInfo{
+		{Type: e.Description.Ref(), DownloadPaths: e.DownloadPaths},
+	}
+	// Figure 3: nested types' assembly information rides along.
+	for _, f := range e.Description.Fields {
+		if d, err := resolver.Resolve(f.Type); err == nil && d.Kind == typedesc.KindStruct {
+			asm = append(asm, xmlenc.AssemblyInfo{
+				Type:          d.Ref(),
+				DownloadPaths: d.DownloadPaths,
+			})
+		}
+	}
+	return asm
+}
+
+// EnvelopeTemplate returns the compiled envelope template for this
+// entry under the given payload encoding, building it (and the
+// assembly snapshot) on first use.
+func (e *Entry) EnvelopeTemplate(enc xmlenc.PayloadEncoding, resolver typedesc.Resolver) (*xmlenc.EnvelopeTemplate, error) {
+	e.envMu.Lock()
+	defer e.envMu.Unlock()
+	e.ensureEnvLocked(resolver)
+	if tpl, ok := e.envTemplates[enc]; ok {
+		return tpl, nil
+	}
+	tpl, err := xmlenc.CompileEnvelopeTemplate(&xmlenc.Envelope{
+		Type:       e.Description.Ref(),
+		Encoding:   enc,
+		Assemblies: e.envAssemblies,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if e.envTemplates == nil {
+		e.envTemplates = make(map[xmlenc.PayloadEncoding]*xmlenc.EnvelopeTemplate, 2)
+	}
+	e.envTemplates[enc] = tpl
+	return tpl, nil
 }
 
 // PlanFor returns the compiled invocation plan for this entry's
@@ -96,7 +221,15 @@ type Registry struct {
 	byName map[string]*Entry
 	repo   *typedesc.Repository
 	ifaces []reflect.Type
+
+	// gen counts mutations (Register, DeclareInterface, Unregister);
+	// entry-level envelope snapshots compare against it to notice
+	// nested types changing underneath them.
+	gen atomic.Uint64
 }
+
+// Generation returns the registry's mutation counter.
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
 
 // New returns an empty Registry.
 func New() *Registry {
@@ -148,6 +281,7 @@ func (r *Registry) DeclareInterface(iface interface{}) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.ifaces = append(r.ifaces, t)
+	r.gen.Add(1)
 	return r.repo.Add(d)
 }
 
@@ -212,6 +346,7 @@ func (r *Registry) Register(v interface{}, opts ...Option) (*Entry, error) {
 	// resolves (Section 5.2's "subtype description might already be
 	// available at the receiver side").
 	r.describeReachable(t, make(map[reflect.Type]bool))
+	r.gen.Add(1)
 	return entry, nil
 }
 
@@ -280,6 +415,7 @@ func (r *Registry) Unregister(ref typedesc.TypeRef) bool {
 	}
 	delete(r.byID, entry.Description.Identity.String())
 	delete(r.byName, entry.Description.Name)
+	r.gen.Add(1)
 	return true
 }
 

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"os"
 	"reflect"
 	"sort"
@@ -495,6 +496,116 @@ func TestScenarioLossyLinkEventualDelivery(t *testing.T) {
 	if bs.ObjectsReceived != bs.ObjectsDelivered+bs.ObjectsDropped {
 		t.Errorf("reception accounting leaked: received=%d != delivered=%d + dropped=%d",
 			bs.ObjectsReceived, bs.ObjectsDelivered, bs.ObjectsDropped)
+	}
+}
+
+// TestScenarioRestartEnvelopeCacheInvalidation exercises the cached
+// envelope parts (compiled template, assembly snapshot, description
+// XML) across the crash/re-register/restart cycle: the pre-crash
+// sender serves envelopes advertising its registered download paths,
+// re-registration after the crash replaces the registry entry — and
+// with it every per-entry cache — and the restarted sender's
+// envelopes must advertise the new paths with no stale bytes
+// surviving, while deliveries keep flowing.
+func TestScenarioRestartEnvelopeCacheInvalidation(t *testing.T) {
+	seed := scenarioSeed(t, 6006)
+	f := NewFabric(seed)
+	defer f.Close()
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+
+	const (
+		oldPath = "http://old.example/types"
+		newPath = "http://new.example/types"
+	)
+	regA := registry.New()
+	if _, err := regA.Register(fixtures.PersonB{},
+		registry.WithDownloadPaths(oldPath)); err != nil {
+		t.Fatal(err)
+	}
+	regB := registry.New()
+	if _, err := regB.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	na, err := f.AddPeerWithRegistry("a", regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := f.AddPeerWithRegistry("b", regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Connect("a", "b", FaultProfile{Latency: 200 * time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	deliveries := make(chan Delivery, 8)
+	collect := func(d Delivery) { deliveries <- d }
+	if err := nb.Peer().OnReceive(fixtures.PersonA{}, collect); err != nil {
+		t.Fatal(err)
+	}
+
+	sendCaptured := func(n *Node, name string, age int) []byte {
+		t.Helper()
+		conn, ok := n.ConnTo("b")
+		if !ok {
+			t.Fatal("no conn to b")
+		}
+		cap := &captureLink{Link: conn}
+		if err := n.Peer().SendObject(cap, fixtures.PersonB{PersonName: name, PersonAge: age}); err != nil {
+			t.Fatal(err)
+		}
+		sent := cap.sent()
+		if len(sent) != 1 {
+			t.Fatalf("captured %d sends, want 1", len(sent))
+		}
+		return sent[0]
+	}
+
+	// Two warm sends: the second rides the cached template and must
+	// still advertise the registered paths.
+	for i := 0; i < 2; i++ {
+		body := sendCaptured(na, "pre", i)
+		if !bytes.Contains(body, []byte(oldPath)) {
+			t.Fatalf("pre-crash envelope %d missing download path %q:\n%q", i, oldPath, body)
+		}
+		d := awaitDelivery(t, deliveries)
+		if d.Bound.(*fixtures.PersonA).Name != "pre" {
+			t.Fatalf("pre-crash delivery = %+v", d.Bound)
+		}
+	}
+
+	if err := f.Crash("a"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(2*time.Second, func() bool { return nb.Peer().ConnCount() == 0 })
+
+	// The "upgraded" process re-registers the type with new download
+	// paths: same structural identity, fresh registry entry — which is
+	// precisely what invalidates the envelope caches.
+	if _, err := regA.Register(fixtures.PersonB{},
+		registry.WithDownloadPaths(newPath)); err != nil {
+		t.Fatal(err)
+	}
+	na2, err := f.Restart("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		body := sendCaptured(na2, "post", 100+i)
+		if bytes.Contains(body, []byte(oldPath)) {
+			t.Fatalf("post-restart envelope %d still advertises stale path %q:\n%q", i, oldPath, body)
+		}
+		if !bytes.Contains(body, []byte(newPath)) {
+			t.Fatalf("post-restart envelope %d missing new path %q:\n%q", i, newPath, body)
+		}
+		d := awaitDelivery(t, deliveries)
+		if got := d.Bound.(*fixtures.PersonA).Name; got != "post" {
+			t.Fatalf("post-restart delivery = %q", got)
+		}
 	}
 }
 

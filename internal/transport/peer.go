@@ -73,6 +73,7 @@ type Peer struct {
 	exports   map[string]*export
 	conns     map[*Conn]struct{}
 	codeSeen  map[string]bool
+	codeBlobs map[string]codeBlobCache
 	inflight  map[string]chan struct{}
 	listener  net.Listener
 	acceptWG  sync.WaitGroup
@@ -156,6 +157,7 @@ func NewPeer(reg *registry.Registry, opts ...PeerOption) *Peer {
 		exports:        make(map[string]*export),
 		conns:          make(map[*Conn]struct{}),
 		codeSeen:       make(map[string]bool),
+		codeBlobs:      make(map[string]codeBlobCache),
 		inflight:       make(map[string]chan struct{}),
 		closeCh:        make(chan struct{}),
 	}
@@ -374,49 +376,55 @@ func (p *Peer) handleRequest(c *Conn, m *Message) {
 // payload) travels; descriptions and code go on demand. The type of v
 // must be registered. l is normally a *Conn — over real TCP, an
 // in-memory pipe, or a simulation-fabric endpoint.
+//
+// The steady-state path is compiled end to end: the payload is
+// encoded by the type's compiled wire.Program into a pooled scratch
+// buffer, and the envelope's static parts (type reference, assembly
+// list, payload delimiters) come precomputed from the registry
+// entry's envelope template. The only allocation left per optimistic
+// send is the outgoing message body itself.
 func (p *Peer) SendObject(l Link, v interface{}) error {
 	t := reflect.TypeOf(v)
 	entry, ok := p.reg.LookupGo(t)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotRegistered, t)
 	}
+	prog, _ := entry.Program() // nil on compile error → reflective fallback
 
-	payload, err := p.codec.Encode(v)
+	scratch := wire.GetScratch()
+	defer wire.PutScratch(scratch)
+	payload, err := p.codec.EncodeCompiled(prog, (*scratch)[:0], v)
+	if cap(payload) > cap(*scratch) {
+		*scratch = payload // keep the growth for the next send
+	}
 	if err != nil {
 		return fmt.Errorf("transport: encode object: %w", err)
 	}
-	env := &xmlenc.Envelope{
-		Type:     entry.Description.Ref(),
-		Encoding: xmlenc.PayloadEncoding(p.codec.Name()),
-		Payload:  payload,
-		Assemblies: []xmlenc.AssemblyInfo{
-			{Type: entry.Description.Ref(), DownloadPaths: entry.DownloadPaths},
-		},
-	}
-	// Figure 3: nested types' assembly information rides along.
-	for _, f := range entry.Description.Fields {
-		if d, err := p.reg.Resolve(f.Type); err == nil && d.Kind == typedesc.KindStruct {
-			env.Assemblies = append(env.Assemblies, xmlenc.AssemblyInfo{
-				Type:          d.Ref(),
-				DownloadPaths: d.DownloadPaths,
-			})
-		}
-	}
-	envBytes, err := xmlenc.MarshalEnvelope(env)
+	tpl, err := entry.EnvelopeTemplate(xmlenc.PayloadEncoding(p.codec.Name()), p.reg)
 	if err != nil {
 		return fmt.Errorf("transport: marshal envelope: %w", err)
 	}
 
 	var body []byte
 	if p.eager {
-		descXML, err := xmlenc.MarshalDescription(entry.Description)
+		descXML, err := entry.DescriptionXML()
 		if err != nil {
 			return err
 		}
-		code := p.codeBlob(entry.Description)
+		code := p.codeBlobFor(entry)
+		envScratch := wire.GetScratch()
+		envBytes := tpl.Append((*envScratch)[:0], payload)
 		body = packEager(descXML, code, envBytes)
+		if cap(envBytes) > cap(*envScratch) {
+			*envScratch = envBytes
+		}
+		wire.PutScratch(envScratch)
 	} else {
-		body = append([]byte{flagOptimistic}, envBytes...)
+		// The message body is handed to the link (which may queue it),
+		// so it is the one fresh allocation of the send.
+		body = make([]byte, 0, 1+tpl.Size(len(payload)))
+		body = append(body, flagOptimistic)
+		body = tpl.Append(body, payload)
 	}
 	if p.compress {
 		compressed, err := deflateBytes(body[1:])
@@ -513,6 +521,40 @@ func (p *Peer) codeBlob(d *typedesc.TypeDescription) []byte {
 		xmlBytes = []byte(d.Name)
 	}
 	return append(xmlBytes, make([]byte, p.codePadding)...)
+}
+
+// codeBlobCache is one cached code blob together with the entry it
+// was built from, so a replaced entry is noticed and its stale blob
+// overwritten in place (the map stays bounded by the number of
+// distinct type identities).
+type codeBlobCache struct {
+	entry *registry.Entry
+	blob  []byte
+}
+
+// codeBlobFor returns the code blob for a registered entry, built
+// once per (peer, entry): re-registration installs a fresh entry,
+// which misses the entry comparison and rebuilds the blob under the
+// same identity key.
+func (p *Peer) codeBlobFor(entry *registry.Entry) []byte {
+	key := entry.Description.Identity.String()
+	p.mu.Lock()
+	cached, ok := p.codeBlobs[key]
+	p.mu.Unlock()
+	if ok && cached.entry == entry {
+		return cached.blob
+	}
+	xmlBytes, err := entry.DescriptionXML()
+	if err != nil {
+		xmlBytes = []byte(entry.Description.Name)
+	}
+	blob := make([]byte, 0, len(xmlBytes)+p.codePadding)
+	blob = append(blob, xmlBytes...)
+	blob = append(blob, make([]byte, p.codePadding)...)
+	p.mu.Lock()
+	p.codeBlobs[key] = codeBlobCache{entry: entry, blob: blob}
+	p.mu.Unlock()
+	return blob
 }
 
 // --- receiver side (Figure 1 steps 2-5) ------------------------------
@@ -808,6 +850,19 @@ func (p *Peer) handleTypeInfo(c *Conn, m *Message) {
 		_ = c.replyError(m, err)
 		return
 	}
+	// Registered entries serve their cached description XML; bare
+	// descriptions (auto-described nested types, remotely learned
+	// ones) marshal per request.
+	if entry, ok := p.reg.Lookup(ref); ok {
+		xmlBytes, err := entry.DescriptionXML()
+		if err != nil {
+			_ = c.replyError(m, err)
+			return
+		}
+		p.emit(EventTypeInfoServed, entry.Description.Ref(), "")
+		_ = c.reply(m, MsgTypeInfoReply, xmlBytes)
+		return
+	}
 	d, err := p.reg.Resolve(ref)
 	if err != nil {
 		if d2, err2 := p.remote.Resolve(ref); err2 == nil {
@@ -830,6 +885,11 @@ func (p *Peer) handleCode(c *Conn, m *Message) {
 	ref, err := decodeRef(m.Body)
 	if err != nil {
 		_ = c.replyError(m, err)
+		return
+	}
+	if entry, ok := p.reg.Lookup(ref); ok {
+		p.emit(EventCodeServed, entry.Description.Ref(), "")
+		_ = c.reply(m, MsgCodeReply, p.codeBlobFor(entry))
 		return
 	}
 	d, err := p.reg.Resolve(ref)

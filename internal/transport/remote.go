@@ -31,6 +31,29 @@ type invokeReply struct {
 	Failure string
 }
 
+// The invocation envelope types never change, so their codec programs
+// compile once for the process (CompileProgram only fails on nil).
+var (
+	invokePayloadType    = reflect.TypeOf(invokePayload{})
+	invokeReplyType      = reflect.TypeOf(invokeReply{})
+	invokePayloadProg, _ = wire.CompileProgram(invokePayloadType)
+	invokeReplyProg, _   = wire.CompileProgram(invokeReplyType)
+)
+
+// progFor returns the compiled codec program for t when a registered
+// entry carries one; nil selects the reflective path.
+func (p *Peer) progFor(t reflect.Type) *wire.Program {
+	if t == nil {
+		return nil
+	}
+	if e, ok := p.reg.LookupGo(t); ok {
+		if prog, err := e.Program(); err == nil {
+			return prog
+		}
+	}
+	return nil
+}
+
 // Export makes v remotely invocable under the given name
 // (pass-by-reference semantics, Section 6). The object's type is
 // described so remote peers can run the conformance check before
@@ -168,13 +191,13 @@ func (r *RemoteRef) Call(method string, args ...interface{}) ([]interface{}, err
 
 	payload := invokePayload{Object: r.name, Method: name, Args: make([][]byte, len(ordered))}
 	for i, a := range ordered {
-		data, err := p.codec.Encode(a)
+		data, err := p.codec.EncodeCompiled(p.progFor(reflect.TypeOf(a)), nil, a)
 		if err != nil {
 			return nil, fmt.Errorf("transport: encode arg %d: %w", i, err)
 		}
 		payload.Args[i] = data
 	}
-	body, err := p.codec.Encode(payload)
+	body, err := p.codec.EncodeCompiled(invokePayloadProg, nil, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +206,7 @@ func (r *RemoteRef) Call(method string, args ...interface{}) ([]interface{}, err
 	if err != nil {
 		return nil, err
 	}
-	out, err := p.codec.Decode(reply.Body, reflect.TypeOf(invokeReply{}), nil)
+	out, err := p.codec.DecodeCompiled(invokeReplyProg, reply.Body, invokeReplyType, nil, "")
 	if err != nil {
 		return nil, fmt.Errorf("transport: decode invoke reply: %w", err)
 	}
@@ -222,7 +245,7 @@ func (p *Peer) nativizeResult(gv wire.Value) interface{} {
 // invoker, serialize the results.
 func (p *Peer) handleInvoke(c *Conn, m *Message) {
 	p.stats.invokes.Add(1)
-	out, err := p.codec.Decode(m.Body, reflect.TypeOf(invokePayload{}), nil)
+	out, err := p.codec.DecodeCompiled(invokePayloadProg, m.Body, invokePayloadType, nil, "")
 	if err != nil {
 		_ = c.replyError(m, fmt.Errorf("bad invoke payload: %v", err))
 		return
@@ -247,7 +270,10 @@ func (p *Peer) handleInvoke(c *Conn, m *Message) {
 	}
 	args := make([]interface{}, len(payload.Args))
 	for i, raw := range payload.Args {
-		av, err := p.codec.Decode(raw, ft.In(i), p.binder.FieldResolver())
+		// The binder resolver's behaviour can still change while
+		// descriptions are being learned, so its materializer tables
+		// are built per decode (fp ""), not memoized.
+		av, err := p.codec.DecodeCompiled(p.progFor(ft.In(i)), raw, ft.In(i), p.binder.FieldResolver(), "")
 		if err != nil {
 			_ = c.replyError(m, fmt.Errorf("arg %d: %v", i, err))
 			return
@@ -263,7 +289,7 @@ func (p *Peer) handleInvoke(c *Conn, m *Message) {
 	} else {
 		rep.Results = make([][]byte, len(results))
 		for i, res := range results {
-			data, err := p.codec.Encode(res)
+			data, err := p.codec.EncodeCompiled(p.progFor(reflect.TypeOf(res)), nil, res)
 			if err != nil {
 				rep = invokeReply{Failure: fmt.Sprintf("encode result %d: %v", i, err)}
 				break
@@ -271,7 +297,7 @@ func (p *Peer) handleInvoke(c *Conn, m *Message) {
 			rep.Results[i] = data
 		}
 	}
-	body, err := p.codec.Encode(rep)
+	body, err := p.codec.EncodeCompiled(invokeReplyProg, nil, rep)
 	if err != nil {
 		_ = c.replyError(m, err)
 		return

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pti/internal/fixtures"
+	"pti/internal/registry"
+)
+
+// End-to-end SendObject benchmarks: the full optimistic send —
+// compiled payload encode, templated envelope, frame write — over an
+// in-memory pipe and over the simulation fabric. The first send warms
+// the description/code exchange; the measured loop is the steady
+// state. Run with `make bench-wire`.
+
+func benchSenderReceiver(b *testing.B) (*Peer, *Peer, *atomic.Uint64) {
+	b.Helper()
+	regS := registry.New()
+	if _, err := regS.Register(fixtures.PersonB{}); err != nil {
+		b.Fatal(err)
+	}
+	regR := registry.New()
+	if _, err := regR.Register(fixtures.PersonA{}); err != nil {
+		b.Fatal(err)
+	}
+	sender := NewPeer(regS, WithName("bench-sender"))
+	receiver := NewPeer(regR, WithName("bench-receiver"))
+	var delivered atomic.Uint64
+	if err := receiver.OnReceive(fixtures.PersonA{}, func(Delivery) { delivered.Add(1) }); err != nil {
+		b.Fatal(err)
+	}
+	return sender, receiver, &delivered
+}
+
+func awaitCount(b *testing.B, c *atomic.Uint64, want uint64) {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for c.Load() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("delivered %d of %d", c.Load(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func BenchmarkSendObjectPipe(b *testing.B) {
+	sender, receiver, delivered := benchSenderReceiver(b)
+	defer sender.Close()
+	defer receiver.Close()
+	cs, _ := Connect(sender, receiver)
+
+	v := fixtures.PersonB{PersonName: "bench", PersonAge: 1}
+	if err := sender.SendObject(cs, v); err != nil { // warm the exchange
+		b.Fatal(err)
+	}
+	awaitCount(b, delivered, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sender.SendObject(cs, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	awaitCount(b, delivered, uint64(b.N)+1)
+}
+
+func BenchmarkSendObjectFabric(b *testing.B) {
+	f := NewFabric(42)
+	defer f.Close()
+	regS := registry.New()
+	if _, err := regS.Register(fixtures.PersonB{}); err != nil {
+		b.Fatal(err)
+	}
+	regR := registry.New()
+	if _, err := regR.Register(fixtures.PersonA{}); err != nil {
+		b.Fatal(err)
+	}
+	ns, err := f.AddPeerWithRegistry("s", regS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nr, err := f.AddPeerWithRegistry("r", regR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var delivered atomic.Uint64
+	if err := nr.Peer().OnReceive(fixtures.PersonA{}, func(Delivery) { delivered.Add(1) }); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := f.Connect("s", "r", FaultProfile{}); err != nil {
+		b.Fatal(err)
+	}
+	cs, ok := ns.ConnTo("r")
+	if !ok {
+		b.Fatal("no fabric conn")
+	}
+	sender := ns.Peer()
+
+	v := fixtures.PersonB{PersonName: "bench", PersonAge: 1}
+	if err := sender.SendObject(cs, v); err != nil {
+		b.Fatal(err)
+	}
+	awaitCount(b, &delivered, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sender.SendObject(cs, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	awaitCount(b, &delivered, uint64(b.N)+1)
+}

@@ -48,13 +48,16 @@ const (
 )
 
 // EncodeBinary renders a generic value as a compact binary stream.
+// The working buffer is pooled; only the exact-size result slice is
+// allocated.
 func EncodeBinary(v Value) ([]byte, error) {
-	var buf bytes.Buffer
+	buf := getBuf()
 	buf.WriteByte(binMagic)
-	if err := binWrite(&buf, v); err != nil {
+	if err := binWrite(buf, v); err != nil {
+		putBuf(buf)
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	return finishBuf(buf), nil
 }
 
 func binWrite(buf *bytes.Buffer, v Value) error {

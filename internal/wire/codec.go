@@ -19,6 +19,18 @@ type Codec interface {
 	// Decode materializes a stream into a Go value of type t,
 	// translating field names through resolve (nil = identity).
 	Decode(data []byte, t reflect.Type, resolve FieldResolver) (interface{}, error)
+	// EncodeCompiled appends the encoding of v to dst through prog's
+	// compiled fast path, transparently falling back to the
+	// reflective path when prog is nil, not direct, or does not match
+	// v's type. dst may be nil; reusing it across calls makes the
+	// steady-state encode allocation-free.
+	EncodeCompiled(prog *Program, dst []byte, v interface{}) ([]byte, error)
+	// DecodeCompiled materializes a stream into a Go value of type t
+	// through prog's compiled materializer, with the same transparent
+	// fallback. fp fingerprints the resolver's behaviour for
+	// materializer-table memoization ("" = do not memoize; identity
+	// decodes, resolve == nil, are always memoized).
+	DecodeCompiled(prog *Program, data []byte, t reflect.Type, resolve FieldResolver, fp string) (interface{}, error)
 }
 
 // SOAP is the XML codec of Section 6.2.
@@ -58,6 +70,24 @@ func (SOAP) Decode(data []byte, t reflect.Type, resolve FieldResolver) (interfac
 	return ToGo(gv, t, resolve)
 }
 
+// EncodeCompiled implements Codec.
+func (c SOAP) EncodeCompiled(prog *Program, dst []byte, v interface{}) ([]byte, error) {
+	if prog != nil && prog.Direct() {
+		out, ok, err := prog.AppendSOAP(dst, v)
+		if ok {
+			return out, err
+		}
+	}
+	return fallbackEncode(c, dst, v)
+}
+
+// DecodeCompiled implements Codec. The SOAP decoder has no compiled
+// path yet (the XML token stream dominates its cost); it always takes
+// the reflective route.
+func (c SOAP) DecodeCompiled(prog *Program, data []byte, t reflect.Type, resolve FieldResolver, fp string) (interface{}, error) {
+	return c.Decode(data, t, resolve)
+}
+
 // Name implements Codec.
 func (Binary) Name() string { return "binary" }
 
@@ -82,6 +112,41 @@ func (Binary) Decode(data []byte, t reflect.Type, resolve FieldResolver) (interf
 		return nil, err
 	}
 	return ToGo(gv, t, resolve)
+}
+
+// EncodeCompiled implements Codec.
+func (c Binary) EncodeCompiled(prog *Program, dst []byte, v interface{}) ([]byte, error) {
+	if prog != nil && prog.Direct() {
+		out, ok, err := prog.AppendBinary(dst, v)
+		if ok {
+			return out, err
+		}
+	}
+	return fallbackEncode(c, dst, v)
+}
+
+// fallbackEncode runs the reflective encoder for EncodeCompiled's
+// fallback, returning its exact-size result directly when the caller
+// brought no buffer to append into.
+func fallbackEncode(c Codec, dst []byte, v interface{}) ([]byte, error) {
+	data, err := c.Encode(v)
+	if err != nil {
+		return dst, err
+	}
+	if len(dst) == 0 {
+		return data, nil
+	}
+	return append(dst, data...), nil
+}
+
+// DecodeCompiled implements Codec.
+func (c Binary) DecodeCompiled(prog *Program, data []byte, t reflect.Type, resolve FieldResolver, fp string) (interface{}, error) {
+	if prog != nil {
+		if out, ok := prog.DecodeBinary(data, t, resolve, fp); ok {
+			return out, nil
+		}
+	}
+	return c.Decode(data, t, resolve)
 }
 
 // ByName returns the codec for an envelope encoding tag.

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// Native fuzz targets for the wire decoders. Their seed corpora run
+// on every plain `go test` (the CI gate); `go test -fuzz FuzzDecodeBinary
+// ./internal/wire` explores further. Seeds are drawn from the same
+// shapes robustness_test.go exercises: valid streams of the reference
+// mix, truncations, bit flips and raw garbage.
+
+func fuzzSeedStreams(tb testing.TB) [][]byte {
+	tb.Helper()
+	seeds := [][]byte{
+		nil,
+		{},
+		{binMagic},
+		{binMagic, tagNil},
+		{binMagic, tagObject},
+		{0x00, 0x01, 0x02},
+		bytes.Repeat([]byte{0xFF}, 64),
+	}
+	valid, err := Binary{}.Encode(refSample(3))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, valid)
+	// A multi-ref graph (ids + refs on the wire).
+	p := &refPoint{X: 1, Y: 2}
+	aliased, err := Binary{}.Encode(struct{ A, B *refPoint }{A: p, B: p})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, aliased)
+	// Truncations and single-bit corruption of the valid stream.
+	seeds = append(seeds, valid[:len(valid)/2], valid[:1])
+	for _, i := range []int{0, 1, len(valid) / 3, len(valid) - 1} {
+		mutated := append([]byte(nil), valid...)
+		mutated[i] ^= 0x40
+		seeds = append(seeds, mutated)
+	}
+	return seeds
+}
+
+// FuzzDecodeBinary asserts three properties on arbitrary input: the
+// generic decoder never panics; whatever it accepts re-encodes and
+// re-decodes to a fixed point; and the compiled decoder (with its
+// internal fallback) is indistinguishable from the reflective one on
+// the reference target type.
+func FuzzDecodeBinary(f *testing.F) {
+	for _, s := range fuzzSeedStreams(f) {
+		f.Add(s)
+	}
+	prog, err := CompileProgram(reflect.TypeOf(refStruct{}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	target := reflect.TypeOf(refStruct{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gv, err := DecodeBinary(data)
+		if err == nil {
+			re, err := EncodeBinary(gv)
+			if err != nil {
+				t.Fatalf("accepted value failed to re-encode: %v", err)
+			}
+			if _, err := DecodeBinary(re); err != nil {
+				t.Fatalf("re-encoded stream rejected: %v", err)
+			}
+		}
+
+		want, wantErr := Binary{}.Decode(data, target, nil)
+		got, gotErr := Binary{}.DecodeCompiled(prog, data, target, nil, "")
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("compiled/reflective decode disagree on error:\ncompiled: %v\nreflective: %v", gotErr, wantErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		// NaNs defeat DeepEqual; compare canonical re-encodings.
+		wantBytes, err1 := Binary{}.Encode(want)
+		gotBytes, err2 := Binary{}.Encode(got)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("re-encode of decode results failed: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			t.Fatalf("compiled and reflective decodes diverge\ninput %x\ncompiled %+v\nreflective %+v", data, got, want)
+		}
+	})
+}
+
+// FuzzDecodeSOAP asserts the XML decoder never panics and that
+// whatever it accepts the encoder can render back.
+func FuzzDecodeSOAP(f *testing.F) {
+	fragments := []string{
+		"<Envelope><Body>", "</Body></Envelope>", "<value ", `type="long"`,
+		`href="#ref-1"`, `nil="true"`, ">", "</value>", "123", "<item", "&amp;",
+	}
+	for _, fr := range fragments {
+		f.Add([]byte(fr))
+	}
+	valid, err := SOAP{}.Encode(refSample(5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`<?xml version="1.0"?><Envelope><Body><value type="map" keyType="string" elemType="int"><entry><key type="string">k</key><val type="long">1</val></entry></value></Body></Envelope>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gv, err := DecodeSOAP(data)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeSOAP(gv); err != nil {
+			t.Fatalf("accepted value failed to re-encode: %v", err)
+		}
+	})
+}

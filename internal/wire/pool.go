@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/xml"
+	"reflect"
+	"sync"
+
+	"pti/internal/bufpool"
+)
+
+// Buffer pooling for the send path: the steady-state cost of encoding
+// is the bytes of the payload itself, not garbage from grow-and-throw
+// scratch buffers. Scratch returns a reusable byte slice (its
+// capacity survives round trips through the pool); bytes.Buffer
+// pooling for the reflective writers is the shared bufpool.
+
+var scratchPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// GetScratch returns a pooled byte slice (length 0). Callers append
+// into it and hand the final slice back through PutScratch; the
+// typical pattern is
+//
+//	s := wire.GetScratch()
+//	defer wire.PutScratch(s)
+//	buf, err := codec.EncodeCompiled(prog, (*s)[:0], v)
+//	*s = buf // keep any growth for the next user
+func GetScratch() *[]byte { return scratchPool.Get().(*[]byte) }
+
+// PutScratch returns a scratch slice to the pool.
+func PutScratch(b *[]byte) {
+	*b = (*b)[:0]
+	scratchPool.Put(b)
+}
+
+// getBuf/putBuf/finishBuf pool bytes.Buffers for the reflective
+// encoders through the shared bufpool; the encoded result is copied
+// out to an exact-size slice so the large scratch capacity stays in
+// the pool.
+func getBuf() *bytes.Buffer            { return bufpool.Get() }
+func putBuf(b *bytes.Buffer)           { bufpool.Put(b) }
+func finishBuf(b *bytes.Buffer) []byte { return bufpool.Finish(b) }
+
+// --- SOAP text escaping ----------------------------------------------
+
+// soapSafe marks ASCII bytes xml.EscapeText passes through verbatim.
+var soapSafe = func() (t [128]bool) {
+	for c := 0x20; c < 0x7f; c++ {
+		t[c] = true
+	}
+	for _, c := range []byte{'&', '<', '>', '\'', '"'} {
+		t[c] = false
+	}
+	return
+}()
+
+// soapAppendEscaped appends s escaped exactly as xml.EscapeText would
+// write it. The common all-safe-ASCII case appends the raw bytes; any
+// byte needing attention routes the whole string through
+// xml.EscapeText so escaping and invalid-UTF-8 replacement stay
+// byte-identical to the reflective writer.
+func soapAppendEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 || !soapSafe[c] {
+			buf := getBuf()
+			_ = xml.EscapeText(buf, []byte(s))
+			dst = append(dst, buf.Bytes()...)
+			putBuf(buf)
+			return dst
+		}
+	}
+	return append(dst, s...)
+}
+
+// appendBase64 appends the std-base64 rendering of a byte slice or
+// byte array value.
+func appendBase64(dst []byte, rv reflect.Value, isArray bool) []byte {
+	var src []byte
+	if isArray {
+		if rv.CanAddr() {
+			src = rv.Slice(0, rv.Len()).Bytes()
+		} else {
+			src = make([]byte, rv.Len())
+			reflect.Copy(reflect.ValueOf(src), rv)
+		}
+	} else {
+		src = rv.Bytes()
+	}
+	n := base64.StdEncoding.EncodedLen(len(src))
+	off := len(dst)
+	dst = bufpool.Grow(dst, n)
+	base64.StdEncoding.Encode(dst[off:off+n], src)
+	return dst
+}

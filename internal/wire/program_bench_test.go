@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Compiled vs reflective codec benchmarks over the reference struct
+// mix (see refSample): the numbers behind the wire table in
+// BENCHMARKS.md. Run with `make bench-wire`.
+
+func BenchmarkEncodeBinaryCompiled(b *testing.B) {
+	prog := mustProgram(b, refStruct{})
+	var v interface{} = refSample(11)
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, _, err = prog.AppendBinary(buf[:0], v)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBinaryReflective(b *testing.B) {
+	var v interface{} = refSample(11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Binary{}).Encode(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeSOAPCompiled(b *testing.B) {
+	prog := mustProgram(b, refStruct{})
+	var v interface{} = refSample(11)
+	buf := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, _, err = prog.AppendSOAP(buf[:0], v)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeSOAPReflective(b *testing.B) {
+	var v interface{} = refSample(11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (SOAP{}).Encode(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBinaryCompiled(b *testing.B) {
+	prog := mustProgram(b, refStruct{})
+	data, err := Binary{}.Encode(refSample(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := reflect.TypeOf(refStruct{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Binary{}).DecodeCompiled(prog, data, target, nil, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBinaryReflective(b *testing.B) {
+	data, err := Binary{}.Encode(refSample(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := reflect.TypeOf(refStruct{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Binary{}).Decode(data, target, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

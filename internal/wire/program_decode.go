@@ -1,0 +1,528 @@
+package wire
+
+import (
+	"encoding"
+	"math"
+	"reflect"
+)
+
+// Compiled binary decoding: the stream is parsed directly into a Go
+// value of the program's type, with no intermediate generic tree. The
+// self-describing field names in the stream are resolved through a
+// precompiled materializer table (source field name -> field index),
+// so mapped types decode without per-field name resolution: the
+// identity table is the program's own name table, and mapped tables —
+// built through a FieldResolver exactly as the reflective path would
+// resolve each field — are memoized per (source type name, resolver
+// fingerprint).
+//
+// The decoder is strictly optimistic: any shape it cannot reproduce
+// with certainty (multi-ref ids, cross-kind coercions the generic
+// materializer would attempt, truncated streams) makes it bail out
+// with ok=false, and the caller re-runs the reflective decoder, which
+// remains the authority for both values and errors.
+
+// DecodeBinary materializes a binary stream directly into a value of
+// type t (the program's type, or a pointer to it). resolve translates
+// expected field names to source names exactly as in ToGo; fp is a
+// caller-stable fingerprint identifying the resolver's behaviour so
+// materializer tables can be memoized ("" disables memoization; use
+// it for resolvers whose behaviour may still change). ok=false means
+// the stream or target is outside the compiled path and the caller
+// must fall back to the reflective decoder.
+func (p *Program) DecodeBinary(data []byte, t reflect.Type, resolve FieldResolver, fp string) (interface{}, bool) {
+	if !p.direct {
+		return nil, false
+	}
+	ptrDepth := 0
+	tt := t
+	for tt.Kind() == reflect.Ptr {
+		tt = tt.Elem()
+		ptrDepth++
+	}
+	if tt != p.Type || ptrDepth > 1 {
+		return nil, false
+	}
+	r := byteReader{data: data}
+	magic, ok := r.readByte()
+	if !ok || magic != binMagic {
+		return nil, false
+	}
+	out := reflect.New(p.Type)
+	d := progDecoder{prog: p, resolve: resolve, fp: fp}
+	if !d.decode(&r, p.root, out.Elem(), 0) {
+		return nil, false
+	}
+	if r.len() != 0 {
+		// Reflective DecodeBinary rejects trailing bytes; let it.
+		return nil, false
+	}
+	if ptrDepth == 1 {
+		return out.Interface(), true
+	}
+	return out.Elem().Interface(), true
+}
+
+type progDecoder struct {
+	prog    *Program
+	resolve FieldResolver
+	fp      string
+}
+
+// byteReader is a minimal, allocation-free cursor over the stream.
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) len() int { return len(r.data) - r.pos }
+
+func (r *byteReader) readByte() (byte, bool) {
+	if r.pos >= len(r.data) {
+		return 0, false
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, true
+}
+
+func (r *byteReader) readUvarint() (uint64, bool) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, ok := r.readByte()
+		if !ok || i == 10 {
+			return 0, false
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, false
+			}
+			return x | uint64(b)<<s, true
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// readLen reads a varint length bounded by the remaining bytes (the
+// same guard the reflective readLen applies).
+func (r *byteReader) readLen() (int, bool) {
+	u, ok := r.readUvarint()
+	if !ok || u > uint64(r.len()) {
+		return 0, false
+	}
+	return int(u), true
+}
+
+func (r *byteReader) readString() (string, bool) {
+	n, ok := r.readLen()
+	if !ok {
+		return "", false
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s, true
+}
+
+func (r *byteReader) readBytes(n int) ([]byte, bool) {
+	if n < 0 || n > r.len() {
+		return nil, false
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, true
+}
+
+// decode parses one value into out (which is addressable and zeroed).
+// A false return aborts the whole compiled decode.
+func (d *progDecoder) decode(r *byteReader, n *progNode, out reflect.Value, depth int) bool {
+	if depth > maxBinDepth {
+		return false
+	}
+	tag, ok := r.readByte()
+	if !ok {
+		return false
+	}
+	if tag == tagNil {
+		// Generic materialization leaves the zero value in place.
+		return true
+	}
+	switch n.op {
+	case opBool:
+		if tag != tagBool {
+			return false
+		}
+		b, ok := r.readByte()
+		if !ok {
+			return false
+		}
+		out.SetBool(b != 0)
+		return true
+	case opInt:
+		i, ok := d.readAsInt64(r, tag)
+		if !ok || out.OverflowInt(i) {
+			return false
+		}
+		out.SetInt(i)
+		return true
+	case opUint:
+		u, ok := d.readAsUint64(r, tag)
+		if !ok || out.OverflowUint(u) {
+			return false
+		}
+		out.SetUint(u)
+		return true
+	case opFloat:
+		f, ok := d.readAsFloat64(r, tag)
+		if !ok {
+			return false
+		}
+		out.SetFloat(f)
+		return true
+	case opString:
+		if tag != tagString {
+			return false
+		}
+		s, ok := r.readString()
+		if !ok {
+			return false
+		}
+		out.SetString(s)
+		return true
+	case opText:
+		if tag != tagString {
+			return false
+		}
+		s, ok := r.readString()
+		if !ok {
+			return false
+		}
+		p := out.Addr()
+		um, isU := p.Interface().(encoding.TextUnmarshaler)
+		if !isU {
+			return false
+		}
+		return um.UnmarshalText([]byte(s)) == nil
+	case opBytes:
+		if tag != tagBytes {
+			return false
+		}
+		l, ok := r.readLen()
+		if !ok {
+			return false
+		}
+		b, ok := r.readBytes(l)
+		if !ok {
+			return false
+		}
+		if n.isArray {
+			if l != n.arrayLen {
+				return false
+			}
+			reflect.Copy(out, reflect.ValueOf(b))
+			return true
+		}
+		buf := make([]byte, l)
+		copy(buf, b)
+		out.SetBytes(buf)
+		return true
+	case opStruct:
+		return d.decodeStruct(r, n, tag, out, depth)
+	case opList:
+		if tag != tagList {
+			return false
+		}
+		if _, ok := r.readString(); !ok { // elem type name (informative)
+			return false
+		}
+		l, ok := r.readLen()
+		if !ok {
+			return false
+		}
+		if n.isArrayList {
+			if l != n.arrayLen {
+				return false
+			}
+			for i := 0; i < l; i++ {
+				if !d.decode(r, n.elem, out.Index(i), depth+1) {
+					return false
+				}
+			}
+			return true
+		}
+		s := reflect.MakeSlice(out.Type(), l, l)
+		for i := 0; i < l; i++ {
+			if !d.decode(r, n.elem, s.Index(i), depth+1) {
+				return false
+			}
+		}
+		out.Set(s)
+		return true
+	case opMap:
+		if tag != tagMap {
+			return false
+		}
+		if _, ok := r.readString(); !ok {
+			return false
+		}
+		if _, ok := r.readString(); !ok {
+			return false
+		}
+		l, ok := r.readLen()
+		if !ok {
+			return false
+		}
+		mv := reflect.MakeMapWithSize(out.Type(), l)
+		kt, vt := out.Type().Key(), out.Type().Elem()
+		for i := 0; i < l; i++ {
+			k := reflect.New(kt).Elem()
+			if !d.decode(r, n.key, k, depth+1) {
+				return false
+			}
+			v := reflect.New(vt).Elem()
+			if !d.decode(r, n.elem, v, depth+1) {
+				return false
+			}
+			mv.SetMapIndex(k, v)
+		}
+		out.Set(mv)
+		return true
+	}
+	return false
+}
+
+func (d *progDecoder) decodeStruct(r *byteReader, n *progNode, tag byte, out reflect.Value, depth int) bool {
+	if tag != tagObject {
+		return false
+	}
+	srcName, ok := r.readString()
+	if !ok {
+		return false
+	}
+	id, ok := r.readUvarint()
+	if !ok || id != 0 {
+		// Multi-ref streams need the generic materializer's object
+		// table.
+		return false
+	}
+	nfields, ok := r.readLen()
+	if !ok {
+		return false
+	}
+	if len(n.fields) > 64 {
+		// The first-wins bitmask below caps direct decoding at 64
+		// fields; bail before any table work.
+		return false
+	}
+	tab, ok := d.tableFor(n, srcName)
+	if !ok {
+		return false
+	}
+	var seen uint64 // first occurrence wins, as in Object.Field
+	for i := 0; i < nfields; i++ {
+		fname, ok := r.readString()
+		if !ok {
+			return false
+		}
+		fi, hit := tab[fname]
+		if hit && seen&(1<<uint(fi)) == 0 {
+			seen |= 1 << uint(fi)
+			f := &n.fields[fi]
+			if !d.decode(r, f.node, out.Field(f.idx), depth+1) {
+				return false
+			}
+			continue
+		}
+		if !skipBinValue(r, depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// tableFor returns the materializer table mapping source field names
+// to compiled field indices for objects of the named source type.
+func (d *progDecoder) tableFor(n *progNode, srcName string) (map[string]int, bool) {
+	if d.resolve == nil {
+		return n.nameTab, true
+	}
+	if d.fp != "" {
+		if cached, ok := d.prog.mats.Load(matKey{node: n, srcName: srcName, fp: d.fp}); ok {
+			return cached.(map[string]int), true
+		}
+	}
+	src := &Object{TypeName: srcName}
+	tab := make(map[string]int, len(n.fields))
+	for i := range n.fields {
+		name := d.resolve(n.typ, src, n.fields[i].name)
+		if _, dup := tab[name]; dup {
+			// Two expected fields mapping to one source field is a
+			// shape only the reflective path reproduces faithfully.
+			return nil, false
+		}
+		tab[name] = i
+	}
+	if d.fp != "" {
+		d.prog.mats.Store(matKey{node: n, srcName: srcName, fp: d.fp}, tab)
+	}
+	return tab, true
+}
+
+func (d *progDecoder) readAsInt64(r *byteReader, tag byte) (int64, bool) {
+	switch tag {
+	case tagInt:
+		u, ok := r.readUvarint()
+		return unzigzag(u), ok
+	case tagUint:
+		u, ok := r.readUvarint()
+		if !ok || u > math.MaxInt64 {
+			return 0, false
+		}
+		return int64(u), true
+	case tagFloat:
+		f, ok := r.readFloat()
+		if !ok || f != math.Trunc(f) || f < math.MinInt64 || f > math.MaxInt64 {
+			return 0, false
+		}
+		return int64(f), true
+	}
+	return 0, false
+}
+
+func (d *progDecoder) readAsUint64(r *byteReader, tag byte) (uint64, bool) {
+	switch tag {
+	case tagUint:
+		return r.readUvarint()
+	case tagInt:
+		u, ok := r.readUvarint()
+		if !ok {
+			return 0, false
+		}
+		i := unzigzag(u)
+		if i < 0 {
+			return 0, false
+		}
+		return uint64(i), true
+	case tagFloat:
+		f, ok := r.readFloat()
+		if !ok || f != math.Trunc(f) || f < 0 || f > math.MaxUint64 {
+			return 0, false
+		}
+		return uint64(f), true
+	}
+	return 0, false
+}
+
+func (d *progDecoder) readAsFloat64(r *byteReader, tag byte) (float64, bool) {
+	switch tag {
+	case tagFloat:
+		return r.readFloat()
+	case tagInt:
+		u, ok := r.readUvarint()
+		return float64(unzigzag(u)), ok
+	case tagUint:
+		u, ok := r.readUvarint()
+		return float64(u), ok
+	}
+	return 0, false
+}
+
+func (r *byteReader) readFloat() (float64, bool) {
+	b, ok := r.readBytes(8)
+	if !ok {
+		return 0, false
+	}
+	bits := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	return math.Float64frombits(bits), true
+}
+
+// skipBinValue advances past one encoded value without materializing
+// it (unknown source fields are ignored, as in the generic path).
+func skipBinValue(r *byteReader, depth int) bool {
+	if depth > maxBinDepth {
+		return false
+	}
+	tag, ok := r.readByte()
+	if !ok {
+		return false
+	}
+	switch tag {
+	case tagNil:
+		return true
+	case tagBool:
+		_, ok := r.readByte()
+		return ok
+	case tagInt, tagUint:
+		_, ok := r.readUvarint()
+		return ok
+	case tagRef:
+		// binRead rejects ref id 0 even in fields the materializer
+		// would ignore; bail so the reflective path rules on it.
+		id, ok := r.readUvarint()
+		return ok && id != 0
+	case tagFloat:
+		_, ok := r.readBytes(8)
+		return ok
+	case tagString, tagBytes:
+		n, ok := r.readLen()
+		if !ok {
+			return false
+		}
+		_, ok = r.readBytes(n)
+		return ok
+	case tagObject:
+		if _, ok := r.readString(); !ok {
+			return false
+		}
+		if _, ok := r.readUvarint(); !ok {
+			return false
+		}
+		n, ok := r.readLen()
+		if !ok {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if _, ok := r.readString(); !ok {
+				return false
+			}
+			if !skipBinValue(r, depth+1) {
+				return false
+			}
+		}
+		return true
+	case tagList:
+		if _, ok := r.readString(); !ok {
+			return false
+		}
+		n, ok := r.readLen()
+		if !ok {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !skipBinValue(r, depth+1) {
+				return false
+			}
+		}
+		return true
+	case tagMap:
+		if _, ok := r.readString(); !ok {
+			return false
+		}
+		if _, ok := r.readString(); !ok {
+			return false
+		}
+		n, ok := r.readLen()
+		if !ok {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !skipBinValue(r, depth+1) || !skipBinValue(r, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

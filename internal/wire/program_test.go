@@ -1,0 +1,388 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The reference struct mix: the shape the wire benchmarks and the
+// compiled≡reflective differential pin — strings, signed/unsigned
+// ints, floats, bools, bytes, slices, a map and nested structs.
+type refPoint struct {
+	X, Y float64
+}
+
+type refStruct struct {
+	ID      uint64
+	Name    string
+	Active  bool
+	Score   float64
+	Balance int64
+	Tags    []string
+	Counts  []int32
+	Blob    []byte
+	Attrs   map[string]string
+	Origin  refPoint
+	Path    []refPoint
+}
+
+func refSample(i int) refStruct {
+	return refStruct{
+		ID:      uint64(i) * 7,
+		Name:    fmt.Sprintf("subject-%d <&> 'quoted'", i),
+		Active:  i%2 == 0,
+		Score:   float64(i) * 1.125,
+		Balance: int64(-i * 1000),
+		Tags:    []string{"alpha", "beta", fmt.Sprintf("tag-%d", i)},
+		Counts:  []int32{1, -2, int32(i)},
+		Blob:    []byte{0x00, 0xFF, byte(i)},
+		Attrs:   map[string]string{"k1": "v1", "k2": fmt.Sprintf("v-%d", i), "10": "ten", "2": "two"},
+		Origin:  refPoint{X: 1.5, Y: -2.25},
+		Path:    []refPoint{{X: 0, Y: 0}, {X: float64(i), Y: float64(-i)}},
+	}
+}
+
+func mustProgram(t testing.TB, v interface{}) *Program {
+	t.Helper()
+	p, err := CompileProgram(reflect.TypeOf(v))
+	if err != nil {
+		t.Fatalf("CompileProgram: %v", err)
+	}
+	return p
+}
+
+func TestProgramDirectEligibility(t *testing.T) {
+	direct := []interface{}{
+		refStruct{},
+		refPoint{},
+		struct{ A int }{},
+		struct{ Kids []refPoint }{},
+		struct{ M map[int]string }{},
+		struct{ B [4]byte }{},
+		struct{ A [2]int }{},
+	}
+	for _, v := range direct {
+		if p := mustProgram(t, v); !p.Direct() {
+			t.Errorf("%T: expected direct program", v)
+		}
+	}
+	indirect := []interface{}{
+		struct{ P *refPoint }{},
+		struct{ I interface{} }{},
+		struct{ F func() }{},
+		struct{ C chan int }{},
+		struct{ M map[refPoint]int }{}, // composite map key
+		struct{ N struct{ P *int } }{},
+	}
+	for _, v := range indirect {
+		if p := mustProgram(t, v); p.Direct() {
+			t.Errorf("%T: expected fallback (non-direct) program", v)
+		}
+	}
+}
+
+// TestCompiledEncodeMatchesReflective pins the tentpole guarantee:
+// the compiled encoders produce byte-for-byte the reflective
+// pipeline's output, for both codecs.
+func TestCompiledEncodeMatchesReflective(t *testing.T) {
+	prog := mustProgram(t, refStruct{})
+	if !prog.Direct() {
+		t.Fatal("reference mix must compile to a direct program")
+	}
+	for _, c := range codecs {
+		t.Run(c.Name(), func(t *testing.T) {
+			for i := 0; i < 50; i++ {
+				v := refSample(i)
+				want, err := c.Encode(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.EncodeCompiled(prog, nil, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("sample %d: compiled and reflective %s encodings differ\n got %q\nwant %q",
+						i, c.Name(), got, want)
+				}
+				// Pointer at the top level encodes like the value.
+				got2, err := c.EncodeCompiled(prog, nil, &v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got2, want) {
+					t.Fatalf("sample %d: pointer encoding differs", i)
+				}
+			}
+		})
+	}
+}
+
+func TestCompiledDecodeMatchesReflective(t *testing.T) {
+	prog := mustProgram(t, refStruct{})
+	for i := 0; i < 50; i++ {
+		v := refSample(i)
+		data, err := Binary{}.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Binary{}.Decode(data, reflect.TypeOf(refStruct{}), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Binary{}.DecodeCompiled(prog, data, reflect.TypeOf(refStruct{}), nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sample %d: decode mismatch\n got %+v\nwant %+v", i, got, want)
+		}
+		// Pointer target.
+		gotP, err := Binary{}.DecodeCompiled(prog, data, reflect.TypeOf(&refStruct{}), nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotP, &v) {
+			t.Fatalf("sample %d: pointer decode mismatch", i)
+		}
+	}
+}
+
+// renamedSource mirrors refPoint under different field names, to
+// exercise the mapped materializer tables.
+type renamedPoint struct {
+	PosX float64
+	PosY float64
+}
+
+func TestCompiledDecodeMappedResolver(t *testing.T) {
+	src := renamedPoint{PosX: 4.5, PosY: -1}
+	data, err := Binary{}.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resolver translating refPoint's expected names to the renamed
+	// source names, keyed purely off the source type name (the
+	// contract DecodeCompiled memoization relies on).
+	resolve := func(target reflect.Type, source *Object, field string) string {
+		if source == nil || source.TypeName != "renamedPoint" {
+			return field
+		}
+		return map[string]string{"X": "PosX", "Y": "PosY"}[field]
+	}
+	prog := mustProgram(t, refPoint{})
+	want, err := Binary{}.Decode(data, reflect.TypeOf(refPoint{}), resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // repeated decodes hit the memoized table
+		got, err := Binary{}.DecodeCompiled(prog, data, reflect.TypeOf(refPoint{}), resolve, "test-mapping")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mapped decode mismatch\n got %+v\nwant %+v", got, want)
+		}
+	}
+	if _, ok := prog.mats.Load(matKey{node: prog.root, srcName: "renamedPoint", fp: "test-mapping"}); !ok {
+		t.Error("materializer table was not memoized under its fingerprint")
+	}
+	// Unfingerprinted resolvers still decode correctly, uncached.
+	got, err := Binary{}.DecodeCompiled(prog, data, reflect.TypeOf(refPoint{}), resolve, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("unfingerprinted mapped decode mismatch")
+	}
+}
+
+// --- quickcheck differential -----------------------------------------
+
+// quickFieldTypes is the palette random struct types draw from.
+var quickFieldTypes = []reflect.Type{
+	reflect.TypeOf(false),
+	reflect.TypeOf(int(0)),
+	reflect.TypeOf(int16(0)),
+	reflect.TypeOf(uint32(0)),
+	reflect.TypeOf(uint64(0)),
+	reflect.TypeOf(float64(0)),
+	reflect.TypeOf(float32(0)),
+	reflect.TypeOf(""),
+	reflect.TypeOf([]byte(nil)),
+	reflect.TypeOf([]int(nil)),
+	reflect.TypeOf([]string(nil)),
+	reflect.TypeOf([3]int{}),
+	reflect.TypeOf(map[string]int(nil)),
+	reflect.TypeOf(map[int]string(nil)),
+	reflect.TypeOf(refPoint{}),
+	reflect.TypeOf([]refPoint(nil)),
+}
+
+func randQuickType(r *rand.Rand) reflect.Type {
+	n := 1 + r.Intn(8)
+	fields := make([]reflect.StructField, n)
+	for i := range fields {
+		fields[i] = reflect.StructField{
+			Name: fmt.Sprintf("F%d", i),
+			Type: quickFieldTypes[r.Intn(len(quickFieldTypes))],
+		}
+	}
+	return reflect.StructOf(fields)
+}
+
+// fillRandom populates an addressable value with random content.
+func fillRandom(r *rand.Rand, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(r.Intn(2) == 0)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(r.Int63() - r.Int63())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(r.Uint64())
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(r.NormFloat64() * 1000)
+	case reflect.String:
+		v.SetString(randString(r))
+	case reflect.Slice:
+		if r.Intn(4) == 0 {
+			return // keep nil
+		}
+		n := r.Intn(4)
+		s := reflect.MakeSlice(v.Type(), n, n)
+		for i := 0; i < n; i++ {
+			fillRandom(r, s.Index(i))
+		}
+		v.Set(s)
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillRandom(r, v.Index(i))
+		}
+	case reflect.Map:
+		if r.Intn(4) == 0 {
+			return
+		}
+		n := r.Intn(4)
+		m := reflect.MakeMapWithSize(v.Type(), n)
+		for i := 0; i < n; i++ {
+			k := reflect.New(v.Type().Key()).Elem()
+			fillRandom(r, k)
+			e := reflect.New(v.Type().Elem()).Elem()
+			fillRandom(r, e)
+			m.SetMapIndex(k, e)
+		}
+		v.Set(m)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillRandom(r, v.Field(i))
+		}
+	}
+}
+
+// TestQuickCompiledDifferential generates random struct types and
+// values and pins compiled ≡ reflective byte-for-byte on encode and
+// value-for-value on decode, for both codecs.
+func TestQuickCompiledDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(0xC0DEC))
+	for i := 0; i < 120; i++ {
+		typ := randQuickType(r)
+		vv := reflect.New(typ).Elem()
+		fillRandom(r, vv)
+		v := vv.Interface()
+
+		prog, err := CompileProgram(typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prog.Direct() {
+			t.Fatalf("iteration %d: %s should compile direct", i, typ)
+		}
+		for _, c := range codecs {
+			want, err := c.Encode(v)
+			if err != nil {
+				t.Fatalf("iteration %d (%s): reflective encode: %v", i, c.Name(), err)
+			}
+			got, err := c.EncodeCompiled(prog, nil, v)
+			if err != nil {
+				t.Fatalf("iteration %d (%s): compiled encode: %v", i, c.Name(), err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("iteration %d (%s): encodings differ for %s\nvalue %+v\n got %q\nwant %q",
+					i, c.Name(), typ, v, got, want)
+			}
+			wantV, wantErr := c.Decode(want, typ, nil)
+			gotV, gotErr := c.DecodeCompiled(prog, want, typ, nil, "")
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("iteration %d (%s): decode error mismatch: %v vs %v", i, c.Name(), gotErr, wantErr)
+			}
+			if wantErr == nil && !reflect.DeepEqual(gotV, wantV) {
+				t.Fatalf("iteration %d (%s): decoded values differ\n got %+v\nwant %+v",
+					i, c.Name(), gotV, wantV)
+			}
+		}
+	}
+}
+
+// TestCompiledDecodeBailsToReflective feeds the compiled decoder
+// streams it must not handle (refs, coercion shapes) and checks the
+// codec-level result still matches the pure reflective result.
+func TestCompiledDecodeBailsToReflective(t *testing.T) {
+	type holder struct {
+		A *refPoint
+		B *refPoint
+	}
+	p := &refPoint{X: 1, Y: 2}
+	aliased := holder{A: p, B: p}
+	data, err := Binary{}.Encode(aliased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := mustProgram(t, holder{})
+	if prog.Direct() {
+		t.Fatal("pointer-bearing type must not be direct")
+	}
+	want, err := Binary{}.Decode(data, reflect.TypeOf(holder{}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Binary{}.DecodeCompiled(prog, data, reflect.TypeOf(holder{}), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fallback decode diverged from reflective decode")
+	}
+	if got.(holder).A != got.(holder).B {
+		t.Fatal("aliasing lost")
+	}
+}
+
+// TestCompiledEncodeZeroAlloc pins the allocation-free send path: a
+// map-free value encoded into a reused buffer allocates nothing.
+func TestCompiledEncodeZeroAlloc(t *testing.T) {
+	type flat struct {
+		ID    uint64
+		Name  string
+		Score float64
+		Tags  []string
+		Blob  []byte
+	}
+	// Box once: the send path hands an interface{} in, so the
+	// per-call conversion is not part of the encode cost.
+	var v interface{} = flat{ID: 1, Name: "zero-alloc", Score: 2.5, Tags: []string{"a", "b"}, Blob: []byte{1, 2, 3}}
+	prog := mustProgram(t, v)
+	buf := make([]byte, 0, 4096)
+	var err error
+	allocs := testing.AllocsPerRun(200, func() {
+		buf, _, err = prog.AppendBinary(buf[:0], v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("compiled binary encode allocates %v times per op, want 0", allocs)
+	}
+}

@@ -36,15 +36,18 @@ var soapPrimitives = map[string]bool{
 }
 
 // EncodeSOAP renders a generic value as a SOAP-style XML envelope.
+// The working buffer is pooled; only the exact-size result slice is
+// allocated.
 func EncodeSOAP(v Value) ([]byte, error) {
-	var buf bytes.Buffer
+	buf := getBuf()
 	buf.WriteString(xml.Header)
-	buf.WriteString("<Envelope><Body>")
-	if err := soapWrite(&buf, "value", v); err != nil {
+	buf.WriteString(soapEnvelopeOpen)
+	if err := soapWrite(buf, "value", v); err != nil {
+		putBuf(buf)
 		return nil, err
 	}
-	buf.WriteString("</Body></Envelope>")
-	return buf.Bytes(), nil
+	buf.WriteString(soapEnvelopeClose)
+	return finishBuf(buf), nil
 }
 
 func soapWrite(buf *bytes.Buffer, elem string, v Value) error {

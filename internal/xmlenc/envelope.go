@@ -1,10 +1,10 @@
 package xmlenc
 
 import (
-	"bytes"
 	"encoding/xml"
 	"fmt"
 
+	"pti/internal/bufpool"
 	"pti/internal/guid"
 	"pti/internal/typedesc"
 )
@@ -74,11 +74,17 @@ func MarshalEnvelope(e *Envelope) ([]byte, error) {
 	if e.Encoding != EncodingSOAP && e.Encoding != EncodingBinary {
 		return nil, fmt.Errorf("%w: unknown payload encoding %q", ErrMalformed, e.Encoding)
 	}
+	return marshalEnvelopeData(e, base64Encode(e.Payload))
+}
+
+// marshalEnvelopeData renders the envelope with the given payload
+// character data (already base64, or a template sentinel).
+func marshalEnvelopeData(e *Envelope, data string) ([]byte, error) {
 	x := xmlEnvelope{
 		Type: refToXML(e.Type),
 		Payload: xmlPayload{
 			Encoding: string(e.Encoding),
-			Data:     base64Encode(e.Payload),
+			Data:     data,
 		},
 	}
 	for _, a := range e.Assemblies {
@@ -87,15 +93,16 @@ func MarshalEnvelope(e *Envelope) ([]byte, error) {
 			DownloadPaths: append([]string(nil), a.DownloadPaths...),
 		})
 	}
-	var buf bytes.Buffer
+	buf := bufpool.Get()
 	buf.WriteString(xml.Header)
-	enc := xml.NewEncoder(&buf)
+	enc := xml.NewEncoder(buf)
 	enc.Indent("", "  ")
 	if err := enc.Encode(x); err != nil {
+		bufpool.Put(buf)
 		return nil, fmt.Errorf("xmlenc: encode envelope: %w", err)
 	}
 	buf.WriteByte('\n')
-	return buf.Bytes(), nil
+	return bufpool.Finish(buf), nil
 }
 
 // UnmarshalEnvelope parses an XML document produced by

@@ -1,0 +1,78 @@
+package xmlenc
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+
+	"pti/internal/bufpool"
+)
+
+// EnvelopeTemplate is the compiled static form of an Envelope: every
+// byte of the Figure 3 XML message that does not depend on the
+// payload — the header, the TypeInfo element, the assembly list and
+// the payload element's delimiters — is rendered once at compile
+// time, so a steady-state send only base64-writes the payload between
+// two constant byte runs. This is the envelope counterpart of
+// wire.Program: type information never changes between sends of the
+// same registered type, so it is paid for once, at registration or
+// first use, not per message.
+type EnvelopeTemplate struct {
+	prefix   []byte
+	suffix   []byte
+	encoding PayloadEncoding
+}
+
+// payloadSentinel is an alphanumeric marker that survives XML
+// character-data encoding untouched; the template is the real
+// marshaled document split at it.
+const payloadSentinel = "7f3d0b5ePTIPAYLOAD5e0bd3f7"
+
+// CompileEnvelopeTemplate renders e (whose Payload is ignored) once
+// through MarshalEnvelope and splits the document around the payload
+// location, so Append's output is byte-identical to what
+// MarshalEnvelope would produce for any payload.
+func CompileEnvelopeTemplate(e *Envelope) (*EnvelopeTemplate, error) {
+	if e == nil {
+		return nil, fmt.Errorf("%w: nil envelope", ErrMalformed)
+	}
+	if e.Encoding != EncodingSOAP && e.Encoding != EncodingBinary {
+		return nil, fmt.Errorf("%w: unknown payload encoding %q", ErrMalformed, e.Encoding)
+	}
+	doc, err := marshalEnvelopeData(e, payloadSentinel)
+	if err != nil {
+		return nil, err
+	}
+	i := bytes.Index(doc, []byte(payloadSentinel))
+	if i < 0 || bytes.Contains(doc[i+len(payloadSentinel):], []byte(payloadSentinel)) {
+		return nil, fmt.Errorf("%w: envelope content collides with template sentinel", ErrMalformed)
+	}
+	return &EnvelopeTemplate{
+		prefix:   append([]byte(nil), doc[:i]...),
+		suffix:   append([]byte(nil), doc[i+len(payloadSentinel):]...),
+		encoding: e.Encoding,
+	}, nil
+}
+
+// Encoding returns the payload encoding the template was compiled
+// for.
+func (t *EnvelopeTemplate) Encoding() PayloadEncoding { return t.encoding }
+
+// Size returns the exact marshaled envelope size for a payload of n
+// bytes, so callers can pre-size the destination and keep Append
+// allocation-free.
+func (t *EnvelopeTemplate) Size(n int) int {
+	return len(t.prefix) + base64.StdEncoding.EncodedLen(n) + len(t.suffix)
+}
+
+// Append appends the full envelope document for payload to dst and
+// returns the extended slice. With sufficient capacity in dst it
+// performs no allocations.
+func (t *EnvelopeTemplate) Append(dst, payload []byte) []byte {
+	dst = append(dst, t.prefix...)
+	n := base64.StdEncoding.EncodedLen(len(payload))
+	off := len(dst)
+	dst = bufpool.Grow(dst, n)
+	base64.StdEncoding.Encode(dst[off:off+n], payload)
+	return append(dst, t.suffix...)
+}

@@ -1,0 +1,80 @@
+package xmlenc
+
+import (
+	"bytes"
+	"testing"
+
+	"pti/internal/guid"
+	"pti/internal/typedesc"
+)
+
+func templateFixture() *Envelope {
+	return &Envelope{
+		Type: typedesc.TypeRef{Name: "Person", Identity: guid.Derive("person")},
+		Assemblies: []AssemblyInfo{
+			{Type: typedesc.TypeRef{Name: "Person", Identity: guid.Derive("person")},
+				DownloadPaths: []string{"http://a.example/types", "http://b.example/types"}},
+			{Type: typedesc.TypeRef{Name: "Address", Identity: guid.Derive("address")}},
+		},
+		Encoding: EncodingBinary,
+	}
+}
+
+// TestEnvelopeTemplateMatchesMarshal pins the template guarantee:
+// Append produces byte-for-byte what MarshalEnvelope produces, for
+// any payload.
+func TestEnvelopeTemplateMatchesMarshal(t *testing.T) {
+	env := templateFixture()
+	tpl, err := CompileEnvelopeTemplate(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("hello payload"),
+		bytes.Repeat([]byte{0xB7, 0x00, 0xFF}, 100),
+	}
+	for _, p := range payloads {
+		env.Payload = p
+		want, err := MarshalEnvelope(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tpl.Append(nil, p)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("payload %q: template output differs\n got %q\nwant %q", p, got, want)
+		}
+		if tpl.Size(len(p)) != len(want) {
+			t.Fatalf("payload %q: Size()=%d, want %d", p, tpl.Size(len(p)), len(want))
+		}
+		// And it round-trips.
+		back, err := UnmarshalEnvelope(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back.Payload, p) {
+			t.Fatalf("payload %q: round trip got %q", p, back.Payload)
+		}
+	}
+}
+
+// TestEnvelopeTemplateAppendZeroAlloc pins the allocation-free
+// envelope build: with a pre-sized destination, Append allocates
+// nothing.
+func TestEnvelopeTemplateAppendZeroAlloc(t *testing.T) {
+	env := templateFixture()
+	tpl, err := CompileEnvelopeTemplate(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 512)
+	dst := make([]byte, 0, tpl.Size(len(payload)))
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = tpl.Append(dst[:0], payload)
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocates %v times per op, want 0", allocs)
+	}
+}

@@ -7,11 +7,11 @@
 package xmlenc
 
 import (
-	"bytes"
 	"encoding/xml"
 	"errors"
 	"fmt"
 
+	"pti/internal/bufpool"
 	"pti/internal/guid"
 	"pti/internal/typedesc"
 )
@@ -159,15 +159,16 @@ func MarshalDescription(d *typedesc.TypeDescription) ([]byte, error) {
 		x.Constructors = append(x.Constructors, xmlCtor{Name: c.Name, Params: refsToXML(c.Params)})
 	}
 
-	var buf bytes.Buffer
+	buf := bufpool.Get()
 	buf.WriteString(xml.Header)
-	enc := xml.NewEncoder(&buf)
+	enc := xml.NewEncoder(buf)
 	enc.Indent("", "  ")
 	if err := enc.Encode(x); err != nil {
+		bufpool.Put(buf)
 		return nil, fmt.Errorf("xmlenc: encode description: %w", err)
 	}
 	buf.WriteByte('\n')
-	return buf.Bytes(), nil
+	return bufpool.Finish(buf), nil
 }
 
 // UnmarshalDescription parses an XML document produced by

@@ -47,6 +47,22 @@
 //
 // or `make bench`; `make check` (go vet + go test -race ./...) is the
 // CI gate.
+//
+// # Compiled wire codecs
+//
+// Serialization gets the same compile-once treatment (see
+// docs/wire.md): every registered type carries a wire.Program —
+// memoized on its registry entry next to the invocation plan — that
+// encodes straight from the Go value to bytes with no intermediate
+// generic tree, and decodes streams of known types through
+// precompiled materializer tables. The envelope's static parts (type
+// reference, assembly list, payload delimiters) are precompiled into
+// an xmlenc.EnvelopeTemplate per entry, so the steady-state
+// SendObject/Marshal path allocates nothing beyond the outgoing
+// bytes. Shapes the compiled path cannot reproduce byte-for-byte
+// (pointer graphs, interfaces) fall back transparently to the
+// reflective codec, which remains authoritative and benchmarked side
+// by side (`make bench-wire`).
 package pti
 
 import (
@@ -80,6 +96,11 @@ type (
 	// Plan is a Mapping compiled against a concrete Go type: indexed
 	// dispatch with no per-call name resolution.
 	Plan = conform.Plan
+	// Program is a per-type compiled wire codec program: direct
+	// value-to-bytes encode and bytes-to-value decode with no
+	// intermediate generic tree, falling back transparently to the
+	// reflective codec for shapes outside the direct subset.
+	Program = wire.Program
 	// Override pins an ambiguous member correspondence.
 	Override = conform.Override
 	// TypeDescription is the flat structural description of a type
@@ -343,26 +364,38 @@ func (r *Runtime) PlanFor(res *Result, target interface{}) (*Plan, error) {
 
 // Marshal serializes v into the hybrid envelope of Figure 3: an XML
 // message with type information and download paths embedding the
-// codec payload. The type of v must be registered.
+// codec payload. The type of v must be registered. Like the
+// transport's SendObject, it runs on the compiled fast path: the
+// payload goes through the entry's compiled codec program and the
+// envelope's static parts come from the entry's precompiled template.
 func (r *Runtime) Marshal(v interface{}) ([]byte, error) {
 	t := reflect.TypeOf(v)
 	entry, ok := r.reg.LookupGo(t)
 	if !ok {
 		return nil, fmt.Errorf("pti: %s is not registered", t)
 	}
-	payload, err := r.codec.Encode(v)
+	prog, _ := entry.Program()
+	payload, err := r.codec.EncodeCompiled(prog, nil, v)
 	if err != nil {
 		return nil, err
 	}
-	env := &xmlenc.Envelope{
-		Type:     entry.Description.Ref(),
-		Encoding: xmlenc.PayloadEncoding(r.codec.Name()),
-		Payload:  payload,
-		Assemblies: []xmlenc.AssemblyInfo{
-			{Type: entry.Description.Ref(), DownloadPaths: entry.DownloadPaths},
-		},
+	tpl, err := entry.EnvelopeTemplate(xmlenc.PayloadEncoding(r.codec.Name()), r.reg)
+	if err != nil {
+		return nil, err
 	}
-	return xmlenc.MarshalEnvelope(env)
+	return tpl.Append(make([]byte, 0, tpl.Size(len(payload))), payload), nil
+}
+
+// ProgramFor exposes the compiled wire codec program memoized on the
+// registry entry for v's (registered) type — the serialization
+// counterpart of PlanFor, useful for inspection and benchmarks.
+func (r *Runtime) ProgramFor(v interface{}) (*Program, error) {
+	t := reflect.TypeOf(v)
+	entry, ok := r.reg.LookupGo(t)
+	if !ok {
+		return nil, fmt.Errorf("pti: %s is not registered", t)
+	}
+	return entry.Program()
 }
 
 // Unmarshal parses an envelope and materializes the object as the
