@@ -1,33 +1,62 @@
 # CI gate and developer conveniences. `make check` is the gate:
-# vet plus the full test suite under the race detector. `make soak`
-# runs the fabric churn scenario long-form, and `make bench-json`
-# emits the committed perf-trajectory artifact. `make help` lists
-# everything.
+# vet plus staticcheck plus the full test suite under the race
+# detector. `make soak` runs the fabric churn scenario long-form on
+# the virtual clock, and `make bench-json` emits the committed
+# perf-trajectory artifact (gated against regressions by
+# `make bench-check`). `make help` lists everything.
 
 GO ?= go
 
-.PHONY: help check vet test test-race bench bench-plan bench-wire bench-json soak build
+# Output artifact of `make bench-json` (override to write elsewhere).
+BENCH_OUT ?= BENCH_PR4.json
+
+# Scratch artifact `make bench-check` regenerates and diffs against
+# the committed baseline. Deliberately NOT the baseline file: the gate
+# must never overwrite BENCH_PR4.json and then diff it against itself.
+BENCH_CHECK_OUT ?= /tmp/pti-bench-check.json
+
+# Pinned staticcheck build, fetched on demand by `go run`.
+STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
+
+.PHONY: help check vet lint test test-race bench bench-plan bench-wire bench-json bench-check soak build
 
 help:
 	@echo "Targets:"
-	@echo "  check       CI gate: vet + full test suite under -race"
+	@echo "  check       CI gate: vet + lint + full test suite under -race"
 	@echo "  build       go build ./..."
 	@echo "  vet         go vet ./..."
+	@echo "  lint        staticcheck ./... (pinned via go run; skipped when offline)"
 	@echo "  test        go test ./..."
 	@echo "  test-race   go test -race ./..."
-	@echo "  soak        long-form fabric soak under -race (seed printed; replay with PTI_SEED=n)"
+	@echo "  soak        long-form fabric soak under -race on the virtual clock"
+	@echo "              (seed printed; replay with PTI_SEED=n; PTI_REALCLOCK=1 for wall-clock)"
 	@echo "  bench       full paper-table benchmark run"
 	@echo "  bench-plan  compiled-plan vs reflective dispatch + cache numbers"
 	@echo "  bench-wire  compiled vs reflective wire codecs + SendObject end-to-end"
-	@echo "  bench-json  fabric scenario metrics -> BENCH_PR3.json (committed perf trajectory)"
+	@echo "  bench-json  fabric scenario metrics (reliable on+off, virtual clock)"
+	@echo "              -> $(BENCH_OUT) (override with BENCH_OUT=file)"
+	@echo "  bench-check regenerate scenario metrics into BENCH_CHECK_OUT (a"
+	@echo "              scratch file, never the baseline) and diff against"
+	@echo "              the committed BENCH_PR4.json"
 
-check: vet test-race
+check: vet lint test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs from a pinned module via `go run`, so nothing is
+# installed into the repo. The version probe separates "tool
+# unavailable" (offline sandbox: skip, keep the gate usable) from
+# "tool found problems" (fail).
+lint:
+	@if $(GO) run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK) ./... ; \
+	else \
+		echo "lint: staticcheck unavailable (offline?); skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -36,9 +65,12 @@ test-race:
 	$(GO) test -race ./...
 
 # Long-form deterministic churn over the simulation fabric: five
-# nodes, lossy/duplicating/reordering links, repeated crash/restart,
-# under the race detector. The fabric seed is printed at the start of
-# the run; a failure replays byte-identically with PTI_SEED=<seed>.
+# nodes, lossy/duplicating/reordering links, reliable publishers,
+# repeated crash/restart, under the race detector — on the virtual
+# clock, so injected latency and retransmit backoff cost real
+# milliseconds instead of wall-clock sleeping. The fabric seed is
+# printed at the start of the run; a failure replays byte-identically
+# with PTI_SEED=<seed>. PTI_REALCLOCK=1 soaks against real time.
 soak:
 	PTI_SOAK=1 $(GO) test -race -run 'TestFabricSoak' -count=1 -v ./internal/transport
 
@@ -58,7 +90,16 @@ bench-wire:
 	$(GO) test -run '^$$' -bench 'EncodeBinary|EncodeSOAP|DecodeBinary' -benchmem ./internal/wire
 	$(GO) test -run '^$$' -bench 'SendObject' -benchmem ./internal/transport
 
-# Machine-readable scenario metrics: match rate and delivery counts
-# per fault profile, written to BENCH_PR3.json (see BENCHMARKS.md).
+# Machine-readable scenario metrics: match rate, delivery counts and
+# reliable-layer retransmit/dedup counters per fault profile, with
+# the reliable layer both off and on, under the virtual clock.
 bench-json:
-	$(GO) run ./cmd/ptibench -exp scenario -reps 2 -seed 42 -json BENCH_PR3.json
+	$(GO) run ./cmd/ptibench -exp scenario -reps 2 -seed 42 -reliable -vclock -json $(BENCH_OUT)
+
+# The bench-regression gate: fresh metrics vs the committed baseline.
+bench-check:
+	@if [ "$(BENCH_CHECK_OUT)" = "BENCH_PR4.json" ]; then \
+		echo "bench-check: BENCH_CHECK_OUT must not be the committed baseline"; exit 2; \
+	fi
+	$(MAKE) bench-json BENCH_OUT=$(BENCH_CHECK_OUT)
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR4.json -candidate $(BENCH_CHECK_OUT)

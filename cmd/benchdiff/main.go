@@ -1,0 +1,128 @@
+// Command benchdiff is the bench-regression gate: it compares a fresh
+// `make bench-json` artifact against the committed baseline
+// (BENCH_PR4.json) and fails when scenario match rates regress.
+//
+// Two rules, matched on (profile, reliable):
+//
+//   - reliable rows must deliver exactly once — a match rate of
+//     precisely 1.0, no tolerance: the reliable layer's guarantee is
+//     binary, and any drift is a dedup or retransmit bug;
+//   - unreliable rows must stay within -tol (default 0.10) of the
+//     baseline: lossy match rates track the fault schedule, which is
+//     seed-pinned, but protocol-retry timing wiggles a little.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_PR4.json -candidate /tmp/bench.json [-tol 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+type scenario struct {
+	Profile   string  `json:"profile"`
+	Reliable  bool    `json:"reliable"`
+	MatchRate float64 `json:"match_rate"`
+}
+
+type doc struct {
+	Seed      int64      `json:"seed"`
+	Scenarios []scenario `json:"scenarios"`
+}
+
+func load(path string) (doc, error) {
+	var d doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.Scenarios) == 0 {
+		return d, fmt.Errorf("%s: no scenarios", path)
+	}
+	return d, nil
+}
+
+func key(s scenario) string {
+	if s.Reliable {
+		return s.Profile + "+rel"
+	}
+	return s.Profile
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_PR4.json", "committed bench-json artifact")
+	candidate := flag.String("candidate", "", "freshly generated bench-json artifact")
+	tol := flag.Float64("tol", 0.10, "allowed match-rate drift for unreliable rows")
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -candidate is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if base.Seed != cand.Seed {
+		fmt.Fprintf(os.Stderr, "benchdiff: seed mismatch: baseline %d vs candidate %d (rates are only comparable per seed)\n",
+			base.Seed, cand.Seed)
+		os.Exit(2)
+	}
+
+	got := make(map[string]scenario, len(cand.Scenarios))
+	for _, s := range cand.Scenarios {
+		got[key(s)] = s
+	}
+
+	failures := 0
+	for _, want := range base.Scenarios {
+		k := key(want)
+		have, ok := got[k]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-24s missing from candidate\n", k)
+			failures++
+		case want.Reliable && have.MatchRate != 1.0:
+			fmt.Printf("FAIL %-24s match %.4f, reliable rows must be exactly 1.0\n", k, have.MatchRate)
+			failures++
+		case !want.Reliable && math.Abs(have.MatchRate-want.MatchRate) > *tol:
+			fmt.Printf("FAIL %-24s match %.4f vs baseline %.4f (tol %.2f)\n",
+				k, have.MatchRate, want.MatchRate, *tol)
+			failures++
+		default:
+			fmt.Printf("ok   %-24s match %.4f (baseline %.4f)\n", k, have.MatchRate, want.MatchRate)
+		}
+	}
+	// Candidate-only rows mean the scenario set grew without the
+	// baseline being regenerated — fail rather than silently skip
+	// them (a new reliable row would otherwise dodge the 1.0 rule).
+	known := make(map[string]bool, len(base.Scenarios))
+	for _, s := range base.Scenarios {
+		known[key(s)] = true
+	}
+	for _, s := range cand.Scenarios {
+		if !known[key(s)] {
+			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit %s\n", key(s), *baseline)
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d regression(s) against %s\n", failures, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d scenarios within tolerance of %s\n", len(base.Scenarios), *baseline)
+}

@@ -26,8 +26,10 @@ import (
 )
 
 var (
-	seed    = flag.Int64("seed", 1, "fabric seed for -exp scenario (replays the fault schedule)")
-	jsonOut = flag.String("json", "", "write scenario metrics to this JSON file")
+	seed     = flag.Int64("seed", 1, "fabric seed for -exp scenario (replays the fault schedule)")
+	jsonOut  = flag.String("json", "", "write scenario metrics to this JSON file")
+	reliable = flag.Bool("reliable", false, "for -exp scenario: additionally run every profile with the reliable delivery layer on")
+	vclock   = flag.Bool("vclock", false, "for -exp scenario: run the fabric on the virtual clock (compresses injected latency)")
 )
 
 func main() {

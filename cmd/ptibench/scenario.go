@@ -11,13 +11,43 @@ import (
 	"pti/internal/transport"
 )
 
+// scenarioResult is one (profile, mode) row of the scenario
+// experiment — the machine-readable perf-trajectory record benchdiff
+// gates CI on.
+type scenarioResult struct {
+	Profile      string  `json:"profile"`
+	Reliable     bool    `json:"reliable"`
+	Sent         uint64  `json:"sent"`
+	Received     uint64  `json:"received"`
+	Delivered    uint64  `json:"delivered"`
+	Dropped      uint64  `json:"dropped"`
+	MatchRate    float64 `json:"match_rate"`
+	TypeInfoReqs uint64  `json:"type_info_requests"`
+	CodeReqs     uint64  `json:"code_requests"`
+	FramesLost   uint64  `json:"frames_lost"`
+	FramesDuped  uint64  `json:"frames_duplicated"`
+	Retransmits  uint64  `json:"retransmits"`
+	Deduped      uint64  `json:"deduped"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+}
+
+// benchDoc is the committed bench-json artifact layout (BENCH_PR4.json).
+type benchDoc struct {
+	Seed      int64            `json:"seed"`
+	Objects   int              `json:"objects_per_profile"`
+	Scenarios []scenarioResult `json:"scenarios"`
+}
+
 // expScenario drives the optimistic protocol across the simulation
 // fabric's fault profiles and reports delivery counts and match rate
-// (delivered/published) under each. All randomness derives from
-// -seed; a surprising result replays exactly by re-running with the
-// printed seed. With -json the metrics are also written as a machine-
-// readable file (the perf-trajectory artifact `make bench-json`
-// commits as BENCH_PR2.json).
+// (delivered/published) under each — with -reliable, each profile
+// additionally runs with the reliable delivery layer on, which must
+// converge every profile to a 100% match rate (exactly-once). All
+// randomness derives from -seed; a surprising result replays exactly
+// by re-running with the printed seed. With -json the metrics are
+// written as the machine-readable perf-trajectory artifact `make
+// bench-json` commits (BENCH_PR4.json), and -vclock runs the whole
+// experiment on the virtual clock.
 func expScenario(reps int) error {
 	objects := 50 * reps
 	profiles := []struct {
@@ -43,112 +73,39 @@ func expScenario(reps int) error {
 			Bandwidth: 256 * 1024},
 			"shaped link: delivery spread over transmission time"},
 	}
-
-	type scenarioResult struct {
-		Profile      string  `json:"profile"`
-		Sent         uint64  `json:"sent"`
-		Received     uint64  `json:"received"`
-		Delivered    uint64  `json:"delivered"`
-		Dropped      uint64  `json:"dropped"`
-		MatchRate    float64 `json:"match_rate"`
-		TypeInfoReqs uint64  `json:"type_info_requests"`
-		CodeReqs     uint64  `json:"code_requests"`
-		FramesLost   uint64  `json:"frames_lost"`
-		FramesDuped  uint64  `json:"frames_duplicated"`
-		ElapsedMs    float64 `json:"elapsed_ms"`
+	modes := []bool{false}
+	if *reliable {
+		modes = append(modes, true)
 	}
-	results := make([]scenarioResult, 0, len(profiles))
 
-	fmt.Printf("  fabric seed: %d (rerun with -seed %d to replay)\n", *seed, *seed)
-	fmt.Printf("  %-20s %8s %9s %10s %8s %10s %8s\n",
-		"profile", "sent", "received", "delivered", "match", "typeinfo", "elapsed")
+	results := make([]scenarioResult, 0, len(profiles)*len(modes))
+	fmt.Printf("  fabric seed: %d (rerun with -seed %d to replay)", *seed, *seed)
+	if *vclock {
+		fmt.Printf("  [virtual clock]")
+	}
+	fmt.Println()
+	fmt.Printf("  %-24s %8s %9s %10s %8s %8s %8s %8s\n",
+		"profile", "sent", "received", "delivered", "match", "retrans", "deduped", "elapsed")
 	for _, pr := range profiles {
-		f := transport.NewFabric(*seed)
-		regA := registry.New()
-		if _, err := regA.Register(fixtures.PersonB{},
-			registry.WithConstructor("NewPersonB", fixtures.NewPersonB)); err != nil {
-			return err
-		}
-		regB := registry.New()
-		if _, err := regB.Register(fixtures.PersonA{},
-			registry.WithConstructor("NewPersonA", fixtures.NewPersonA)); err != nil {
-			return err
-		}
-		na, err := f.AddPeerWithRegistry("pub", regA,
-			transport.WithRequestTimeout(250*time.Millisecond))
-		if err != nil {
-			return err
-		}
-		nb, err := f.AddPeerWithRegistry("sub", regB,
-			transport.WithRequestTimeout(250*time.Millisecond))
-		if err != nil {
-			return err
-		}
-		if _, _, err := f.Connect("pub", "sub", pr.prof); err != nil {
-			return err
-		}
-		// Delivery counts come from the peer's Stats; the handler only
-		// has to exist for the interest to match.
-		if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(transport.Delivery) {}); err != nil {
-			return err
-		}
-		conn, _ := na.ConnTo("sub")
-
-		start := time.Now()
-		for i := 0; i < objects; i++ {
-			if err := na.Peer().SendObject(conn, fixtures.PersonB{
-				PersonName: "bench", PersonAge: i,
-			}); err != nil {
+		for _, rel := range modes {
+			res, err := runScenario(pr.name, pr.prof, rel, objects)
+			if err != nil {
 				return err
 			}
-		}
-		// Quiesce: receptions resolve to delivered or dropped.
-		deadline := time.Now().Add(15 * time.Second)
-		for time.Now().Before(deadline) {
-			st := nb.Peer().Stats().Snapshot()
-			if st.ObjectsReceived > 0 && st.ObjectsReceived == st.ObjectsDelivered+st.ObjectsDropped {
-				// One extra settle pass for frames still in flight.
-				time.Sleep(20 * time.Millisecond)
-				st2 := nb.Peer().Stats().Snapshot()
-				if st2.ObjectsReceived == st.ObjectsReceived {
-					break
-				}
-				continue
+			results = append(results, res)
+			name := pr.name
+			if rel {
+				name += "+rel"
 			}
-			time.Sleep(5 * time.Millisecond)
-		}
-		elapsed := time.Since(start)
-
-		st := nb.Peer().Stats().Snapshot()
-		fs := f.Stats()
-		res := scenarioResult{
-			Profile:      pr.name,
-			Sent:         uint64(objects),
-			Received:     st.ObjectsReceived,
-			Delivered:    st.ObjectsDelivered,
-			Dropped:      st.ObjectsDropped,
-			MatchRate:    float64(st.ObjectsDelivered) / float64(objects),
-			TypeInfoReqs: st.TypeInfoRequests,
-			CodeReqs:     st.CodeRequests,
-			FramesLost:   fs.FramesDropped,
-			FramesDuped:  fs.FramesDuplicated,
-			ElapsedMs:    float64(elapsed.Nanoseconds()) / 1e6,
-		}
-		results = append(results, res)
-		fmt.Printf("  %-20s %8d %9d %10d %7.0f%% %10d %8s  %s\n",
-			pr.name, res.Sent, res.Received, res.Delivered,
-			res.MatchRate*100, res.TypeInfoReqs, fmtDur(elapsed), pr.note)
-		if err := f.Close(); err != nil {
-			return err
+			fmt.Printf("  %-24s %8d %9d %10d %7.0f%% %8d %8d %8s  %s\n",
+				name, res.Sent, res.Received, res.Delivered, res.MatchRate*100,
+				res.Retransmits, res.Deduped,
+				fmtDur(time.Duration(res.ElapsedMs*1e6)), pr.note)
 		}
 	}
 
 	if *jsonOut != "" {
-		doc := struct {
-			Seed      int64            `json:"seed"`
-			Objects   int              `json:"objects_per_profile"`
-			Scenarios []scenarioResult `json:"scenarios"`
-		}{Seed: *seed, Objects: objects, Scenarios: results}
+		doc := benchDoc{Seed: *seed, Objects: objects, Scenarios: results}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			return err
@@ -159,4 +116,104 @@ func expScenario(reps int) error {
 		fmt.Printf("  wrote %s\n", *jsonOut)
 	}
 	return nil
+}
+
+// runScenario runs one (profile, reliability) cell: a publisher and a
+// subscriber with divergent registries, `objects` publications, then
+// quiesce and account.
+func runScenario(name string, prof transport.FaultProfile, rel bool, objects int) (scenarioResult, error) {
+	var fabOpts []transport.FabricOption
+	if *vclock {
+		fabOpts = append(fabOpts, transport.WithVirtualClock())
+	}
+	f := transport.NewFabric(*seed, fabOpts...)
+	defer func() { _ = f.Close() }()
+
+	peerOpts := []transport.PeerOption{transport.WithRequestTimeout(250 * time.Millisecond)}
+	if rel {
+		// Reliability needs room for retransmit round trips before the
+		// request-timeout failsafe fires.
+		peerOpts = []transport.PeerOption{
+			transport.WithRequestTimeout(2 * time.Second),
+			transport.WithReliableLinks(transport.WithRetransmitTimeout(5 * time.Millisecond)),
+		}
+	}
+	regA := registry.New()
+	if _, err := regA.Register(fixtures.PersonB{},
+		registry.WithConstructor("NewPersonB", fixtures.NewPersonB)); err != nil {
+		return scenarioResult{}, err
+	}
+	regB := registry.New()
+	if _, err := regB.Register(fixtures.PersonA{},
+		registry.WithConstructor("NewPersonA", fixtures.NewPersonA)); err != nil {
+		return scenarioResult{}, err
+	}
+	na, err := f.AddPeerWithRegistry("pub", regA, peerOpts...)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	nb, err := f.AddPeerWithRegistry("sub", regB, peerOpts...)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	if _, _, err := f.Connect("pub", "sub", prof); err != nil {
+		return scenarioResult{}, err
+	}
+	// Delivery counts come from the peer's Stats; the handler only
+	// has to exist for the interest to match.
+	if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(transport.Delivery) {}); err != nil {
+		return scenarioResult{}, err
+	}
+	conn, _ := na.ConnTo("sub")
+
+	start := time.Now()
+	for i := 0; i < objects; i++ {
+		if err := na.Peer().SendObject(conn, fixtures.PersonB{
+			PersonName: "bench", PersonAge: i,
+		}); err != nil {
+			return scenarioResult{}, err
+		}
+	}
+	// Quiesce: receptions resolve to delivered or dropped. With
+	// reliability on, wait for the retransmit machinery to land every
+	// object.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := nb.Peer().Stats().Snapshot()
+		if rel && st.ObjectsDelivered+st.ObjectsDropped < uint64(objects) {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if st.ObjectsReceived > 0 && st.ObjectsReceived == st.ObjectsDelivered+st.ObjectsDropped {
+			// One extra settle pass for frames still in flight.
+			time.Sleep(20 * time.Millisecond)
+			st2 := nb.Peer().Stats().Snapshot()
+			if st2.ObjectsReceived == st.ObjectsReceived {
+				break
+			}
+			continue
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	st := nb.Peer().Stats().Snapshot()
+	pubSt := na.Peer().Stats().Snapshot()
+	fs := f.Stats()
+	return scenarioResult{
+		Profile:      name,
+		Reliable:     rel,
+		Sent:         uint64(objects),
+		Received:     st.ObjectsReceived,
+		Delivered:    st.ObjectsDelivered,
+		Dropped:      st.ObjectsDropped,
+		MatchRate:    float64(st.ObjectsDelivered) / float64(objects),
+		TypeInfoReqs: st.TypeInfoRequests,
+		CodeReqs:     st.CodeRequests,
+		FramesLost:   fs.FramesDropped,
+		FramesDuped:  fs.FramesDuplicated,
+		Retransmits:  pubSt.RelRetransmits + st.RelRetransmits,
+		Deduped:      st.RelDeduped + pubSt.RelDeduped,
+		ElapsedMs:    float64(elapsed.Nanoseconds()) / 1e6,
+	}, nil
 }

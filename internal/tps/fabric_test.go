@@ -114,3 +114,95 @@ func TestAttachNodeRejectsCrashedNode(t *testing.T) {
 		t.Errorf("AttachNode(restarted) = %v", err)
 	}
 }
+
+// TestAttachNodeReliableLossyConvergence runs distributed TPS over a
+// drop+dup+reorder link with WithReliableLinks on both ends, under
+// the virtual clock: every published quote must reach the broker
+// exactly once — the 100%-match-rate guarantee the reliable layer
+// adds above the lossy fabric.
+func TestAttachNodeReliableLossyConvergence(t *testing.T) {
+	rel := transport.WithReliableLinks(
+		transport.WithRetransmitTimeout(5 * time.Millisecond))
+	f := transport.NewFabric(4242,
+		transport.WithVirtualClock(),
+		transport.WithFabricPeerOptions(rel,
+			transport.WithRequestTimeout(2*time.Second)))
+	defer f.Close()
+
+	regPub := registry.New()
+	if _, err := regPub.Register(fixtures.StockQuoteB{}); err != nil {
+		t.Fatal(err)
+	}
+	regSub := registry.New()
+	if _, err := regSub.Register(fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := f.AddPeerWithRegistry("pub", regPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := f.AddPeerWithRegistry("sub", regSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Connect("pub", "sub", transport.FaultProfile{
+		Latency:     500 * time.Microsecond,
+		Jitter:      500 * time.Microsecond,
+		DropRate:    0.25,
+		DupRate:     0.15,
+		ReorderRate: 0.25,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	broker := NewBroker(regSub)
+	var mu sync.Mutex
+	volumes := make(map[int]int)
+	if _, err := broker.Subscribe(fixtures.StockQuoteA{}, func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if q, ok := e.Bound.(*fixtures.StockQuoteA); ok {
+			volumes[q.Volume]++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachNode(broker, sub, fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, _ := pub.ConnTo("sub")
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := pub.Peer().SendObject(conn, fixtures.StockQuoteB{
+			StockSymbol: "PTI", StockPrice: 42.0, StockVolume: i,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		got := len(volumes)
+		mu.Unlock()
+		if got == n || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(volumes) != n {
+		t.Fatalf("broker received %d/%d quotes over the lossy link", len(volumes), n)
+	}
+	for v, count := range volumes {
+		if count != 1 {
+			t.Errorf("quote %d delivered %d times (exactly-once violated)", v, count)
+		}
+	}
+	published, delivered, _ := broker.Stats()
+	if published != n || delivered != n {
+		t.Errorf("broker stats: published=%d delivered=%d, want %d/%d", published, delivered, n, n)
+	}
+}

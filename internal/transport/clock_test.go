@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestManualClockAdvanceFiresInDeadlineOrder: timers fire exactly
+// when virtual time crosses their deadline, never before.
+func TestManualClockAdvanceFiresInDeadlineOrder(t *testing.T) {
+	c := NewManualClock()
+	t5 := c.NewTimer(5 * time.Millisecond)
+	t10 := c.NewTimer(10 * time.Millisecond)
+	t20 := c.NewTimer(20 * time.Millisecond)
+
+	fired := func(tm Timer) bool {
+		select {
+		case <-tm.C():
+			return true
+		default:
+			return false
+		}
+	}
+	c.Advance(12 * time.Millisecond)
+	if !fired(t5) || !fired(t10) {
+		t.Error("timers within the advance did not fire")
+	}
+	if fired(t20) {
+		t.Error("timer beyond the advance fired early")
+	}
+	if got := c.PendingTimers(); got != 1 {
+		t.Errorf("PendingTimers = %d, want 1", got)
+	}
+	if !t20.Stop() {
+		t.Error("Stop on a pending timer = false")
+	}
+	c.Advance(time.Hour)
+	if fired(t20) {
+		t.Error("stopped timer fired")
+	}
+	if t20.Stop() {
+		t.Error("Stop on a stopped timer = true")
+	}
+}
+
+// TestManualClockImmediateTimer: a non-positive duration fires at
+// creation.
+func TestManualClockImmediateTimer(t *testing.T) {
+	c := NewManualClock()
+	tm := c.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Error("zero-duration timer did not fire immediately")
+	}
+}
+
+// TestManualClockNowAdvances: Now reflects Advance, and Until is
+// measured in virtual time.
+func TestManualClockNowAdvances(t *testing.T) {
+	c := NewManualClock()
+	start := c.Now()
+	deadline := start.Add(time.Hour)
+	c.Advance(20 * time.Minute)
+	if got := c.Now().Sub(start); got != 20*time.Minute {
+		t.Errorf("Now advanced by %s, want 20m", got)
+	}
+	if got := c.Until(deadline); got != 40*time.Minute {
+		t.Errorf("Until = %s, want 40m", got)
+	}
+}
+
+// TestVirtualClockAutoAdvanceJumpsToDeadline: in auto mode a pending
+// timer hours ahead in virtual time fires within real milliseconds.
+func TestVirtualClockAutoAdvanceJumpsToDeadline(t *testing.T) {
+	c := NewVirtualClock()
+	defer c.Stop()
+	tm := c.NewTimer(3 * time.Hour)
+	select {
+	case <-tm.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("auto-advance never reached a 3h deadline")
+	}
+	if got := c.Now().Sub(vclockEpoch); got < 3*time.Hour {
+		t.Errorf("virtual now advanced %s, want >= 3h", got)
+	}
+}
+
+// TestVirtualClockStopHaltsAdvance: after Stop, pending timers never
+// fire.
+func TestVirtualClockStopHaltsAdvance(t *testing.T) {
+	c := NewVirtualClock()
+	c.Stop()
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Error("timer fired on a stopped clock")
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"net"
 	"strings"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"pti/internal/guid"
 	"pti/internal/typedesc"
@@ -33,6 +33,13 @@ type Conn struct {
 	pending map[uint64]chan *Message
 	closed  bool
 
+	// rel is the attached reliable sender (nil unless the peer was
+	// built WithReliableLinks or NewReliableLink wrapped this conn);
+	// rrecv is the always-armed reliable receiver, so only the
+	// sending side has to opt in.
+	rel   atomic.Pointer[ReliableLink]
+	rrecv *relReceiver
+
 	done chan struct{}
 }
 
@@ -43,9 +50,26 @@ func newConn(p *Peer, rw net.Conn) *Conn {
 		pending: make(map[uint64]chan *Message),
 		done:    make(chan struct{}),
 	}
+	c.rrecv = newRelReceiver(&p.stats,
+		func(m *Message) { p.handleRequest(c, m) },
+		func(m *Message) { c.routeReply(m) },
+		func(epoch, cum uint64) {
+			_ = c.send(&Message{Type: MsgReliableAck, Body: encodeRelAck(epoch, cum)})
+		})
+	if p.relCfg != nil {
+		c.rel.Store(newReliableLink(connRaw{c}, p.clock, &p.stats, *p.relCfg))
+	}
 	p.track(c)
 	go c.readLoop()
 	return c
+}
+
+// stopReliable halts the attached reliable sender (if any) so window
+// waiters and retransmit timers die with the connection.
+func (c *Conn) stopReliable() {
+	if r := c.rel.Load(); r != nil {
+		r.stop()
+	}
 }
 
 // Close tears the connection down and unblocks pending requests.
@@ -61,6 +85,7 @@ func (c *Conn) Close() error {
 		delete(c.pending, seq)
 	}
 	c.mu.Unlock()
+	c.stopReliable()
 	err := c.rw.Close()
 	<-c.done
 	c.peer.untrack(c)
@@ -77,6 +102,7 @@ func (c *Conn) readLoop() {
 			// whose counterpart crashed does not keep broadcasting
 			// into a dead conn.
 			c.failPending()
+			c.stopReliable()
 			_ = c.rw.Close()
 			c.peer.untrack(c)
 			return
@@ -84,14 +110,13 @@ func (c *Conn) readLoop() {
 		c.peer.stats.bytesReceived.Add(uint64(n))
 		switch m.Type {
 		case MsgTypeInfoReply, MsgCodeReply, MsgInvokeReply, MsgLookupReply, MsgError:
-			c.mu.Lock()
-			ch, ok := c.pending[m.Seq]
-			if ok {
-				delete(c.pending, m.Seq)
-			}
-			c.mu.Unlock()
-			if ok {
-				ch <- m
+			c.routeReply(m)
+		case MsgReliableAck:
+			// Acks are cheap and order-insensitive: route them
+			// synchronously so window space frees the moment the
+			// frame arrives.
+			if r := c.rel.Load(); r != nil {
+				r.Ack(m.Body)
 			}
 		default:
 			// Requests may themselves wait for replies on this
@@ -100,6 +125,21 @@ func (c *Conn) readLoop() {
 			// block the read loop.
 			c.peer.handleAsync(c, m)
 		}
+	}
+}
+
+// routeReply hands a correlated reply to its waiting request, both
+// for raw replies read off the wire and for replies unwrapped from
+// reliable data frames.
+func (c *Conn) routeReply(m *Message) {
+	c.mu.Lock()
+	ch, ok := c.pending[m.Seq]
+	if ok {
+		delete(c.pending, m.Seq)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- m
 	}
 }
 
@@ -122,9 +162,12 @@ func (c *Conn) send(m *Message) error {
 	return err
 }
 
-// reply answers a request, echoing its sequence number.
+// reply answers a request, echoing its sequence number. Replies ride
+// the reliable channel when one is attached (they bypass the
+// receiver's in-order queue, so a blocked dispatch cannot deadlock
+// the exchange).
 func (c *Conn) reply(req *Message, t MsgType, body []byte) error {
-	return c.send(&Message{Type: t, Seq: req.Seq, Body: body})
+	return c.Send(&Message{Type: t, Seq: req.Seq, Body: body})
 }
 
 // replyError answers a request with an error message.
@@ -154,14 +197,17 @@ func (c *Conn) request(t MsgType, body []byte) (*Message, error) {
 	c.pending[seq] = ch
 	c.mu.Unlock()
 
-	if err := c.send(&Message{Type: t, Seq: seq, Body: body}); err != nil {
+	// Requests ride the reliable channel when one is attached, so a
+	// lossy link costs a retransmit interval instead of a lost round
+	// trip; the timeout below stays as the failsafe.
+	if err := c.Send(&Message{Type: t, Seq: seq, Body: body}); err != nil {
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
 		return nil, err
 	}
 
-	timer := time.NewTimer(c.peer.requestTimeout)
+	timer := c.peer.clock.NewTimer(c.peer.requestTimeout)
 	defer timer.Stop()
 	select {
 	case m, ok := <-ch:
@@ -177,7 +223,7 @@ func (c *Conn) request(t MsgType, body []byte) (*Message, error) {
 		delete(c.pending, seq)
 		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrPeerClosed, t)
-	case <-timer.C:
+	case <-timer.C():
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()

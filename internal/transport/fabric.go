@@ -90,6 +90,8 @@ type Fabric struct {
 	seed        int64
 	defaultReg  *registry.Registry
 	defaultOpts []PeerOption
+	clock       Clock
+	vclock      *VirtualClock // owned; stopped on Close
 
 	mu      sync.Mutex
 	nodes   map[string]*Node
@@ -115,6 +117,47 @@ func WithFabricPeerOptions(opts ...PeerOption) FabricOption {
 	return func(f *Fabric) { f.defaultOpts = append(f.defaultOpts, opts...) }
 }
 
+// WithVirtualClock switches the fabric to a discrete event clock:
+// link latency, bandwidth shaping, request timeouts and retransmit
+// timers all run in virtual time that jumps to the next scheduled
+// deadline instead of sleeping through it. Fault schedules are
+// unchanged — decisions remain a pure function of (seed, direction,
+// frame index) — so seed replay still reproduces the identical
+// schedule, just compressed to real seconds.
+func WithVirtualClock() FabricOption {
+	return func(f *Fabric) {
+		f.vclock = NewVirtualClock()
+		f.vclock.SetBusyFunc(f.busy)
+		f.clock = f.vclock
+	}
+}
+
+// busy reports whether the fabric still has runnable work in flight:
+// delivered frames waiting in a receive buffer, or a peer handler
+// actually executing (as opposed to parked on a clock-backed wait).
+// The virtual clock's advancer holds time still while busy, so a
+// goroutine-scheduled round trip on a zero-latency link can never
+// lose a race against its own timeout deadline.
+func (f *Fabric) busy() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, l := range f.links {
+		if l.aEnd.in.pending() || l.bEnd.in.pending() {
+			return true
+		}
+	}
+	for _, n := range f.nodes {
+		if n.peer != nil && n.peer.busyHandlers() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clock returns the clock the fabric schedules on (the wall clock
+// unless WithVirtualClock was given).
+func (f *Fabric) Clock() Clock { return f.clock }
+
 // maxScheduleLen bounds fault-schedule recording per link direction
 // so soak runs cannot grow memory without bound. Decisions past the
 // cap are dropped.
@@ -126,6 +169,7 @@ const maxScheduleLen = 1 << 16
 func NewFabric(seed int64, opts ...FabricOption) *Fabric {
 	f := &Fabric{
 		seed:  seed,
+		clock: realClock{},
 		nodes: make(map[string]*Node),
 		links: make(map[string]*fabricLink),
 	}
@@ -150,7 +194,7 @@ type Node struct {
 
 	// guarded by fab.mu
 	peer     *Peer
-	gen      int // restart generation, salts the link PRNGs
+	gen      int                     // restart generation, salts the link PRNGs
 	conns    map[string]*Conn        // live conns by remote node
 	profiles map[string]FaultProfile // last profile per remote, for restart
 	crashed  bool
@@ -193,7 +237,7 @@ func (f *Fabric) AddPeerWithRegistry(name string, reg *registry.Registry, opts .
 	if _, ok := f.nodes[name]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateNode, name)
 	}
-	all := append(append([]PeerOption{WithName(name)}, f.defaultOpts...), opts...)
+	all := append(append([]PeerOption{WithName(name), WithClock(f.clock)}, f.defaultOpts...), opts...)
 	n := &Node{
 		fab:      f,
 		name:     name,
@@ -257,8 +301,8 @@ func (f *Fabric) connectLocked(a, b string, prof FaultProfile) (*Conn, *Conn, er
 	// restart generations): deterministic per direction, fresh — but
 	// reproducibly so — after a crash/restart.
 	salt := fmt.Sprintf("%s#%d->%s#%d", a, na.gen, b, nb.gen)
-	l.ab = newLinkDir(a+"->"+b, rngFor(f.seed, "ab|"+salt), prof)
-	l.ba = newLinkDir(b+"->"+a, rngFor(f.seed, "ba|"+salt), prof)
+	l.ab = newLinkDir(a+"->"+b, rngFor(f.seed, "ab|"+salt), prof, f.clock)
+	l.ba = newLinkDir(b+"->"+a, rngFor(f.seed, "ba|"+salt), prof, f.clock)
 	l.aEnd = &fabricEnd{link: l, out: l.ab, in: newFrameBuffer(), local: a, remote: b}
 	l.bEnd = &fabricEnd{link: l, out: l.ba, in: newFrameBuffer(), local: b, remote: a}
 	l.ab.dst = l.bEnd.in
@@ -447,6 +491,9 @@ func (f *Fabric) Close() error {
 			firstErr = err
 		}
 	}
+	if f.vclock != nil {
+		f.vclock.Stop()
+	}
 	return firstErr
 }
 
@@ -551,8 +598,9 @@ type packet struct {
 // protocol frame (WriteMessage emits a frame in a single Write), so
 // faults operate on whole frames and never corrupt the framing.
 type linkDir struct {
-	name string // "a->b"
-	dst  *frameBuffer
+	name  string // "a->b"
+	dst   *frameBuffer
+	clock Clock
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -572,13 +620,14 @@ type linkDir struct {
 	sent, delivered, dropped, duped, reordered, cutDrops atomic.Uint64
 }
 
-func newLinkDir(name string, rng *rand.Rand, prof FaultProfile) *linkDir {
+func newLinkDir(name string, rng *rand.Rand, prof FaultProfile, clock Clock) *linkDir {
 	return &linkDir{
-		name: name,
-		rng:  rng,
-		prof: prof,
-		kick: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		name:  name,
+		rng:   rng,
+		prof:  prof,
+		clock: clock,
+		kick:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
 	}
 }
 
@@ -637,7 +686,7 @@ func (d *linkDir) send(b []byte) (int, error) {
 	// part of the replayable schedule.
 	dec.Delay = p.Latency + time.Duration(jitterFrac*float64(p.Jitter))
 	delay := dec.Delay
-	now := time.Now()
+	now := d.clock.Now()
 	if p.Bandwidth > 0 {
 		tx := time.Duration(len(b)) * time.Second / time.Duration(p.Bandwidth)
 		if d.busyUntil.Before(now) {
@@ -736,11 +785,11 @@ func (d *linkDir) run() {
 			}
 		}
 		p := d.queue[0]
-		if wait := time.Until(p.due); wait > 0 {
+		if wait := d.clock.Until(p.due); wait > 0 {
 			d.mu.Unlock()
-			t := time.NewTimer(wait)
+			t := d.clock.NewTimer(wait)
 			select {
-			case <-t.C:
+			case <-t.C():
 			case <-d.kick: // an earlier-due packet may have arrived
 				t.Stop()
 			case <-d.done:
@@ -832,6 +881,13 @@ func (b *frameBuffer) Read(p []byte) (int, error) {
 	n := copy(p, b.data)
 	b.data = b.data[n:]
 	return n, nil
+}
+
+// pending reports whether delivered bytes await a reader.
+func (b *frameBuffer) pending() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.data) > 0
 }
 
 func (b *frameBuffer) close() {

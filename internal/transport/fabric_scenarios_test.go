@@ -610,11 +610,17 @@ func TestScenarioRestartEnvelopeCacheInvalidation(t *testing.T) {
 }
 
 // TestFabricSoak is the long-running churn scenario: a five-node
-// fabric under a moderately hostile profile with concurrent
+// fabric under a moderately hostile profile with concurrent reliable
 // publishers, while one subscriber crash/restarts repeatedly. The
 // assertions are the protocol's global invariants — accounting
 // balance on every peer, convergent mappings, no deadlock, no race
 // (run under -race via `make soak`). PTI_SOAK=1 extends the run.
+//
+// The soak runs on the virtual clock by default, so injected latency
+// and retransmit backoff cost real milliseconds instead of wall-clock
+// sleeping; set PTI_REALCLOCK=1 to soak against real time. Fault
+// decisions are a pure function of (seed, direction, frame index)
+// either way, so PTI_SEED replay reproduces the identical schedule.
 func TestFabricSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak scenario skipped in -short mode")
@@ -628,12 +634,19 @@ func TestFabricSoak(t *testing.T) {
 		rounds, perRound = 20, 100
 	}
 
-	f := NewFabric(seed)
+	var fabOpts []FabricOption
+	if os.Getenv("PTI_REALCLOCK") == "" {
+		fabOpts = append(fabOpts, WithVirtualClock())
+	}
+	f := NewFabric(seed, fabOpts...)
 	defer f.Close()
 
+	// WAN-like link: ~100ms one-way latency — the regime where a
+	// wall-clock soak spends nearly all its time sleeping through
+	// injected delay and the virtual clock pays off.
 	prof := FaultProfile{
-		Latency:     200 * time.Microsecond,
-		Jitter:      300 * time.Microsecond,
+		Latency:     100 * time.Millisecond,
+		Jitter:      50 * time.Millisecond,
 		DropRate:    0.05,
 		DupRate:     0.05,
 		ReorderRate: 0.1,
@@ -648,8 +661,13 @@ func TestFabricSoak(t *testing.T) {
 	pubs := []string{"pub1", "pub2"}
 	subsNames := []string{"sub1", "sub2", "sub3"}
 	for _, p := range pubs {
+		// Publishers send reliably: the mixed regime (reliable sender,
+		// plain receivers) the layer is designed for.
+		// RTO above the link's round trip, so retransmits mean loss,
+		// not impatience.
 		if _, err := f.AddPeerWithRegistry(p, newReg(fixtures.PersonB{}, "NewPersonB", fixtures.NewPersonB),
-			WithRequestTimeout(200*time.Millisecond)); err != nil {
+			WithRequestTimeout(time.Second),
+			WithReliableLinks(WithRetransmitTimeout(400*time.Millisecond))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -667,7 +685,7 @@ func TestFabricSoak(t *testing.T) {
 	}
 	for _, s := range subsNames {
 		if _, err := f.AddPeerWithRegistry(s, newReg(fixtures.PersonA{}, "NewPersonA", fixtures.NewPersonA),
-			WithRequestTimeout(200*time.Millisecond)); err != nil {
+			WithRequestTimeout(time.Second)); err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range pubs {
@@ -756,4 +774,353 @@ func TestFabricSoak(t *testing.T) {
 	}
 	t.Logf("soak: %d deliveries across %d subscribers, fabric %+v (seed=%d)",
 		total, len(subsNames), f.Stats(), seed)
+}
+
+// --- reliable delivery layer scenarios (PR 4) -------------------------
+
+// chaosProfile drops, duplicates and reorders aggressively — the
+// regime where the bare optimistic protocol tops out well below 100%
+// match rate.
+var chaosProfile = FaultProfile{
+	Latency:     500 * time.Microsecond,
+	Jitter:      500 * time.Microsecond,
+	DropRate:    0.25,
+	DupRate:     0.15,
+	ReorderRate: 0.25,
+}
+
+// TestScenarioReliableChaosExactlyOnceInOrder is the PR's acceptance
+// scenario: over a drop+dup+reorder profile, WithReliableLinks
+// converges to a 100% match rate — every published object delivered
+// exactly once, in publication order — under the virtual clock, so
+// the whole retransmit/backoff dance costs real milliseconds.
+func TestScenarioReliableChaosExactlyOnceInOrder(t *testing.T) {
+	seed := scenarioSeed(t, 7007)
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+	rel := []PeerOption{
+		WithReliableLinks(WithRetransmitTimeout(5*time.Millisecond), WithWindow(16)),
+		WithRequestTimeout(2 * time.Second),
+	}
+	f, na, nb := fabricPairOpts(t, seed, chaosProfile,
+		[]FabricOption{WithVirtualClock()}, rel, rel)
+
+	var mu sync.Mutex
+	var ages []int
+	if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(d Delivery) {
+		mu.Lock()
+		ages = append(ages, d.Bound.(*fixtures.PersonA).Age)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := na.ConnTo("b")
+	const n = 80
+	for i := 0; i < n; i++ {
+		if err := na.Peer().SendObject(ca, fixtures.PersonB{PersonName: "rel", PersonAge: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitUntil(30*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(ages) == n
+	}) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("delivered %d/%d over chaos profile with reliability on (seed=%d)", len(ages), n, seed)
+	}
+	mu.Lock()
+	for i, age := range ages {
+		if age != i {
+			t.Fatalf("delivery %d = age %d: order or dedup violated (ages=%v, seed=%d)", i, age, ages, seed)
+		}
+	}
+	mu.Unlock()
+
+	// 100% match rate: exactly-once, nothing extra.
+	bs := nb.Peer().Stats().Snapshot()
+	if bs.ObjectsDelivered != n || bs.ObjectsDropped != 0 {
+		t.Errorf("receiver accounting: delivered=%d dropped=%d, want %d/0", bs.ObjectsDelivered, bs.ObjectsDropped, n)
+	}
+	// The chaos actually happened and the layer actually worked.
+	fs := f.Stats()
+	if fs.FramesDropped == 0 || fs.FramesDuplicated == 0 {
+		t.Errorf("profile injected no faults: %+v", fs)
+	}
+	as := na.Peer().Stats().Snapshot()
+	if as.RelRetransmits == 0 {
+		t.Error("no retransmissions over a lossy link")
+	}
+	if bs.RelDeduped == 0 {
+		t.Error("no dedup over a duplicating link with retransmits")
+	}
+}
+
+// TestScenarioReliableWindowBoundsRetransmitStorm pins the window
+// invariant under a blackhole: with the data direction cut, Send
+// backpressures at the window bound, no more than Window object
+// frames are ever in flight, and the heal delivers everything exactly
+// once.
+func TestScenarioReliableWindowBoundsRetransmitStorm(t *testing.T) {
+	seed := scenarioSeed(t, 8008)
+	const window = 4
+	f, na, nb := fabricPair(t, seed, FaultProfile{Latency: 200 * time.Microsecond},
+		[]PeerOption{WithReliableLinks(
+			WithRetransmitTimeout(5*time.Millisecond), WithMaxBackoff(20*time.Millisecond), WithWindow(window))},
+		[]PeerOption{WithReliableLinks(WithRetransmitTimeout(5 * time.Millisecond))})
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(d Delivery) {
+		mu.Lock()
+		seen[d.Bound.(*fixtures.PersonA).Age]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PartitionOneWay("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := na.ConnTo("b")
+	rel := ca.rel.Load()
+	if rel == nil {
+		t.Fatal("reliable peer's conn has no attached reliable link")
+	}
+
+	const n = 20
+	var sendsStarted atomic.Uint64
+	go func() {
+		for i := 0; i < n; i++ {
+			sendsStarted.Add(1)
+			if err := na.Peer().SendObject(ca, fixtures.PersonB{PersonName: "storm", PersonAge: i}); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Let the storm rage: retransmits fire into the cut direction for
+	// a while. The window bound must hold throughout.
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if got := rel.Snapshot().InFlightData; got > window {
+			t.Fatalf("in-flight object frames = %d, exceeds window %d", got, window)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := na.Peer().Stats().Snapshot().RelDataSent; got > window {
+		t.Errorf("first-transmissions during blackout = %d, want <= window %d (Send backpressure)", got, window)
+	}
+	if got := rel.Snapshot().Retransmits; got == 0 {
+		t.Error("no retransmissions into the blackhole")
+	}
+	if got := sendsStarted.Load(); got > window+1 {
+		t.Errorf("sender started %d sends during blackout, want <= window+1 (blocked)", got)
+	}
+
+	if err := f.PartitionOneWay("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	if !waitUntil(20*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) == n
+	}) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("healed delivery = %d/%d unique (seed=%d)", len(seen), n, seed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for age, count := range seen {
+		if count != 1 {
+			t.Errorf("object %d delivered %d times despite retransmit storm", age, count)
+		}
+	}
+}
+
+// TestScenarioReliableCrashRestartNoGhosts pins the epoch mechanism:
+// a crash/restart cycle resets sequence state, the resumed stream
+// delivers exactly once, and a ghost frame from the pre-restart epoch
+// is suppressed, never redelivered.
+func TestScenarioReliableCrashRestartNoGhosts(t *testing.T) {
+	seed := scenarioSeed(t, 9009)
+	rel := []PeerOption{WithReliableLinks(WithRetransmitTimeout(5 * time.Millisecond))}
+	f, na, nb := fabricPair(t, seed, FaultProfile{Latency: 300 * time.Microsecond}, rel, rel)
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	subscribe := func(n *Node) {
+		if err := n.Peer().OnReceive(fixtures.PersonA{}, func(d Delivery) {
+			mu.Lock()
+			seen[d.Bound.(*fixtures.PersonA).Age]++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subscribe(nb)
+	ca, _ := na.ConnTo("b")
+	oldEpoch := ca.rel.Load().Snapshot().Epoch
+	for i := 0; i < 5; i++ {
+		if err := na.Peer().SendObject(ca, fixtures.PersonB{PersonName: "pre", PersonAge: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitUntil(10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) == 5
+	}) {
+		t.Fatalf("pre-crash deliveries incomplete (seed=%d)", seed)
+	}
+
+	if err := f.Crash("b"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(2*time.Second, func() bool { return na.Peer().ConnCount() == 0 })
+	nb2, err := f.Restart("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subscribe(nb2)
+
+	ca2, ok := na.ConnTo("b")
+	if !ok {
+		t.Fatal("restart did not relink")
+	}
+	if ca2 == ca {
+		t.Fatal("restart reused the dead conn")
+	}
+	newEpoch := ca2.rel.Load().Snapshot().Epoch
+	if newEpoch <= oldEpoch {
+		t.Fatalf("restarted sender epoch %d not newer than %d", newEpoch, oldEpoch)
+	}
+	for i := 0; i < 5; i++ {
+		if err := na.Peer().SendObject(ca2, fixtures.PersonB{PersonName: "post", PersonAge: 100 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitUntil(10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) == 10
+	}) {
+		t.Fatalf("post-restart deliveries incomplete (seed=%d)", seed)
+	}
+
+	// Inject a ghost: a data frame from the dead epoch arriving on the
+	// new conn must be suppressed without a delivery.
+	preDeduped := nb2.Peer().Stats().Snapshot().RelDeduped
+	ghost := encodeRelData(oldEpoch, 3, &Message{Type: MsgObject})
+	if err := ca2.send(&Message{Type: MsgReliableData, Body: ghost}); err != nil {
+		t.Fatal(err)
+	}
+	if !waitUntil(5*time.Second, func() bool {
+		return nb2.Peer().Stats().Snapshot().RelDeduped > preDeduped
+	}) {
+		t.Error("ghost frame was not counted as suppressed")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 10 {
+		t.Errorf("ghost changed the delivery set: %v", seen)
+	}
+	for age, count := range seen {
+		if count != 1 {
+			t.Errorf("object %d delivered %d times across the restart", age, count)
+		}
+	}
+}
+
+// TestFabricVirtualClockScheduleReplaysByteIdentically extends the
+// determinism acceptance test to the virtual clock: fault decisions
+// remain a pure function of (seed, direction, frame index), so two
+// virtual-clock runs with one seed dump byte-identical schedules.
+func TestFabricVirtualClockScheduleReplaysByteIdentically(t *testing.T) {
+	run := func(seed int64) []byte {
+		f, na, nb := fabricPairOpts(t, seed, FaultProfile{
+			Latency:     200 * time.Microsecond,
+			Jitter:      200 * time.Microsecond,
+			DropRate:    0.3,
+			DupRate:     0.1,
+			ReorderRate: 0.2,
+		}, []FabricOption{WithVirtualClock()}, []PeerOption{Eager()}, nil)
+		var delivered atomic.Uint64
+		if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(Delivery) { delivered.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+		ca, _ := na.ConnTo("b")
+		for i := 0; i < 40; i++ {
+			if err := na.Peer().SendObject(ca, fixtures.PersonB{PersonName: "x", PersonAge: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitUntil(5*time.Second, func() bool {
+			s := f.Stats()
+			return s.FramesDelivered == s.FramesSent-s.FramesDropped-s.PartitionDrops+s.FramesDuplicated
+		})
+		return f.ScheduleDump()
+	}
+	d1 := run(42)
+	d2 := run(42)
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("same seed produced different schedules under the virtual clock:\n--- run 1 ---\n%s--- run 2 ---\n%s", d1, d2)
+	}
+	if len(d1) == 0 {
+		t.Fatal("empty schedule recorded")
+	}
+	if bytes.Equal(d1, run(43)) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestScenarioVirtualClockCompressesLatency: a cold optimistic
+// delivery over a 500ms-latency link needs >= 2.5s of virtual time
+// (object, description round trip, code round trip, delivery) but
+// must complete in a small fraction of that in real time.
+func TestScenarioVirtualClockCompressesLatency(t *testing.T) {
+	seed := scenarioSeed(t, 1111)
+	f, na, nb := fabricPairOpts(t, seed, FaultProfile{Latency: 500 * time.Millisecond},
+		[]FabricOption{WithVirtualClock()}, nil, nil)
+	deliveries := make(chan Delivery, 8)
+	if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(d Delivery) { deliveries <- d }); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := na.ConnTo("b")
+	virtualStart := f.Clock().Now()
+	realStart := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := na.Peer().SendObject(ca, fixtures.PersonB{PersonName: "slow", PersonAge: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		awaitDelivery(t, deliveries)
+	}
+	realElapsed := time.Since(realStart)
+	virtualElapsed := f.Clock().Now().Sub(virtualStart)
+	t.Logf("virtual %s compressed into real %s", virtualElapsed, realElapsed)
+	if virtualElapsed < 2*time.Second {
+		t.Errorf("virtual elapsed = %s, expected >= 2s of simulated latency", virtualElapsed)
+	}
+	if realElapsed >= virtualElapsed {
+		t.Errorf("virtual clock did not compress: real %s >= virtual %s", realElapsed, virtualElapsed)
+	}
+	if realElapsed > 3*time.Second {
+		t.Errorf("real elapsed = %s, want well under the simulated latency budget", realElapsed)
+	}
 }

@@ -17,7 +17,14 @@ import (
 // vocabulary), "b" owns PersonA (the receiver vocabulary).
 func fabricPair(t *testing.T, seed int64, prof FaultProfile, aOpts, bOpts []PeerOption) (*Fabric, *Node, *Node) {
 	t.Helper()
-	f := NewFabric(seed)
+	return fabricPairOpts(t, seed, prof, nil, aOpts, bOpts)
+}
+
+// fabricPairOpts is fabricPair with fabric-level options (virtual
+// clock, default peer options).
+func fabricPairOpts(t *testing.T, seed int64, prof FaultProfile, fabOpts []FabricOption, aOpts, bOpts []PeerOption) (*Fabric, *Node, *Node) {
+	t.Helper()
+	f := NewFabric(seed, fabOpts...)
 	regA := registry.New()
 	if _, err := regA.Register(fixtures.PersonB{},
 		registry.WithConstructor("NewPersonB", fixtures.NewPersonB)); err != nil {

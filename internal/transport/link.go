@@ -19,8 +19,16 @@ type Link interface {
 
 var _ Link = (*Conn)(nil)
 
-// Send writes a one-way message over the connection.
-func (c *Conn) Send(m *Message) error { return c.send(m) }
+// Send writes a one-way message over the connection. When a reliable
+// sender is attached (WithReliableLinks, NewReliableLink), every
+// message except the reliable layer's own frames rides the
+// exactly-once in-order channel.
+func (c *Conn) Send(m *Message) error {
+	if r := c.rel.Load(); r != nil && m.Type != MsgReliableData && m.Type != MsgReliableAck {
+		return r.Send(m)
+	}
+	return c.send(m)
+}
 
 // Request performs a correlated request/reply exchange over the
 // connection.

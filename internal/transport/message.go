@@ -59,6 +59,12 @@ const (
 	MsgLookupReply
 	// MsgError reports a request failure.
 	MsgError
+	// MsgReliableData frames an inner message with an (epoch, seq)
+	// header for the reliable delivery layer (see reliable.go).
+	MsgReliableData
+	// MsgReliableAck carries a cumulative acknowledgement for reliable
+	// data frames.
+	MsgReliableAck
 )
 
 func (t MsgType) String() string {
@@ -83,6 +89,10 @@ func (t MsgType) String() string {
 		return "LookupReply"
 	case MsgError:
 		return "Error"
+	case MsgReliableData:
+		return "ReliableData"
+	case MsgReliableAck:
+		return "ReliableAck"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

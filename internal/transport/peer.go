@@ -6,6 +6,7 @@ import (
 	"net"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pti/internal/conform"
@@ -66,7 +67,19 @@ type Peer struct {
 	codePadding    int
 	requestTimeout time.Duration
 	observer       Observer
+	clock          Clock
+	relCfg         *ReliableConfig
 	stats          Stats
+
+	// activeHandlers counts running message handlers and
+	// parkedHandlers the subset blocked on a clock-backed wait (a
+	// request reply, a single-flight claim). Their difference is the
+	// peer's contribution to the virtual clock's busy probe: time
+	// must not advance while a handler is actually executing, but a
+	// handler waiting on a timer-guarded exchange is the clock's to
+	// resolve.
+	activeHandlers atomic.Int64
+	parkedHandlers atomic.Int64
 
 	mu        sync.Mutex
 	interests []*interest
@@ -144,6 +157,18 @@ func WithRequestTimeout(d time.Duration) PeerOption {
 	return func(p *Peer) { p.requestTimeout = d }
 }
 
+// WithClock sets the clock the peer's timers run on (default: the
+// wall clock). Fabrics in virtual-clock mode install their own clock
+// on every peer they build, so request timeouts and retransmit timers
+// compress along with link latency.
+func WithClock(c Clock) PeerOption {
+	return func(p *Peer) {
+		if c != nil {
+			p.clock = c
+		}
+	}
+}
+
 // NewPeer builds a peer around a local registry.
 func NewPeer(reg *registry.Registry, opts ...PeerOption) *Peer {
 	p := &Peer{
@@ -154,6 +179,7 @@ func NewPeer(reg *registry.Registry, opts ...PeerOption) *Peer {
 		codec:          wire.Binary{},
 		codePadding:    4096,
 		requestTimeout: 5 * time.Second,
+		clock:          realClock{},
 		exports:        make(map[string]*export),
 		conns:          make(map[*Conn]struct{}),
 		codeSeen:       make(map[string]bool),
@@ -346,14 +372,40 @@ func (p *Peer) untrack(c *Conn) {
 // handleAsync processes an incoming request off the read loop.
 func (p *Peer) handleAsync(c *Conn, m *Message) {
 	p.handlerWG.Add(1)
+	p.activeHandlers.Add(1)
 	go func() {
 		defer p.handlerWG.Done()
+		defer p.activeHandlers.Add(-1)
 		p.handleRequest(c, m)
 	}()
 }
 
+// park/unpark bracket a clock-backed wait on a handler's code path
+// (a description/code fetch, a single-flight claim): a parked
+// handler makes no progress on its own, so it must not hold the
+// virtual clock still. These are called only from handler-context
+// call sites — never from Conn.request itself, which application
+// goroutines also use; a parked non-handler must not cancel out a
+// handler that is genuinely executing.
+func (p *Peer) park()   { p.parkedHandlers.Add(1) }
+func (p *Peer) unpark() { p.parkedHandlers.Add(-1) }
+
+// busyHandlers reports how many handlers are executing rather than
+// parked — the peer's contribution to the virtual clock's busy probe.
+func (p *Peer) busyHandlers() int64 {
+	n := p.activeHandlers.Load() - p.parkedHandlers.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
 func (p *Peer) handleRequest(c *Conn, m *Message) {
 	switch m.Type {
+	case MsgReliableData:
+		// Dedup + in-order buffering; accepted inner messages come
+		// back through this switch via the receiver's dispatcher.
+		_ = c.rrecv.handleData(m.Body)
 	case MsgObject:
 		p.handleObject(c, m)
 	case MsgTypeInfoRequest:
@@ -748,7 +800,9 @@ func (p *Peer) ensureDescription(l Link, ref typedesc.TypeRef) (*typedesc.TypeDe
 func (p *Peer) fetchDescription(l Link, ref typedesc.TypeRef) (*typedesc.TypeDescription, error) {
 	p.stats.typeInfoRequests.Add(1)
 	p.emit(EventTypeInfoRequested, ref, "")
+	p.park() // handler context: the reply or its timeout resolves this
 	reply, err := l.Request(MsgTypeInfoRequest, encodeRef(ref))
+	p.unpark()
 	if err != nil {
 		return nil, fmt.Errorf("transport: type info for %s: %w", ref, err)
 	}
@@ -790,7 +844,11 @@ func (p *Peer) claim(key string) (leader bool, wait func()) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if ch, ok := p.inflight[key]; ok {
-		return false, func() { <-ch }
+		return false, func() {
+			p.park()
+			defer p.unpark()
+			<-ch
+		}
 	}
 	ch := make(chan struct{})
 	p.inflight[key] = ch
@@ -822,7 +880,10 @@ func (p *Peer) downloadCodeOnce(l Link, ref typedesc.TypeRef, d *typedesc.TypeDe
 		}
 		p.stats.codeRequests.Add(1)
 		p.emit(EventCodeRequested, ref, "")
-		if _, err := l.Request(MsgCodeRequest, encodeRef(ref)); err == nil {
+		p.park() // handler context, as in fetchDescription
+		_, err := l.Request(MsgCodeRequest, encodeRef(ref))
+		p.unpark()
+		if err == nil {
 			p.markCodeSeen(d)
 		}
 		p.release("code|" + d.Identity.String())

@@ -1,0 +1,680 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The reliable delivery layer sits between the protocol and an
+// unreliable Link, the same layering move the paper's type-based
+// publish/subscribe stack makes above its transport: reliability is
+// built *above* the lossy medium instead of assumed from TCP.
+//
+// Sender side (ReliableLink): every outgoing message is framed as
+// MsgReliableData carrying a (epoch, seq) header; unacked frames live
+// in an in-flight set and are retransmitted on a timer with
+// exponential backoff until a cumulative MsgReliableAck covers them.
+// Object frames additionally pass a bounded window — Send blocks
+// (backpressure) while Window object frames are unacked, so a
+// retransmit storm can never hold more than Window object frames in
+// flight.
+//
+// Receiver side (relReceiver, armed on every Conn unconditionally so
+// only the sender has to opt in): frames are deduplicated by (epoch,
+// seq), buffered until contiguous, acknowledged cumulatively, and
+// dispatched strictly in sequence order — exactly-once, in-order
+// delivery over links that drop, duplicate and reorder. Correlated
+// replies bypass the in-order queue (their Seq field already pairs
+// them with their request), which is what keeps a blocked in-order
+// dispatch from deadlocking the description fetch it is waiting on.
+//
+// Epochs make restarts safe: each ReliableLink instance draws a fresh
+// epoch from a process-wide monotonic counter, and the receiver
+// resets its sequence state whenever a newer epoch appears — while
+// frames from an older epoch (ghosts of a pre-restart sender) are
+// silently discarded, never redelivered.
+
+// ErrReliableGaveUp fails a reliable link whose retransmissions
+// exhausted ReliableConfig.MaxAttempts.
+var ErrReliableGaveUp = errors.New("transport: reliable link gave up")
+
+// ReliableConfig tunes a ReliableLink.
+type ReliableConfig struct {
+	// Window bounds unacked object frames in flight; Send blocks when
+	// the window is full. Control frames (requests, replies) bypass
+	// the window so flow control can never deadlock a protocol round
+	// trip, but they are still sequenced, retransmitted and deduped.
+	Window int
+	// RetransmitTimeout is the initial retransmit timer; each
+	// retransmission doubles it up to MaxBackoff.
+	RetransmitTimeout time.Duration
+	// MaxBackoff caps the per-frame retransmit interval.
+	MaxBackoff time.Duration
+	// MaxAttempts fails the link when a frame has been transmitted
+	// this many times without an ack (0 = keep trying until the link
+	// closes — the partition-heals-eventually configuration).
+	MaxAttempts int
+}
+
+func defaultReliableConfig() ReliableConfig {
+	return ReliableConfig{
+		Window:            32,
+		RetransmitTimeout: 20 * time.Millisecond,
+		MaxBackoff:        640 * time.Millisecond,
+	}
+}
+
+// ReliableOption tunes the reliable layer.
+type ReliableOption func(*ReliableConfig)
+
+// WithWindow bounds unacked object frames in flight (default 32).
+func WithWindow(n int) ReliableOption {
+	return func(c *ReliableConfig) {
+		if n > 0 {
+			c.Window = n
+		}
+	}
+}
+
+// WithRetransmitTimeout sets the initial retransmit timer
+// (default 20ms); backoff doubles it per attempt.
+func WithRetransmitTimeout(d time.Duration) ReliableOption {
+	return func(c *ReliableConfig) {
+		if d > 0 {
+			c.RetransmitTimeout = d
+		}
+	}
+}
+
+// WithMaxBackoff caps the retransmit interval (default 640ms).
+func WithMaxBackoff(d time.Duration) ReliableOption {
+	return func(c *ReliableConfig) {
+		if d > 0 {
+			c.MaxBackoff = d
+		}
+	}
+}
+
+// WithMaxAttempts bounds transmissions per frame before the link
+// fails with ErrReliableGaveUp (default 0 = unlimited).
+func WithMaxAttempts(n int) ReliableOption {
+	return func(c *ReliableConfig) { c.MaxAttempts = n }
+}
+
+// WithReliableLinks makes every connection the peer owns send through
+// a ReliableLink: SendObject, Broadcast and the protocol's request/
+// reply exchanges all ride exactly-once in-order framing. Receiving
+// reliable frames needs no option — every peer understands them — so
+// enabling the sender side alone upgrades a link.
+func WithReliableLinks(opts ...ReliableOption) PeerOption {
+	return func(p *Peer) {
+		cfg := defaultReliableConfig()
+		for _, o := range opts {
+			o(&cfg)
+		}
+		p.relCfg = &cfg
+	}
+}
+
+// relEpochCounter is the process-wide epoch source: every
+// ReliableLink instance gets a strictly greater epoch than any built
+// before it, which is what lets receivers tell a restarted sender
+// from a ghost of the old one.
+var relEpochCounter atomic.Uint64
+
+func nextRelEpoch() uint64 { return relEpochCounter.Add(1) }
+
+// --- wire framing -----------------------------------------------------
+
+// relDataHeader prefixes every reliable data frame:
+// epoch (8) | seq (8) | inner type (1) | inner seq (8).
+const relDataHeader = 8 + 8 + 1 + 8
+
+func encodeRelData(epoch, seq uint64, m *Message) []byte {
+	b := make([]byte, relDataHeader+len(m.Body))
+	binary.BigEndian.PutUint64(b[0:8], epoch)
+	binary.BigEndian.PutUint64(b[8:16], seq)
+	b[16] = byte(m.Type)
+	binary.BigEndian.PutUint64(b[17:25], m.Seq)
+	copy(b[relDataHeader:], m.Body)
+	return b
+}
+
+func decodeRelData(body []byte) (epoch, seq uint64, inner *Message, err error) {
+	if len(body) < relDataHeader {
+		return 0, 0, nil, fmt.Errorf("%w: short reliable frame", ErrBadFrame)
+	}
+	epoch = binary.BigEndian.Uint64(body[0:8])
+	seq = binary.BigEndian.Uint64(body[8:16])
+	inner = &Message{
+		Type: MsgType(body[16]),
+		Seq:  binary.BigEndian.Uint64(body[17:25]),
+		Body: body[relDataHeader:],
+	}
+	return epoch, seq, inner, nil
+}
+
+func encodeRelAck(epoch, cum uint64) []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b[0:8], epoch)
+	binary.BigEndian.PutUint64(b[8:16], cum)
+	return b
+}
+
+func decodeRelAck(body []byte) (epoch, cum uint64, err error) {
+	if len(body) != 16 {
+		return 0, 0, fmt.Errorf("%w: bad reliable ack", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint64(body[0:8]), binary.BigEndian.Uint64(body[8:16]), nil
+}
+
+// --- sender -----------------------------------------------------------
+
+// relEntry is one unacked frame.
+type relEntry struct {
+	seq      uint64
+	data     bool // counts against the window
+	frame    []byte
+	deadline time.Time
+	backoff  time.Duration
+	attempts int
+}
+
+// ReliableLink decorates any Link with exactly-once in-order
+// delivery: sequence framing, positive cumulative acks, retransmit
+// with exponential backoff, and a bounded in-flight window. Peers
+// built with WithReliableLinks attach one to every connection
+// automatically; NewReliableLink builds a standalone decorator.
+type ReliableLink struct {
+	raw   Link
+	clock Clock
+	stats *Stats // optional peer counters, nil for standalone links
+	cfg   ReliableConfig
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	epoch        uint64
+	nextSeq      uint64 // 0 means the sequence space is exhausted
+	inflight     map[uint64]*relEntry
+	inflightData int
+	acked        uint64
+	closed       bool
+	err          error
+
+	kick     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	retransmits  atomic.Uint64
+	acksReceived atomic.Uint64
+}
+
+// NewReliableLink wraps l in a reliable sender. When l is a *Conn the
+// link attaches itself for ack routing and raw writes; for any other
+// Link the caller must feed incoming MsgReliableAck bodies to Ack.
+// A nil clock means the wall clock.
+func NewReliableLink(l Link, clock Clock, opts ...ReliableOption) *ReliableLink {
+	cfg := defaultReliableConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if clock == nil {
+		clock = realClock{}
+	}
+	raw := l
+	var stats *Stats
+	var conn *Conn
+	if c, ok := l.(*Conn); ok {
+		conn = c
+		raw = connRaw{c}
+		stats = &c.peer.stats
+	}
+	r := newReliableLink(raw, clock, stats, cfg)
+	if conn != nil {
+		// Replacing an attached sender must stop the old one, or its
+		// retransmit loop would resend old-epoch frames (which the
+		// receiver ghosts without acking) until the conn dies.
+		if old := conn.rel.Swap(r); old != nil {
+			old.stop()
+		}
+	}
+	return r
+}
+
+func newReliableLink(raw Link, clock Clock, stats *Stats, cfg ReliableConfig) *ReliableLink {
+	r := &ReliableLink{
+		raw:      raw,
+		clock:    clock,
+		stats:    stats,
+		cfg:      cfg,
+		epoch:    nextRelEpoch(),
+		nextSeq:  1,
+		inflight: make(map[uint64]*relEntry),
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	go r.retransmitLoop()
+	return r
+}
+
+// connRaw writes straight to the connection, bypassing the reliable
+// wrapping Conn.Send applies once a link is attached.
+type connRaw struct{ c *Conn }
+
+func (l connRaw) Send(m *Message) error                         { return l.c.send(m) }
+func (l connRaw) Request(t MsgType, b []byte) (*Message, error) { return l.c.request(t, b) }
+func (l connRaw) Close() error                                  { return l.c.Close() }
+
+// Send frames m with the next sequence number and transmits it,
+// retransmitting until acked. Object frames block while the window is
+// full; control frames bypass the window (see ReliableConfig.Window).
+func (r *ReliableLink) Send(m *Message) error {
+	isData := m.Type == MsgObject
+	r.mu.Lock()
+	for {
+		if r.closed {
+			err := r.err
+			r.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return err
+		}
+		if r.nextSeq == 0 {
+			// Sequence space exhausted: drain the old epoch fully,
+			// then roll to a fresh one so the receiver's reset can
+			// never skip an undelivered frame.
+			if len(r.inflight) > 0 {
+				r.cond.Wait()
+				continue
+			}
+			r.epoch = nextRelEpoch()
+			r.nextSeq = 1
+			r.acked = 0
+			continue
+		}
+		if isData && r.inflightData >= r.cfg.Window {
+			r.cond.Wait()
+			continue
+		}
+		if len(r.inflight) >= r.maxInflightTotal() {
+			// Control frames bypass the window, so on a blackholed
+			// link (nothing acked, requests abandoned at the protocol
+			// layer) they would otherwise accumulate forever — and a
+			// frame can never be silently dropped without leaving a
+			// permanent gap in the receiver's contiguity. A link this
+			// far behind despite backoff has effectively given up:
+			// fail it, releasing everything.
+			r.closed = true
+			r.err = fmt.Errorf("%w: %d unacked frames", ErrReliableGaveUp, len(r.inflight))
+			err := r.err
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			r.stopOnce.Do(func() { close(r.done) })
+			return err
+		}
+		break
+	}
+	seq := r.nextSeq
+	r.nextSeq++ // wraps to 0 at the end of the space: the sentinel above
+	frame := encodeRelData(r.epoch, seq, m)
+	e := &relEntry{
+		seq:      seq,
+		data:     isData,
+		frame:    frame,
+		backoff:  r.cfg.RetransmitTimeout,
+		deadline: r.clock.Now().Add(r.cfg.RetransmitTimeout),
+		attempts: 1,
+	}
+	r.inflight[seq] = e
+	if isData {
+		r.inflightData++
+	}
+	r.mu.Unlock()
+
+	if r.stats != nil {
+		r.stats.relDataSent.Add(1)
+	}
+	if err := r.raw.Send(&Message{Type: MsgReliableData, Body: frame}); err != nil {
+		r.fail(err)
+		return err
+	}
+	r.kickLoop()
+	return nil
+}
+
+// Request passes through to the underlying link: correlated
+// request/reply exchanges carry their own correlation and timeout.
+// (Conn-attached reliable links route requests through the reliable
+// channel at the Conn layer instead — see Conn.request.)
+func (r *ReliableLink) Request(t MsgType, body []byte) (*Message, error) {
+	return r.raw.Request(t, body)
+}
+
+// Ack processes a cumulative acknowledgement body, releasing every
+// in-flight frame it covers. Conn-attached links are fed
+// automatically from the connection's read loop.
+func (r *ReliableLink) Ack(body []byte) {
+	epoch, cum, err := decodeRelAck(body)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if r.closed || epoch != r.epoch || cum <= r.acked {
+		r.mu.Unlock()
+		return
+	}
+	r.acked = cum
+	for seq, e := range r.inflight {
+		if seq <= cum {
+			delete(r.inflight, seq)
+			if e.data {
+				r.inflightData--
+			}
+		}
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.acksReceived.Add(1)
+	if r.stats != nil {
+		r.stats.relAcksReceived.Add(1)
+	}
+	r.kickLoop()
+}
+
+// retransmitLoop resends unacked frames when their deadlines pass,
+// doubling each frame's backoff per attempt.
+func (r *ReliableLink) retransmitLoop() {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		var earliest time.Time
+		for _, e := range r.inflight {
+			if earliest.IsZero() || e.deadline.Before(earliest) {
+				earliest = e.deadline
+			}
+		}
+		if earliest.IsZero() {
+			r.mu.Unlock()
+			select {
+			case <-r.kick:
+				continue
+			case <-r.done:
+				return
+			}
+		}
+		now := r.clock.Now()
+		if wait := earliest.Sub(now); wait > 0 {
+			r.mu.Unlock()
+			t := r.clock.NewTimer(wait)
+			select {
+			case <-t.C():
+			case <-r.kick: // in-flight set changed; recompute
+				t.Stop()
+			case <-r.done:
+				t.Stop()
+				return
+			}
+			continue
+		}
+		var due []*relEntry
+		var gaveUp error
+		for _, e := range r.inflight {
+			if e.deadline.After(now) {
+				continue
+			}
+			if r.cfg.MaxAttempts > 0 && e.attempts >= r.cfg.MaxAttempts {
+				gaveUp = fmt.Errorf("%w: seq %d unacked after %d attempts",
+					ErrReliableGaveUp, e.seq, e.attempts)
+				break
+			}
+			e.attempts++
+			e.backoff *= 2
+			if e.backoff > r.cfg.MaxBackoff {
+				e.backoff = r.cfg.MaxBackoff
+			}
+			e.deadline = now.Add(e.backoff)
+			due = append(due, e)
+		}
+		r.mu.Unlock()
+		if gaveUp != nil {
+			r.fail(gaveUp)
+			return
+		}
+		// Resend in sequence order: deterministic, and the receiver's
+		// contiguity drain benefits from low seqs arriving first.
+		sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+		for _, e := range due {
+			if err := r.raw.Send(&Message{Type: MsgReliableData, Body: e.frame}); err != nil {
+				r.fail(err)
+				return
+			}
+			r.retransmits.Add(1)
+			if r.stats != nil {
+				r.stats.relRetransmits.Add(1)
+			}
+		}
+	}
+}
+
+// maxInflightTotal caps the whole in-flight set, control frames
+// included — the memory bound for links that stop acking.
+func (r *ReliableLink) maxInflightTotal() int {
+	if n := 8 * r.cfg.Window; n > 256 {
+		return n
+	}
+	return 256
+}
+
+func (r *ReliableLink) kickLoop() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// shutdown marks the link dead, unblocking window waiters and the
+// retransmit loop.
+func (r *ReliableLink) shutdown(err error) {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.err = err
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+	r.stopOnce.Do(func() { close(r.done) })
+}
+
+func (r *ReliableLink) fail(err error) { r.shutdown(err) }
+
+// stop halts the reliable machinery without closing the underlying
+// link (the connection teardown paths own that).
+func (r *ReliableLink) stop() { r.shutdown(ErrClosed) }
+
+// Close stops the reliable machinery and closes the underlying link.
+func (r *ReliableLink) Close() error {
+	r.shutdown(ErrClosed)
+	return r.raw.Close()
+}
+
+// ReliableLinkStats is a point-in-time snapshot of a sender's state.
+type ReliableLinkStats struct {
+	Epoch        uint64
+	NextSeq      uint64
+	Acked        uint64
+	InFlight     int // all unacked frames
+	InFlightData int // unacked object frames (window occupancy)
+	Retransmits  uint64
+	AcksReceived uint64
+}
+
+// Snapshot returns the sender's current counters.
+func (r *ReliableLink) Snapshot() ReliableLinkStats {
+	r.mu.Lock()
+	s := ReliableLinkStats{
+		Epoch:        r.epoch,
+		NextSeq:      r.nextSeq,
+		Acked:        r.acked,
+		InFlight:     len(r.inflight),
+		InFlightData: r.inflightData,
+	}
+	r.mu.Unlock()
+	s.Retransmits = r.retransmits.Load()
+	s.AcksReceived = r.acksReceived.Load()
+	return s
+}
+
+var _ Link = (*ReliableLink)(nil)
+
+// --- receiver ---------------------------------------------------------
+
+// relRecvBuffer bounds out-of-order frames held per connection; a
+// frame further ahead than this is dropped (the sender's retransmit
+// recovers it once the window advances).
+const relRecvBuffer = 1024
+
+// relReceiver is the receive half of the reliable layer: dedup,
+// cumulative acks, and strictly in-order dispatch. One is armed on
+// every Conn, so receiving needs no opt-in.
+type relReceiver struct {
+	stats *Stats // optional peer counters
+
+	mu          sync.Mutex
+	epoch       uint64
+	next        uint64 // next in-sequence seq to accept
+	buf         map[uint64]*Message
+	pending     []*Message
+	dispatching bool
+
+	dispatch func(*Message)          // in-order request dispatch
+	reply    func(*Message)          // immediate correlated-reply routing
+	ack      func(epoch, cum uint64) // ack transmission
+}
+
+func newRelReceiver(stats *Stats, dispatch, reply func(*Message), ack func(epoch, cum uint64)) *relReceiver {
+	return &relReceiver{
+		stats:    stats,
+		next:     1,
+		buf:      make(map[uint64]*Message),
+		dispatch: dispatch,
+		reply:    reply,
+		ack:      ack,
+	}
+}
+
+// isRelReply reports whether an inner message is a correlated reply,
+// which bypasses the in-order queue (see the package comment's
+// deadlock argument).
+func isRelReply(t MsgType) bool {
+	switch t {
+	case MsgTypeInfoReply, MsgCodeReply, MsgInvokeReply, MsgLookupReply, MsgError:
+		return true
+	}
+	return false
+}
+
+// handleData processes one MsgReliableData body: dedup, buffer,
+// cumulative ack, in-order dispatch.
+func (rr *relReceiver) handleData(body []byte) error {
+	epoch, seq, inner, err := decodeRelData(body)
+	if err != nil {
+		return err
+	}
+	var replyNow *Message
+	rr.mu.Lock()
+	if epoch < rr.epoch {
+		// Ghost of a pre-restart sender: never redelivered, never
+		// acked (the old sender is gone; acking would be noise).
+		rr.mu.Unlock()
+		rr.countDeduped()
+		return nil
+	}
+	if epoch > rr.epoch {
+		// A restarted (or seq-wrapped) sender: fresh sequence space.
+		rr.epoch = epoch
+		rr.next = 1
+		rr.buf = make(map[uint64]*Message)
+	}
+	_, buffered := rr.buf[seq]
+	switch {
+	case seq < rr.next || buffered:
+		rr.countDeduped() // duplicate: suppressed, but re-acked below
+	case seq-rr.next >= relRecvBuffer: // subtraction: safe near seq wrap
+		// Too far ahead to hold; the ack below still reports where
+		// the contiguous prefix ends, and retransmit recovers this.
+	default:
+		if isRelReply(inner.Type) {
+			// Replies route immediately; a nil sentinel keeps the
+			// seq accounted for dedup and contiguity.
+			replyNow = inner
+			rr.buf[seq] = nil
+		} else {
+			rr.buf[seq] = inner
+		}
+		for {
+			m, ok := rr.buf[rr.next]
+			if !ok {
+				break
+			}
+			delete(rr.buf, rr.next)
+			rr.next++
+			if m != nil {
+				rr.pending = append(rr.pending, m)
+			}
+		}
+	}
+	cum := rr.next - 1
+	ackEpoch := rr.epoch
+	runDispatch := false
+	if len(rr.pending) > 0 && !rr.dispatching {
+		rr.dispatching = true
+		runDispatch = true
+	}
+	rr.mu.Unlock()
+
+	if replyNow != nil {
+		rr.reply(replyNow)
+	}
+	rr.ack(ackEpoch, cum)
+	if runDispatch {
+		rr.drain()
+	}
+	return nil
+}
+
+// drain dispatches pending in-order messages until none remain. Only
+// one goroutine drains at a time; concurrent receptions append under
+// the lock, so dispatch order is exactly sequence order even though
+// frames arrive on racing handler goroutines.
+func (rr *relReceiver) drain() {
+	for {
+		rr.mu.Lock()
+		if len(rr.pending) == 0 {
+			rr.dispatching = false
+			rr.mu.Unlock()
+			return
+		}
+		batch := rr.pending
+		rr.pending = nil
+		rr.mu.Unlock()
+		for _, m := range batch {
+			rr.dispatch(m)
+		}
+	}
+}
+
+func (rr *relReceiver) countDeduped() {
+	if rr.stats != nil {
+		rr.stats.relDeduped.Add(1)
+	}
+}

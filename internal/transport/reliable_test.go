@@ -1,0 +1,477 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The reliable layer's unit tests drive the sender and receiver
+// machinery directly — a scripted link and a manual clock on the
+// sender side, captured callbacks on the receiver side — separate
+// from the fabric scenarios, which exercise the same machinery
+// end-to-end under fault schedules.
+
+// scriptLink records every frame the reliable sender puts on the
+// wire.
+type scriptLink struct {
+	mu      sync.Mutex
+	sendErr error
+	frames  []*Message
+}
+
+func (l *scriptLink) Send(m *Message) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sendErr != nil {
+		return l.sendErr
+	}
+	l.frames = append(l.frames, m)
+	return nil
+}
+
+func (l *scriptLink) Request(MsgType, []byte) (*Message, error) {
+	return nil, errors.New("scriptLink: no requests")
+}
+
+func (l *scriptLink) Close() error { return nil }
+
+func (l *scriptLink) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.frames)
+}
+
+// dataFrames decodes the (epoch, seq) headers of every recorded
+// reliable data frame.
+func (l *scriptLink) dataFrames(t *testing.T) (epochs, seqs []uint64) {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, m := range l.frames {
+		if m.Type != MsgReliableData {
+			t.Fatalf("non-reliable frame %s on scripted link", m.Type)
+		}
+		e, s, _, err := decodeRelData(m.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epochs = append(epochs, e)
+		seqs = append(seqs, s)
+	}
+	return epochs, seqs
+}
+
+// recvHarness captures a relReceiver's three callbacks.
+type recvHarness struct {
+	mu         sync.Mutex
+	dispatched []uint64 // inner Seq, used as a payload marker
+	replies    []uint64
+	acks       [][2]uint64 // (epoch, cum)
+	stats      Stats
+	rr         *relReceiver
+}
+
+func newRecvHarness() *recvHarness {
+	h := &recvHarness{}
+	h.rr = newRelReceiver(&h.stats,
+		func(m *Message) { h.mu.Lock(); h.dispatched = append(h.dispatched, m.Seq); h.mu.Unlock() },
+		func(m *Message) { h.mu.Lock(); h.replies = append(h.replies, m.Seq); h.mu.Unlock() },
+		func(epoch, cum uint64) { h.mu.Lock(); h.acks = append(h.acks, [2]uint64{epoch, cum}); h.mu.Unlock() })
+	return h
+}
+
+func (h *recvHarness) feed(t *testing.T, epoch, seq uint64, inner *Message) {
+	t.Helper()
+	if err := h.rr.handleData(encodeRelData(epoch, seq, inner)); err != nil {
+		t.Fatalf("handleData(e=%d s=%d): %v", epoch, seq, err)
+	}
+}
+
+func (h *recvHarness) lastAck(t *testing.T) [2]uint64 {
+	t.Helper()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.acks) == 0 {
+		t.Fatal("no ack recorded")
+	}
+	return h.acks[len(h.acks)-1]
+}
+
+func obj(marker uint64) *Message   { return &Message{Type: MsgObject, Seq: marker} }
+func reply(marker uint64) *Message { return &Message{Type: MsgTypeInfoReply, Seq: marker} }
+
+// TestRelReceiverTable drives the receiver through its dedup,
+// buffering, ack and epoch transitions — including the ack-loss case:
+// the sender retransmits an already-delivered frame and the receiver
+// suppresses it while re-acking.
+func TestRelReceiverTable(t *testing.T) {
+	type frame struct {
+		epoch, seq uint64
+		inner      *Message
+	}
+	cases := []struct {
+		name           string
+		frames         []frame
+		wantDispatched []uint64
+		wantReplies    []uint64
+		wantFinalAck   [2]uint64
+		wantDeduped    uint64
+	}{
+		{
+			name:           "in-order stream",
+			frames:         []frame{{1, 1, obj(10)}, {1, 2, obj(11)}, {1, 3, obj(12)}},
+			wantDispatched: []uint64{10, 11, 12},
+			wantFinalAck:   [2]uint64{1, 3},
+		},
+		{
+			name:           "reordered frames dispatch in sequence order",
+			frames:         []frame{{1, 2, obj(11)}, {1, 3, obj(12)}, {1, 1, obj(10)}},
+			wantDispatched: []uint64{10, 11, 12},
+			wantFinalAck:   [2]uint64{1, 3},
+		},
+		{
+			name: "ack loss: retransmitted frame deduped and re-acked",
+			frames: []frame{
+				{1, 1, obj(10)},
+				{1, 1, obj(10)}, // the ack was lost; the sender resent
+			},
+			wantDispatched: []uint64{10},
+			wantFinalAck:   [2]uint64{1, 1},
+			wantDeduped:    1,
+		},
+		{
+			name: "duplicate of buffered out-of-order frame",
+			frames: []frame{
+				{1, 2, obj(11)},
+				{1, 2, obj(11)},
+				{1, 1, obj(10)},
+			},
+			wantDispatched: []uint64{10, 11},
+			wantFinalAck:   [2]uint64{1, 2},
+			wantDeduped:    1,
+		},
+		{
+			name: "newer epoch resets sequence state",
+			frames: []frame{
+				{1, 1, obj(10)},
+				{1, 2, obj(11)},
+				{2, 1, obj(20)}, // restarted sender
+				{2, 2, obj(21)},
+			},
+			wantDispatched: []uint64{10, 11, 20, 21},
+			wantFinalAck:   [2]uint64{2, 2},
+		},
+		{
+			name: "ghost frames from an old epoch never redeliver",
+			frames: []frame{
+				{2, 1, obj(20)},
+				{1, 7, obj(10)}, // pre-restart sender's retransmit
+				{1, 1, obj(11)},
+			},
+			wantDispatched: []uint64{20},
+			wantFinalAck:   [2]uint64{2, 1},
+			wantDeduped:    2,
+		},
+		{
+			name: "replies bypass the in-order queue",
+			frames: []frame{
+				{1, 2, reply(99)}, // reply arrives before the object filling seq 1
+				{1, 1, obj(10)},
+			},
+			wantDispatched: []uint64{10},
+			wantReplies:    []uint64{99},
+			wantFinalAck:   [2]uint64{1, 2},
+		},
+		{
+			name: "frame beyond the receive buffer is dropped but acked",
+			frames: []frame{
+				{1, 1, obj(10)},
+				{1, 1 + relRecvBuffer + 5, obj(66)},
+			},
+			wantDispatched: []uint64{10},
+			wantFinalAck:   [2]uint64{1, 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newRecvHarness()
+			for _, f := range tc.frames {
+				h.feed(t, f.epoch, f.seq, f.inner)
+			}
+			h.mu.Lock()
+			dispatched := append([]uint64(nil), h.dispatched...)
+			replies := append([]uint64(nil), h.replies...)
+			h.mu.Unlock()
+			if fmt.Sprint(dispatched) != fmt.Sprint(tc.wantDispatched) {
+				t.Errorf("dispatched = %v, want %v", dispatched, tc.wantDispatched)
+			}
+			if fmt.Sprint(replies) != fmt.Sprint(tc.wantReplies) {
+				t.Errorf("replies = %v, want %v", replies, tc.wantReplies)
+			}
+			if got := h.lastAck(t); got != tc.wantFinalAck {
+				t.Errorf("final ack = %v, want %v", got, tc.wantFinalAck)
+			}
+			if got := h.stats.relDeduped.Load(); got != tc.wantDeduped {
+				t.Errorf("deduped = %d, want %d", got, tc.wantDeduped)
+			}
+		})
+	}
+}
+
+// TestReliableWindowBackpressure pins the satellite requirement: Send
+// blocks while Window object frames are unacked, control frames
+// bypass the window, and an ack (or link failure) unblocks the
+// waiter.
+func TestReliableWindowBackpressure(t *testing.T) {
+	for _, window := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("window=%d", window), func(t *testing.T) {
+			link := &scriptLink{}
+			clock := NewManualClock()
+			r := NewReliableLink(link, clock, WithWindow(window),
+				WithRetransmitTimeout(time.Hour)) // timers out of the way
+			defer r.Close()
+
+			for i := 0; i < window; i++ {
+				if err := r.Send(obj(uint64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blocked := make(chan error, 1)
+			go func() { blocked <- r.Send(obj(999)) }()
+			select {
+			case err := <-blocked:
+				t.Fatalf("Send beyond window returned early: %v", err)
+			case <-time.After(50 * time.Millisecond):
+			}
+			// Control frames bypass the window even while data is
+			// blocked.
+			if err := r.Send(&Message{Type: MsgTypeInfoRequest, Seq: 7}); err != nil {
+				t.Fatalf("control send blocked by full window: %v", err)
+			}
+			// Ack the first object: exactly one slot frees.
+			r.Ack(encodeRelAck(r.Snapshot().Epoch, 1))
+			select {
+			case err := <-blocked:
+				if err != nil {
+					t.Fatalf("unblocked Send failed: %v", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Send still blocked after ack freed the window")
+			}
+			if got := r.Snapshot().InFlightData; got != window {
+				t.Errorf("InFlightData = %d, want %d", got, window)
+			}
+
+			// A blocked Send must also fail fast when the link dies.
+			go func() { blocked <- r.Send(obj(1000)) }()
+			time.Sleep(20 * time.Millisecond)
+			r.stop()
+			select {
+			case err := <-blocked:
+				if !errors.Is(err, ErrClosed) {
+					t.Errorf("Send after stop = %v, want ErrClosed", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Send still blocked after link stopped")
+			}
+		})
+	}
+}
+
+// TestReliableRetransmitBackoff pins the timer schedule: a frame
+// whose ack is lost is resent at RTO, then 2×RTO, capped at
+// MaxBackoff — and never again once acked.
+func TestReliableRetransmitBackoff(t *testing.T) {
+	link := &scriptLink{}
+	clock := NewManualClock()
+	const rto = 10 * time.Millisecond
+	r := NewReliableLink(link, clock, WithRetransmitTimeout(rto), WithMaxBackoff(4*rto))
+	defer r.Close()
+
+	if err := r.Send(obj(1)); err != nil {
+		t.Fatal(err)
+	}
+	if link.count() != 1 {
+		t.Fatalf("initial sends = %d, want 1", link.count())
+	}
+	advanceAndAwait := func(d time.Duration, wantFrames int) {
+		t.Helper()
+		// Let the retransmit loop park on the clock before advancing.
+		if !waitUntil(2*time.Second, func() bool { return clock.PendingTimers() >= 1 }) {
+			t.Fatal("retransmit loop never armed its timer")
+		}
+		clock.Advance(d)
+		if !waitUntil(2*time.Second, func() bool { return link.count() >= wantFrames }) {
+			t.Fatalf("frames = %d, want %d after advance", link.count(), wantFrames)
+		}
+		if link.count() > wantFrames {
+			t.Fatalf("frames = %d, want exactly %d", link.count(), wantFrames)
+		}
+	}
+	advanceAndAwait(rto, 2)   // first retransmit at RTO
+	advanceAndAwait(2*rto, 3) // backoff doubled
+	advanceAndAwait(4*rto, 4) // capped at MaxBackoff
+	if got := r.Snapshot().Retransmits; got != 3 {
+		t.Errorf("retransmits = %d, want 3", got)
+	}
+
+	r.Ack(encodeRelAck(r.Snapshot().Epoch, 1))
+	if !waitUntil(2*time.Second, func() bool { return r.Snapshot().InFlight == 0 }) {
+		t.Fatal("ack did not clear the in-flight set")
+	}
+	clock.Advance(time.Minute)
+	time.Sleep(20 * time.Millisecond)
+	if got := link.count(); got != 4 {
+		t.Errorf("acked frame retransmitted: %d frames", got)
+	}
+
+	// All retransmitted bytes must be identical to the original frame.
+	link.mu.Lock()
+	first := link.frames[0].Body
+	for i, m := range link.frames {
+		if string(m.Body) != string(first) {
+			t.Errorf("retransmit %d differs from original frame", i)
+		}
+	}
+	link.mu.Unlock()
+}
+
+// TestReliableGiveUpFailsLink: MaxAttempts bounds retransmission;
+// exhausting it fails the link with ErrReliableGaveUp.
+func TestReliableGiveUpFailsLink(t *testing.T) {
+	link := &scriptLink{}
+	clock := NewManualClock()
+	r := NewReliableLink(link, clock,
+		WithRetransmitTimeout(time.Millisecond), WithMaxBackoff(time.Millisecond), WithMaxAttempts(3))
+	defer r.Close()
+	if err := r.Send(obj(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !waitUntil(time.Second, func() bool { return clock.PendingTimers() >= 1 }) {
+			break // loop exited: link failed
+		}
+		clock.Advance(2 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond)
+	}
+	err := r.Send(obj(2))
+	if !errors.Is(err, ErrReliableGaveUp) {
+		t.Errorf("Send after give-up = %v, want ErrReliableGaveUp", err)
+	}
+}
+
+// TestReliableSeqWrapRollsEpoch pins the seq-wrap/restart
+// interaction: exhausting the sequence space drains the window, rolls
+// to a fresh epoch, and the receiver delivers across the roll exactly
+// once and in order.
+func TestReliableSeqWrapRollsEpoch(t *testing.T) {
+	link := &scriptLink{}
+	clock := NewManualClock()
+	r := NewReliableLink(link, clock, WithRetransmitTimeout(time.Hour))
+	defer r.Close()
+
+	// Jump to the edge of the sequence space.
+	r.mu.Lock()
+	r.nextSeq = math.MaxUint64 - 1
+	oldEpoch := r.epoch
+	r.mu.Unlock()
+
+	if err := r.Send(obj(1)); err != nil { // seq MaxUint64-1
+		t.Fatal(err)
+	}
+	if err := r.Send(obj(2)); err != nil { // seq MaxUint64: space exhausted
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Send(obj(3)) }() // must wait for the drain
+	select {
+	case err := <-done:
+		t.Fatalf("Send across wrap returned before drain: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	r.Ack(encodeRelAck(oldEpoch, math.MaxUint64))
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	epochs, seqs := link.dataFrames(t)
+	if len(seqs) != 3 {
+		t.Fatalf("frames = %d, want 3", len(seqs))
+	}
+	if seqs[0] != math.MaxUint64-1 || seqs[1] != math.MaxUint64 || seqs[2] != 1 {
+		t.Errorf("seqs = %v, want [max-1, max, 1]", seqs)
+	}
+	if epochs[0] != oldEpoch || epochs[1] != oldEpoch || epochs[2] <= oldEpoch {
+		t.Errorf("epochs = %v, want [%d, %d, >%d]", epochs, oldEpoch, oldEpoch, oldEpoch)
+	}
+
+	// A receiver mid-stream on the old epoch delivers across the roll
+	// exactly once, in order.
+	h := newRecvHarness()
+	h.rr.mu.Lock()
+	h.rr.epoch = oldEpoch
+	h.rr.next = math.MaxUint64 - 1
+	h.rr.mu.Unlock()
+	link.mu.Lock()
+	frames := append([]*Message(nil), link.frames...)
+	link.mu.Unlock()
+	for _, m := range frames {
+		if err := h.rr.handleData(m.Body); err != nil {
+			t.Fatal(err)
+		}
+		// Retransmit every frame once: dedup must hold across the roll.
+		if err := h.rr.handleData(m.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if fmt.Sprint(h.dispatched) != fmt.Sprint([]uint64{1, 2, 3}) {
+		t.Errorf("dispatched across wrap = %v, want [1 2 3]", h.dispatched)
+	}
+}
+
+// TestReliableSendFailsWhenLinkDies: a raw-send error marks the link
+// dead and surfaces the error.
+func TestReliableSendFailsWhenLinkDies(t *testing.T) {
+	link := &scriptLink{sendErr: errors.New("wire cut")}
+	r := NewReliableLink(link, NewManualClock())
+	defer r.Close()
+	if err := r.Send(obj(1)); err == nil {
+		t.Fatal("Send over a dead link succeeded")
+	}
+	if err := r.Send(obj(2)); err == nil {
+		t.Fatal("Send after link failure succeeded")
+	}
+}
+
+// TestReliableControlBacklogFailsLink: control frames bypass the
+// window, so a link that stops acking must eventually fail rather
+// than accumulate unacked control frames without bound.
+func TestReliableControlBacklogFailsLink(t *testing.T) {
+	link := &scriptLink{}
+	clock := NewManualClock()
+	r := NewReliableLink(link, clock, WithWindow(2), WithRetransmitTimeout(time.Hour))
+	defer r.Close()
+	limit := r.maxInflightTotal()
+	var err error
+	for i := 0; i <= limit+1; i++ {
+		if err = r.Send(&Message{Type: MsgTypeInfoRequest, Seq: uint64(i)}); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrReliableGaveUp) {
+		t.Fatalf("backlogged link error = %v, want ErrReliableGaveUp", err)
+	}
+	if got := r.Snapshot().InFlight; got > limit {
+		t.Errorf("in-flight = %d, exceeds cap %d", got, limit)
+	}
+	// The failed link stays failed.
+	if err := r.Send(obj(1)); !errors.Is(err, ErrReliableGaveUp) {
+		t.Errorf("Send after backlog failure = %v, want ErrReliableGaveUp", err)
+	}
+}

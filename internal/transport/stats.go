@@ -17,6 +17,10 @@ type Stats struct {
 	codeRequests     atomic.Uint64
 	invokes          atomic.Uint64
 	descriptorHits   atomic.Uint64
+	relDataSent      atomic.Uint64
+	relRetransmits   atomic.Uint64
+	relAcksReceived  atomic.Uint64
+	relDeduped       atomic.Uint64
 }
 
 // StatsSnapshot is an immutable copy of the counters.
@@ -31,6 +35,12 @@ type StatsSnapshot struct {
 	CodeRequests     uint64
 	Invokes          uint64
 	DescriptorHits   uint64
+	// Reliable-layer counters (zero unless WithReliableLinks is on or
+	// a reliable remote is sending to this peer).
+	RelDataSent     uint64 // reliable frames first-sent (excl. retransmits)
+	RelRetransmits  uint64 // frames resent by the retransmit timer
+	RelAcksReceived uint64 // cumulative acks that advanced the window
+	RelDeduped      uint64 // received frames suppressed as duplicates/ghosts
 }
 
 // Snapshot returns the current counter values.
@@ -46,6 +56,10 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		CodeRequests:     s.codeRequests.Load(),
 		Invokes:          s.invokes.Load(),
 		DescriptorHits:   s.descriptorHits.Load(),
+		RelDataSent:      s.relDataSent.Load(),
+		RelRetransmits:   s.relRetransmits.Load(),
+		RelAcksReceived:  s.relAcksReceived.Load(),
+		RelDeduped:       s.relDeduped.Load(),
 	}
 }
 
@@ -61,4 +75,8 @@ func (s *Stats) Reset() {
 	s.codeRequests.Store(0)
 	s.invokes.Store(0)
 	s.descriptorHits.Store(0)
+	s.relDataSent.Store(0)
+	s.relRetransmits.Store(0)
+	s.relAcksReceived.Store(0)
+	s.relDeduped.Store(0)
 }

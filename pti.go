@@ -443,6 +443,29 @@ func WithObserver(obs func(ProtocolEvent)) PeerOption {
 // ships with its full type description and code blob inline.
 func Eager() PeerOption { return transport.Eager() }
 
+// ReliableOption tunes the reliable delivery layer (window size,
+// retransmit timers, backoff); see the transport package's options.
+type ReliableOption = transport.ReliableOption
+
+// WithReliableLinks upgrades every connection the peer owns to
+// exactly-once in-order delivery: sequence framing, cumulative acks,
+// retransmit with exponential backoff and a bounded in-flight window
+// — reliability built above the unreliable link rather than assumed
+// from TCP (see docs/reliable.md).
+func WithReliableLinks(opts ...ReliableOption) PeerOption {
+	return transport.WithReliableLinks(opts...)
+}
+
+// FabricOption customizes a simulation fabric built by
+// Runtime.NewFabric.
+type FabricOption = transport.FabricOption
+
+// WithVirtualClock runs the fabric on a discrete event clock: link
+// latency, request timeouts and retransmit timers jump to the next
+// scheduled deadline instead of sleeping, compressing long scenario
+// runs into real seconds while keeping seed replay intact.
+func WithVirtualClock() FabricOption { return transport.WithVirtualClock() }
+
 // NewPeer builds a transport peer sharing this runtime's registry and
 // policy.
 func (r *Runtime) NewPeer(name string, opts ...PeerOption) *Peer {
@@ -465,14 +488,16 @@ func (r *Runtime) basePeerOptions(extra ...PeerOption) []transport.PeerOption {
 // bound. Every random choice on the fabric derives from seed, so a
 // failing scenario replays from its printed seed:
 //
-//	f := rt.NewFabric(42)
-//	a, _ := f.AddPeer("a")
+//	f := rt.NewFabric(42, pti.WithVirtualClock())
+//	a, _ := f.AddPeer("a", pti.WithReliableLinks())
 //	b, _ := f.AddPeer("b", pti.Eager())
 //	f.Connect("a", "b", pti.FaultProfile{Latency: 2 * time.Millisecond, DropRate: 0.1})
-func (r *Runtime) NewFabric(seed int64) *Fabric {
-	return transport.NewFabric(seed,
+func (r *Runtime) NewFabric(seed int64, opts ...FabricOption) *Fabric {
+	all := append([]transport.FabricOption{
 		transport.WithFabricRegistry(r.reg),
-		transport.WithFabricPeerOptions(r.basePeerOptions()...))
+		transport.WithFabricPeerOptions(r.basePeerOptions()...),
+	}, opts...)
+	return transport.NewFabric(seed, all...)
 }
 
 // NewBroker builds a type-based publish/subscribe broker over this

@@ -1,6 +1,7 @@
 package pti_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -95,5 +96,74 @@ func TestRuntimeCacheCapacityOption(t *testing.T) {
 	res, err := rt.ConformsTo(quoteV1{}, quoteV1{})
 	if err != nil || !res.Conformant {
 		t.Fatalf("ConformsTo = %+v, %v", res, err)
+	}
+}
+
+// TestRuntimeFabricReliableVirtualClock drives the facade's reliable
+// delivery layer over a lossy virtual-clock fabric: pti.WithReliableLinks
+// plus pti.WithVirtualClock give exactly-once delivery over a link
+// that drops and duplicates, compressed into real milliseconds.
+func TestRuntimeFabricReliableVirtualClock(t *testing.T) {
+	rt := pti.New()
+	if err := rt.Register(quoteV1{}); err != nil {
+		t.Fatal(err)
+	}
+	f := rt.NewFabric(777, pti.WithVirtualClock())
+	defer f.Close()
+
+	rel := pti.WithReliableLinks()
+	a, err := f.AddPeer("a", rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.AddPeer("b", rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Connect("a", "b", pti.FaultProfile{
+		Latency:  time.Millisecond,
+		DropRate: 0.3,
+		DupRate:  0.2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	if err := b.Peer().OnReceive(quoteV1{}, func(d pti.Delivery) {
+		mu.Lock()
+		if q, ok := d.Bound.(*quoteV1); ok {
+			seen[q.Symbol]++
+		}
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	conn, _ := a.ConnTo("b")
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := a.Peer().SendObject(conn, quoteV1{Symbol: fmt.Sprintf("Q%02d", i), Price: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		mu.Lock()
+		done := len(seen) == n
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != n {
+		t.Fatalf("delivered %d/%d unique quotes over the lossy link", len(seen), n)
+	}
+	for sym, count := range seen {
+		if count != 1 {
+			t.Errorf("quote %s delivered %d times", sym, count)
+		}
 	}
 }
