@@ -10,15 +10,27 @@ GO ?= go
 # Output artifact of `make bench-json` (override to write elsewhere).
 BENCH_OUT ?= BENCH_PR4.json
 
-# Scratch artifact `make bench-check` regenerates and diffs against
-# the committed baseline. Deliberately NOT the baseline file: the gate
-# must never overwrite BENCH_PR4.json and then diff it against itself.
+# Output artifact of `make bench-fanout` — the PR 5 async-pipeline
+# broadcast fan-out metrics.
+BENCH_FANOUT_OUT ?= BENCH_PR5.json
+
+# Scratch artifacts `make bench-check` regenerates and diffs against
+# the committed baselines. Deliberately NOT the baseline files: the
+# gate must never overwrite a baseline and then diff it against
+# itself.
 BENCH_CHECK_OUT ?= /tmp/pti-bench-check.json
+BENCH_FANOUT_CHECK_OUT ?= /tmp/pti-fanout-check.json
+
+# Coverage profile location and the ratcheting floor `make cover`
+# enforces via cmd/covercheck. Raise the floor as coverage grows;
+# never lower it.
+COVER_PROFILE ?= cover.out
+COVER_MIN ?= 78.0
 
 # Pinned staticcheck build, fetched on demand by `go run`.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: help check vet lint test test-race bench bench-plan bench-wire bench-json bench-check soak build
+.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-check soak build
 
 help:
 	@echo "Targets:"
@@ -28,16 +40,23 @@ help:
 	@echo "  lint        staticcheck ./... (pinned via go run; skipped when offline)"
 	@echo "  test        go test ./..."
 	@echo "  test-race   go test -race ./..."
+	@echo "  cover       go test -coverprofile across packages, enforce the"
+	@echo "              COVER_MIN=$(COVER_MIN) ratchet via cmd/covercheck"
 	@echo "  soak        long-form fabric soak under -race on the virtual clock"
-	@echo "              (seed printed; replay with PTI_SEED=n; PTI_REALCLOCK=1 for wall-clock)"
+	@echo "              (seed printed; replay with PTI_SEED=n; PTI_REALCLOCK=1"
+	@echo "              for wall-clock; PTI_PROFILE=lan|wan|chaos|slow and"
+	@echo "              PTI_RELIABLE=0 sweep the nightly matrix)"
 	@echo "  bench       full paper-table benchmark run"
 	@echo "  bench-plan  compiled-plan vs reflective dispatch + cache numbers"
 	@echo "  bench-wire  compiled vs reflective wire codecs + SendObject end-to-end"
 	@echo "  bench-json  fabric scenario metrics (reliable on+off, virtual clock)"
 	@echo "              -> $(BENCH_OUT) (override with BENCH_OUT=file)"
-	@echo "  bench-check regenerate scenario metrics into BENCH_CHECK_OUT (a"
-	@echo "              scratch file, never the baseline) and diff against"
-	@echo "              the committed BENCH_PR4.json"
+	@echo "  bench-fanout broadcast fan-out over the async send pipeline"
+	@echo "              (blackholed peer, queue/RTO/NACK metrics)"
+	@echo "              -> $(BENCH_FANOUT_OUT) (override with BENCH_FANOUT_OUT=file)"
+	@echo "  bench-check regenerate scenario + fan-out metrics into scratch"
+	@echo "              files (never the baselines) and diff against the"
+	@echo "              committed BENCH_PR4.json and BENCH_PR5.json"
 
 check: vet lint test-race
 
@@ -63,6 +82,12 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Cross-package statement coverage with the ratcheting floor. The
+# profile is also the artifact the CI coverage job uploads.
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) -coverpkg=./... ./...
+	$(GO) run ./cmd/covercheck -profile $(COVER_PROFILE) -min $(COVER_MIN)
 
 # Long-form deterministic churn over the simulation fabric: five
 # nodes, lossy/duplicating/reordering links, reliable publishers,
@@ -96,10 +121,21 @@ bench-wire:
 bench-json:
 	$(GO) run ./cmd/ptibench -exp scenario -reps 2 -seed 42 -reliable -vclock -json $(BENCH_OUT)
 
-# The bench-regression gate: fresh metrics vs the committed baseline.
+# Broadcast fan-out metrics over the async send pipeline: one
+# blackholed subscriber, queue depth / adaptive RTO / NACK counters,
+# and the NACK-vs-backoff single-loss recovery comparison.
+bench-fanout:
+	$(GO) run ./cmd/ptibench -exp fanout -reps 2 -seed 42 -json $(BENCH_FANOUT_OUT)
+
+# The bench-regression gate: fresh metrics vs the committed baselines.
 bench-check:
 	@if [ "$(BENCH_CHECK_OUT)" = "BENCH_PR4.json" ]; then \
 		echo "bench-check: BENCH_CHECK_OUT must not be the committed baseline"; exit 2; \
 	fi
+	@if [ "$(BENCH_FANOUT_CHECK_OUT)" = "BENCH_PR5.json" ]; then \
+		echo "bench-check: BENCH_FANOUT_CHECK_OUT must not be the committed baseline"; exit 2; \
+	fi
 	$(MAKE) bench-json BENCH_OUT=$(BENCH_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR4.json -candidate $(BENCH_CHECK_OUT)
+	$(MAKE) bench-fanout BENCH_FANOUT_OUT=$(BENCH_FANOUT_CHECK_OUT)
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR5.json -candidate $(BENCH_FANOUT_CHECK_OUT)

@@ -1,8 +1,9 @@
 // Command benchdiff is the bench-regression gate: it compares a fresh
-// `make bench-json` artifact against the committed baseline
-// (BENCH_PR4.json) and fails when scenario match rates regress.
+// `make bench-json` / `make bench-fanout` artifact against the
+// committed baseline (BENCH_PR4.json / BENCH_PR5.json) and fails when
+// the guarantees regress.
 //
-// Two rules, matched on (profile, reliable):
+// Scenario rules, matched on (profile, reliable):
 //
 //   - reliable rows must deliver exactly once — a match rate of
 //     precisely 1.0, no tolerance: the reliable layer's guarantee is
@@ -11,9 +12,20 @@
 //     baseline: lossy match rates track the fault schedule, which is
 //     seed-pinned, but protocol-retry timing wiggles a little.
 //
+// Fan-out rules (the PR 5 async-pipeline artifact), matched on name:
+//
+//   - reliable fan-out rows must hold a 1.0 match rate across the
+//     healthy subscribers even with a sibling blackholed;
+//   - rows carrying a stall budget must finish inside it — a
+//     broadcast pipeline that stalls behind a dead peer blows the
+//     virtual-time budget by an order of magnitude;
+//   - NACK fast-retransmit recovery must beat the pure-backoff
+//     baseline outright (nack_recovery_ms < backoff_recovery_ms).
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_PR4.json -candidate /tmp/bench.json [-tol 0.10]
+//	benchdiff -baseline BENCH_PR5.json -candidate /tmp/fanout.json
 package main
 
 import (
@@ -30,9 +42,24 @@ type scenario struct {
 	MatchRate float64 `json:"match_rate"`
 }
 
+type fanoutRow struct {
+	Name             string  `json:"name"`
+	Reliable         bool    `json:"reliable"`
+	MatchRate        float64 `json:"match_rate"`
+	ElapsedVirtualMs float64 `json:"elapsed_virtual_ms"`
+	StallBudgetMs    float64 `json:"stall_budget_ms"`
+}
+
+type singleLoss struct {
+	NackMs    float64 `json:"nack_recovery_ms"`
+	BackoffMs float64 `json:"backoff_recovery_ms"`
+}
+
 type doc struct {
-	Seed      int64      `json:"seed"`
-	Scenarios []scenario `json:"scenarios"`
+	Seed       int64       `json:"seed"`
+	Scenarios  []scenario  `json:"scenarios"`
+	Rows       []fanoutRow `json:"rows"`
+	SingleLoss *singleLoss `json:"single_loss"`
 }
 
 func load(path string) (doc, error) {
@@ -44,8 +71,8 @@ func load(path string) (doc, error) {
 	if err := json.Unmarshal(data, &d); err != nil {
 		return d, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(d.Scenarios) == 0 {
-		return d, fmt.Errorf("%s: no scenarios", path)
+	if len(d.Scenarios) == 0 && len(d.Rows) == 0 && d.SingleLoss == nil {
+		return d, fmt.Errorf("%s: no scenarios or fan-out rows", path)
 	}
 	return d, nil
 }
@@ -83,13 +110,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	failures := 0
+	checked := 0
+	failures += diffScenarios(base, cand, *tol, &checked)
+	failures += diffFanout(base, cand, &checked)
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d regression(s) against %s\n", failures, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d checks within tolerance of %s\n", checked, *baseline)
+}
+
+func diffScenarios(base, cand doc, tol float64, checked *int) int {
 	got := make(map[string]scenario, len(cand.Scenarios))
 	for _, s := range cand.Scenarios {
 		got[key(s)] = s
 	}
-
 	failures := 0
 	for _, want := range base.Scenarios {
+		*checked++
 		k := key(want)
 		have, ok := got[k]
 		switch {
@@ -99,9 +138,9 @@ func main() {
 		case want.Reliable && have.MatchRate != 1.0:
 			fmt.Printf("FAIL %-24s match %.4f, reliable rows must be exactly 1.0\n", k, have.MatchRate)
 			failures++
-		case !want.Reliable && math.Abs(have.MatchRate-want.MatchRate) > *tol:
+		case !want.Reliable && math.Abs(have.MatchRate-want.MatchRate) > tol:
 			fmt.Printf("FAIL %-24s match %.4f vs baseline %.4f (tol %.2f)\n",
-				k, have.MatchRate, want.MatchRate, *tol)
+				k, have.MatchRate, want.MatchRate, tol)
 			failures++
 		default:
 			fmt.Printf("ok   %-24s match %.4f (baseline %.4f)\n", k, have.MatchRate, want.MatchRate)
@@ -116,13 +155,67 @@ func main() {
 	}
 	for _, s := range cand.Scenarios {
 		if !known[key(s)] {
-			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit %s\n", key(s), *baseline)
+			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit the baseline\n", key(s))
 			failures++
 		}
 	}
-	if failures > 0 {
-		fmt.Printf("benchdiff: %d regression(s) against %s\n", failures, *baseline)
-		os.Exit(1)
+	return failures
+}
+
+func diffFanout(base, cand doc, checked *int) int {
+	failures := 0
+	got := make(map[string]fanoutRow, len(cand.Rows))
+	for _, r := range cand.Rows {
+		got[r.Name] = r
 	}
-	fmt.Printf("benchdiff: %d scenarios within tolerance of %s\n", len(base.Scenarios), *baseline)
+	for _, want := range base.Rows {
+		*checked++
+		have, ok := got[want.Name]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-24s missing from candidate\n", want.Name)
+			failures++
+		case want.Reliable && have.MatchRate != 1.0:
+			fmt.Printf("FAIL %-24s match %.4f, reliable fan-out rows must be exactly 1.0\n",
+				want.Name, have.MatchRate)
+			failures++
+		case want.StallBudgetMs > 0 && have.ElapsedVirtualMs > want.StallBudgetMs:
+			fmt.Printf("FAIL %-24s elapsed %.0fms exceeds the %.0fms stall budget (pipeline stalled?)\n",
+				want.Name, have.ElapsedVirtualMs, want.StallBudgetMs)
+			failures++
+		default:
+			fmt.Printf("ok   %-24s match %.4f, elapsed %.0fms (budget %.0fms)\n",
+				want.Name, have.MatchRate, have.ElapsedVirtualMs, want.StallBudgetMs)
+		}
+	}
+	known := make(map[string]bool, len(base.Rows))
+	for _, r := range base.Rows {
+		known[r.Name] = true
+	}
+	for _, r := range cand.Rows {
+		if !known[r.Name] {
+			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit the baseline\n", r.Name)
+			failures++
+		}
+	}
+	if base.SingleLoss != nil {
+		*checked++
+		switch sl := cand.SingleLoss; {
+		case sl == nil:
+			fmt.Printf("FAIL %-24s missing from candidate\n", "single-loss-recovery")
+			failures++
+		case sl.NackMs <= 0 || sl.BackoffMs <= 0:
+			fmt.Printf("FAIL %-24s degenerate timings: nack %.1fms, backoff %.1fms\n",
+				"single-loss-recovery", sl.NackMs, sl.BackoffMs)
+			failures++
+		case sl.NackMs >= sl.BackoffMs:
+			fmt.Printf("FAIL %-24s nack %.0fms not faster than pure backoff %.0fms\n",
+				"single-loss-recovery", sl.NackMs, sl.BackoffMs)
+			failures++
+		default:
+			fmt.Printf("ok   %-24s nack %.0fms vs backoff %.0fms (%.1fx)\n",
+				"single-loss-recovery", sl.NackMs, sl.BackoffMs, sl.BackoffMs/sl.NackMs)
+		}
+	}
+	return failures
 }

@@ -1,0 +1,98 @@
+// Command covercheck enforces the CI coverage floor: it sums the
+// statement counts of a `go test -coverprofile` file and fails when
+// the covered percentage drops below -min. The floor is a ratchet —
+// raise COVER_MIN in the Makefile as coverage grows, never lower it —
+// so coverage can only trend upward without anyone hand-tending
+// per-package thresholds.
+//
+// Usage:
+//
+//	covercheck -profile cover.out -min 60.0
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+	min := flag.Float64("min", 0, "minimum covered-statement percentage (the ratchet floor)")
+	flag.Parse()
+
+	covered, total, err := sumProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(2)
+	}
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "covercheck: profile counts no statements")
+		os.Exit(2)
+	}
+	pct := 100 * float64(covered) / float64(total)
+	fmt.Printf("covercheck: %.1f%% of statements covered (%d/%d), floor %.1f%%\n",
+		pct, covered, total, *min)
+	if pct < *min {
+		fmt.Printf("covercheck: FAIL — coverage %.1f%% fell below the %.1f%% ratchet\n", pct, *min)
+		os.Exit(1)
+	}
+}
+
+// sumProfile totals (covered, all) statements across a coverprofile.
+// Each entry line reads "file:start,end numStmts hitCount"; blocks
+// recorded more than once (package tests + integration tests over the
+// same file) are merged by taking the maximum hit count, matching
+// `go tool cover -func` semantics.
+func sumProfile(path string) (covered, total int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts int64
+		hit   bool
+	}
+	blocks := make(map[string]*block)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return 0, 0, fmt.Errorf("malformed profile line: %q", line)
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad statement count in %q: %v", line, err)
+		}
+		hits, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad hit count in %q: %v", line, err)
+		}
+		b := blocks[fields[0]]
+		if b == nil {
+			blocks[fields[0]] = &block{stmts: stmts, hit: hits > 0}
+		} else if hits > 0 {
+			b.hit = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	for _, b := range blocks {
+		total += b.stmts
+		if b.hit {
+			covered += b.stmts
+		}
+	}
+	return covered, total, nil
+}

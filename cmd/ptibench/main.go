@@ -55,6 +55,7 @@ func run(exp string, reps int) error {
 		{"7.4", "Conformance testing", exp74},
 		{"transport", "Figure 1 protocol + optimistic vs eager", expTransport},
 		{"scenario", "Fabric fault-profile scenarios (delivery + match rate)", expScenario},
+		{"fanout", "Broadcast fan-out over the async send pipeline (queue/RTO/NACK)", expFanout},
 		{"match", "Conformance relation match rates (Section 2 comparisons)", expMatchRate},
 		{"ablations", "Design-choice ablations", expAblations},
 	}

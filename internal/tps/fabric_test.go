@@ -206,3 +206,124 @@ func TestAttachNodeReliableLossyConvergence(t *testing.T) {
 		t.Errorf("broker stats: published=%d delivered=%d, want %d/%d", published, delivered, n, n)
 	}
 }
+
+// TestAttachNodeBroadcastSurvivesBlackholedSubscriber runs the
+// distributed-TPS publisher over the async send pipeline: with one
+// subscriber node blackholed (partitioned both ways, connection
+// alive), Broadcast keeps feeding the healthy broker without ever
+// blocking on the dead link's window, and the dead link eventually
+// surfaces a typed ErrPeerUnreachable through Broadcast's aggregated
+// error.
+func TestAttachNodeBroadcastSurvivesBlackholedSubscriber(t *testing.T) {
+	f := transport.NewFabric(5150, transport.WithVirtualClock())
+	defer f.Close()
+
+	regPub := registry.New()
+	if _, err := regPub.Register(fixtures.StockQuoteB{}); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := f.AddPeerWithRegistry("pub", regPub,
+		transport.WithRequestTimeout(2*time.Second),
+		transport.WithReliableLinks(
+			transport.WithSendQueue(128),
+			transport.WithWindow(8),
+			transport.WithAdaptiveRTO(),
+			transport.WithRetransmitTimeout(10*time.Millisecond),
+			transport.WithMaxBackoff(80*time.Millisecond),
+			transport.WithMaxAttempts(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSub := func(name string) *transport.Node {
+		reg := registry.New()
+		if _, err := reg.Register(fixtures.StockQuoteA{}); err != nil {
+			t.Fatal(err)
+		}
+		n, err := f.AddPeerWithRegistry(name, reg, transport.WithRequestTimeout(2*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := f.Connect("pub", name, transport.FaultProfile{
+			Latency: 500 * time.Microsecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	healthy := newSub("healthy")
+	newSub("dead")
+
+	broker := NewBroker(healthy.Peer().Registry())
+	var mu sync.Mutex
+	volumes := make(map[int]int)
+	if _, err := broker.Subscribe(fixtures.StockQuoteA{}, func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if q, ok := e.Bound.(*fixtures.StockQuoteA); ok {
+			volumes[q.Volume]++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachNode(broker, healthy, fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.PartitionOneWay("pub", "dead", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PartitionOneWay("dead", "pub", true); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 40
+	loopStart := time.Now()
+	for i := 0; i < n; i++ {
+		if sent, err := pub.Peer().Broadcast(fixtures.StockQuoteB{
+			StockSymbol: "PTI", StockPrice: 1.0, StockVolume: i,
+		}); err != nil && (!errors.Is(err, transport.ErrPeerUnreachable) || sent < 1) {
+			t.Fatalf("broadcast %d: sent=%d err=%v", i, sent, err)
+		}
+	}
+	if elapsed := time.Since(loopStart); elapsed > 5*time.Second {
+		t.Fatalf("broadcast loop took %s: the pipeline stalled on the blackholed node", elapsed)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		got := len(volumes)
+		mu.Unlock()
+		if got == n || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	if len(volumes) != n {
+		t.Fatalf("healthy broker received %d/%d quotes", len(volumes), n)
+	}
+	for v, count := range volumes {
+		if count != 1 {
+			t.Errorf("quote %d delivered %d times", v, count)
+		}
+	}
+	mu.Unlock()
+
+	// The dead link gives up with the typed error, while broadcasts
+	// keep reaching the healthy node.
+	gaveUp := false
+	for probeDeadline := time.Now().Add(20 * time.Second); time.Now().Before(probeDeadline); {
+		sent, err := pub.Peer().Broadcast(fixtures.StockQuoteB{
+			StockSymbol: "PTI", StockPrice: 1.0, StockVolume: 999,
+		})
+		if err != nil && errors.Is(err, transport.ErrPeerUnreachable) && sent == 1 {
+			gaveUp = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !gaveUp {
+		t.Error("blackholed link never surfaced ErrPeerUnreachable")
+	}
+}

@@ -28,6 +28,14 @@ type Timer interface {
 	C() <-chan time.Time
 	// Stop cancels the timer, reporting whether it was still pending.
 	Stop() bool
+	// Reset re-arms the timer to fire after d, reporting whether it
+	// was still pending. Both implementations consume a
+	// fired-but-undrained tick themselves, so Reset is safe from any
+	// state; a tick that lands concurrently with Reset may still
+	// cause one spurious early wake, which the retransmit and sender
+	// loops tolerate by re-checking deadlines. Each link re-arms one
+	// timer instead of allocating per wake.
+	Reset(d time.Duration) bool
 }
 
 // --- wall clock -------------------------------------------------------
@@ -42,6 +50,21 @@ type realTimer struct{ t *time.Timer }
 
 func (t realTimer) C() <-chan time.Time { return t.t.C }
 func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+// Reset stops and drains a fired-but-unread tick before re-arming, so
+// a wake-by-kick that raced the timer's fire cannot leave a stale
+// tick that would fire the next wait immediately.
+func (t realTimer) Reset(d time.Duration) bool {
+	pending := t.t.Stop()
+	if !pending {
+		select {
+		case <-t.t.C:
+		default:
+		}
+	}
+	t.t.Reset(d)
+	return pending
+}
 
 // --- virtual clock ----------------------------------------------------
 
@@ -264,6 +287,34 @@ func (t *vtimer) Stop() bool {
 	c.mutGen++
 	heap.Remove(&c.timers, t.index)
 	return true
+}
+
+// Reset re-arms the timer at now+d, following the Stop-or-drained
+// contract of the Timer interface. A stale undrained tick is consumed
+// here so the re-armed timer can never deliver a fire from its
+// previous life.
+func (t *vtimer) Reset(d time.Duration) bool {
+	c := t.clock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wasPending := !t.fired && t.index >= 0
+	if wasPending {
+		heap.Remove(&c.timers, t.index)
+	}
+	select {
+	case <-t.ch:
+	default:
+	}
+	t.fired = false
+	t.deadline = c.now.Add(d)
+	c.mutGen++
+	if d <= 0 {
+		t.fired = true
+		t.ch <- c.now
+	} else {
+		heap.Push(&c.timers, t)
+	}
+	return wasPending
 }
 
 // vtimerHeap is a min-heap of timers by deadline.

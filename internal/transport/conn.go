@@ -55,6 +55,9 @@ func newConn(p *Peer, rw net.Conn) *Conn {
 		func(m *Message) { c.routeReply(m) },
 		func(epoch, cum uint64) {
 			_ = c.send(&Message{Type: MsgReliableAck, Body: encodeRelAck(epoch, cum)})
+		},
+		func(epoch uint64, seqs []uint64) {
+			_ = c.send(&Message{Type: MsgReliableNack, Body: encodeRelNack(epoch, seqs)})
 		})
 	if p.relCfg != nil {
 		c.rel.Store(newReliableLink(connRaw{c}, p.clock, &p.stats, *p.relCfg))
@@ -62,6 +65,25 @@ func newConn(p *Peer, rw net.Conn) *Conn {
 	p.track(c)
 	go c.readLoop()
 	return c
+}
+
+// ReliableSnapshot returns the attached reliable sender's counters
+// (queue depth, RTO estimate, retransmit counts), reporting false
+// when the connection sends unreliably.
+func (c *Conn) ReliableSnapshot() (ReliableLinkStats, bool) {
+	if r := c.rel.Load(); r != nil {
+		return r.Snapshot(), true
+	}
+	return ReliableLinkStats{}, false
+}
+
+// RemoteLabel names the other end of the connection for diagnostics:
+// the remote network address (a fabric node name on simulated links).
+func (c *Conn) RemoteLabel() string {
+	if addr := c.rw.RemoteAddr(); addr != nil {
+		return addr.String()
+	}
+	return "unknown"
 }
 
 // stopReliable halts the attached reliable sender (if any) so window
@@ -117,6 +139,13 @@ func (c *Conn) readLoop() {
 			// frame arrives.
 			if r := c.rel.Load(); r != nil {
 				r.Ack(m.Body)
+			}
+		case MsgReliableNack:
+			// Gap reports route synchronously too: the whole point of
+			// fast retransmit is repairing the gap before the backoff
+			// timer would.
+			if r := c.rel.Load(); r != nil {
+				r.Nack(m.Body)
 			}
 		default:
 			// Requests may themselves wait for replies on this

@@ -147,11 +147,64 @@ func (f *Fabric) busy() bool {
 		}
 	}
 	for _, n := range f.nodes {
-		if n.peer != nil && n.peer.busyHandlers() > 0 {
+		if n.peer == nil {
+			continue
+		}
+		if n.peer.busyHandlers() > 0 {
+			return true
+		}
+		// A reliable send pipeline with a transmittable frame at its
+		// head is runnable work too: the sender goroutine is about to
+		// put it on the wire, and the clock must not race past a
+		// timeout deadline first.
+		if n.peer.pipelineBusy() {
 			return true
 		}
 	}
 	return false
+}
+
+// NamedProfile returns one of the canonical fault profiles the soak
+// matrix, the nightly CI run and the benchmarks share, keyed by name:
+//
+//	perfect  zero-fault, zero-delay baseline
+//	lan      sub-millisecond latency, no faults
+//	wan      ~100ms one-way latency with loss, duplication, reordering
+//	chaos    aggressive loss/dup/reorder on a jittery link
+//	slow     a slow consumer: modest latency, tight bandwidth shaping
+func NamedProfile(name string) (FaultProfile, bool) {
+	switch name {
+	case "perfect":
+		return FaultProfile{}, true
+	case "lan":
+		return FaultProfile{
+			Latency: 500 * time.Microsecond,
+			Jitter:  200 * time.Microsecond,
+		}, true
+	case "wan":
+		return FaultProfile{
+			Latency:     100 * time.Millisecond,
+			Jitter:      50 * time.Millisecond,
+			DropRate:    0.05,
+			DupRate:     0.05,
+			ReorderRate: 0.1,
+		}, true
+	case "chaos":
+		return FaultProfile{
+			Latency:     20 * time.Millisecond,
+			Jitter:      20 * time.Millisecond,
+			DropRate:    0.2,
+			DupRate:     0.1,
+			ReorderRate: 0.25,
+		}, true
+	case "slow":
+		return FaultProfile{
+			Latency:   2 * time.Millisecond,
+			Jitter:    time.Millisecond,
+			Bandwidth: 64 * 1024,
+		}, true
+	}
+	return FaultProfile{}, false
 }
 
 // Clock returns the clock the fabric schedules on (the wall clock
@@ -271,10 +324,24 @@ func pairKeyOf(a, b string) string {
 func (f *Fabric) Connect(a, b string, prof FaultProfile) (*Conn, *Conn, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.connectLocked(a, b, prof)
+	return f.connectLocked(a, b, prof, prof)
 }
 
-func (f *Fabric) connectLocked(a, b string, prof FaultProfile) (*Conn, *Conn, error) {
+// ConnectAsymmetric links two nodes with independent per-direction
+// profiles — ab shapes frames a→b, ba shapes frames b→a. This is the
+// asymmetric-latency regime real networks produce and TCP hides: a
+// path whose data direction crawls while its ack direction is fast
+// (or the reverse, where acks trickle back late and inflate the
+// sender's RTT estimate).
+func (f *Fabric) ConnectAsymmetric(a, b string, ab, ba FaultProfile) (*Conn, *Conn, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.connectLocked(a, b, ab, ba)
+}
+
+// connectLocked builds the link a—b with outbound profile profAB for
+// the a→b direction and profBA for b→a.
+func (f *Fabric) connectLocked(a, b string, profAB, profBA FaultProfile) (*Conn, *Conn, error) {
 	if f.closed {
 		return nil, nil, ErrFabricClosed
 	}
@@ -301,8 +368,8 @@ func (f *Fabric) connectLocked(a, b string, prof FaultProfile) (*Conn, *Conn, er
 	// restart generations): deterministic per direction, fresh — but
 	// reproducibly so — after a crash/restart.
 	salt := fmt.Sprintf("%s#%d->%s#%d", a, na.gen, b, nb.gen)
-	l.ab = newLinkDir(a+"->"+b, rngFor(f.seed, "ab|"+salt), prof, f.clock)
-	l.ba = newLinkDir(b+"->"+a, rngFor(f.seed, "ba|"+salt), prof, f.clock)
+	l.ab = newLinkDir(a+"->"+b, rngFor(f.seed, "ab|"+salt), profAB, f.clock)
+	l.ba = newLinkDir(b+"->"+a, rngFor(f.seed, "ba|"+salt), profBA, f.clock)
 	l.aEnd = &fabricEnd{link: l, out: l.ab, in: newFrameBuffer(), local: a, remote: b}
 	l.bEnd = &fabricEnd{link: l, out: l.ba, in: newFrameBuffer(), local: b, remote: a}
 	l.ab.dst = l.bEnd.in
@@ -315,8 +382,10 @@ func (f *Fabric) connectLocked(a, b string, prof FaultProfile) (*Conn, *Conn, er
 	f.links[pairKeyOf(a, b)] = l
 	na.conns[b] = ca
 	nb.conns[a] = cb
-	na.profiles[b] = prof
-	nb.profiles[a] = prof
+	// Each node remembers its *outbound* profile toward the remote,
+	// so an asymmetric link survives crash/restart direction-exact.
+	na.profiles[b] = profAB
+	nb.profiles[a] = profBA
 	return ca, cb, nil
 }
 
@@ -458,7 +527,10 @@ func (f *Fabric) Restart(name string) (*Node, error) {
 		if rn == nil || rn.crashed {
 			continue
 		}
-		if _, _, err := f.connectLocked(name, remote, prof); err != nil {
+		// prof is this node's outbound direction; the neighbour's map
+		// holds the return direction, so asymmetric links restart
+		// with the same shape they had.
+		if _, _, err := f.connectLocked(name, remote, prof, rn.profiles[name]); err != nil {
 			return nil, err
 		}
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"reflect"
 	"sort"
@@ -626,7 +627,23 @@ func TestFabricSoak(t *testing.T) {
 		t.Skip("soak scenario skipped in -short mode")
 	}
 	seed := scenarioSeed(t, time.Now().UnixNano())
-	t.Logf("fabric soak seed=%d (replay with PTI_SEED=%d)", seed, seed)
+
+	// The nightly CI matrix sweeps PTI_PROFILE (lan/wan/chaos/slow)
+	// × PTI_RELIABLE (1/0); the default remains the WAN profile with
+	// reliable publishers — the regime where a wall-clock soak spends
+	// nearly all its time sleeping through injected delay and the
+	// virtual clock pays off.
+	profName := os.Getenv("PTI_PROFILE")
+	if profName == "" {
+		profName = "wan"
+	}
+	prof, ok := NamedProfile(profName)
+	if !ok {
+		t.Fatalf("unknown PTI_PROFILE %q (want perfect/lan/wan/chaos/slow)", profName)
+	}
+	reliableOn := os.Getenv("PTI_RELIABLE") != "0"
+	t.Logf("fabric soak seed=%d profile=%s reliable=%v (replay with PTI_SEED=%d)",
+		seed, profName, reliableOn, seed)
 
 	rounds := 4
 	perRound := 30
@@ -640,17 +657,6 @@ func TestFabricSoak(t *testing.T) {
 	}
 	f := NewFabric(seed, fabOpts...)
 	defer f.Close()
-
-	// WAN-like link: ~100ms one-way latency — the regime where a
-	// wall-clock soak spends nearly all its time sleeping through
-	// injected delay and the virtual clock pays off.
-	prof := FaultProfile{
-		Latency:     100 * time.Millisecond,
-		Jitter:      50 * time.Millisecond,
-		DropRate:    0.05,
-		DupRate:     0.05,
-		ReorderRate: 0.1,
-	}
 	newReg := func(v interface{}, name string, ctor interface{}) *registry.Registry {
 		reg := registry.New()
 		if _, err := reg.Register(v, registry.WithConstructor(name, ctor)); err != nil {
@@ -661,13 +667,21 @@ func TestFabricSoak(t *testing.T) {
 	pubs := []string{"pub1", "pub2"}
 	subsNames := []string{"sub1", "sub2", "sub3"}
 	for _, p := range pubs {
-		// Publishers send reliably: the mixed regime (reliable sender,
-		// plain receivers) the layer is designed for.
-		// RTO above the link's round trip, so retransmits mean loss,
-		// not impatience.
+		// Publishers send reliably (unless the matrix turned it off):
+		// the mixed regime — reliable sender, plain receivers — the
+		// layer is designed for. The async pipeline and adaptive RTO
+		// soak here too: the fallback RTO sits above the worst
+		// profile's round trip so early retransmits mean loss, not
+		// impatience, and the estimator takes over from there.
+		pubOpts := []PeerOption{WithRequestTimeout(time.Second)}
+		if reliableOn {
+			pubOpts = append(pubOpts, WithReliableLinks(
+				WithRetransmitTimeout(400*time.Millisecond),
+				WithAdaptiveRTO(),
+				WithSendQueue(256)))
+		}
 		if _, err := f.AddPeerWithRegistry(p, newReg(fixtures.PersonB{}, "NewPersonB", fixtures.NewPersonB),
-			WithRequestTimeout(time.Second),
-			WithReliableLinks(WithRetransmitTimeout(400*time.Millisecond))); err != nil {
+			pubOpts...); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -1122,5 +1136,350 @@ func TestScenarioVirtualClockCompressesLatency(t *testing.T) {
 	}
 	if realElapsed > 3*time.Second {
 		t.Errorf("real elapsed = %s, want well under the simulated latency budget", realElapsed)
+	}
+}
+
+// --- async send pipeline scenarios (PR 5) -----------------------------
+
+// TestScenarioBlackholedPeerDoesNotStallBroadcast is the PR's
+// acceptance scenario: with the async send pipeline on, a peer that
+// is partitioned-but-alive (frames vanish both ways, connection stays
+// up) fills only its own queue. The broadcast loop never blocks, the
+// healthy subscribers converge to a 100% match rate, the blackholed
+// link eventually fails with a typed ErrPeerUnreachable that
+// Broadcast aggregates instead of hiding, and the sender goroutines
+// are all released on fabric teardown.
+func TestScenarioBlackholedPeerDoesNotStallBroadcast(t *testing.T) {
+	seed := scenarioSeed(t, 5005)
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+	goroutineBase := reliableLoopGoroutines()
+
+	f := NewFabric(seed, WithVirtualClock())
+	regPub := registry.New()
+	if _, err := regPub.Register(fixtures.PersonB{},
+		registry.WithConstructor("NewPersonB", fixtures.NewPersonB)); err != nil {
+		t.Fatal(err)
+	}
+	pubOpts := []PeerOption{
+		WithRequestTimeout(2 * time.Second),
+		WithReliableLinks(
+			WithSendQueue(128),
+			WithWindow(8),
+			WithAdaptiveRTO(),
+			WithRetransmitTimeout(10*time.Millisecond),
+			WithMaxBackoff(80*time.Millisecond),
+			WithMaxAttempts(8)),
+	}
+	pub, err := f.AddPeerWithRegistry("pub", regPub, pubOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lan, _ := NamedProfile("lan")
+	type subscriber struct {
+		mu   sync.Mutex
+		ages []int
+	}
+	subs := map[string]*subscriber{"sub1": {}, "sub2": {}, "sub3": {}}
+	for name, s := range subs {
+		reg := registry.New()
+		if _, err := reg.Register(fixtures.PersonA{},
+			registry.WithConstructor("NewPersonA", fixtures.NewPersonA)); err != nil {
+			t.Fatal(err)
+		}
+		n, err := f.AddPeerWithRegistry(name, reg, WithRequestTimeout(2*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := s
+		if err := n.Peer().OnReceive(fixtures.PersonA{}, func(d Delivery) {
+			s.mu.Lock()
+			s.ages = append(s.ages, d.Bound.(*fixtures.PersonA).Age)
+			s.mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := f.Connect("pub", name, lan); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Blackhole sub3 in both directions: frames vanish, the
+	// connection stays alive — the failure mode TCP cannot express.
+	if err := f.PartitionOneWay("pub", "sub3", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PartitionOneWay("sub3", "pub", true); err != nil {
+		t.Fatal(err)
+	}
+
+	// The broadcast loop must complete promptly in *real* time: every
+	// send is an enqueue, so the blackholed window can never hold the
+	// loop hostage (the synchronous path would stall at the 9th frame
+	// toward sub3 and sit out retransmit backoff).
+	const n = 60
+	loopStart := time.Now()
+	for i := 0; i < n; i++ {
+		if sent, err := pub.Peer().Broadcast(fixtures.PersonB{PersonName: "fan", PersonAge: i}); err != nil {
+			// The blackholed link may give up mid-run; the healthy
+			// conns must still have been reached.
+			if !errors.Is(err, ErrPeerUnreachable) || sent < 2 {
+				t.Fatalf("broadcast %d: sent=%d err=%v", i, sent, err)
+			}
+		}
+	}
+	if loopElapsed := time.Since(loopStart); loopElapsed > 5*time.Second {
+		t.Fatalf("broadcast loop took %s of real time: the async pipeline stalled", loopElapsed)
+	}
+
+	// Healthy subscribers converge to a 100% match rate, in order.
+	for _, name := range []string{"sub1", "sub2"} {
+		s := subs[name]
+		if !waitUntil(30*time.Second, func() bool {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return len(s.ages) == n
+		}) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			t.Fatalf("%s delivered %d/%d with a blackholed sibling (seed=%d)", name, len(s.ages), n, seed)
+		}
+		s.mu.Lock()
+		for i, age := range s.ages {
+			if age != i {
+				t.Fatalf("%s delivery %d = age %d: order violated (seed=%d)", name, i, age, seed)
+			}
+		}
+		s.mu.Unlock()
+	}
+	subs["sub3"].mu.Lock()
+	if got := len(subs["sub3"].ages); got != 0 {
+		t.Errorf("blackholed subscriber received %d objects", got)
+	}
+	subs["sub3"].mu.Unlock()
+
+	// The blackholed link gives up with the typed error, surfaced
+	// through Broadcast's aggregate rather than first-error-wins.
+	var lastErr error
+	if !waitUntil(20*time.Second, func() bool {
+		sent, err := pub.Peer().Broadcast(fixtures.PersonB{PersonName: "probe", PersonAge: 999})
+		lastErr = err
+		return err != nil && errors.Is(err, ErrPeerUnreachable) && sent == 2
+	}) {
+		t.Fatalf("blackholed link never surfaced ErrPeerUnreachable (last err: %v, seed=%d)", lastErr, seed)
+	}
+	var ue *UnreachableError
+	if !errors.As(lastErr, &ue) {
+		t.Fatalf("give-up error is %T, want *UnreachableError in the chain", lastErr)
+	}
+	if ue.Attempts < 8 && ue.Pending == 0 {
+		t.Errorf("UnreachableError carries no diagnostics: %+v", ue)
+	}
+	// Frames stranded in the dead link's queue were reported, not
+	// silently lost.
+	if got := pub.Peer().Stats().Snapshot().RelQueueAbandoned; got == 0 {
+		t.Error("no abandoned-queue accounting for the blackholed link")
+	}
+
+	// Teardown releases every sender/retransmit goroutine.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !waitUntil(10*time.Second, func() bool { return reliableLoopGoroutines() <= goroutineBase }) {
+		t.Errorf("reliable loop goroutines leaked: %d > %d", reliableLoopGoroutines(), goroutineBase)
+	}
+}
+
+// TestScenarioAsymmetricLatencyAdaptiveRTO runs the estimator over an
+// asymmetric path (slow data direction, fast ack direction): the RTO
+// adapts from the 500ms fallback down toward the measured round trip,
+// everything still lands exactly once, and the adapted timer does not
+// cause a retransmit storm.
+func TestScenarioAsymmetricLatencyAdaptiveRTO(t *testing.T) {
+	seed := scenarioSeed(t, 6006)
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+	f := NewFabric(seed, WithVirtualClock())
+	t.Cleanup(func() { _ = f.Close() })
+	regA := registry.New()
+	if _, err := regA.Register(fixtures.PersonB{},
+		registry.WithConstructor("NewPersonB", fixtures.NewPersonB)); err != nil {
+		t.Fatal(err)
+	}
+	regB := registry.New()
+	if _, err := regB.Register(fixtures.PersonA{},
+		registry.WithConstructor("NewPersonA", fixtures.NewPersonA)); err != nil {
+		t.Fatal(err)
+	}
+	// MinRTO sits above the path's worst round trip — the guard real
+	// stacks use against spurious retransmits when RTTVAR decays on a
+	// steady path (Linux floors its RTO at 200ms for the same reason).
+	na, err := f.AddPeerWithRegistry("a", regA,
+		WithRequestTimeout(5*time.Second),
+		WithReliableLinks(
+			WithSendQueue(64),
+			WithWindow(16),
+			WithAdaptiveRTO(),
+			WithMinRTO(80*time.Millisecond),
+			WithRetransmitTimeout(500*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := f.AddPeerWithRegistry("b", regB, WithRequestTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data crawls at 50ms±5ms one way; acks sprint back in 1ms.
+	if _, _, err := f.ConnectAsymmetric("a", "b",
+		FaultProfile{Latency: 50 * time.Millisecond, Jitter: 5 * time.Millisecond},
+		FaultProfile{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(d Delivery) {
+		mu.Lock()
+		seen[d.Bound.(*fixtures.PersonA).Age]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := na.ConnTo("b")
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := na.Peer().SendObject(ca, fixtures.PersonB{PersonName: "asym", PersonAge: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitUntil(30*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) == n
+	}) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("delivered %d/%d over the asymmetric link (seed=%d)", len(seen), n, seed)
+	}
+	mu.Lock()
+	for age, count := range seen {
+		if count != 1 {
+			t.Errorf("object %d delivered %d times", age, count)
+		}
+	}
+	mu.Unlock()
+
+	snap, ok := ca.ReliableSnapshot()
+	if !ok {
+		t.Fatal("sender conn lost its reliable link")
+	}
+	if snap.RTTSamples == 0 {
+		t.Fatal("adaptive RTO never sampled")
+	}
+	// SRTT must reflect the ~51ms asymmetric round trip, and the RTO
+	// must have adapted well below the 500ms fallback.
+	if snap.SRTT < 30*time.Millisecond || snap.SRTT > 200*time.Millisecond {
+		t.Errorf("SRTT = %v, want ~51ms for a 50ms+1ms path", snap.SRTT)
+	}
+	if snap.RTO >= 500*time.Millisecond {
+		t.Errorf("RTO = %v, never adapted below the fallback", snap.RTO)
+	}
+	if snap.RTO < 80*time.Millisecond {
+		t.Errorf("RTO = %v fell through the 80ms MinRTO floor", snap.RTO)
+	}
+	// With the floor above the path RTT, a loss-free link must not
+	// suffer an adapted-timer retransmit storm.
+	if snap.Retransmits > 2 {
+		t.Errorf("retransmits = %d on a loss-free link: RTO adapted too low", snap.Retransmits)
+	}
+}
+
+// TestScenarioSlowConsumerDropOldest drives the slow-consumer
+// overflow policy end to end: a publisher bursts far more objects
+// than a bandwidth-shaped link drains, the queue sheds the oldest
+// object frames (counted, never silent), everything still queued
+// flushes cleanly, and the receiver sees exactly the surviving set —
+// each exactly once.
+func TestScenarioSlowConsumerDropOldest(t *testing.T) {
+	seed := scenarioSeed(t, 7117)
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+	slow, _ := NamedProfile("slow")
+	_, na, nb := fabricPairOpts(t, seed, slow,
+		[]FabricOption{WithVirtualClock()},
+		[]PeerOption{
+			WithRequestTimeout(5 * time.Second),
+			WithReliableLinks(
+				WithSendQueue(16),
+				WithOverflowPolicy(OverflowDropOldest),
+				WithWindow(4),
+				WithAdaptiveRTO(),
+				WithRetransmitTimeout(200*time.Millisecond)),
+		},
+		[]PeerOption{WithRequestTimeout(5 * time.Second)})
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	if err := nb.Peer().OnReceive(fixtures.PersonA{}, func(d Delivery) {
+		mu.Lock()
+		seen[d.Bound.(*fixtures.PersonA).Age]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := na.ConnTo("b")
+	const n = 200
+	burstStart := time.Now()
+	for i := 0; i < n; i++ {
+		if err := na.Peer().SendObject(ca, fixtures.PersonB{PersonName: "burst", PersonAge: i}); err != nil {
+			t.Fatalf("burst send %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(burstStart); elapsed > 5*time.Second {
+		t.Fatalf("burst took %s of real time: drop-oldest must never block", elapsed)
+	}
+	// Drain what survived the shedding.
+	rel := ca.rel.Load()
+	if rel == nil {
+		t.Fatal("publisher conn has no reliable link")
+	}
+	if err := rel.Flush(time.Minute); err != nil {
+		t.Fatalf("flush after burst: %v", err)
+	}
+	snap := rel.Snapshot()
+	if snap.QueueDropped == 0 {
+		t.Fatalf("burst of %d through a 16-deep queue shed nothing", n)
+	}
+	want := n - int(snap.QueueDropped)
+	if !waitUntil(30*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) == want
+	}) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("delivered %d, want %d (= %d sent - %d shed) (seed=%d)",
+			len(seen), want, n, snap.QueueDropped, seed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for age, count := range seen {
+		if count != 1 {
+			t.Errorf("object %d delivered %d times", age, count)
+		}
+	}
+	// The survivors are biased toward fresh objects: the newest
+	// published object always survives shedding.
+	if _, ok := seen[n-1]; !ok {
+		t.Error("drop-oldest shed the newest object")
 	}
 }

@@ -24,7 +24,8 @@ var _ Link = (*Conn)(nil)
 // message except the reliable layer's own frames rides the
 // exactly-once in-order channel.
 func (c *Conn) Send(m *Message) error {
-	if r := c.rel.Load(); r != nil && m.Type != MsgReliableData && m.Type != MsgReliableAck {
+	if r := c.rel.Load(); r != nil &&
+		m.Type != MsgReliableData && m.Type != MsgReliableAck && m.Type != MsgReliableNack {
 		return r.Send(m)
 	}
 	return c.send(m)

@@ -65,6 +65,10 @@ const (
 	// MsgReliableAck carries a cumulative acknowledgement for reliable
 	// data frames.
 	MsgReliableAck
+	// MsgReliableNack reports sequence gaps the receiver has detected,
+	// triggering immediate retransmission of the named frames instead
+	// of waiting out the sender's backoff timer.
+	MsgReliableNack
 )
 
 func (t MsgType) String() string {
@@ -93,6 +97,8 @@ func (t MsgType) String() string {
 		return "ReliableData"
 	case MsgReliableAck:
 		return "ReliableAck"
+	case MsgReliableNack:
+		return "ReliableNack"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

@@ -69,6 +69,7 @@ type Peer struct {
 	observer       Observer
 	clock          Clock
 	relCfg         *ReliableConfig
+	drainOnClose   time.Duration
 	stats          Stats
 
 	// activeHandlers counts running message handlers and
@@ -155,6 +156,20 @@ func WithCodePadding(n int) PeerOption {
 // WithRequestTimeout bounds each request/reply exchange.
 func WithRequestTimeout(d time.Duration) PeerOption {
 	return func(p *Peer) { p.requestTimeout = d }
+}
+
+// WithDrainOnClose makes Peer.Close flush each connection's reliable
+// send pipeline — queued and in-flight frames acknowledged — for up
+// to d before tearing the connections down (default: no wait).
+// Whatever cannot drain in time is abandoned and counted in
+// Stats.RelQueueAbandoned, so a close always either flushes or
+// reports.
+func WithDrainOnClose(d time.Duration) PeerOption {
+	return func(p *Peer) {
+		if d > 0 {
+			p.drainOnClose = d
+		}
+	}
 }
 
 // WithClock sets the clock the peer's timers run on (default: the
@@ -349,12 +364,51 @@ func (p *Peer) Close() error {
 	if ln != nil {
 		_ = ln.Close()
 	}
+	if p.drainOnClose > 0 {
+		// Graceful drain: give each connection's send pipeline a
+		// bounded chance to land queued frames before teardown. The
+		// flushes run concurrently so the drain costs one timeout,
+		// not one per connection; links that cannot drain report
+		// their abandoned frames through Stats.RelQueueAbandoned
+		// when the close below stops them.
+		var wg sync.WaitGroup
+		for _, c := range conns {
+			if r := c.rel.Load(); r != nil {
+				wg.Add(1)
+				go func(r *ReliableLink) {
+					defer wg.Done()
+					_ = r.Flush(p.drainOnClose)
+				}(r)
+			}
+		}
+		wg.Wait()
+	}
 	for _, c := range conns {
 		_ = c.Close()
 	}
 	p.acceptWG.Wait()
 	p.handlerWG.Wait()
 	return nil
+}
+
+// pipelineBusy reports whether any connection's reliable send
+// pipeline has a frame it could put on the wire right now — the
+// send-side contribution to the virtual clock's busy probe (see
+// Fabric.busy): time must not jump to a timeout deadline while a
+// sender goroutine is mid-drain.
+func (p *Peer) pipelineBusy() bool {
+	p.mu.Lock()
+	conns := make([]*Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		if r := c.rel.Load(); r != nil && r.runnable() {
+			return true
+		}
+	}
+	return false
 }
 
 func (p *Peer) track(c *Conn) {
@@ -496,7 +550,12 @@ func (p *Peer) SendObject(l Link, v interface{}) error {
 
 // Broadcast sends v to every currently connected peer (the publisher
 // pattern of the TPS application). It returns the number of
-// connections reached and the first error encountered.
+// connections reached and the aggregate of every per-connection
+// failure (errors.Join — inspect with errors.Is/As; a reliable link
+// that gave up on its peer contributes an *UnreachableError matching
+// ErrPeerUnreachable). One failing connection never hides another's
+// error, and with WithSendQueue on the reliable layer a stalled
+// connection never delays the others: each send only enqueues.
 func (p *Peer) Broadcast(v interface{}) (int, error) {
 	p.mu.Lock()
 	conns := make([]*Conn, 0, len(p.conns))
@@ -505,18 +564,16 @@ func (p *Peer) Broadcast(v interface{}) (int, error) {
 	}
 	p.mu.Unlock()
 
-	var firstErr error
+	var errs []error
 	sent := 0
 	for _, c := range conns {
 		if err := p.SendObject(c, v); err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+			errs = append(errs, fmt.Errorf("broadcast to %s: %w", c.RemoteLabel(), err))
 			continue
 		}
 		sent++
 	}
-	return sent, firstErr
+	return sent, errors.Join(errs...)
 }
 
 // ConnCount returns the number of live connections.

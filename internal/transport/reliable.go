@@ -24,6 +24,26 @@ import (
 // retransmit storm can never hold more than Window object frames in
 // flight.
 //
+// With WithSendQueue the sender becomes an asynchronous pipeline:
+// Send appends to a bounded per-link outbound queue and returns, and
+// a dedicated sender goroutine drains the queue through the window.
+// A stalled peer then fills its own queue instead of the caller's
+// goroutine — the property that keeps a reliable Broadcast from
+// serializing behind its worst connection. The overflow policy
+// decides what a full queue does: block the enqueuer (default), shed
+// the oldest queued object frame with a counter, or fail fast.
+//
+// Two optional upgrades sharpen the retransmit machinery. Adaptive
+// RTO (WithAdaptiveRTO) replaces the fixed initial timer with a
+// Jacobson/Karels estimate from measured per-link RTT — SRTT/RTTVAR
+// updated only from frames transmitted exactly once (Karn's rule),
+// clamped to [MinRTO, MaxBackoff]. NACK fast-retransmit closes the
+// other half of the loop from the receive side: a receiver that
+// observes a sequence gap reports the missing seqs in a
+// MsgReliableNack, and the sender repairs them immediately instead of
+// waiting out a full backoff interval; the timer remains the backstop
+// for lost NACKs.
+//
 // Receiver side (relReceiver, armed on every Conn unconditionally so
 // only the sender has to opt in): frames are deduplicated by (epoch,
 // seq), buffered until contiguous, acknowledged cumulatively, and
@@ -43,6 +63,74 @@ import (
 // exhausted ReliableConfig.MaxAttempts.
 var ErrReliableGaveUp = errors.New("transport: reliable link gave up")
 
+// ErrPeerUnreachable classifies a reliable link's give-up: the remote
+// end stopped acknowledging and the link abandoned it. The concrete
+// error is always an *UnreachableError carrying the attempt count and
+// the last underlying send error.
+var ErrPeerUnreachable = errors.New("transport: peer unreachable")
+
+// ErrQueueFull fails an enqueue on a full send queue under
+// OverflowError.
+var ErrQueueFull = errors.New("transport: reliable send queue full")
+
+// ErrFlushTimeout reports that Flush gave up before the queue and
+// in-flight set drained.
+var ErrFlushTimeout = errors.New("transport: reliable flush timed out")
+
+// UnreachableError is the typed give-up failure of a reliable link:
+// a frame exhausted MaxAttempts without an ack, or the unacked
+// backlog hit the in-flight cap. It matches both ErrPeerUnreachable
+// and the legacy ErrReliableGaveUp sentinel under errors.Is, and
+// unwraps to the last raw send error when one was observed.
+type UnreachableError struct {
+	Seq      uint64 // frame that exhausted its attempts (0 for a backlog give-up)
+	Attempts int    // transmissions of that frame
+	Pending  int    // unacked frames at the moment of give-up
+	LastErr  error  // last underlying send error, nil when raw sends succeeded
+}
+
+func (e *UnreachableError) Error() string {
+	var msg string
+	if e.Seq != 0 {
+		msg = fmt.Sprintf("%v: seq %d unacked after %d attempts (%d pending)",
+			ErrPeerUnreachable, e.Seq, e.Attempts, e.Pending)
+	} else {
+		msg = fmt.Sprintf("%v: %d unacked frames", ErrPeerUnreachable, e.Pending)
+	}
+	if e.LastErr != nil {
+		msg += ": " + e.LastErr.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the last raw send error to errors.Is/As chains.
+func (e *UnreachableError) Unwrap() error { return e.LastErr }
+
+// Is matches the give-up sentinels, so callers written against the
+// original ErrReliableGaveUp keep working.
+func (e *UnreachableError) Is(target error) bool {
+	return target == ErrPeerUnreachable || target == ErrReliableGaveUp
+}
+
+// OverflowPolicy selects what a full send queue does with the next
+// enqueue (see WithSendQueue).
+type OverflowPolicy int
+
+const (
+	// OverflowBlock applies backpressure: the enqueuing goroutine
+	// waits for the sender to drain a slot. The default.
+	OverflowBlock OverflowPolicy = iota
+	// OverflowDropOldest sheds the oldest queued *object* frame and
+	// admits the new one, counting the shed frame in
+	// Stats.RelQueueDropped — the slow-consumer policy for publishers
+	// that value freshness over completeness. Control frames are
+	// never shed (a dropped request would strand its round trip);
+	// when only control frames are queued the enqueue blocks.
+	OverflowDropOldest
+	// OverflowError fails the enqueue immediately with ErrQueueFull.
+	OverflowError
+)
+
 // ReliableConfig tunes a ReliableLink.
 type ReliableConfig struct {
 	// Window bounds unacked object frames in flight; Send blocks when
@@ -51,14 +139,34 @@ type ReliableConfig struct {
 	// trip, but they are still sequenced, retransmitted and deduped.
 	Window int
 	// RetransmitTimeout is the initial retransmit timer; each
-	// retransmission doubles it up to MaxBackoff.
+	// retransmission doubles it up to MaxBackoff. With AdaptiveRTO it
+	// is only the pre-measurement fallback.
 	RetransmitTimeout time.Duration
-	// MaxBackoff caps the per-frame retransmit interval.
+	// MaxBackoff caps the per-frame retransmit interval (and the
+	// adaptive RTO).
 	MaxBackoff time.Duration
 	// MaxAttempts fails the link when a frame has been transmitted
 	// this many times without an ack (0 = keep trying until the link
 	// closes — the partition-heals-eventually configuration).
 	MaxAttempts int
+	// SendQueue > 0 enables the asynchronous pipeline: Send enqueues
+	// up to this many frames and returns; a dedicated goroutine
+	// drains them through the window.
+	SendQueue int
+	// Overflow picks the full-queue policy (default OverflowBlock).
+	Overflow OverflowPolicy
+	// AdaptiveRTO derives the retransmit timeout from measured RTT
+	// (SRTT + 4·RTTVAR, Jacobson/Karels) instead of the fixed
+	// RetransmitTimeout.
+	AdaptiveRTO bool
+	// MinRTO floors the adaptive RTO so a fast LAN measurement can
+	// never spin the retransmit timer (default 2ms).
+	MinRTO time.Duration
+	// FastRetransmit reacts to receiver gap reports (MsgReliableNack)
+	// with an immediate resend (default true); disable it to fall
+	// back to pure timer-driven recovery, the ablation baseline of
+	// the fan-out benchmark.
+	FastRetransmit bool
 }
 
 func defaultReliableConfig() ReliableConfig {
@@ -66,6 +174,8 @@ func defaultReliableConfig() ReliableConfig {
 		Window:            32,
 		RetransmitTimeout: 20 * time.Millisecond,
 		MaxBackoff:        640 * time.Millisecond,
+		MinRTO:            2 * time.Millisecond,
+		FastRetransmit:    true,
 	}
 }
 
@@ -101,9 +211,59 @@ func WithMaxBackoff(d time.Duration) ReliableOption {
 }
 
 // WithMaxAttempts bounds transmissions per frame before the link
-// fails with ErrReliableGaveUp (default 0 = unlimited).
+// fails with an *UnreachableError (default 0 = unlimited).
 func WithMaxAttempts(n int) ReliableOption {
 	return func(c *ReliableConfig) { c.MaxAttempts = n }
+}
+
+// WithSendQueue enables the asynchronous send pipeline: Send appends
+// to a bounded queue of n frames and returns immediately, a dedicated
+// sender goroutine drains the queue through the in-flight window, and
+// a stalled peer fills only its own queue. Pair with
+// WithOverflowPolicy to pick what a full queue does.
+func WithSendQueue(n int) ReliableOption {
+	return func(c *ReliableConfig) {
+		if n > 0 {
+			c.SendQueue = n
+		}
+	}
+}
+
+// WithOverflowPolicy selects the full-queue behaviour of the send
+// pipeline (default OverflowBlock). Only meaningful with
+// WithSendQueue.
+func WithOverflowPolicy(p OverflowPolicy) ReliableOption {
+	return func(c *ReliableConfig) {
+		switch p {
+		case OverflowBlock, OverflowDropOldest, OverflowError:
+			c.Overflow = p
+		}
+	}
+}
+
+// WithAdaptiveRTO switches the retransmit timer to the measured-RTT
+// estimate: SRTT + 4·RTTVAR (Jacobson/Karels), sampled only from
+// frames transmitted exactly once (Karn's rule), clamped to
+// [MinRTO, MaxBackoff]. Until the first sample the configured
+// RetransmitTimeout applies.
+func WithAdaptiveRTO() ReliableOption {
+	return func(c *ReliableConfig) { c.AdaptiveRTO = true }
+}
+
+// WithMinRTO floors the adaptive RTO (default 2ms).
+func WithMinRTO(d time.Duration) ReliableOption {
+	return func(c *ReliableConfig) {
+		if d > 0 {
+			c.MinRTO = d
+		}
+	}
+}
+
+// WithoutFastRetransmit disables NACK-driven resends, leaving the
+// backoff timer as the only recovery path — the ablation baseline the
+// fan-out benchmark compares against.
+func WithoutFastRetransmit() ReliableOption {
+	return func(c *ReliableConfig) { c.FastRetransmit = false }
 }
 
 // WithReliableLinks makes every connection the peer owns send through
@@ -173,6 +333,63 @@ func decodeRelAck(body []byte) (epoch, cum uint64, err error) {
 	return binary.BigEndian.Uint64(body[0:8]), binary.BigEndian.Uint64(body[8:16]), nil
 }
 
+// maxNackSeqs bounds one gap report; deeper gaps heal incrementally
+// as repairs land, with the retransmit timer as the backstop.
+const maxNackSeqs = 32
+
+func encodeRelNack(epoch uint64, seqs []uint64) []byte {
+	b := make([]byte, 8+8*len(seqs))
+	binary.BigEndian.PutUint64(b[0:8], epoch)
+	for i, s := range seqs {
+		binary.BigEndian.PutUint64(b[8+8*i:16+8*i], s)
+	}
+	return b
+}
+
+func decodeRelNack(body []byte) (epoch uint64, seqs []uint64, err error) {
+	if len(body) < 16 || len(body)%8 != 0 {
+		return 0, nil, fmt.Errorf("%w: bad reliable nack", ErrBadFrame)
+	}
+	epoch = binary.BigEndian.Uint64(body[0:8])
+	seqs = make([]uint64, 0, (len(body)-8)/8)
+	for off := 8; off < len(body); off += 8 {
+		seqs = append(seqs, binary.BigEndian.Uint64(body[off:off+8]))
+	}
+	return epoch, seqs, nil
+}
+
+// --- RTT estimation ---------------------------------------------------
+
+// rttEstimator is the Jacobson/Karels RTO estimator (the RFC 6298
+// shape): SRTT and RTTVAR are exponentially weighted from clean
+// samples and the timeout is SRTT + 4·RTTVAR. Guarded by the owning
+// link's mutex.
+type rttEstimator struct {
+	srtt    time.Duration
+	rttvar  time.Duration
+	samples uint64
+}
+
+func (e *rttEstimator) observe(s time.Duration) {
+	if s < 0 {
+		s = 0
+	}
+	if e.samples == 0 {
+		e.srtt = s
+		e.rttvar = s / 2
+	} else {
+		d := s - e.srtt
+		if d < 0 {
+			d = -d
+		}
+		e.rttvar += (d - e.rttvar) / 4
+		e.srtt += (s - e.srtt) / 8
+	}
+	e.samples++
+}
+
+func (e *rttEstimator) rto() time.Duration { return e.srtt + 4*e.rttvar }
+
 // --- sender -----------------------------------------------------------
 
 // relEntry is one unacked frame.
@@ -180,6 +397,7 @@ type relEntry struct {
 	seq      uint64
 	data     bool // counts against the window
 	frame    []byte
+	sentAt   time.Time // first transmission, for RTT sampling
 	deadline time.Time
 	backoff  time.Duration
 	attempts int
@@ -187,37 +405,47 @@ type relEntry struct {
 
 // ReliableLink decorates any Link with exactly-once in-order
 // delivery: sequence framing, positive cumulative acks, retransmit
-// with exponential backoff, and a bounded in-flight window. Peers
-// built with WithReliableLinks attach one to every connection
-// automatically; NewReliableLink builds a standalone decorator.
+// with exponential backoff (fixed or RTT-adaptive), NACK-driven fast
+// retransmit, a bounded in-flight window, and optionally an
+// asynchronous bounded send queue. Peers built with WithReliableLinks
+// attach one to every connection automatically; NewReliableLink
+// builds a standalone decorator.
 type ReliableLink struct {
 	raw   Link
 	clock Clock
 	stats *Stats // optional peer counters, nil for standalone links
 	cfg   ReliableConfig
 
-	mu           sync.Mutex
-	cond         *sync.Cond
-	epoch        uint64
-	nextSeq      uint64 // 0 means the sequence space is exhausted
-	inflight     map[uint64]*relEntry
-	inflightData int
-	acked        uint64
-	closed       bool
-	err          error
+	mu             sync.Mutex
+	cond           *sync.Cond
+	epoch          uint64
+	nextSeq        uint64 // 0 means the sequence space is exhausted
+	inflight       map[uint64]*relEntry
+	inflightData   int
+	acked          uint64
+	queue          []*Message // pipeline mode: pending outbound frames
+	queuePeak      int
+	queueDropped   uint64
+	queueAbandoned uint64
+	est            rttEstimator
+	lastSendErr    error
+	closed         bool
+	err            error
 
 	kick     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
 
-	retransmits  atomic.Uint64
-	acksReceived atomic.Uint64
+	retransmits     atomic.Uint64
+	fastRetransmits atomic.Uint64
+	acksReceived    atomic.Uint64
 }
 
 // NewReliableLink wraps l in a reliable sender. When l is a *Conn the
-// link attaches itself for ack routing and raw writes; for any other
-// Link the caller must feed incoming MsgReliableAck bodies to Ack.
-// A nil clock means the wall clock.
+// link attaches itself for ack/nack routing and raw writes; for any
+// other Link the caller must feed incoming MsgReliableAck bodies to
+// Ack and MsgReliableNack bodies to Nack. A nil clock means the wall
+// clock.
 func NewReliableLink(l Link, clock Clock, opts ...ReliableOption) *ReliableLink {
 	cfg := defaultReliableConfig()
 	for _, o := range opts {
@@ -260,6 +488,9 @@ func newReliableLink(raw Link, clock Clock, stats *Stats, cfg ReliableConfig) *R
 	}
 	r.cond = sync.NewCond(&r.mu)
 	go r.retransmitLoop()
+	if cfg.SendQueue > 0 {
+		go r.senderLoop()
+	}
 	return r
 }
 
@@ -272,10 +503,141 @@ func (l connRaw) Request(t MsgType, b []byte) (*Message, error) { return l.c.req
 func (l connRaw) Close() error                                  { return l.c.Close() }
 
 // Send frames m with the next sequence number and transmits it,
-// retransmitting until acked. Object frames block while the window is
-// full; control frames bypass the window (see ReliableConfig.Window).
+// retransmitting until acked. In the default synchronous mode object
+// frames block while the window is full and control frames bypass the
+// window (see ReliableConfig.Window); in pipeline mode
+// (WithSendQueue) Send enqueues and returns, with the overflow policy
+// deciding what a full queue does.
 func (r *ReliableLink) Send(m *Message) error {
+	if r.cfg.SendQueue > 0 {
+		return r.enqueue(m)
+	}
 	isData := m.Type == MsgObject
+	r.mu.Lock()
+	if err := r.admitLocked(isData); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	frame := r.registerLocked(m, isData)
+	r.mu.Unlock()
+
+	if r.stats != nil {
+		r.stats.relDataSent.Add(1)
+	}
+	if err := r.raw.Send(&Message{Type: MsgReliableData, Body: frame}); err != nil {
+		r.failSend(err)
+		return err
+	}
+	r.kickLoop()
+	return nil
+}
+
+// admitStepLocked performs one admission check for a frame of the
+// given kind — the single statement of the rules both the synchronous
+// Send path and the pipeline's sender goroutine obey: the window must
+// have room for data, the epoch rolls once the exhausted sequence
+// space has drained, and the total in-flight backlog failing its cap
+// kills the link with a typed *UnreachableError. wait=true asks the
+// caller to cond.Wait and re-evaluate (the pipeline re-reads its
+// queue head first, since the head can change while waiting). Caller
+// holds r.mu.
+func (r *ReliableLink) admitStepLocked(isData bool) (wait bool, err error) {
+	if r.closed {
+		if r.err != nil {
+			return false, r.err
+		}
+		return false, ErrClosed
+	}
+	if r.nextSeq == 0 {
+		// Sequence space exhausted: drain the old epoch fully, then
+		// roll to a fresh one so the receiver's reset can never skip
+		// an undelivered frame.
+		if len(r.inflight) > 0 {
+			return true, nil
+		}
+		r.epoch = nextRelEpoch()
+		r.nextSeq = 1
+		r.acked = 0
+	}
+	if isData && r.inflightData >= r.cfg.Window {
+		return true, nil
+	}
+	if len(r.inflight) >= r.maxInflightTotal() {
+		// Control frames bypass the window, so on a blackholed link
+		// (nothing acked, requests abandoned at the protocol layer)
+		// they would otherwise accumulate forever — and a frame can
+		// never be silently dropped without leaving a permanent gap
+		// in the receiver's contiguity. A link this far behind
+		// despite backoff has effectively given up: fail it,
+		// releasing everything.
+		giveUp := &UnreachableError{Pending: len(r.inflight), LastErr: r.lastSendErr}
+		r.closeLocked(giveUp)
+		return false, giveUp
+	}
+	return false, nil
+}
+
+// admitLocked blocks on the condition variable until admitStepLocked
+// admits a frame of the given kind or fails the link. Caller holds
+// r.mu.
+func (r *ReliableLink) admitLocked(isData bool) error {
+	for {
+		wait, err := r.admitStepLocked(isData)
+		if err != nil {
+			return err
+		}
+		if !wait {
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// registerLocked assigns the next sequence number to m, places the
+// frame in the in-flight set and returns the encoded wire frame.
+// Caller holds r.mu and has passed admitLocked.
+func (r *ReliableLink) registerLocked(m *Message, isData bool) []byte {
+	seq := r.nextSeq
+	r.nextSeq++ // wraps to 0 at the end of the space: the admit sentinel
+	frame := encodeRelData(r.epoch, seq, m)
+	now := r.clock.Now()
+	rto := r.currentRTOLocked()
+	e := &relEntry{
+		seq:      seq,
+		data:     isData,
+		frame:    frame,
+		sentAt:   now,
+		backoff:  rto,
+		deadline: now.Add(rto),
+		attempts: 1,
+	}
+	r.inflight[seq] = e
+	if isData {
+		r.inflightData++
+	}
+	return frame
+}
+
+// currentRTOLocked returns the retransmit timeout new frames start
+// from: the Jacobson estimate once AdaptiveRTO has a sample, the
+// configured fixed timer otherwise. Caller holds r.mu.
+func (r *ReliableLink) currentRTOLocked() time.Duration {
+	if !r.cfg.AdaptiveRTO || r.est.samples == 0 {
+		return r.cfg.RetransmitTimeout
+	}
+	rto := r.est.rto()
+	if rto < r.cfg.MinRTO {
+		rto = r.cfg.MinRTO
+	}
+	if rto > r.cfg.MaxBackoff {
+		rto = r.cfg.MaxBackoff
+	}
+	return rto
+}
+
+// enqueue appends m to the pipeline's bounded queue, applying the
+// overflow policy when it is full.
+func (r *ReliableLink) enqueue(m *Message) error {
 	r.mu.Lock()
 	for {
 		if r.closed {
@@ -286,67 +648,157 @@ func (r *ReliableLink) Send(m *Message) error {
 			}
 			return err
 		}
-		if r.nextSeq == 0 {
-			// Sequence space exhausted: drain the old epoch fully,
-			// then roll to a fresh one so the receiver's reset can
-			// never skip an undelivered frame.
-			if len(r.inflight) > 0 {
-				r.cond.Wait()
+		if len(r.queue) < r.cfg.SendQueue {
+			break
+		}
+		switch r.cfg.Overflow {
+		case OverflowDropOldest:
+			if i := r.oldestQueuedDataLocked(); i >= 0 {
+				copy(r.queue[i:], r.queue[i+1:])
+				r.queue[len(r.queue)-1] = nil
+				r.queue = r.queue[:len(r.queue)-1]
+				r.queueDropped++
+				if r.stats != nil {
+					r.stats.relQueueDropped.Add(1)
+				}
 				continue
 			}
-			r.epoch = nextRelEpoch()
-			r.nextSeq = 1
-			r.acked = 0
-			continue
+			// Only control frames queued: nothing sheddable, block.
+			r.cond.Wait()
+		case OverflowError:
+			n := len(r.queue)
+			r.mu.Unlock()
+			return fmt.Errorf("%w: %d frames queued", ErrQueueFull, n)
+		default: // OverflowBlock
+			r.cond.Wait()
 		}
-		if isData && r.inflightData >= r.cfg.Window {
+	}
+	r.queue = append(r.queue, m)
+	if len(r.queue) > r.queuePeak {
+		r.queuePeak = len(r.queue)
+	}
+	r.cond.Broadcast() // wake the sender goroutine
+	r.mu.Unlock()
+	return nil
+}
+
+// oldestQueuedDataLocked returns the index of the oldest queued
+// object frame, or -1 when only control frames are queued.
+func (r *ReliableLink) oldestQueuedDataLocked() int {
+	for i, m := range r.queue {
+		if m.Type == MsgObject {
+			return i
+		}
+	}
+	return -1
+}
+
+// senderLoop is the pipeline's dedicated drain goroutine: it moves
+// frames from the bounded queue into the sequence space as window
+// room appears, so enqueuers never wait on the network. The head is
+// re-read after every wait — an OverflowDropOldest enqueue may have
+// shed it, and the admission rule (window for data, none for
+// control) must follow the frame actually at the head.
+func (r *ReliableLink) senderLoop() {
+	r.mu.Lock()
+	for {
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		if len(r.queue) == 0 {
 			r.cond.Wait()
 			continue
 		}
-		if len(r.inflight) >= r.maxInflightTotal() {
-			// Control frames bypass the window, so on a blackholed
-			// link (nothing acked, requests abandoned at the protocol
-			// layer) they would otherwise accumulate forever — and a
-			// frame can never be silently dropped without leaving a
-			// permanent gap in the receiver's contiguity. A link this
-			// far behind despite backoff has effectively given up:
-			// fail it, releasing everything.
-			r.closed = true
-			r.err = fmt.Errorf("%w: %d unacked frames", ErrReliableGaveUp, len(r.inflight))
-			err := r.err
+		m := r.queue[0]
+		isData := m.Type == MsgObject
+		wait, err := r.admitStepLocked(isData)
+		if err != nil {
+			r.mu.Unlock()
+			return
+		}
+		if wait {
+			r.cond.Wait()
+			continue
+		}
+		r.queue[0] = nil
+		r.queue = r.queue[1:]
+		frame := r.registerLocked(m, isData)
+		r.cond.Broadcast() // queue shrank: unblock full-queue enqueuers
+		r.mu.Unlock()
+
+		if r.stats != nil {
+			r.stats.relDataSent.Add(1)
+		}
+		if err := r.raw.Send(&Message{Type: MsgReliableData, Body: frame}); err != nil {
+			r.failSend(err)
+			return
+		}
+		r.kickLoop()
+		r.mu.Lock()
+	}
+}
+
+// Flush blocks until every queued and in-flight frame has been
+// acknowledged, the link dies, or the timeout elapses (ErrFlushTimeout).
+// It is the graceful-drain companion of the async pipeline: call it
+// before Close when queued frames must reach the peer.
+func (r *ReliableLink) Flush(timeout time.Duration) error {
+	t := r.clock.NewTimer(timeout)
+	defer t.Stop()
+	var timedOut atomic.Bool
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-t.C():
+			timedOut.Store(true)
+			r.mu.Lock()
 			r.cond.Broadcast()
 			r.mu.Unlock()
-			r.stopOnce.Do(func() { close(r.done) })
-			return err
+		case <-watcherDone:
+		case <-r.done:
 		}
-		break
-	}
-	seq := r.nextSeq
-	r.nextSeq++ // wraps to 0 at the end of the space: the sentinel above
-	frame := encodeRelData(r.epoch, seq, m)
-	e := &relEntry{
-		seq:      seq,
-		data:     isData,
-		frame:    frame,
-		backoff:  r.cfg.RetransmitTimeout,
-		deadline: r.clock.Now().Add(r.cfg.RetransmitTimeout),
-		attempts: 1,
-	}
-	r.inflight[seq] = e
-	if isData {
-		r.inflightData++
-	}
-	r.mu.Unlock()
+	}()
 
-	if r.stats != nil {
-		r.stats.relDataSent.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if len(r.queue) == 0 && len(r.inflight) == 0 {
+			return nil
+		}
+		if r.closed {
+			if r.err != nil {
+				return r.err
+			}
+			return ErrClosed
+		}
+		if timedOut.Load() {
+			return fmt.Errorf("%w: %d queued, %d in flight",
+				ErrFlushTimeout, len(r.queue), len(r.inflight))
+		}
+		r.cond.Wait()
 	}
-	if err := r.raw.Send(&Message{Type: MsgReliableData, Body: frame}); err != nil {
-		r.fail(err)
-		return err
+}
+
+// runnable reports whether the pipeline's sender goroutine has work
+// it could perform right now: a queued head frame that the window (or
+// epoch roll) would admit. It is the link's contribution to the
+// virtual clock's busy probe — time must not advance past a request
+// timeout while queued frames are still being put on the wire.
+func (r *ReliableLink) runnable() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || len(r.queue) == 0 {
+		return false
 	}
-	r.kickLoop()
-	return nil
+	if r.nextSeq == 0 && len(r.inflight) > 0 {
+		return false
+	}
+	if m := r.queue[0]; m.Type == MsgObject && r.inflightData >= r.cfg.Window {
+		return false
+	}
+	return true
 }
 
 // Request passes through to the underlying link: correlated
@@ -358,13 +810,16 @@ func (r *ReliableLink) Request(t MsgType, body []byte) (*Message, error) {
 }
 
 // Ack processes a cumulative acknowledgement body, releasing every
-// in-flight frame it covers. Conn-attached links are fed
-// automatically from the connection's read loop.
+// in-flight frame it covers and feeding the RTT estimator (Karn's
+// rule: only frames transmitted exactly once produce samples).
+// Conn-attached links are fed automatically from the connection's
+// read loop.
 func (r *ReliableLink) Ack(body []byte) {
 	epoch, cum, err := decodeRelAck(body)
 	if err != nil {
 		return
 	}
+	now := r.clock.Now()
 	r.mu.Lock()
 	if r.closed || epoch != r.epoch || cum <= r.acked {
 		r.mu.Unlock()
@@ -377,6 +832,9 @@ func (r *ReliableLink) Ack(body []byte) {
 			if e.data {
 				r.inflightData--
 			}
+			if r.cfg.AdaptiveRTO && e.attempts == 1 {
+				r.est.observe(now.Sub(e.sentAt))
+			}
 		}
 	}
 	r.cond.Broadcast()
@@ -388,9 +846,77 @@ func (r *ReliableLink) Ack(body []byte) {
 	r.kickLoop()
 }
 
+// Nack processes a receiver gap report: every named seq still in
+// flight is retransmitted immediately — the fast path that spares a
+// single lost frame the full backoff wait. The frame's backoff is
+// kept (a gap is a loss signal, not a congestion signal worth
+// doubling for) but its deadline is pushed so the timer does not
+// double-fire right behind the repair. Conn-attached links are fed
+// automatically from the connection's read loop.
+func (r *ReliableLink) Nack(body []byte) {
+	epoch, seqs, err := decodeRelNack(body)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if r.closed || epoch != r.epoch || !r.cfg.FastRetransmit {
+		r.mu.Unlock()
+		return
+	}
+	now := r.clock.Now()
+	var due []*relEntry
+	for _, seq := range seqs {
+		e, ok := r.inflight[seq]
+		if !ok {
+			continue // already acked: a stale report
+		}
+		if r.cfg.MaxAttempts > 0 && e.attempts >= r.cfg.MaxAttempts {
+			continue // the timer path owns give-up
+		}
+		e.attempts++
+		e.deadline = now.Add(e.backoff)
+		due = append(due, e)
+	}
+	r.mu.Unlock()
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+	for _, e := range due {
+		if err := r.raw.Send(&Message{Type: MsgReliableData, Body: e.frame}); err != nil {
+			r.failSend(err)
+			return
+		}
+		r.fastRetransmits.Add(1)
+		if r.stats != nil {
+			r.stats.relFastRetransmits.Add(1)
+		}
+	}
+	r.kickLoop()
+}
+
 // retransmitLoop resends unacked frames when their deadlines pass,
-// doubling each frame's backoff per attempt.
+// doubling each frame's backoff per attempt. One timer is re-armed
+// across waits (Timer.Reset) so the loop costs no per-wake
+// allocation.
 func (r *ReliableLink) retransmitLoop() {
+	var timer Timer
+	wait := func(d time.Duration) bool { // false: shut down
+		if timer == nil {
+			timer = r.clock.NewTimer(d)
+		} else {
+			timer.Reset(d)
+		}
+		select {
+		case <-timer.C():
+		case <-r.kick: // in-flight set changed; recompute
+			timer.Stop()
+		case <-r.done:
+			timer.Stop()
+			return false
+		}
+		return true
+	}
 	for {
 		r.mu.Lock()
 		if r.closed {
@@ -413,15 +939,9 @@ func (r *ReliableLink) retransmitLoop() {
 			}
 		}
 		now := r.clock.Now()
-		if wait := earliest.Sub(now); wait > 0 {
+		if d := earliest.Sub(now); d > 0 {
 			r.mu.Unlock()
-			t := r.clock.NewTimer(wait)
-			select {
-			case <-t.C():
-			case <-r.kick: // in-flight set changed; recompute
-				t.Stop()
-			case <-r.done:
-				t.Stop()
+			if !wait(d) {
 				return
 			}
 			continue
@@ -433,8 +953,12 @@ func (r *ReliableLink) retransmitLoop() {
 				continue
 			}
 			if r.cfg.MaxAttempts > 0 && e.attempts >= r.cfg.MaxAttempts {
-				gaveUp = fmt.Errorf("%w: seq %d unacked after %d attempts",
-					ErrReliableGaveUp, e.seq, e.attempts)
+				gaveUp = &UnreachableError{
+					Seq:      e.seq,
+					Attempts: e.attempts,
+					Pending:  len(r.inflight),
+					LastErr:  r.lastSendErr,
+				}
 				break
 			}
 			e.attempts++
@@ -455,7 +979,7 @@ func (r *ReliableLink) retransmitLoop() {
 		sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
 		for _, e := range due {
 			if err := r.raw.Send(&Message{Type: MsgReliableData, Body: e.frame}); err != nil {
-				r.fail(err)
+				r.failSend(err)
 				return
 			}
 			r.retransmits.Add(1)
@@ -482,20 +1006,46 @@ func (r *ReliableLink) kickLoop() {
 	}
 }
 
-// shutdown marks the link dead, unblocking window waiters and the
-// retransmit loop.
-func (r *ReliableLink) shutdown(err error) {
-	r.mu.Lock()
-	if !r.closed {
-		r.closed = true
-		r.err = err
-		r.cond.Broadcast()
+// closeLocked marks the link dead, abandoning queued frames (counted
+// in Stats.RelQueueAbandoned — the "flushed or reported" half of the
+// shutdown contract) and waking every waiter. Caller holds r.mu.
+func (r *ReliableLink) closeLocked(err error) {
+	if r.closed {
+		return
 	}
-	r.mu.Unlock()
+	r.closed = true
+	r.err = err
+	if n := len(r.queue); n > 0 {
+		r.queueAbandoned += uint64(n)
+		if r.stats != nil {
+			r.stats.relQueueAbandoned.Add(uint64(n))
+		}
+		r.queue = nil
+	}
+	r.cond.Broadcast()
 	r.stopOnce.Do(func() { close(r.done) })
 }
 
+// shutdown marks the link dead, unblocking window waiters, the
+// retransmit loop and the sender goroutine.
+func (r *ReliableLink) shutdown(err error) {
+	r.mu.Lock()
+	r.closeLocked(err)
+	r.mu.Unlock()
+}
+
 func (r *ReliableLink) fail(err error) { r.shutdown(err) }
+
+// failSend records a raw send failure (so later give-up errors can
+// carry it) and fails the link.
+func (r *ReliableLink) failSend(err error) {
+	r.mu.Lock()
+	if r.lastSendErr == nil {
+		r.lastSendErr = err
+	}
+	r.closeLocked(err)
+	r.mu.Unlock()
+}
 
 // stop halts the reliable machinery without closing the underlying
 // link (the connection teardown paths own that).
@@ -509,27 +1059,45 @@ func (r *ReliableLink) Close() error {
 
 // ReliableLinkStats is a point-in-time snapshot of a sender's state.
 type ReliableLinkStats struct {
-	Epoch        uint64
-	NextSeq      uint64
-	Acked        uint64
-	InFlight     int // all unacked frames
-	InFlightData int // unacked object frames (window occupancy)
-	Retransmits  uint64
-	AcksReceived uint64
+	Epoch           uint64
+	NextSeq         uint64
+	Acked           uint64
+	InFlight        int // all unacked frames
+	InFlightData    int // unacked object frames (window occupancy)
+	QueueDepth      int // frames waiting in the send pipeline
+	QueuePeak       int // high-water mark of the send queue
+	QueueDropped    uint64
+	QueueAbandoned  uint64
+	SRTT            time.Duration // smoothed RTT (zero until sampled)
+	RTTVar          time.Duration
+	RTO             time.Duration // retransmit timeout new frames start from
+	RTTSamples      uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	AcksReceived    uint64
 }
 
 // Snapshot returns the sender's current counters.
 func (r *ReliableLink) Snapshot() ReliableLinkStats {
 	r.mu.Lock()
 	s := ReliableLinkStats{
-		Epoch:        r.epoch,
-		NextSeq:      r.nextSeq,
-		Acked:        r.acked,
-		InFlight:     len(r.inflight),
-		InFlightData: r.inflightData,
+		Epoch:          r.epoch,
+		NextSeq:        r.nextSeq,
+		Acked:          r.acked,
+		InFlight:       len(r.inflight),
+		InFlightData:   r.inflightData,
+		QueueDepth:     len(r.queue),
+		QueuePeak:      r.queuePeak,
+		QueueDropped:   r.queueDropped,
+		QueueAbandoned: r.queueAbandoned,
+		SRTT:           r.est.srtt,
+		RTTVar:         r.est.rttvar,
+		RTO:            r.currentRTOLocked(),
+		RTTSamples:     r.est.samples,
 	}
 	r.mu.Unlock()
 	s.Retransmits = r.retransmits.Load()
+	s.FastRetransmits = r.fastRetransmits.Load()
 	s.AcksReceived = r.acksReceived.Load()
 	return s
 }
@@ -544,8 +1112,8 @@ var _ Link = (*ReliableLink)(nil)
 const relRecvBuffer = 1024
 
 // relReceiver is the receive half of the reliable layer: dedup,
-// cumulative acks, and strictly in-order dispatch. One is armed on
-// every Conn, so receiving needs no opt-in.
+// cumulative acks, gap-driven NACKs, and strictly in-order dispatch.
+// One is armed on every Conn, so receiving needs no opt-in.
 type relReceiver struct {
 	stats *Stats // optional peer counters
 
@@ -553,22 +1121,26 @@ type relReceiver struct {
 	epoch       uint64
 	next        uint64 // next in-sequence seq to accept
 	buf         map[uint64]*Message
+	nacked      map[uint64]struct{} // gaps already reported this epoch
 	pending     []*Message
 	dispatching bool
 
-	dispatch func(*Message)          // in-order request dispatch
-	reply    func(*Message)          // immediate correlated-reply routing
-	ack      func(epoch, cum uint64) // ack transmission
+	dispatch func(*Message)                    // in-order request dispatch
+	reply    func(*Message)                    // immediate correlated-reply routing
+	ack      func(epoch, cum uint64)           // ack transmission
+	nack     func(epoch uint64, seqs []uint64) // gap-report transmission (nil: disabled)
 }
 
-func newRelReceiver(stats *Stats, dispatch, reply func(*Message), ack func(epoch, cum uint64)) *relReceiver {
+func newRelReceiver(stats *Stats, dispatch, reply func(*Message), ack func(epoch, cum uint64), nack func(epoch uint64, seqs []uint64)) *relReceiver {
 	return &relReceiver{
 		stats:    stats,
 		next:     1,
 		buf:      make(map[uint64]*Message),
+		nacked:   make(map[uint64]struct{}),
 		dispatch: dispatch,
 		reply:    reply,
 		ack:      ack,
+		nack:     nack,
 	}
 }
 
@@ -584,13 +1156,14 @@ func isRelReply(t MsgType) bool {
 }
 
 // handleData processes one MsgReliableData body: dedup, buffer,
-// cumulative ack, in-order dispatch.
+// cumulative ack, gap detection, in-order dispatch.
 func (rr *relReceiver) handleData(body []byte) error {
 	epoch, seq, inner, err := decodeRelData(body)
 	if err != nil {
 		return err
 	}
 	var replyNow *Message
+	var missing []uint64
 	rr.mu.Lock()
 	if epoch < rr.epoch {
 		// Ghost of a pre-restart sender: never redelivered, never
@@ -604,6 +1177,7 @@ func (rr *relReceiver) handleData(body []byte) error {
 		rr.epoch = epoch
 		rr.next = 1
 		rr.buf = make(map[uint64]*Message)
+		rr.nacked = make(map[uint64]struct{})
 	}
 	_, buffered := rr.buf[seq]
 	switch {
@@ -627,9 +1201,26 @@ func (rr *relReceiver) handleData(body []byte) error {
 				break
 			}
 			delete(rr.buf, rr.next)
+			delete(rr.nacked, rr.next)
 			rr.next++
 			if m != nil {
 				rr.pending = append(rr.pending, m)
+			}
+		}
+		// Gap report: every seq below the newly buffered frame that
+		// is still missing after the drain is NACKed, once per
+		// epoch — the sender repairs immediately and its backoff
+		// timer stays armed as the backstop for a lost report.
+		if rr.nack != nil && seq > rr.next {
+			for s := rr.next; s < seq && len(missing) < maxNackSeqs; s++ {
+				if _, held := rr.buf[s]; held {
+					continue
+				}
+				if _, reported := rr.nacked[s]; reported {
+					continue
+				}
+				rr.nacked[s] = struct{}{}
+				missing = append(missing, s)
 			}
 		}
 	}
@@ -646,6 +1237,12 @@ func (rr *relReceiver) handleData(body []byte) error {
 		rr.reply(replyNow)
 	}
 	rr.ack(ackEpoch, cum)
+	if len(missing) > 0 {
+		rr.nack(ackEpoch, missing)
+		if rr.stats != nil {
+			rr.stats.relNacksSent.Add(1)
+		}
+	}
 	if runDispatch {
 		rr.drain()
 	}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -65,12 +67,13 @@ func (l *scriptLink) dataFrames(t *testing.T) (epochs, seqs []uint64) {
 	return epochs, seqs
 }
 
-// recvHarness captures a relReceiver's three callbacks.
+// recvHarness captures a relReceiver's four callbacks.
 type recvHarness struct {
 	mu         sync.Mutex
 	dispatched []uint64 // inner Seq, used as a payload marker
 	replies    []uint64
 	acks       [][2]uint64 // (epoch, cum)
+	nacks      [][]uint64  // per report: [epoch, seqs...]
 	stats      Stats
 	rr         *relReceiver
 }
@@ -80,7 +83,12 @@ func newRecvHarness() *recvHarness {
 	h.rr = newRelReceiver(&h.stats,
 		func(m *Message) { h.mu.Lock(); h.dispatched = append(h.dispatched, m.Seq); h.mu.Unlock() },
 		func(m *Message) { h.mu.Lock(); h.replies = append(h.replies, m.Seq); h.mu.Unlock() },
-		func(epoch, cum uint64) { h.mu.Lock(); h.acks = append(h.acks, [2]uint64{epoch, cum}); h.mu.Unlock() })
+		func(epoch, cum uint64) { h.mu.Lock(); h.acks = append(h.acks, [2]uint64{epoch, cum}); h.mu.Unlock() },
+		func(epoch uint64, seqs []uint64) {
+			h.mu.Lock()
+			h.nacks = append(h.nacks, append([]uint64{epoch}, seqs...))
+			h.mu.Unlock()
+		})
 	return h
 }
 
@@ -473,5 +481,458 @@ func TestReliableControlBacklogFailsLink(t *testing.T) {
 	// The failed link stays failed.
 	if err := r.Send(obj(1)); !errors.Is(err, ErrReliableGaveUp) {
 		t.Errorf("Send after backlog failure = %v, want ErrReliableGaveUp", err)
+	}
+}
+
+// --- async pipeline, adaptive RTO, NACK (PR 5) ------------------------
+
+// TestReliableSendQueueAsync pins the pipeline's core property: Send
+// returns after enqueueing even when the window is full, the sender
+// goroutine drains the queue as acks free window slots, and queue
+// depth/peak are observable.
+func TestReliableSendQueueAsync(t *testing.T) {
+	link := &scriptLink{}
+	clock := NewManualClock()
+	r := NewReliableLink(link, clock,
+		WithWindow(2), WithSendQueue(8), WithRetransmitTimeout(time.Hour))
+	defer r.Close()
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 5; i++ {
+			if err := r.Send(obj(uint64(i))); err != nil {
+				t.Errorf("async Send %d: %v", i, err)
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send blocked despite the send queue")
+	}
+	// The sender goroutine puts exactly Window frames on the wire.
+	if !waitUntil(2*time.Second, func() bool { return link.count() == 2 }) {
+		t.Fatalf("frames on wire = %d, want 2 (window)", link.count())
+	}
+	snap := r.Snapshot()
+	if snap.QueueDepth != 3 {
+		t.Errorf("QueueDepth = %d, want 3", snap.QueueDepth)
+	}
+	if snap.QueuePeak < 3 {
+		t.Errorf("QueuePeak = %d, want >= 3", snap.QueuePeak)
+	}
+	// Each ack admits the next queued frame.
+	r.Ack(encodeRelAck(snap.Epoch, 1))
+	if !waitUntil(2*time.Second, func() bool { return link.count() == 3 }) {
+		t.Fatalf("frames on wire = %d after ack, want 3", link.count())
+	}
+	r.Ack(encodeRelAck(snap.Epoch, 5))
+	if !waitUntil(2*time.Second, func() bool { return r.Snapshot().QueueDepth == 0 }) {
+		t.Fatalf("queue never drained: %+v", r.Snapshot())
+	}
+}
+
+// TestReliableQueueOverflowPolicies drives each full-queue policy:
+// block applies backpressure, drop-oldest sheds the stalest object
+// frame with a counter, error fails fast.
+func TestReliableQueueOverflowPolicies(t *testing.T) {
+	// Window 1 and no acks: one frame on the wire, the rest queued.
+	setup := func(p OverflowPolicy) *ReliableLink {
+		return NewReliableLink(&scriptLink{}, NewManualClock(),
+			WithWindow(1), WithSendQueue(2), WithOverflowPolicy(p),
+			WithRetransmitTimeout(time.Hour))
+	}
+
+	t.Run("block", func(t *testing.T) {
+		r := setup(OverflowBlock)
+		defer r.Close()
+		for i := 0; i < 3; i++ { // 1 in flight + 2 queued
+			if err := r.Send(obj(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !waitUntil(2*time.Second, func() bool { return r.Snapshot().QueueDepth == 2 }) {
+			t.Fatalf("queue = %+v, want depth 2", r.Snapshot())
+		}
+		blocked := make(chan error, 1)
+		go func() { blocked <- r.Send(obj(99)) }()
+		select {
+		case err := <-blocked:
+			t.Fatalf("Send on full queue returned early: %v", err)
+		case <-time.After(50 * time.Millisecond):
+		}
+		r.Ack(encodeRelAck(r.Snapshot().Epoch, 1)) // window frees, sender drains one
+		select {
+		case err := <-blocked:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Send still blocked after the queue drained")
+		}
+	})
+
+	t.Run("drop-oldest", func(t *testing.T) {
+		r := setup(OverflowDropOldest)
+		defer r.Close()
+		// Reach a quiescent full-pipeline state step by step (an
+		// enqueue racing the sender goroutine could otherwise fill
+		// the queue early and shed a frame during setup).
+		if err := r.Send(obj(0)); err != nil {
+			t.Fatal(err)
+		}
+		if !waitUntil(2*time.Second, func() bool { return r.Snapshot().InFlightData == 1 }) {
+			t.Fatalf("first frame never reached the window: %+v", r.Snapshot())
+		}
+		for i := 1; i < 3; i++ {
+			if err := r.Send(obj(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !waitUntil(2*time.Second, func() bool { return r.Snapshot().QueueDepth == 2 }) {
+			t.Fatalf("queue = %+v, want depth 2", r.Snapshot())
+		}
+		if err := r.Send(obj(99)); err != nil { // sheds the oldest queued object
+			t.Fatalf("drop-oldest Send: %v", err)
+		}
+		snap := r.Snapshot()
+		if snap.QueueDropped != 1 {
+			t.Errorf("QueueDropped = %d, want 1", snap.QueueDropped)
+		}
+		if snap.QueueDepth != 2 {
+			t.Errorf("QueueDepth = %d, want 2", snap.QueueDepth)
+		}
+	})
+
+	t.Run("error", func(t *testing.T) {
+		r := setup(OverflowError)
+		defer r.Close()
+		var err error
+		for i := 0; i < 6 && err == nil; i++ {
+			err = r.Send(obj(uint64(i)))
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("overflow error = %v, want ErrQueueFull", err)
+		}
+	})
+}
+
+// TestReliableQueueAbandonedOnShutdown: frames still queued when the
+// link dies are reported, never silently lost.
+func TestReliableQueueAbandonedOnShutdown(t *testing.T) {
+	r := NewReliableLink(&scriptLink{}, NewManualClock(),
+		WithWindow(1), WithSendQueue(8), WithRetransmitTimeout(time.Hour))
+	for i := 0; i < 5; i++ { // 1 in flight, 4 queued
+		if err := r.Send(obj(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitUntil(2*time.Second, func() bool { return r.Snapshot().QueueDepth == 4 }) {
+		t.Fatalf("queue = %+v, want depth 4", r.Snapshot())
+	}
+	r.stop()
+	if got := r.Snapshot().QueueAbandoned; got != 4 {
+		t.Errorf("QueueAbandoned = %d, want 4", got)
+	}
+	// Double-Close is safe and idempotent.
+	if err := r.Close(); err != nil {
+		t.Errorf("first Close: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestReliableFlush: Flush returns once queue and in-flight drain,
+// and times out with ErrFlushTimeout when the peer never acks.
+func TestReliableFlush(t *testing.T) {
+	link := &scriptLink{}
+	clock := NewManualClock()
+	r := NewReliableLink(link, clock, WithSendQueue(8), WithRetransmitTimeout(time.Hour))
+	defer r.Close()
+	for i := 0; i < 3; i++ {
+		if err := r.Send(obj(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushed := make(chan error, 1)
+	go func() { flushed <- r.Flush(time.Hour) }()
+	select {
+	case err := <-flushed:
+		t.Fatalf("Flush returned with frames unacked: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	r.Ack(encodeRelAck(r.Snapshot().Epoch, 3))
+	select {
+	case err := <-flushed:
+		if err != nil {
+			t.Fatalf("Flush after full ack: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Flush never returned after the in-flight set drained")
+	}
+
+	// Unacked frames: the flush timer must fire and report. Wait for
+	// BOTH pending timers — the retransmit loop's hour-long deadline
+	// for the unacked frame and the flush watcher's 10ms one — so the
+	// advance below cannot slip in before the flush timer registers.
+	if err := r.Send(obj(9)); err != nil {
+		t.Fatal(err)
+	}
+	timeoutCh := make(chan error, 1)
+	go func() { timeoutCh <- r.Flush(10 * time.Millisecond) }()
+	if !waitUntil(2*time.Second, func() bool { return clock.PendingTimers() >= 2 }) {
+		t.Fatal("flush + retransmit timers never both registered")
+	}
+	clock.Advance(20 * time.Millisecond)
+	select {
+	case err := <-timeoutCh:
+		if !errors.Is(err, ErrFlushTimeout) {
+			t.Fatalf("Flush = %v, want ErrFlushTimeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Flush never timed out")
+	}
+}
+
+// TestReliableAdaptiveRTO pins the estimator: the first clean sample
+// seeds SRTT/RTTVAR (RTO = SRTT + 4·RTTVAR), later frames start from
+// the adaptive value, and Karn's rule keeps retransmitted frames out
+// of the sample stream.
+func TestReliableAdaptiveRTO(t *testing.T) {
+	link := &scriptLink{}
+	clock := NewManualClock()
+	r := NewReliableLink(link, clock, WithAdaptiveRTO(),
+		WithRetransmitTimeout(500*time.Millisecond), WithMaxBackoff(10*time.Second))
+	defer r.Close()
+
+	if err := r.Send(obj(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Snapshot().RTO; got != 500*time.Millisecond {
+		t.Fatalf("pre-sample RTO = %v, want the fixed fallback", got)
+	}
+	clock.Advance(8 * time.Millisecond) // the measured round trip
+	r.Ack(encodeRelAck(r.Snapshot().Epoch, 1))
+	snap := r.Snapshot()
+	if snap.SRTT != 8*time.Millisecond || snap.RTTVar != 4*time.Millisecond {
+		t.Fatalf("SRTT/RTTVAR = %v/%v, want 8ms/4ms", snap.SRTT, snap.RTTVar)
+	}
+	if want := 24 * time.Millisecond; snap.RTO != want { // SRTT + 4·RTTVAR
+		t.Fatalf("adaptive RTO = %v, want %v", snap.RTO, want)
+	}
+	if snap.RTTSamples != 1 {
+		t.Fatalf("samples = %d, want 1", snap.RTTSamples)
+	}
+
+	// Karn: a retransmitted frame must not contribute a sample.
+	if err := r.Send(obj(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !waitUntil(2*time.Second, func() bool { return clock.PendingTimers() >= 1 }) {
+		t.Fatal("retransmit timer never armed")
+	}
+	clock.Advance(30 * time.Millisecond) // past the 24ms adaptive RTO: retransmit
+	if !waitUntil(2*time.Second, func() bool { return r.Snapshot().Retransmits == 1 }) {
+		t.Fatalf("retransmits = %d, want 1", r.Snapshot().Retransmits)
+	}
+	r.Ack(encodeRelAck(r.Snapshot().Epoch, 2))
+	if got := r.Snapshot().RTTSamples; got != 1 {
+		t.Errorf("samples after ambiguous ack = %d, want 1 (Karn)", got)
+	}
+}
+
+// TestReliableMinRTOClampsEstimate: a sub-millisecond measured RTT
+// must not drive the retransmit timer below the configured floor.
+func TestReliableMinRTOClampsEstimate(t *testing.T) {
+	link := &scriptLink{}
+	clock := NewManualClock()
+	r := NewReliableLink(link, clock, WithAdaptiveRTO(), WithMinRTO(5*time.Millisecond))
+	defer r.Close()
+	if err := r.Send(obj(1)); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(100 * time.Microsecond)
+	r.Ack(encodeRelAck(r.Snapshot().Epoch, 1))
+	if got := r.Snapshot().RTO; got != 5*time.Millisecond {
+		t.Errorf("clamped RTO = %v, want the 5ms floor", got)
+	}
+}
+
+// TestReliableNackFastRetransmit drives the sender's NACK reaction:
+// named in-flight frames resend immediately, acked/unknown seqs and
+// stale epochs are ignored, and WithoutFastRetransmit disables the
+// path entirely.
+func TestReliableNackFastRetransmit(t *testing.T) {
+	link := &scriptLink{}
+	clock := NewManualClock()
+	r := NewReliableLink(link, clock, WithRetransmitTimeout(time.Hour))
+	defer r.Close()
+	for i := 1; i <= 3; i++ {
+		if err := r.Send(obj(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch := r.Snapshot().Epoch
+
+	r.Nack(encodeRelNack(epoch, []uint64{2}))
+	if got := link.count(); got != 4 {
+		t.Fatalf("frames = %d after NACK, want 4 (one fast retransmit)", got)
+	}
+	_, seqs := link.dataFrames(t)
+	if seqs[3] != 2 {
+		t.Errorf("fast-retransmitted seq = %d, want 2", seqs[3])
+	}
+	if got := r.Snapshot().FastRetransmits; got != 1 {
+		t.Errorf("FastRetransmits = %d, want 1", got)
+	}
+
+	// Acked, unknown and stale-epoch reports do nothing.
+	r.Ack(encodeRelAck(epoch, 2))
+	r.Nack(encodeRelNack(epoch, []uint64{1, 2, 99}))
+	r.Nack(encodeRelNack(epoch+1, []uint64{3}))
+	if got := link.count(); got != 4 {
+		t.Errorf("frames = %d after stale NACKs, want 4", got)
+	}
+
+	// Ablation baseline: fast retransmit off.
+	link2 := &scriptLink{}
+	r2 := NewReliableLink(link2, clock, WithRetransmitTimeout(time.Hour), WithoutFastRetransmit())
+	defer r2.Close()
+	if err := r2.Send(obj(1)); err != nil {
+		t.Fatal(err)
+	}
+	r2.Nack(encodeRelNack(r2.Snapshot().Epoch, []uint64{1}))
+	if got := link2.count(); got != 1 {
+		t.Errorf("frames = %d with fast retransmit disabled, want 1", got)
+	}
+}
+
+// TestRelReceiverNacksGapsOncePerEpoch: the receive side reports each
+// missing seq exactly once per epoch — enough for the fast path, with
+// the sender's timer as the lost-report backstop.
+func TestRelReceiverNacksGapsOncePerEpoch(t *testing.T) {
+	h := newRecvHarness()
+	h.feed(t, 1, 1, obj(10))
+	h.feed(t, 1, 3, obj(12)) // gap at 2
+	h.mu.Lock()
+	nacks := len(h.nacks)
+	h.mu.Unlock()
+	if nacks != 1 {
+		t.Fatalf("nack reports = %d, want 1", nacks)
+	}
+	h.mu.Lock()
+	first := append([]uint64(nil), h.nacks[0]...)
+	h.mu.Unlock()
+	if fmt.Sprint(first) != fmt.Sprint([]uint64{1, 2}) {
+		t.Fatalf("nack = %v, want [epoch=1 seq=2]", first)
+	}
+
+	h.feed(t, 1, 4, obj(13)) // same gap: already reported, no new nack
+	h.feed(t, 1, 6, obj(15)) // new gap at 5
+	h.mu.Lock()
+	count := len(h.nacks)
+	second := append([]uint64(nil), h.nacks[len(h.nacks)-1]...)
+	h.mu.Unlock()
+	if count != 2 {
+		t.Fatalf("nack reports = %d, want 2", count)
+	}
+	if fmt.Sprint(second) != fmt.Sprint([]uint64{1, 5}) {
+		t.Fatalf("second nack = %v, want [epoch=1 seq=5]", second)
+	}
+
+	// Filling the gaps dispatches in order and triggers no more nacks.
+	h.feed(t, 1, 2, obj(11))
+	h.feed(t, 1, 5, obj(14))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if fmt.Sprint(h.dispatched) != fmt.Sprint([]uint64{10, 11, 12, 13, 14, 15}) {
+		t.Fatalf("dispatched = %v", h.dispatched)
+	}
+	if len(h.nacks) != 2 {
+		t.Errorf("nack reports after heal = %d, want 2", len(h.nacks))
+	}
+}
+
+// TestReliableUnreachableTyped: the give-up error is a typed
+// *UnreachableError carrying attempt counts, matching both the new
+// ErrPeerUnreachable and the legacy ErrReliableGaveUp sentinels.
+func TestReliableUnreachableTyped(t *testing.T) {
+	link := &scriptLink{}
+	clock := NewManualClock()
+	r := NewReliableLink(link, clock,
+		WithRetransmitTimeout(time.Millisecond), WithMaxBackoff(time.Millisecond), WithMaxAttempts(2))
+	defer r.Close()
+	if err := r.Send(obj(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !waitUntil(time.Second, func() bool { return clock.PendingTimers() >= 1 }) {
+			break // loop exited: link failed
+		}
+		clock.Advance(2 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond)
+	}
+	err := r.Send(obj(2))
+	if !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("give-up = %v, want ErrPeerUnreachable", err)
+	}
+	if !errors.Is(err, ErrReliableGaveUp) {
+		t.Errorf("give-up does not match the legacy sentinel")
+	}
+	var ue *UnreachableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("give-up is %T, want *UnreachableError", err)
+	}
+	if ue.Seq != 1 || ue.Attempts != 2 {
+		t.Errorf("UnreachableError = %+v, want seq 1 after 2 attempts", ue)
+	}
+}
+
+// reliableLoopGoroutines counts live sender/retransmit goroutines —
+// the manual-snapshot leak detector (no external goleak dependency).
+func reliableLoopGoroutines() int {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	s := string(buf[:n])
+	return strings.Count(s, "(*ReliableLink).senderLoop") +
+		strings.Count(s, "(*ReliableLink).retransmitLoop")
+}
+
+// TestReliableCloseReleasesGoroutines: every Close/stop path releases
+// both loop goroutines — across plain links, pipeline links, and
+// links killed mid-backpressure.
+func TestReliableCloseReleasesGoroutines(t *testing.T) {
+	base := reliableLoopGoroutines()
+	var links []*ReliableLink
+	clock := NewManualClock()
+	for i := 0; i < 8; i++ {
+		r := NewReliableLink(&scriptLink{}, clock,
+			WithWindow(1), WithSendQueue(4), WithRetransmitTimeout(time.Hour))
+		for j := 0; j < 3; j++ { // leave work queued and in flight
+			if err := r.Send(obj(uint64(j))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		links = append(links, r)
+	}
+	if !waitUntil(2*time.Second, func() bool { return reliableLoopGoroutines() >= base+16 }) {
+		t.Fatalf("loop goroutines = %d, want >= %d", reliableLoopGoroutines(), base+16)
+	}
+	for i, r := range links {
+		if i%2 == 0 {
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Close(); err != nil { // double-Close safe
+				t.Fatal(err)
+			}
+		} else {
+			r.stop()
+		}
+	}
+	if !waitUntil(5*time.Second, func() bool { return reliableLoopGoroutines() <= base }) {
+		t.Fatalf("loop goroutines = %d after close, want <= %d (leak)", reliableLoopGoroutines(), base)
 	}
 }

@@ -7,20 +7,24 @@ import "sync/atomic"
 // quantify the paper's "saves network resources" claim for the
 // optimistic protocol.
 type Stats struct {
-	bytesSent        atomic.Uint64
-	bytesReceived    atomic.Uint64
-	objectsSent      atomic.Uint64
-	objectsReceived  atomic.Uint64
-	objectsDelivered atomic.Uint64
-	objectsDropped   atomic.Uint64
-	typeInfoRequests atomic.Uint64
-	codeRequests     atomic.Uint64
-	invokes          atomic.Uint64
-	descriptorHits   atomic.Uint64
-	relDataSent      atomic.Uint64
-	relRetransmits   atomic.Uint64
-	relAcksReceived  atomic.Uint64
-	relDeduped       atomic.Uint64
+	bytesSent          atomic.Uint64
+	bytesReceived      atomic.Uint64
+	objectsSent        atomic.Uint64
+	objectsReceived    atomic.Uint64
+	objectsDelivered   atomic.Uint64
+	objectsDropped     atomic.Uint64
+	typeInfoRequests   atomic.Uint64
+	codeRequests       atomic.Uint64
+	invokes            atomic.Uint64
+	descriptorHits     atomic.Uint64
+	relDataSent        atomic.Uint64
+	relRetransmits     atomic.Uint64
+	relAcksReceived    atomic.Uint64
+	relDeduped         atomic.Uint64
+	relNacksSent       atomic.Uint64
+	relFastRetransmits atomic.Uint64
+	relQueueDropped    atomic.Uint64
+	relQueueAbandoned  atomic.Uint64
 }
 
 // StatsSnapshot is an immutable copy of the counters.
@@ -41,25 +45,35 @@ type StatsSnapshot struct {
 	RelRetransmits  uint64 // frames resent by the retransmit timer
 	RelAcksReceived uint64 // cumulative acks that advanced the window
 	RelDeduped      uint64 // received frames suppressed as duplicates/ghosts
+	// Async pipeline + fast-retransmit counters (zero unless the
+	// sender enabled WithSendQueue / the receiver detected gaps).
+	RelNacksSent       uint64 // gap reports emitted by the receive side
+	RelFastRetransmits uint64 // frames resent on NACK, ahead of their timer
+	RelQueueDropped    uint64 // queued frames shed by OverflowDropOldest
+	RelQueueAbandoned  uint64 // queued frames discarded by link shutdown
 }
 
 // Snapshot returns the current counter values.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		BytesSent:        s.bytesSent.Load(),
-		BytesReceived:    s.bytesReceived.Load(),
-		ObjectsSent:      s.objectsSent.Load(),
-		ObjectsReceived:  s.objectsReceived.Load(),
-		ObjectsDelivered: s.objectsDelivered.Load(),
-		ObjectsDropped:   s.objectsDropped.Load(),
-		TypeInfoRequests: s.typeInfoRequests.Load(),
-		CodeRequests:     s.codeRequests.Load(),
-		Invokes:          s.invokes.Load(),
-		DescriptorHits:   s.descriptorHits.Load(),
-		RelDataSent:      s.relDataSent.Load(),
-		RelRetransmits:   s.relRetransmits.Load(),
-		RelAcksReceived:  s.relAcksReceived.Load(),
-		RelDeduped:       s.relDeduped.Load(),
+		BytesSent:          s.bytesSent.Load(),
+		BytesReceived:      s.bytesReceived.Load(),
+		ObjectsSent:        s.objectsSent.Load(),
+		ObjectsReceived:    s.objectsReceived.Load(),
+		ObjectsDelivered:   s.objectsDelivered.Load(),
+		ObjectsDropped:     s.objectsDropped.Load(),
+		TypeInfoRequests:   s.typeInfoRequests.Load(),
+		CodeRequests:       s.codeRequests.Load(),
+		Invokes:            s.invokes.Load(),
+		DescriptorHits:     s.descriptorHits.Load(),
+		RelDataSent:        s.relDataSent.Load(),
+		RelRetransmits:     s.relRetransmits.Load(),
+		RelAcksReceived:    s.relAcksReceived.Load(),
+		RelDeduped:         s.relDeduped.Load(),
+		RelNacksSent:       s.relNacksSent.Load(),
+		RelFastRetransmits: s.relFastRetransmits.Load(),
+		RelQueueDropped:    s.relQueueDropped.Load(),
+		RelQueueAbandoned:  s.relQueueAbandoned.Load(),
 	}
 }
 
@@ -79,4 +93,8 @@ func (s *Stats) Reset() {
 	s.relRetransmits.Store(0)
 	s.relAcksReceived.Store(0)
 	s.relDeduped.Store(0)
+	s.relNacksSent.Store(0)
+	s.relFastRetransmits.Store(0)
+	s.relQueueDropped.Store(0)
+	s.relQueueAbandoned.Store(0)
 }

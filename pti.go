@@ -69,6 +69,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"time"
 
 	"pti/internal/borrowlend"
 	"pti/internal/conform"
@@ -444,8 +445,26 @@ func WithObserver(obs func(ProtocolEvent)) PeerOption {
 func Eager() PeerOption { return transport.Eager() }
 
 // ReliableOption tunes the reliable delivery layer (window size,
-// retransmit timers, backoff); see the transport package's options.
+// retransmit timers, backoff, send pipeline); see the transport
+// package's options.
 type ReliableOption = transport.ReliableOption
+
+// OverflowPolicy selects what a full reliable send queue does with
+// the next enqueue: block the caller, shed the oldest queued object
+// frame, or fail fast.
+type OverflowPolicy = transport.OverflowPolicy
+
+// Overflow policies for WithSendQueue.
+const (
+	OverflowBlock      = transport.OverflowBlock
+	OverflowDropOldest = transport.OverflowDropOldest
+	OverflowError      = transport.OverflowError
+)
+
+// ErrPeerUnreachable classifies a reliable link's give-up: the remote
+// end stopped acknowledging and the link abandoned it. Match with
+// errors.Is against the aggregate error Peer.Broadcast returns.
+var ErrPeerUnreachable = transport.ErrPeerUnreachable
 
 // WithReliableLinks upgrades every connection the peer owns to
 // exactly-once in-order delivery: sequence framing, cumulative acks,
@@ -454,6 +473,61 @@ type ReliableOption = transport.ReliableOption
 // from TCP (see docs/reliable.md).
 func WithReliableLinks(opts ...ReliableOption) PeerOption {
 	return transport.WithReliableLinks(opts...)
+}
+
+// WithWindow bounds unacked object frames in flight per connection
+// (default 32).
+func WithWindow(n int) ReliableOption { return transport.WithWindow(n) }
+
+// WithRetransmitTimeout sets the initial per-frame retransmit timer
+// (default 20ms; the pre-measurement fallback under WithAdaptiveRTO).
+func WithRetransmitTimeout(d time.Duration) ReliableOption {
+	return transport.WithRetransmitTimeout(d)
+}
+
+// WithMaxBackoff caps the doubled retransmit interval and the
+// adaptive RTO (default 640ms).
+func WithMaxBackoff(d time.Duration) ReliableOption { return transport.WithMaxBackoff(d) }
+
+// WithMaxAttempts bounds transmissions per frame before the link
+// gives up on its peer with a typed error matching ErrPeerUnreachable
+// (default 0 = unlimited).
+func WithMaxAttempts(n int) ReliableOption { return transport.WithMaxAttempts(n) }
+
+// WithSendQueue enables the asynchronous per-connection send
+// pipeline: Send/Broadcast enqueue into a bounded queue of n frames
+// and return immediately, a dedicated sender goroutine drains each
+// connection, and a stalled peer fills only its own queue — a
+// reliable Broadcast can no longer be held hostage by its worst
+// connection.
+func WithSendQueue(n int) ReliableOption { return transport.WithSendQueue(n) }
+
+// WithOverflowPolicy picks what a full send queue does (default
+// OverflowBlock).
+func WithOverflowPolicy(p OverflowPolicy) ReliableOption {
+	return transport.WithOverflowPolicy(p)
+}
+
+// WithAdaptiveRTO derives each link's retransmit timeout from its
+// measured round-trip time (SRTT + 4·RTTVAR, Jacobson/Karels, Karn
+// sampling) instead of a fixed timer.
+func WithAdaptiveRTO() ReliableOption { return transport.WithAdaptiveRTO() }
+
+// WithMinRTO floors the adaptive RTO (default 2ms); set it above the
+// path's worst round trip to rule out spurious retransmits on steady
+// links.
+func WithMinRTO(d time.Duration) ReliableOption { return transport.WithMinRTO(d) }
+
+// WithoutFastRetransmit disables NACK-driven resends, leaving the
+// backoff timer as the only loss-recovery path (the ablation
+// baseline).
+func WithoutFastRetransmit() ReliableOption { return transport.WithoutFastRetransmit() }
+
+// WithDrainOnClose makes Peer.Close flush queued reliable frames for
+// up to d before tearing connections down; whatever cannot drain is
+// counted in the peer's RelQueueAbandoned stat.
+func WithDrainOnClose(d time.Duration) PeerOption {
+	return transport.WithDrainOnClose(d)
 }
 
 // FabricOption customizes a simulation fabric built by
