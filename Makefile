@@ -14,12 +14,18 @@ BENCH_OUT ?= BENCH_PR4.json
 # broadcast fan-out metrics.
 BENCH_FANOUT_OUT ?= BENCH_PR5.json
 
+# Output artifact of `make bench-invoke` — the PR 6 pipelined invoke
+# path metrics (latency percentiles, goodput under overload, shed
+# counts, pipelined-vs-serialized comparison).
+BENCH_INVOKE_OUT ?= BENCH_PR6.json
+
 # Scratch artifacts `make bench-check` regenerates and diffs against
 # the committed baselines. Deliberately NOT the baseline files: the
 # gate must never overwrite a baseline and then diff it against
 # itself.
 BENCH_CHECK_OUT ?= /tmp/pti-bench-check.json
 BENCH_FANOUT_CHECK_OUT ?= /tmp/pti-fanout-check.json
+BENCH_INVOKE_CHECK_OUT ?= /tmp/pti-invoke-check.json
 
 # Coverage profile location and the ratcheting floor `make cover`
 # enforces via cmd/covercheck. Raise the floor as coverage grows;
@@ -30,7 +36,7 @@ COVER_MIN ?= 78.0
 # Pinned staticcheck build, fetched on demand by `go run`.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-check soak build
+.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-invoke bench-check soak build
 
 help:
 	@echo "Targets:"
@@ -54,9 +60,13 @@ help:
 	@echo "  bench-fanout broadcast fan-out over the async send pipeline"
 	@echo "              (blackholed peer, queue/RTO/NACK metrics)"
 	@echo "              -> $(BENCH_FANOUT_OUT) (override with BENCH_FANOUT_OUT=file)"
-	@echo "  bench-check regenerate scenario + fan-out metrics into scratch"
-	@echo "              files (never the baselines) and diff against the"
-	@echo "              committed BENCH_PR4.json and BENCH_PR5.json"
+	@echo "  bench-invoke pipelined invoke path under load (latency percentiles,"
+	@echo "              goodput at capacity vs 2x overload, shed counts,"
+	@echo "              pipelined-vs-serialized comparison)"
+	@echo "              -> $(BENCH_INVOKE_OUT) (override with BENCH_INVOKE_OUT=file)"
+	@echo "  bench-check regenerate scenario + fan-out + invoke metrics into"
+	@echo "              scratch files (never the baselines) and diff against the"
+	@echo "              committed BENCH_PR4.json, BENCH_PR5.json and BENCH_PR6.json"
 
 check: vet lint test-race
 
@@ -127,6 +137,12 @@ bench-json:
 bench-fanout:
 	$(GO) run ./cmd/ptibench -exp fanout -reps 2 -seed 42 -json $(BENCH_FANOUT_OUT)
 
+# Pipelined invoke-path metrics: closed-loop invokers at capacity and
+# 2x overload on the slow/chaos profiles (latency percentiles, goodput,
+# shed counts) plus the pipelined-vs-serialized round-trip comparison.
+bench-invoke:
+	$(GO) run ./cmd/ptibench -exp invoke -reps 2 -seed 42 -json $(BENCH_INVOKE_OUT)
+
 # The bench-regression gate: fresh metrics vs the committed baselines.
 bench-check:
 	@if [ "$(BENCH_CHECK_OUT)" = "BENCH_PR4.json" ]; then \
@@ -135,7 +151,12 @@ bench-check:
 	@if [ "$(BENCH_FANOUT_CHECK_OUT)" = "BENCH_PR5.json" ]; then \
 		echo "bench-check: BENCH_FANOUT_CHECK_OUT must not be the committed baseline"; exit 2; \
 	fi
+	@if [ "$(BENCH_INVOKE_CHECK_OUT)" = "BENCH_PR6.json" ]; then \
+		echo "bench-check: BENCH_INVOKE_CHECK_OUT must not be the committed baseline"; exit 2; \
+	fi
 	$(MAKE) bench-json BENCH_OUT=$(BENCH_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR4.json -candidate $(BENCH_CHECK_OUT)
 	$(MAKE) bench-fanout BENCH_FANOUT_OUT=$(BENCH_FANOUT_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR5.json -candidate $(BENCH_FANOUT_CHECK_OUT)
+	$(MAKE) bench-invoke BENCH_INVOKE_OUT=$(BENCH_INVOKE_CHECK_OUT)
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR6.json -candidate $(BENCH_INVOKE_CHECK_OUT)

@@ -22,10 +22,24 @@
 //   - NACK fast-retransmit recovery must beat the pure-backoff
 //     baseline outright (nack_recovery_ms < backoff_recovery_ms).
 //
+// Invoke rules (the PR 6 pipelined-RPC artifact), matched on
+// (profile, load):
+//
+//   - every row must finish with zero non-shed failures and a nonzero
+//     completion count — sheds are the typed backpressure contract,
+//     anything else (timeout, decode error) is a bug;
+//   - per profile, goodput at 2x overload must hold at least half the
+//     goodput at capacity: load shedding must prevent congestion
+//     collapse, not merely rename it;
+//   - the pipelined client window must beat strictly serialized calls
+//     outright on the clean high-latency link
+//     (pipelined_ms < serialized_ms).
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_PR4.json -candidate /tmp/bench.json [-tol 0.10]
 //	benchdiff -baseline BENCH_PR5.json -candidate /tmp/fanout.json
+//	benchdiff -baseline BENCH_PR6.json -candidate /tmp/invoke.json
 package main
 
 import (
@@ -55,11 +69,32 @@ type singleLoss struct {
 	BackoffMs float64 `json:"backoff_recovery_ms"`
 }
 
+type invokeRow struct {
+	Profile   string  `json:"profile"`
+	Load      string  `json:"load"`
+	Completed int     `json:"completed"`
+	Failures  int     `json:"failures"`
+	P99Ms     float64 `json:"p99_ms"`
+	Goodput   float64 `json:"goodput_per_sec"`
+}
+
+type invokePipeline struct {
+	SerializedMs float64 `json:"serialized_ms"`
+	PipelinedMs  float64 `json:"pipelined_ms"`
+}
+
+// invokeNoCollapseFraction is the congestion-collapse floor: goodput
+// at 2x overload must be at least this fraction of goodput at
+// capacity on the same profile.
+const invokeNoCollapseFraction = 0.5
+
 type doc struct {
-	Seed       int64       `json:"seed"`
-	Scenarios  []scenario  `json:"scenarios"`
-	Rows       []fanoutRow `json:"rows"`
-	SingleLoss *singleLoss `json:"single_loss"`
+	Seed           int64           `json:"seed"`
+	Scenarios      []scenario      `json:"scenarios"`
+	Rows           []fanoutRow     `json:"rows"`
+	SingleLoss     *singleLoss     `json:"single_loss"`
+	InvokeRows     []invokeRow     `json:"invoke_rows"`
+	InvokePipeline *invokePipeline `json:"invoke_pipeline"`
 }
 
 func load(path string) (doc, error) {
@@ -71,8 +106,9 @@ func load(path string) (doc, error) {
 	if err := json.Unmarshal(data, &d); err != nil {
 		return d, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(d.Scenarios) == 0 && len(d.Rows) == 0 && d.SingleLoss == nil {
-		return d, fmt.Errorf("%s: no scenarios or fan-out rows", path)
+	if len(d.Scenarios) == 0 && len(d.Rows) == 0 && d.SingleLoss == nil &&
+		len(d.InvokeRows) == 0 && d.InvokePipeline == nil {
+		return d, fmt.Errorf("%s: no scenarios, fan-out or invoke rows", path)
 	}
 	return d, nil
 }
@@ -114,6 +150,7 @@ func main() {
 	checked := 0
 	failures += diffScenarios(base, cand, *tol, &checked)
 	failures += diffFanout(base, cand, &checked)
+	failures += diffInvoke(base, cand, &checked)
 	if failures > 0 {
 		fmt.Printf("benchdiff: %d regression(s) against %s\n", failures, *baseline)
 		os.Exit(1)
@@ -215,6 +252,94 @@ func diffFanout(base, cand doc, checked *int) int {
 		default:
 			fmt.Printf("ok   %-24s nack %.0fms vs backoff %.0fms (%.1fx)\n",
 				"single-loss-recovery", sl.NackMs, sl.BackoffMs, sl.BackoffMs/sl.NackMs)
+		}
+	}
+	return failures
+}
+
+func invokeKey(r invokeRow) string { return r.Profile + "/" + r.Load }
+
+func diffInvoke(base, cand doc, checked *int) int {
+	failures := 0
+	got := make(map[string]invokeRow, len(cand.InvokeRows))
+	for _, r := range cand.InvokeRows {
+		got[invokeKey(r)] = r
+	}
+	for _, want := range base.InvokeRows {
+		*checked++
+		k := invokeKey(want)
+		have, ok := got[k]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-24s missing from candidate\n", k)
+			failures++
+		case have.Failures > 0:
+			fmt.Printf("FAIL %-24s %d non-shed failures (sheds are typed; anything else is a bug)\n",
+				k, have.Failures)
+			failures++
+		case have.Completed == 0 || have.Goodput <= 0 || have.P99Ms <= 0:
+			fmt.Printf("FAIL %-24s degenerate row: completed %d, goodput %.1f/s, p99 %.1fms\n",
+				k, have.Completed, have.Goodput, have.P99Ms)
+			failures++
+		default:
+			fmt.Printf("ok   %-24s completed %d, goodput %.0f/s, p99 %.1fms\n",
+				k, have.Completed, have.Goodput, have.P99Ms)
+		}
+	}
+	// Candidate-only rows mean the load matrix grew without the
+	// baseline being regenerated — fail rather than silently skip.
+	known := make(map[string]bool, len(base.InvokeRows))
+	for _, r := range base.InvokeRows {
+		known[invokeKey(r)] = true
+	}
+	for _, r := range cand.InvokeRows {
+		if !known[invokeKey(r)] {
+			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit the baseline\n", invokeKey(r))
+			failures++
+		}
+	}
+	// No-collapse: per profile with both load points in the baseline,
+	// the candidate's overload goodput must hold the floor fraction of
+	// its own capacity goodput. Both sides come from the candidate, so
+	// the check gates the shedding behaviour, not absolute throughput.
+	profiles := make(map[string]bool)
+	for _, r := range base.InvokeRows {
+		profiles[r.Profile] = true
+	}
+	for profile := range profiles {
+		capRow, okCap := got[profile+"/capacity"]
+		overRow, okOver := got[profile+"/overload2x"]
+		if !okCap || !okOver {
+			continue // the missing row already failed above
+		}
+		*checked++
+		floor := invokeNoCollapseFraction * capRow.Goodput
+		if overRow.Goodput < floor {
+			fmt.Printf("FAIL %-24s goodput collapsed under overload: %.0f/s < %.0f%% of capacity's %.0f/s\n",
+				profile+"/no-collapse", overRow.Goodput, invokeNoCollapseFraction*100, capRow.Goodput)
+			failures++
+		} else {
+			fmt.Printf("ok   %-24s overload goodput %.0f/s holds >= %.0f%% of capacity's %.0f/s\n",
+				profile+"/no-collapse", overRow.Goodput, invokeNoCollapseFraction*100, capRow.Goodput)
+		}
+	}
+	if base.InvokePipeline != nil {
+		*checked++
+		switch pl := cand.InvokePipeline; {
+		case pl == nil:
+			fmt.Printf("FAIL %-24s missing from candidate\n", "pipelined-vs-serial")
+			failures++
+		case pl.SerializedMs <= 0 || pl.PipelinedMs <= 0:
+			fmt.Printf("FAIL %-24s degenerate timings: pipelined %.1fms, serialized %.1fms\n",
+				"pipelined-vs-serial", pl.PipelinedMs, pl.SerializedMs)
+			failures++
+		case pl.PipelinedMs >= pl.SerializedMs:
+			fmt.Printf("FAIL %-24s pipelined %.0fms not faster than serialized %.0fms\n",
+				"pipelined-vs-serial", pl.PipelinedMs, pl.SerializedMs)
+			failures++
+		default:
+			fmt.Printf("ok   %-24s pipelined %.0fms vs serialized %.0fms (%.1fx)\n",
+				"pipelined-vs-serial", pl.PipelinedMs, pl.SerializedMs, pl.SerializedMs/pl.PipelinedMs)
 		}
 	}
 	return failures

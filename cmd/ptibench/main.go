@@ -56,6 +56,7 @@ func run(exp string, reps int) error {
 		{"transport", "Figure 1 protocol + optimistic vs eager", expTransport},
 		{"scenario", "Fabric fault-profile scenarios (delivery + match rate)", expScenario},
 		{"fanout", "Broadcast fan-out over the async send pipeline (queue/RTO/NACK)", expFanout},
+		{"invoke", "Pipelined invoke path under load (latency/goodput/shedding)", expInvoke},
 		{"match", "Conformance relation match rates (Section 2 comparisons)", expMatchRate},
 		{"ablations", "Design-choice ablations", expAblations},
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pti/internal/guid"
 	"pti/internal/typedesc"
@@ -30,8 +31,15 @@ type Conn struct {
 
 	mu      sync.Mutex
 	nextSeq uint64
-	pending map[uint64]chan *Message
+	pending map[uint64]*pendingReply
 	closed  bool
+
+	// pacer admission-controls the client side of the pipelined invoke
+	// path; invokeSem and invokeQueued bound the server side (see
+	// invoke.go).
+	pacer        invokePacer
+	invokeSem    chan struct{}
+	invokeQueued atomic.Int64
 
 	// rel is the attached reliable sender (nil unless the peer was
 	// built WithReliableLinks or NewReliableLink wrapped this conn);
@@ -45,11 +53,13 @@ type Conn struct {
 
 func newConn(p *Peer, rw net.Conn) *Conn {
 	c := &Conn{
-		peer:    p,
-		rw:      rw,
-		pending: make(map[uint64]chan *Message),
-		done:    make(chan struct{}),
+		peer:      p,
+		rw:        rw,
+		pending:   make(map[uint64]*pendingReply),
+		invokeSem: make(chan struct{}, p.invCfg.workers()),
+		done:      make(chan struct{}),
 	}
+	c.pacer.init(c)
 	c.rrecv = newRelReceiver(&p.stats,
 		func(m *Message) { p.handleRequest(c, m) },
 		func(m *Message) { c.routeReply(m) },
@@ -102,11 +112,17 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	c.closed = true
-	for seq, ch := range c.pending {
-		close(ch)
+	settled := make([]*pendingReply, 0, len(c.pending))
+	for seq, pr := range c.pending {
+		close(pr.ch)
+		settled = append(settled, pr)
 		delete(c.pending, seq)
 	}
 	c.mu.Unlock()
+	for _, pr := range settled {
+		pr.settled()
+	}
+	c.pacer.close()
 	c.stopReliable()
 	err := c.rw.Close()
 	<-c.done
@@ -162,24 +178,31 @@ func (c *Conn) readLoop() {
 // reliable data frames.
 func (c *Conn) routeReply(m *Message) {
 	c.mu.Lock()
-	ch, ok := c.pending[m.Seq]
+	pr, ok := c.pending[m.Seq]
 	if ok {
 		delete(c.pending, m.Seq)
 	}
 	c.mu.Unlock()
 	if ok {
-		ch <- m
+		pr.ch <- m
+		pr.settled()
 	}
 }
 
 func (c *Conn) failPending() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	for seq, ch := range c.pending {
-		close(ch)
+	settled := make([]*pendingReply, 0, len(c.pending))
+	for seq, pr := range c.pending {
+		close(pr.ch)
+		settled = append(settled, pr)
 		delete(c.pending, seq)
 	}
+	c.mu.Unlock()
+	for _, pr := range settled {
+		pr.settled()
+	}
+	c.pacer.close()
 }
 
 // send writes a one-way message.
@@ -199,9 +222,114 @@ func (c *Conn) reply(req *Message, t MsgType, body []byte) error {
 	return c.Send(&Message{Type: t, Seq: req.Seq, Body: body})
 }
 
-// replyError answers a request with an error message.
+// replyError answers a request with an error message. Known sentinels
+// in the error's chain travel as a structured code (errcode.go), so
+// the caller rehydrates the identity instead of a flattened string.
 func (c *Conn) replyError(req *Message, err error) error {
-	return c.reply(req, MsgError, []byte(err.Error()))
+	return c.reply(req, MsgError, encodeWireError(err))
+}
+
+// pendingReply is one half-open request/reply exchange: registered by
+// startRequest, resolved by await. The optional onSettle hook runs
+// exactly once when the exchange stops occupying the wire — reply
+// routed, connection failed, or locally abandoned — which is what the
+// invoke pacer's window counts (not when the caller gets around to
+// collecting the result).
+type pendingReply struct {
+	c       *Conn
+	seq     uint64
+	msgType MsgType
+	ch      chan *Message
+	sentAt  time.Time
+
+	once     sync.Once
+	onSettle func()
+}
+
+func (pr *pendingReply) settled() {
+	pr.once.Do(func() {
+		if pr.onSettle != nil {
+			pr.onSettle()
+		}
+	})
+}
+
+// abandon removes a pending exchange (timeout, peer close) and runs
+// its settle hook; a reply racing in after removal is dropped by
+// routeReply's map lookup, so the hook cannot fire twice.
+func (c *Conn) abandon(pr *pendingReply) {
+	c.mu.Lock()
+	delete(c.pending, pr.seq)
+	c.mu.Unlock()
+	pr.settled()
+}
+
+// startRequest registers a correlated exchange and sends the request,
+// without waiting for the reply — the pipelined half of request. On
+// error the settle hook has already run.
+func (c *Conn) startRequest(t MsgType, body []byte, onSettle func()) (*pendingReply, error) {
+	fail := func(err error) (*pendingReply, error) {
+		if onSettle != nil {
+			onSettle()
+		}
+		return nil, err
+	}
+	select {
+	case <-c.peer.closeCh:
+		return fail(ErrPeerClosed)
+	default:
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fail(ErrClosed)
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	pr := &pendingReply{
+		c:        c,
+		seq:      seq,
+		msgType:  t,
+		ch:       make(chan *Message, 1),
+		sentAt:   c.peer.clock.Now(),
+		onSettle: onSettle,
+	}
+	c.pending[seq] = pr
+	c.mu.Unlock()
+
+	// Requests ride the reliable channel when one is attached, so a
+	// lossy link costs a retransmit interval instead of a lost round
+	// trip; the await timeout stays as the failsafe.
+	if err := c.Send(&Message{Type: t, Seq: seq, Body: body}); err != nil {
+		c.abandon(pr)
+		return nil, err
+	}
+	return pr, nil
+}
+
+// await blocks until the exchange resolves. The timeout budget runs
+// from the send, not from await, so collecting a pipelined reply late
+// does not extend its deadline.
+func (pr *pendingReply) await() (*Message, error) {
+	c := pr.c
+	timer := c.peer.clock.NewTimer(c.peer.requestTimeout - c.peer.clock.Now().Sub(pr.sentAt))
+	defer timer.Stop()
+	select {
+	case m, ok := <-pr.ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		if m.Type == MsgError {
+			return nil, decodeWireError(m.Body)
+		}
+		return m, nil
+	case <-c.peer.closeCh:
+		c.abandon(pr)
+		return nil, fmt.Errorf("%w: %s", ErrPeerClosed, pr.msgType)
+	case <-timer.C():
+		c.abandon(pr)
+		return nil, fmt.Errorf("%w: %s", ErrRequestTimeout, pr.msgType)
+	}
 }
 
 // request performs a correlated request/reply exchange. It fails fast
@@ -210,54 +338,11 @@ func (c *Conn) replyError(req *Message, err error) error {
 // hostage for the full request timeout (crash/restart schedules in
 // the simulation fabric hit this constantly).
 func (c *Conn) request(t MsgType, body []byte) (*Message, error) {
-	select {
-	case <-c.peer.closeCh:
-		return nil, ErrPeerClosed
-	default:
-	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	c.nextSeq++
-	seq := c.nextSeq
-	ch := make(chan *Message, 1)
-	c.pending[seq] = ch
-	c.mu.Unlock()
-
-	// Requests ride the reliable channel when one is attached, so a
-	// lossy link costs a retransmit interval instead of a lost round
-	// trip; the timeout below stays as the failsafe.
-	if err := c.Send(&Message{Type: t, Seq: seq, Body: body}); err != nil {
-		c.mu.Lock()
-		delete(c.pending, seq)
-		c.mu.Unlock()
+	pr, err := c.startRequest(t, body, nil)
+	if err != nil {
 		return nil, err
 	}
-
-	timer := c.peer.clock.NewTimer(c.peer.requestTimeout)
-	defer timer.Stop()
-	select {
-	case m, ok := <-ch:
-		if !ok {
-			return nil, ErrClosed
-		}
-		if m.Type == MsgError {
-			return nil, fmt.Errorf("%w: %s", ErrRemote, m.Body)
-		}
-		return m, nil
-	case <-c.peer.closeCh:
-		c.mu.Lock()
-		delete(c.pending, seq)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrPeerClosed, t)
-	case <-timer.C():
-		c.mu.Lock()
-		delete(c.pending, seq)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrRequestTimeout, t)
-	}
+	return pr.await()
 }
 
 // encodeRef renders a TypeRef for request bodies.

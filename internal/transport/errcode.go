@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"errors"
+
+	"pti/internal/proxy"
+)
+
+// Invoke-path errors. Each is a sentinel a caller can match with
+// errors.Is even when the failure happened on the remote side: the
+// server maps the sentinel to a wire error code, and the client
+// rehydrates it into a *RemoteError that matches both ErrRemote and
+// the original sentinel (the *UnreachableError pattern from the
+// reliable layer, applied to remoting).
+var (
+	// ErrInvokeQueueFull is the load-shed hint: the invoke was refused
+	// because a pipeline was at capacity — either the server's
+	// worker+queue budget (the error arrives as a reply) or the local
+	// pacing window in fail-fast mode (the error is returned before
+	// anything travels). Callers treat it as "back off and retry".
+	ErrInvokeQueueFull = errors.New("transport: invoke queue full")
+	// ErrArityMismatch reports an argument-count mismatch against the
+	// conformance mapping or the target method signature.
+	ErrArityMismatch = errors.New("transport: argument count mismatch")
+	// ErrRemotePanic reports that the exported method panicked while
+	// servicing the invocation. The peer recovered and keeps serving.
+	ErrRemotePanic = errors.New("transport: remote method panicked")
+)
+
+// wireErrCode classifies an error crossing the wire so the caller can
+// rehydrate the sentinel the server matched instead of a flattened
+// string. Codes are part of the wire protocol (see docs/remote.md);
+// append only, never renumber.
+type wireErrCode int
+
+const (
+	codeGeneric wireErrCode = iota // no known sentinel: plain ErrRemote
+	codeNoSuchExport
+	codeNoSuchMethod
+	codeArityMismatch
+	codeInvokeQueueFull
+	codePanic
+)
+
+// wireErrVersion tags the structured MsgError body layout.
+const wireErrVersion byte = 1
+
+// codeForError maps an error to the wire code of the outermost known
+// sentinel in its chain.
+func codeForError(err error) wireErrCode {
+	switch {
+	case errors.Is(err, ErrNoSuchExport):
+		return codeNoSuchExport
+	case errors.Is(err, proxy.ErrNoSuchMethod):
+		return codeNoSuchMethod
+	case errors.Is(err, ErrArityMismatch):
+		return codeArityMismatch
+	case errors.Is(err, ErrInvokeQueueFull):
+		return codeInvokeQueueFull
+	case errors.Is(err, ErrRemotePanic):
+		return codePanic
+	}
+	return codeGeneric
+}
+
+// sentinelFor is codeForError's inverse: the sentinel a rehydrated
+// remote error should match. Unknown codes (a newer peer) map to nil,
+// leaving only the ErrRemote match.
+func sentinelFor(code wireErrCode) error {
+	switch code {
+	case codeNoSuchExport:
+		return ErrNoSuchExport
+	case codeNoSuchMethod:
+		return proxy.ErrNoSuchMethod
+	case codeArityMismatch:
+		return ErrArityMismatch
+	case codeInvokeQueueFull:
+		return ErrInvokeQueueFull
+	case codePanic:
+		return ErrRemotePanic
+	}
+	return nil
+}
+
+// encodeWireError renders a MsgError body. Errors carrying a known
+// sentinel get the structured form — a NUL byte (impossible as the
+// first byte of a legacy UTF-8 error string), a version, the code,
+// then the message. Everything else stays a plain string, so old
+// peers keep reading exactly what they always did.
+func encodeWireError(err error) []byte {
+	code := codeForError(err)
+	msg := err.Error()
+	if code == codeGeneric {
+		return []byte(msg)
+	}
+	b := make([]byte, 0, 3+len(msg))
+	b = append(b, 0x00, wireErrVersion, byte(code))
+	return append(b, msg...)
+}
+
+// decodeWireError rehydrates a MsgError body. Plain-string bodies
+// (legacy peers) and unknown versions decode as code 0, which matches
+// only ErrRemote.
+func decodeWireError(body []byte) *RemoteError {
+	if len(body) >= 3 && body[0] == 0x00 && body[1] == wireErrVersion {
+		return &RemoteError{code: wireErrCode(body[2]), Msg: string(body[3:])}
+	}
+	return &RemoteError{Msg: string(body)}
+}
+
+// RemoteError is a failure reported by the peer on the other side of
+// a connection, rehydrated with its error identity intact. It always
+// matches ErrRemote under errors.Is; when the wire carried a known
+// error code it additionally matches that code's sentinel
+// (ErrNoSuchExport, proxy.ErrNoSuchMethod, ErrArityMismatch,
+// ErrInvokeQueueFull, ErrRemotePanic).
+type RemoteError struct {
+	code wireErrCode
+	Msg  string
+}
+
+// Error keeps the historical "transport: remote error: ..." shape.
+func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// Is matches ErrRemote and the rehydrated sentinel, if any.
+func (e *RemoteError) Is(target error) bool {
+	if target == ErrRemote {
+		return true
+	}
+	s := sentinelFor(e.code)
+	return s != nil && target == s
+}

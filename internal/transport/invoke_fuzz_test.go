@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"testing"
+
+	"pti/internal/wire"
+)
+
+// invokeFuzzSeeds are drawn from the same shapes the remoting tests
+// exercise: valid payloads and replies under both codecs,
+// truncations, bit flips and raw garbage.
+func invokeFuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	seeds := [][]byte{
+		nil,
+		{},
+		{0x00},
+		{0xFF, 0xFE, 0xFD},
+	}
+	payload := invokePayload{
+		Object: "svc",
+		Method: "Combine",
+		Args:   [][]byte{[]byte("\x01x"), nil, []byte("arg")},
+	}
+	reply := invokeReply{
+		Results: [][]byte{[]byte("ok")},
+		Failure: "transport: remote method panicked: Boom: kaboom",
+		Code:    int(codePanic),
+	}
+	for _, codec := range []wire.Codec{wire.Binary{}, wire.SOAP{}} {
+		for _, v := range []interface{}{payload, reply} {
+			data, err := codec.Encode(v)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			seeds = append(seeds, data, data[:len(data)/2])
+			mutated := append([]byte(nil), data...)
+			mutated[len(mutated)/3] ^= 0x20
+			seeds = append(seeds, mutated)
+		}
+	}
+	return seeds
+}
+
+// FuzzInvokePayload asserts the decode side of the invoke wire forms
+// never panics on arbitrary input, and that whatever a codec accepts
+// re-encodes cleanly — the server feeds attacker-controlled bytes
+// from MsgInvokeRequest straight into this path.
+func FuzzInvokePayload(f *testing.F) {
+	for _, s := range invokeFuzzSeeds(f) {
+		f.Add(s)
+	}
+	codecs := []wire.Codec{wire.Binary{}, wire.SOAP{}}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, codec := range codecs {
+			if out, err := codec.DecodeCompiled(invokePayloadProg, data, invokePayloadType, nil, ""); err == nil {
+				p, ok := out.(invokePayload)
+				if !ok {
+					t.Fatalf("decode produced %T, not invokePayload", out)
+				}
+				if _, err := codec.EncodeCompiled(invokePayloadProg, nil, p); err != nil {
+					t.Fatalf("accepted payload failed to re-encode: %v", err)
+				}
+			}
+			if out, err := codec.DecodeCompiled(invokeReplyProg, data, invokeReplyType, nil, ""); err == nil {
+				r, ok := out.(invokeReply)
+				if !ok {
+					t.Fatalf("decode produced %T, not invokeReply", out)
+				}
+				if _, err := codec.EncodeCompiled(invokeReplyProg, nil, r); err != nil {
+					t.Fatalf("accepted reply failed to re-encode: %v", err)
+				}
+			}
+			// The structured MsgError decoder must also hold on raw
+			// bytes (it sees every error reply body).
+			_ = decodeWireError(data)
+		}
+	})
+}

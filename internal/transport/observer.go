@@ -33,6 +33,9 @@ const (
 	EventDropped
 	// EventInvoked: a pass-by-reference invocation was serviced.
 	EventInvoked
+	// EventInvokeShed: an invocation was refused by load shedding
+	// (worker+queue budget exhausted).
+	EventInvokeShed
 )
 
 var eventNames = map[EventKind]string{
@@ -46,6 +49,7 @@ var eventNames = map[EventKind]string{
 	EventDelivered:          "delivered",
 	EventDropped:            "dropped",
 	EventInvoked:            "invoked",
+	EventInvokeShed:         "invoke-shed",
 }
 
 // String returns the event kind's dashed name.

@@ -69,6 +69,7 @@ type Peer struct {
 	observer       Observer
 	clock          Clock
 	relCfg         *ReliableConfig
+	invCfg         InvokeConfig
 	drainOnClose   time.Duration
 	stats          Stats
 
@@ -195,6 +196,11 @@ func NewPeer(reg *registry.Registry, opts ...PeerOption) *Peer {
 		codePadding:    4096,
 		requestTimeout: 5 * time.Second,
 		clock:          realClock{},
+		invCfg: InvokeConfig{
+			Workers:     defaultInvokeWorkers,
+			QueueDepth:  defaultInvokeQueueDepth,
+			MaxInflight: defaultInvokeMaxInflight,
+		},
 		exports:        make(map[string]*export),
 		conns:          make(map[*Conn]struct{}),
 		codeSeen:       make(map[string]bool),
@@ -467,7 +473,7 @@ func (p *Peer) handleRequest(c *Conn, m *Message) {
 	case MsgCodeRequest:
 		p.handleCode(c, m)
 	case MsgInvokeRequest:
-		p.handleInvoke(c, m)
+		p.dispatchInvoke(c, m)
 	case MsgLookupRequest:
 		p.handleLookup(c, m)
 	default:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 
 	"pti/internal/conform"
 	"pti/internal/proxy"
@@ -25,10 +26,14 @@ type invokePayload struct {
 	Args   [][]byte
 }
 
-// invokeReply is the wire form of invocation results.
+// invokeReply is the wire form of invocation results. Code carries
+// the wire error code (errcode.go) classifying a non-empty Failure,
+// so the caller rehydrates the error identity; zero means "no known
+// sentinel" and decodes as plain ErrRemote.
 type invokeReply struct {
 	Results [][]byte
 	Failure string
+	Code    int
 }
 
 // The invocation envelope types never change, so their codec programs
@@ -172,6 +177,23 @@ func (r *RemoteRef) Mapping() *conform.Mapping { return r.mapping }
 // arguments. The mapping translates the method name and argument
 // order; arguments and results are serialized with the peer's codec.
 func (r *RemoteRef) Call(method string, args ...interface{}) ([]interface{}, error) {
+	pc, err := r.CallAsync(method, args...)
+	if err != nil {
+		return nil, err
+	}
+	return pc.Wait()
+}
+
+// CallAsync starts an invocation and returns without waiting for the
+// reply, so callers can keep several invokes in flight on one
+// connection (replies correlate by seq and complete out of order — a
+// slow method does not head-of-line-block fast ones behind it). The
+// connection's pacer bounds how many may be in flight: a full window
+// blocks here, or fails with ErrInvokeQueueFull under
+// WithInvokeFailFast. Errors that need no round trip (unknown method,
+// arity mismatch, encode failure) surface here; everything else comes
+// from Wait.
+func (r *RemoteRef) CallAsync(method string, args ...interface{}) (*PendingCall, error) {
 	p := r.conn.peer
 	name := method
 	ordered := args
@@ -181,10 +203,20 @@ func (r *RemoteRef) Call(method string, args ...interface{}) ([]interface{}, err
 			return nil, fmt.Errorf("%w: %s", proxy.ErrNoSuchMethod, method)
 		}
 		name = mm.Candidate
-		if len(mm.Perm) == len(args) && len(args) > 0 {
-			ordered = make([]interface{}, len(args))
-			for i, slot := range mm.Perm {
-				ordered[slot] = args[i]
+		// An identity mapping carries no Perm (it does not know the
+		// arity; the server's typed check still applies). An explicit
+		// mapping's Perm is authoritative: a length mismatch is an
+		// arity error, never a silent unpermuted send.
+		if !r.mapping.Identity {
+			if len(mm.Perm) != len(args) {
+				return nil, fmt.Errorf("%w: %s takes %d args, got %d",
+					ErrArityMismatch, method, len(mm.Perm), len(args))
+			}
+			if len(args) > 0 {
+				ordered = make([]interface{}, len(args))
+				for i, slot := range mm.Perm {
+					ordered[slot] = args[i]
+				}
 			}
 		}
 	}
@@ -202,7 +234,41 @@ func (r *RemoteRef) Call(method string, args ...interface{}) ([]interface{}, err
 		return nil, err
 	}
 
-	reply, err := r.conn.request(MsgInvokeRequest, body)
+	if err := r.conn.pacer.acquire(); err != nil {
+		return nil, err
+	}
+	// The pacer slot is released when the exchange settles (reply
+	// arrived or failed), via the startRequest hook — including on
+	// immediate send failure.
+	pr, err := r.conn.startRequest(MsgInvokeRequest, body, r.conn.pacer.release)
+	if err != nil {
+		return nil, err
+	}
+	return &PendingCall{ref: r, pr: pr}, nil
+}
+
+// PendingCall is one in-flight pipelined invocation. Wait is safe to
+// call from any goroutine, more than once; the result is resolved
+// exactly once.
+type PendingCall struct {
+	ref *RemoteRef
+
+	pr      *pendingReply
+	once    sync.Once
+	results []interface{}
+	err     error
+}
+
+// Wait blocks until the invocation's reply arrives (or its timeout,
+// counted from the send, expires) and returns the results.
+func (pc *PendingCall) Wait() ([]interface{}, error) {
+	pc.once.Do(func() { pc.results, pc.err = pc.finish() })
+	return pc.results, pc.err
+}
+
+func (pc *PendingCall) finish() ([]interface{}, error) {
+	p := pc.ref.conn.peer
+	reply, err := pc.pr.await()
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +278,7 @@ func (r *RemoteRef) Call(method string, args ...interface{}) ([]interface{}, err
 	}
 	rep := out.(invokeReply)
 	if rep.Failure != "" {
-		return nil, fmt.Errorf("%w: %s", ErrRemote, rep.Failure)
+		return nil, &RemoteError{code: wireErrCode(rep.Code), Msg: rep.Failure}
 	}
 	results := make([]interface{}, len(rep.Results))
 	for i, raw := range rep.Results {
@@ -254,18 +320,19 @@ func (p *Peer) handleInvoke(c *Conn, m *Message) {
 
 	exp, ok := p.lookupExport(payload.Object)
 	if !ok {
-		_ = c.replyError(m, fmt.Errorf("%s: %s", ErrNoSuchExport, payload.Object))
+		_ = c.replyError(m, fmt.Errorf("%w: %s", ErrNoSuchExport, payload.Object))
 		return
 	}
 	target := reflect.ValueOf(exp.invoker.Target())
 	fn := target.MethodByName(payload.Method)
 	if !fn.IsValid() {
-		_ = c.replyError(m, fmt.Errorf("no method %s on %s", payload.Method, exp.desc.Name))
+		_ = c.replyError(m, fmt.Errorf("%w: %s on %s", proxy.ErrNoSuchMethod, payload.Method, exp.desc.Name))
 		return
 	}
 	ft := fn.Type()
 	if ft.NumIn() != len(payload.Args) {
-		_ = c.replyError(m, fmt.Errorf("%s takes %d args, got %d", payload.Method, ft.NumIn(), len(payload.Args)))
+		_ = c.replyError(m, fmt.Errorf("%w: %s takes %d args, got %d",
+			ErrArityMismatch, payload.Method, ft.NumIn(), len(payload.Args)))
 		return
 	}
 	args := make([]interface{}, len(payload.Args))
@@ -282,10 +349,11 @@ func (p *Peer) handleInvoke(c *Conn, m *Message) {
 	}
 
 	p.emit(EventInvoked, exp.desc.Ref(), payload.Method)
-	results, err := exp.invoker.Call(payload.Method, args...)
+	results, err := p.callExport(exp, payload.Method, args)
 	rep := invokeReply{}
 	if err != nil {
 		rep.Failure = err.Error()
+		rep.Code = int(codeForError(err))
 	} else {
 		rep.Results = make([][]byte, len(results))
 		for i, res := range results {
@@ -305,12 +373,25 @@ func (p *Peer) handleInvoke(c *Conn, m *Message) {
 	_ = c.reply(m, MsgInvokeReply, body)
 }
 
+// callExport runs the exported method, converting a panic into an
+// error so a misbehaving method produces a Failure reply instead of
+// killing its worker goroutine — the peer keeps serving.
+func (p *Peer) callExport(exp *export, method string, args []interface{}) (results []interface{}, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.stats.invokePanics.Add(1)
+			err = fmt.Errorf("%w: %s: %v", ErrRemotePanic, method, r)
+		}
+	}()
+	return exp.invoker.Call(method, args...)
+}
+
 // handleLookup services MsgLookupRequest: return the exported
 // object's type reference.
 func (p *Peer) handleLookup(c *Conn, m *Message) {
 	exp, ok := p.lookupExport(string(m.Body))
 	if !ok {
-		_ = c.replyError(m, fmt.Errorf("%s: %q", ErrNoSuchExport, m.Body))
+		_ = c.replyError(m, fmt.Errorf("%w: %q", ErrNoSuchExport, m.Body))
 		return
 	}
 	_ = c.reply(m, MsgLookupReply, encodeRef(exp.desc.Ref()))

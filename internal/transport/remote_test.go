@@ -168,7 +168,9 @@ func TestRemoteBadArity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ref.Call("SetName", "a", "b"); !errors.Is(err, ErrRemote) {
+	// The mapping knows SetName's arity, so the mismatch is caught
+	// locally with a typed error — no misordered invocation travels.
+	if _, err := ref.Call("SetName", "a", "b"); !errors.Is(err, ErrArityMismatch) {
 		t.Errorf("bad arity: %v", err)
 	}
 }

@@ -16,6 +16,8 @@ type Stats struct {
 	typeInfoRequests   atomic.Uint64
 	codeRequests       atomic.Uint64
 	invokes            atomic.Uint64
+	invokesShed        atomic.Uint64
+	invokePanics       atomic.Uint64
 	descriptorHits     atomic.Uint64
 	relDataSent        atomic.Uint64
 	relRetransmits     atomic.Uint64
@@ -38,6 +40,8 @@ type StatsSnapshot struct {
 	TypeInfoRequests uint64
 	CodeRequests     uint64
 	Invokes          uint64
+	InvokesShed      uint64 // invoke requests refused by load shedding
+	InvokePanics     uint64 // exported methods that panicked (recovered)
 	DescriptorHits   uint64
 	// Reliable-layer counters (zero unless WithReliableLinks is on or
 	// a reliable remote is sending to this peer).
@@ -65,6 +69,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		TypeInfoRequests:   s.typeInfoRequests.Load(),
 		CodeRequests:       s.codeRequests.Load(),
 		Invokes:            s.invokes.Load(),
+		InvokesShed:        s.invokesShed.Load(),
+		InvokePanics:       s.invokePanics.Load(),
 		DescriptorHits:     s.descriptorHits.Load(),
 		RelDataSent:        s.relDataSent.Load(),
 		RelRetransmits:     s.relRetransmits.Load(),
@@ -88,6 +94,8 @@ func (s *Stats) Reset() {
 	s.typeInfoRequests.Store(0)
 	s.codeRequests.Store(0)
 	s.invokes.Store(0)
+	s.invokesShed.Store(0)
+	s.invokePanics.Store(0)
 	s.descriptorHits.Store(0)
 	s.relDataSent.Store(0)
 	s.relRetransmits.Store(0)

@@ -530,6 +530,56 @@ func WithDrainOnClose(d time.Duration) PeerOption {
 	return transport.WithDrainOnClose(d)
 }
 
+// PendingCall is one in-flight pipelined invocation started by
+// RemoteRef.CallAsync; Wait collects its out-of-order reply.
+type PendingCall = transport.PendingCall
+
+// RemoteError is a failure reported by the remote peer, rehydrated
+// with its error identity intact: it matches ErrRemoteFailure and,
+// when the wire carried a known code, the original sentinel
+// (ErrNoSuchExport, ErrInvokeQueueFull, ...) under errors.Is.
+type RemoteError = transport.RemoteError
+
+// Remoting error sentinels, matchable with errors.Is on the caller
+// side even when the failure happened on the server (see
+// docs/remote.md).
+var (
+	// ErrRemoteFailure marks any failure reported by the remote side.
+	ErrRemoteFailure = transport.ErrRemote
+	// ErrNoSuchExport reports an unknown exported object name.
+	ErrNoSuchExport = transport.ErrNoSuchExport
+	// ErrInvokeQueueFull is the invoke path's load-shed hint: the
+	// server's worker+queue budget, or the local pacing window in
+	// fail-fast mode, was exhausted. Back off and retry.
+	ErrInvokeQueueFull = transport.ErrInvokeQueueFull
+	// ErrArityMismatch reports an argument-count mismatch against the
+	// conformance mapping or the target method.
+	ErrArityMismatch = transport.ErrArityMismatch
+	// ErrRemotePanic reports that the exported method panicked; the
+	// serving peer recovered and keeps serving.
+	ErrRemotePanic = transport.ErrRemotePanic
+)
+
+// WithInvokeConcurrency bounds the server side of the pipelined
+// invoke path per connection: workers concurrent executions,
+// queueDepth waiting beyond that, the rest shed with a reply matching
+// ErrInvokeQueueFull.
+func WithInvokeConcurrency(workers, queueDepth int) PeerOption {
+	return transport.WithInvokeConcurrency(workers, queueDepth)
+}
+
+// WithInvokePacing bounds the client side: at most maxInflight
+// invokes in flight per connection, tightened to budget/SRTT once the
+// reliable link has measured the round trip (budget 0 disables the
+// SRTT term).
+func WithInvokePacing(maxInflight int, budget time.Duration) PeerOption {
+	return transport.WithInvokePacing(maxInflight, budget)
+}
+
+// WithInvokeFailFast makes a full client-side pacing window fail
+// immediately with ErrInvokeQueueFull instead of blocking.
+func WithInvokeFailFast() PeerOption { return transport.WithInvokeFailFast() }
+
 // FabricOption customizes a simulation fabric built by
 // Runtime.NewFabric.
 type FabricOption = transport.FabricOption
