@@ -19,6 +19,11 @@ BENCH_FANOUT_OUT ?= BENCH_PR5.json
 # counts, pipelined-vs-serialized comparison).
 BENCH_INVOKE_OUT ?= BENCH_PR6.json
 
+# Output artifact of `make bench-recv` — the PR 7 compiled receive
+# path metrics (compiled vs reflective decode per codec, end-to-end
+# Unmarshal time and allocation budget).
+BENCH_RECV_OUT ?= BENCH_PR7.json
+
 # Scratch artifacts `make bench-check` regenerates and diffs against
 # the committed baselines. Deliberately NOT the baseline files: the
 # gate must never overwrite a baseline and then diff it against
@@ -26,6 +31,7 @@ BENCH_INVOKE_OUT ?= BENCH_PR6.json
 BENCH_CHECK_OUT ?= /tmp/pti-bench-check.json
 BENCH_FANOUT_CHECK_OUT ?= /tmp/pti-fanout-check.json
 BENCH_INVOKE_CHECK_OUT ?= /tmp/pti-invoke-check.json
+BENCH_RECV_CHECK_OUT ?= /tmp/pti-recv-check.json
 
 # Coverage profile location and the ratcheting floor `make cover`
 # enforces via cmd/covercheck. Raise the floor as coverage grows;
@@ -36,7 +42,7 @@ COVER_MIN ?= 78.0
 # Pinned staticcheck build, fetched on demand by `go run`.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-invoke bench-check soak build
+.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-invoke bench-recv bench-check soak build
 
 help:
 	@echo "Targets:"
@@ -64,9 +70,12 @@ help:
 	@echo "              goodput at capacity vs 2x overload, shed counts,"
 	@echo "              pipelined-vs-serialized comparison)"
 	@echo "              -> $(BENCH_INVOKE_OUT) (override with BENCH_INVOKE_OUT=file)"
-	@echo "  bench-check regenerate scenario + fan-out + invoke metrics into"
+	@echo "  bench-recv  compiled receive path: compiled vs reflective decode per"
+	@echo "              codec plus end-to-end Unmarshal time and alloc budget"
+	@echo "              -> $(BENCH_RECV_OUT) (override with BENCH_RECV_OUT=file)"
+	@echo "  bench-check regenerate scenario + fan-out + invoke + recv metrics into"
 	@echo "              scratch files (never the baselines) and diff against the"
-	@echo "              committed BENCH_PR4.json, BENCH_PR5.json and BENCH_PR6.json"
+	@echo "              committed BENCH_PR4.json through BENCH_PR7.json"
 
 check: vet lint test-race
 
@@ -143,6 +152,12 @@ bench-fanout:
 bench-invoke:
 	$(GO) run ./cmd/ptibench -exp invoke -reps 2 -seed 42 -json $(BENCH_INVOKE_OUT)
 
+# Compiled receive-path metrics: compiled vs reflective decode for
+# both codecs and the end-to-end Unmarshal comparison (time and
+# allocations) the compiled envelope/decode caches are accountable to.
+bench-recv:
+	$(GO) run ./cmd/ptibench -exp recv -reps 2 -seed 42 -json $(BENCH_RECV_OUT)
+
 # The bench-regression gate: fresh metrics vs the committed baselines.
 bench-check:
 	@if [ "$(BENCH_CHECK_OUT)" = "BENCH_PR4.json" ]; then \
@@ -154,9 +169,14 @@ bench-check:
 	@if [ "$(BENCH_INVOKE_CHECK_OUT)" = "BENCH_PR6.json" ]; then \
 		echo "bench-check: BENCH_INVOKE_CHECK_OUT must not be the committed baseline"; exit 2; \
 	fi
+	@if [ "$(BENCH_RECV_CHECK_OUT)" = "BENCH_PR7.json" ]; then \
+		echo "bench-check: BENCH_RECV_CHECK_OUT must not be the committed baseline"; exit 2; \
+	fi
 	$(MAKE) bench-json BENCH_OUT=$(BENCH_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR4.json -candidate $(BENCH_CHECK_OUT)
 	$(MAKE) bench-fanout BENCH_FANOUT_OUT=$(BENCH_FANOUT_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR5.json -candidate $(BENCH_FANOUT_CHECK_OUT)
 	$(MAKE) bench-invoke BENCH_INVOKE_OUT=$(BENCH_INVOKE_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR6.json -candidate $(BENCH_INVOKE_CHECK_OUT)
+	$(MAKE) bench-recv BENCH_RECV_OUT=$(BENCH_RECV_CHECK_OUT)
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR7.json -candidate $(BENCH_RECV_CHECK_OUT)

@@ -83,6 +83,20 @@ type invokePipeline struct {
 	PipelinedMs  float64 `json:"pipelined_ms"`
 }
 
+type recvRow struct {
+	Name         string  `json:"name"`
+	CompiledNs   float64 `json:"compiled_ns"`
+	ReflectiveNs float64 `json:"reflective_ns"`
+	Speedup      float64 `json:"speedup"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// recvSOAPFloor is the PR 7 acceptance bar: the compiled SOAP decode
+// must beat the reflective pipeline by at least this factor. The
+// other receive rows must merely win outright (> 1x) — timing noise
+// headroom without letting the compiled path silently lose.
+const recvSOAPFloor = 2.0
+
 // invokeNoCollapseFraction is the congestion-collapse floor: goodput
 // at 2x overload must be at least this fraction of goodput at
 // capacity on the same profile.
@@ -95,6 +109,7 @@ type doc struct {
 	SingleLoss     *singleLoss     `json:"single_loss"`
 	InvokeRows     []invokeRow     `json:"invoke_rows"`
 	InvokePipeline *invokePipeline `json:"invoke_pipeline"`
+	RecvRows       []recvRow       `json:"recv_rows"`
 }
 
 func load(path string) (doc, error) {
@@ -107,8 +122,8 @@ func load(path string) (doc, error) {
 		return d, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(d.Scenarios) == 0 && len(d.Rows) == 0 && d.SingleLoss == nil &&
-		len(d.InvokeRows) == 0 && d.InvokePipeline == nil {
-		return d, fmt.Errorf("%s: no scenarios, fan-out or invoke rows", path)
+		len(d.InvokeRows) == 0 && d.InvokePipeline == nil && len(d.RecvRows) == 0 {
+		return d, fmt.Errorf("%s: no scenarios, fan-out, invoke or recv rows", path)
 	}
 	return d, nil
 }
@@ -151,6 +166,7 @@ func main() {
 	failures += diffScenarios(base, cand, *tol, &checked)
 	failures += diffFanout(base, cand, &checked)
 	failures += diffInvoke(base, cand, &checked)
+	failures += diffRecv(base, cand, &checked)
 	if failures > 0 {
 		fmt.Printf("benchdiff: %d regression(s) against %s\n", failures, *baseline)
 		os.Exit(1)
@@ -340,6 +356,61 @@ func diffInvoke(base, cand doc, checked *int) int {
 		default:
 			fmt.Printf("ok   %-24s pipelined %.0fms vs serialized %.0fms (%.1fx)\n",
 				"pipelined-vs-serial", pl.PipelinedMs, pl.SerializedMs, pl.SerializedMs/pl.PipelinedMs)
+		}
+	}
+	return failures
+}
+
+// diffRecv gates the PR 7 compiled receive path: the SOAP decode must
+// hold the 2x floor, every compiled row must beat its reflective
+// counterpart outright, and the end-to-end allocation budget must not
+// grow past the committed baseline.
+func diffRecv(base, cand doc, checked *int) int {
+	failures := 0
+	got := make(map[string]recvRow, len(cand.RecvRows))
+	for _, r := range cand.RecvRows {
+		got[r.Name] = r
+	}
+	for _, want := range base.RecvRows {
+		*checked++
+		have, ok := got[want.Name]
+		floor := 1.0
+		if want.Name == "soap-decode" {
+			floor = recvSOAPFloor
+		}
+		ratio := 0.0
+		if ok && have.CompiledNs > 0 {
+			ratio = have.ReflectiveNs / have.CompiledNs
+		}
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-24s missing from candidate\n", want.Name)
+			failures++
+		case have.CompiledNs <= 0 || have.ReflectiveNs <= 0:
+			fmt.Printf("FAIL %-24s degenerate timings: compiled %.0fns, reflective %.0fns\n",
+				want.Name, have.CompiledNs, have.ReflectiveNs)
+			failures++
+		case ratio < floor:
+			fmt.Printf("FAIL %-24s compiled only %.2fx reflective (floor %.1fx)\n",
+				want.Name, ratio, floor)
+			failures++
+		case want.AllocsPerOp > 0 && have.AllocsPerOp > want.AllocsPerOp:
+			fmt.Printf("FAIL %-24s allocates %.1f/op, baseline budget %.1f/op\n",
+				want.Name, have.AllocsPerOp, want.AllocsPerOp)
+			failures++
+		default:
+			fmt.Printf("ok   %-24s compiled %.2fx reflective (floor %.1fx, allocs %.1f/op)\n",
+				want.Name, ratio, floor, have.AllocsPerOp)
+		}
+	}
+	known := make(map[string]bool, len(base.RecvRows))
+	for _, r := range base.RecvRows {
+		known[r.Name] = true
+	}
+	for _, r := range cand.RecvRows {
+		if !known[r.Name] {
+			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit the baseline\n", r.Name)
+			failures++
 		}
 	}
 	return failures

@@ -57,6 +57,7 @@ func run(exp string, reps int) error {
 		{"scenario", "Fabric fault-profile scenarios (delivery + match rate)", expScenario},
 		{"fanout", "Broadcast fan-out over the async send pipeline (queue/RTO/NACK)", expFanout},
 		{"invoke", "Pipelined invoke path under load (latency/goodput/shedding)", expInvoke},
+		{"recv", "Compiled receive path (decode + end-to-end unmarshal)", expRecv},
 		{"match", "Conformance relation match rates (Section 2 comparisons)", expMatchRate},
 		{"ablations", "Design-choice ablations", expAblations},
 	}

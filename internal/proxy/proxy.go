@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"pti/internal/conform"
 	"pti/internal/registry"
@@ -290,6 +291,22 @@ type Binder struct {
 
 	mu       sync.RWMutex
 	mappings map[string]*conform.Mapping // sourceTypeName|targetName -> mapping
+
+	// lastMapping is a single-entry memo over mappingFor keyed by the
+	// exact (source name, target description pointer) pair: the
+	// steady-state receive path asks for the same mapping on every
+	// message, and the map lookup's concatenated key is the only
+	// allocation left on that path.
+	lastMapping atomic.Pointer[mappingMemo]
+}
+
+// mappingMemo is one memoized Mapping result. The target is compared
+// by pointer: re-registration installs a fresh description, which
+// misses the memo and falls through to mappingFor.
+type mappingMemo struct {
+	src    string
+	target *typedesc.TypeDescription
+	m      *conform.Mapping
 }
 
 // NewBinder builds a Binder. The checker must resolve both local
@@ -330,6 +347,22 @@ func (b *Binder) Bind(obj *wire.Object, expected typedesc.TypeRef) (interface{},
 // with wire codecs directly (the transport layer decodes invocation
 // arguments this way).
 func (b *Binder) FieldResolver() wire.FieldResolver { return b.resolveField }
+
+// Mapping exposes the memoized conformance mapping Bind would apply
+// to objects of the named source type materialized as the target
+// description. The compiled receive path needs it without a generic
+// object in hand; a non-nil error means the source does not conform
+// and Bind would refuse it too.
+func (b *Binder) Mapping(sourceName string, target *typedesc.TypeDescription) (*conform.Mapping, error) {
+	if mm := b.lastMapping.Load(); mm != nil && mm.src == sourceName && mm.target == target {
+		return mm.m, nil
+	}
+	m, err := b.mappingFor(sourceName, target)
+	if err == nil {
+		b.lastMapping.Store(&mappingMemo{src: sourceName, target: target, m: m})
+	}
+	return m, err
+}
 
 // BindValue materializes any generic value (object, list, map or
 // primitive) into the given Go type with mapped field names.

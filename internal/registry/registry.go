@@ -226,6 +226,20 @@ type Registry struct {
 	// entry-level envelope snapshots compare against it to notice
 	// nested types changing underneath them.
 	gen atomic.Uint64
+
+	// goMemo caches LookupGo results per Go type: deriving a type's
+	// reference fingerprints its whole structure, far too expensive
+	// for the per-receive lookups on the compiled path. Entries carry
+	// the generation they were computed at and are ignored after any
+	// registry mutation.
+	goMemo sync.Map // reflect.Type -> goMemoEntry
+}
+
+// goMemoEntry is one memoized LookupGo result (entry may be nil for a
+// memoized miss), valid only while gen matches the registry's.
+type goMemoEntry struct {
+	entry *Entry
+	gen   uint64
 }
 
 // Generation returns the registry's mutation counter.
@@ -437,12 +451,25 @@ func (r *Registry) Lookup(ref typedesc.TypeRef) (*Entry, bool) {
 	return nil, false
 }
 
-// LookupGo finds the entry registered for a Go type.
+// LookupGo finds the entry registered for a Go type. Results (hits
+// and misses alike) are memoized per type until the registry mutates,
+// so the steady-state receive path never re-fingerprints a type.
 func (r *Registry) LookupGo(t reflect.Type) (*Entry, bool) {
 	for t.Kind() == reflect.Ptr {
 		t = t.Elem()
 	}
-	return r.Lookup(typedesc.RefOf(t))
+	gen := r.gen.Load()
+	if v, ok := r.goMemo.Load(t); ok {
+		if m := v.(goMemoEntry); m.gen == gen {
+			return m.entry, m.entry != nil
+		}
+	}
+	e, ok := r.Lookup(typedesc.RefOf(t))
+	if !ok {
+		e = nil
+	}
+	r.goMemo.Store(t, goMemoEntry{entry: e, gen: gen})
+	return e, ok
 }
 
 // Entries returns a snapshot of all registered entries.

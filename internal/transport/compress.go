@@ -5,6 +5,9 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+	"sync"
+
+	"pti/internal/bufpool"
 )
 
 // This file adds optional DEFLATE compression of object-message
@@ -32,17 +35,50 @@ func deflateBytes(data []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func inflateBytes(data []byte) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(data))
-	defer r.Close()
-	out, err := io.ReadAll(io.LimitReader(r, maxDecompressedBody+1))
-	if err != nil {
-		return nil, fmt.Errorf("%w: bad compressed body: %v", ErrBadFrame, err)
+// flateReader pools one DEFLATE decompressor together with the
+// bytes.Reader that feeds it; a flate reader carries large internal
+// state (window, Huffman tables) that Reset reuses in full.
+type flateReader struct {
+	src bytes.Reader
+	r   io.ReadCloser
+}
+
+var flateReaders = sync.Pool{
+	New: func() interface{} { return new(flateReader) },
+}
+
+// inflateInto decompresses data into dst's storage, growing it as
+// needed, and returns the (re)grown buffer; on error the buffer comes
+// back emptied so the caller's scratch keeps its capacity. The
+// maxDecompressedBody bound rejects expansion bombs exactly as the
+// previous io.ReadAll form did; with a warmed scratch the
+// steady-state compressed receive allocates nothing here.
+func inflateInto(dst, data []byte) ([]byte, error) {
+	fr := flateReaders.Get().(*flateReader)
+	defer flateReaders.Put(fr)
+	fr.src.Reset(data)
+	if fr.r == nil {
+		fr.r = flate.NewReader(&fr.src)
+	} else if err := fr.r.(flate.Resetter).Reset(&fr.src, nil); err != nil {
+		return dst[:0], fmt.Errorf("%w: bad compressed body: %v", ErrBadFrame, err)
 	}
-	if len(out) > maxDecompressedBody {
-		return nil, fmt.Errorf("%w: compressed body inflates beyond %d bytes", ErrFrameTooLarge, maxDecompressedBody)
+	out := dst[:0]
+	for {
+		if len(out) == cap(out) {
+			out = bufpool.Grow(out, 1024)[:len(out)]
+		}
+		n, err := fr.r.Read(out[len(out):cap(out)])
+		out = out[:len(out)+n]
+		if len(out) > maxDecompressedBody {
+			return out[:0], fmt.Errorf("%w: compressed body inflates beyond %d bytes", ErrFrameTooLarge, maxDecompressedBody)
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out[:0], fmt.Errorf("%w: bad compressed body: %v", ErrBadFrame, err)
+		}
 	}
-	return out, nil
 }
 
 // WithCompression makes the peer DEFLATE-compress the object messages

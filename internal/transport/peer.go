@@ -73,6 +73,13 @@ type Peer struct {
 	drainOnClose   time.Duration
 	stats          Stats
 
+	// envReader recognizes repeated envelope shapes on the receive
+	// path (the receive-side counterpart of the entry's envelope
+	// template); recvFP fingerprints this peer's binder for the
+	// compiled decoders' materializer-table memoization.
+	envReader xmlenc.EnvelopeReader
+	recvFP    string
+
 	// activeHandlers counts running message handlers and
 	// parkedHandlers the subset blocked on a clock-backed wait (a
 	// request reply, a single-flight claim). Their difference is the
@@ -201,13 +208,14 @@ func NewPeer(reg *registry.Registry, opts ...PeerOption) *Peer {
 			QueueDepth:  defaultInvokeQueueDepth,
 			MaxInflight: defaultInvokeMaxInflight,
 		},
-		exports:        make(map[string]*export),
-		conns:          make(map[*Conn]struct{}),
-		codeSeen:       make(map[string]bool),
-		codeBlobs:      make(map[string]codeBlobCache),
-		inflight:       make(map[string]chan struct{}),
-		closeCh:        make(chan struct{}),
+		exports:   make(map[string]*export),
+		conns:     make(map[*Conn]struct{}),
+		codeSeen:  make(map[string]bool),
+		codeBlobs: make(map[string]codeBlobCache),
+		inflight:  make(map[string]chan struct{}),
+		closeCh:   make(chan struct{}),
 	}
+	p.recvFP = fmt.Sprintf("peer-binder-%d", recvFPSeq.Add(1))
 	p.rebuildChecker(conform.Relaxed(1))
 	for _, opt := range opts {
 		opt(p)
@@ -674,6 +682,26 @@ func (p *Peer) codeBlobFor(entry *registry.Entry) []byte {
 
 // --- receiver side (Figure 1 steps 2-5) ------------------------------
 
+// recvScratch carries the receive path's reusable buffers across the
+// stages of one handleObject call. Handlers run concurrently, so the
+// scratch is pooled per call rather than held per connection. Both
+// buffers are dead by the time the call returns: every decoder
+// downstream (compiled and generic alike) copies what it keeps.
+type recvScratch struct {
+	inflate []byte
+	payload []byte
+}
+
+var recvScratchPool = sync.Pool{
+	New: func() interface{} { return new(recvScratch) },
+}
+
+// recvFPSeq hands every peer a distinct resolver fingerprint: binders
+// of different peers can map the same source type differently, so
+// their materializer tables must never be conflated on a shared
+// compiled program.
+var recvFPSeq atomic.Uint64
+
 func (p *Peer) handleObject(c *Conn, m *Message) {
 	p.stats.objectsReceived.Add(1)
 	if len(m.Body) == 0 {
@@ -681,12 +709,16 @@ func (p *Peer) handleObject(c *Conn, m *Message) {
 		p.emit(EventDropped, typedesc.TypeRef{}, "empty body")
 		return
 	}
+	sc := recvScratchPool.Get().(*recvScratch)
+	defer recvScratchPool.Put(sc)
 	body := m.Body[1:]
 	eagerDelivery := isEagerFlag(m.Body[0])
 	if isCompressedFlag(m.Body[0]) {
-		inflated, err := inflateBytes(body)
+		inflated, err := inflateInto(sc.inflate, body)
+		sc.inflate = inflated
 		if err != nil {
 			p.stats.objectsDropped.Add(1)
+			p.emit(EventDropped, typedesc.TypeRef{}, "bad compressed body")
 			return
 		}
 		body = inflated
@@ -696,23 +728,31 @@ func (p *Peer) handleObject(c *Conn, m *Message) {
 		descXML, rest, err := readChunk(body)
 		if err != nil {
 			p.stats.objectsDropped.Add(1)
+			p.emit(EventDropped, typedesc.TypeRef{}, "bad eager chunk")
 			return
 		}
 		if d, err := xmlenc.UnmarshalDescription(descXML); err == nil {
 			inlineDesc = d
-			_ = p.remote.Add(d)
+			if err := p.remote.Add(d); err != nil {
+				// Not fatal — the inline copy still drives this
+				// delivery — but a refused description (an identity
+				// clash, typically) must not vanish silently.
+				p.stats.descRejected.Add(1)
+			}
 		}
 		// The inline code blob: consumed (and ignored — code is the
 		// local implementation in this reproduction).
 		_, rest, err = readChunk(rest)
 		if err != nil {
 			p.stats.objectsDropped.Add(1)
+			p.emit(EventDropped, typedesc.TypeRef{}, "bad eager chunk")
 			return
 		}
 		body = rest
 	}
 
-	env, err := xmlenc.UnmarshalEnvelope(body)
+	env, payloadBuf, err := p.envReader.Unmarshal(body, sc.payload)
+	sc.payload = payloadBuf
 	if err != nil {
 		p.stats.objectsDropped.Add(1)
 		p.emit(EventDropped, typedesc.TypeRef{}, "malformed envelope")
@@ -788,15 +828,6 @@ func (p *Peer) buildDelivery(c *Conn, env *xmlenc.Envelope, desc *typedesc.TypeD
 	if err != nil {
 		return Delivery{}, err
 	}
-	gv, err := codec.DecodeGeneric(env.Payload)
-	if err != nil {
-		return Delivery{}, fmt.Errorf("transport: decode payload: %w", err)
-	}
-	obj, ok := gv.(*wire.Object)
-	if !ok {
-		return Delivery{}, fmt.Errorf("transport: payload is %T, not an object", gv)
-	}
-
 	d := Delivery{
 		From:     c,
 		TypeName: desc.Name,
@@ -804,7 +835,7 @@ func (p *Peer) buildDelivery(c *Conn, env *xmlenc.Envelope, desc *typedesc.TypeD
 		Mapping:  r.Mapping,
 	}
 	if e, ok := p.reg.Lookup(in.desc.Ref()); ok {
-		bound, mapping, err := p.binder.Bind(obj, in.desc.Ref())
+		bound, mapping, err := p.bindPayload(e, codec, env)
 		if err != nil {
 			return Delivery{}, err
 		}
@@ -825,12 +856,58 @@ func (p *Peer) buildDelivery(c *Conn, env *xmlenc.Envelope, desc *typedesc.TypeD
 		d.Invoker = inv
 		return d, nil
 	}
+	obj, err := p.decodeObject(codec, env.Payload)
+	if err != nil {
+		return Delivery{}, err
+	}
 	view, err := proxy.NewView(obj, r.Mapping)
 	if err != nil {
 		return Delivery{}, err
 	}
 	d.View = view
 	return d, nil
+}
+
+// decodeObject runs the generic (reflective) payload decode — the
+// authority the compiled path defers to.
+func (p *Peer) decodeObject(codec wire.Codec, payload []byte) (*wire.Object, error) {
+	gv, err := codec.DecodeGeneric(payload)
+	if err != nil {
+		return nil, fmt.Errorf("transport: decode payload: %w", err)
+	}
+	obj, ok := gv.(*wire.Object)
+	if !ok {
+		return nil, fmt.Errorf("transport: payload is %T, not an object", gv)
+	}
+	return obj, nil
+}
+
+// bindPayload materializes the payload as the registered Go type of
+// the matched interest. The steady state runs compiled end to end:
+// the entry's wire program decodes the stream straight into a fresh
+// instance — the only allocation left — with field names resolved
+// through the binder's conformance mapping and memoized per source
+// type. Anything the compiled decoder cannot reproduce with certainty
+// (including a payload whose embedded type name differs from the
+// envelope's declared type) falls back to the generic decode + Bind
+// pipeline, which stays the authority for values, errors and
+// conformance.
+func (p *Peer) bindPayload(e *registry.Entry, codec wire.Codec, env *xmlenc.Envelope) (interface{}, *conform.Mapping, error) {
+	if prog, err := e.Program(); err == nil {
+		if m, err := p.binder.Mapping(env.Type.Name, e.Description); err == nil {
+			out, ok := codec.DecodeObjectFast(prog, env.Payload,
+				reflect.PtrTo(e.Type), p.binder.FieldResolver(), p.recvFP, env.Type.Name)
+			if ok {
+				p.stats.compiledDeliveries.Add(1)
+				return out, m, nil
+			}
+		}
+	}
+	obj, err := p.decodeObject(codec, env.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.binder.Bind(obj, e.Description.Ref())
 }
 
 // ensureDescription returns the description for ref, asking the

@@ -13,6 +13,8 @@ type Stats struct {
 	objectsReceived    atomic.Uint64
 	objectsDelivered   atomic.Uint64
 	objectsDropped     atomic.Uint64
+	compiledDeliveries atomic.Uint64
+	descRejected       atomic.Uint64
 	typeInfoRequests   atomic.Uint64
 	codeRequests       atomic.Uint64
 	invokes            atomic.Uint64
@@ -37,6 +39,14 @@ type StatsSnapshot struct {
 	ObjectsReceived  uint64
 	ObjectsDelivered uint64
 	ObjectsDropped   uint64
+	// CompiledDeliveries counts deliveries whose payload was decoded
+	// straight into the registered Go type by the compiled receive
+	// path (no generic tree, no rebind).
+	CompiledDeliveries uint64
+	// DescRejected counts inline type descriptions the remote
+	// repository refused (e.g. identity clashes); the delivery itself
+	// proceeds on the inline copy.
+	DescRejected     uint64
 	TypeInfoRequests uint64
 	CodeRequests     uint64
 	Invokes          uint64
@@ -66,6 +76,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		ObjectsReceived:    s.objectsReceived.Load(),
 		ObjectsDelivered:   s.objectsDelivered.Load(),
 		ObjectsDropped:     s.objectsDropped.Load(),
+		CompiledDeliveries: s.compiledDeliveries.Load(),
+		DescRejected:       s.descRejected.Load(),
 		TypeInfoRequests:   s.typeInfoRequests.Load(),
 		CodeRequests:       s.codeRequests.Load(),
 		Invokes:            s.invokes.Load(),
@@ -91,6 +103,8 @@ func (s *Stats) Reset() {
 	s.objectsReceived.Store(0)
 	s.objectsDelivered.Store(0)
 	s.objectsDropped.Store(0)
+	s.compiledDeliveries.Store(0)
+	s.descRejected.Store(0)
 	s.typeInfoRequests.Store(0)
 	s.codeRequests.Store(0)
 	s.invokes.Store(0)

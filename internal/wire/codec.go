@@ -31,6 +31,14 @@ type Codec interface {
 	// materializer-table memoization ("" = do not memoize; identity
 	// decodes, resolve == nil, are always memoized).
 	DecodeCompiled(prog *Program, data []byte, t reflect.Type, resolve FieldResolver, fp string) (interface{}, error)
+	// DecodeObjectFast materializes a stream the caller's protocol
+	// says carries an object of the named source type, through prog's
+	// compiled materializer only — no internal fallback. ok=false
+	// tells the caller to run its own reflective pipeline (generic
+	// decode + bind), which stays the authority for values, errors
+	// and conformance; in particular a payload whose embedded type
+	// name differs from srcName always comes back ok=false.
+	DecodeObjectFast(prog *Program, data []byte, t reflect.Type, resolve FieldResolver, fp, srcName string) (interface{}, bool)
 }
 
 // SOAP is the XML codec of Section 6.2.
@@ -81,11 +89,22 @@ func (c SOAP) EncodeCompiled(prog *Program, dst []byte, v interface{}) ([]byte, 
 	return fallbackEncode(c, dst, v)
 }
 
-// DecodeCompiled implements Codec. The SOAP decoder has no compiled
-// path yet (the XML token stream dominates its cost); it always takes
-// the reflective route.
+// DecodeCompiled implements Codec.
 func (c SOAP) DecodeCompiled(prog *Program, data []byte, t reflect.Type, resolve FieldResolver, fp string) (interface{}, error) {
+	if prog != nil {
+		if out, ok := prog.DecodeSOAP(data, t, resolve, fp); ok {
+			return out, nil
+		}
+	}
 	return c.Decode(data, t, resolve)
+}
+
+// DecodeObjectFast implements Codec.
+func (SOAP) DecodeObjectFast(prog *Program, data []byte, t reflect.Type, resolve FieldResolver, fp, srcName string) (interface{}, bool) {
+	if prog == nil {
+		return nil, false
+	}
+	return prog.DecodeSOAPObject(data, t, resolve, fp, srcName)
 }
 
 // Name implements Codec.
@@ -147,6 +166,14 @@ func (c Binary) DecodeCompiled(prog *Program, data []byte, t reflect.Type, resol
 		}
 	}
 	return c.Decode(data, t, resolve)
+}
+
+// DecodeObjectFast implements Codec.
+func (Binary) DecodeObjectFast(prog *Program, data []byte, t reflect.Type, resolve FieldResolver, fp, srcName string) (interface{}, bool) {
+	if prog == nil {
+		return nil, false
+	}
+	return prog.DecodeBinaryObject(data, t, resolve, fp, srcName)
 }
 
 // ByName returns the codec for an envelope encoding tag.

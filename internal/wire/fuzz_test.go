@@ -91,12 +91,31 @@ func FuzzDecodeBinary(f *testing.F) {
 	})
 }
 
-// FuzzDecodeSOAP asserts the XML decoder never panics and that
-// whatever it accepts the encoder can render back.
+// deepSOAPList renders an envelope whose payload is depth nested
+// lists — the shape that used to recurse unboundedly through
+// soapParse before maxSOAPDepth.
+func deepSOAPList(depth int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`<Envelope><Body>`)
+	buf.WriteString(`<value type="list">`)
+	for i := 1; i < depth; i++ {
+		buf.WriteString(`<item type="list">`)
+	}
+	for i := 1; i < depth; i++ {
+		buf.WriteString(`</item>`)
+	}
+	buf.WriteString(`</value></Body></Envelope>`)
+	return buf.Bytes()
+}
+
+// FuzzDecodeSOAP asserts the XML decoder never panics, whatever it
+// accepts the encoder can render back, and the compiled byte scanner
+// (with its internal fallback) is indistinguishable from the
+// reflective pipeline on the reference target type.
 func FuzzDecodeSOAP(f *testing.F) {
 	fragments := []string{
 		"<Envelope><Body>", "</Body></Envelope>", "<value ", `type="long"`,
-		`href="#ref-1"`, `nil="true"`, ">", "</value>", "123", "<item", "&amp;",
+		`href="#ref-1"`, `nil="true"`, ">", "</value>", "123", "<item", "&amp;", "&#39;",
 	}
 	for _, fr := range fragments {
 		f.Add([]byte(fr))
@@ -108,13 +127,38 @@ func FuzzDecodeSOAP(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte(`<?xml version="1.0"?><Envelope><Body><value type="map" keyType="string" elemType="int"><entry><key type="string">k</key><val type="long">1</val></entry></value></Body></Envelope>`))
+	// The depth-bound regression shape (committed seed in testdata/fuzz
+	// pins the over-bound case).
+	f.Add(deepSOAPList(maxSOAPDepth + 10))
+	prog, err := CompileProgram(reflect.TypeOf(refStruct{}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	target := reflect.TypeOf(refStruct{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		gv, err := DecodeSOAP(data)
-		if err != nil {
+		if err == nil {
+			if _, err := EncodeSOAP(gv); err != nil {
+				t.Fatalf("accepted value failed to re-encode: %v", err)
+			}
+		}
+
+		want, wantErr := SOAP{}.Decode(data, target, nil)
+		got, gotErr := SOAP{}.DecodeCompiled(prog, data, target, nil, "")
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("compiled/reflective decode disagree on error:\ncompiled: %v\nreflective: %v", gotErr, wantErr)
+		}
+		if wantErr != nil {
 			return
 		}
-		if _, err := EncodeSOAP(gv); err != nil {
-			t.Fatalf("accepted value failed to re-encode: %v", err)
+		// NaNs defeat DeepEqual; compare canonical re-encodings.
+		wantBytes, err1 := SOAP{}.Encode(want)
+		gotBytes, err2 := SOAP{}.Encode(got)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("re-encode of decode results failed: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			t.Fatalf("compiled and reflective decodes diverge\ninput %q\ncompiled %+v\nreflective %+v", data, got, want)
 		}
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements compiled wire codec programs — the
@@ -42,6 +43,7 @@ const (
 	opList // slice or array of non-byte elements
 	opMap
 	opText // encoding.TextMarshaler leaf (struct/array kind)
+	opPtr  // single-level pointer (decode-only: encode needs alias tracking)
 )
 
 // progNode is the compiled form of one type position.
@@ -63,8 +65,13 @@ type progNode struct {
 	// opStruct
 	fields  []progField
 	nameTab map[string]int // field name -> fields index (decode)
+	// lastTab caches the most recently resolved materializer table for
+	// this node, so the steady-state decode of a mapped source type
+	// avoids both the sync.Map lookup and the source-name string
+	// allocation (the name arrives as raw stream bytes).
+	lastTab atomic.Pointer[resolvedTab]
 
-	// opList / opMap
+	// opList / opMap / opPtr
 	elem *progNode
 	key  *progNode
 
@@ -99,8 +106,9 @@ type Program struct {
 	// Type is the Go type the program encodes (pointers stripped).
 	Type reflect.Type
 
-	root   *progNode
-	direct bool
+	root         *progNode
+	direct       bool
+	decodeDirect bool
 
 	// mats caches decode materializer tables for mapped source types:
 	// matKey -> map[string]int (source field name -> field index).
@@ -111,6 +119,15 @@ type matKey struct {
 	node    *progNode
 	srcName string
 	fp      string
+}
+
+// resolvedTab is one memoized materializer table together with the
+// (source name, resolver fingerprint) pair it was resolved for; see
+// progNode.lastTab.
+type resolvedTab struct {
+	src string
+	fp  string
+	tab map[string]int
 }
 
 // CompileProgram builds the compiled codec program for t (or the type
@@ -130,24 +147,41 @@ func CompileProgram(t reflect.Type) (*Program, error) {
 	p := &Program{Type: t}
 	c := &progCompiler{nodes: make(map[reflect.Type]*progNode)}
 	p.root = c.compile(t)
-	p.direct = p.root != nil && !c.failed
+	p.direct = p.root != nil && !c.encFailed
+	p.decodeDirect = p.root != nil
 	return p, nil
 }
 
-// Direct reports whether the program has a compiled fast path; a
-// non-direct program exists only to make the fallback decision once
+// Direct reports whether the program has a compiled encode fast path;
+// a non-direct program exists only to make the fallback decision once
 // per type instead of once per call.
 func (p *Program) Direct() bool { return p.direct }
 
+// DecodeDirect reports whether the program has a compiled decode fast
+// path. Decode eligibility is wider than encode eligibility: pointer
+// fields kill the direct encoder (FromGo's alias tracking can turn
+// them into id/ref pairs), but the decoder materializes them with the
+// same two-pass ref-id assignment the generic path uses — allocate and
+// register the pointer first, fill its fields second — so aliased and
+// even cyclic streams decode directly.
+func (p *Program) DecodeDirect() bool { return p.decodeDirect }
+
 type progCompiler struct {
-	nodes  map[reflect.Type]*progNode
-	failed bool
+	nodes map[reflect.Type]*progNode
+	// encFailed poisons only the encode path (Program.direct);
+	// decFailed aborts compilation entirely (no node graph at all).
+	encFailed bool
+	decFailed bool
 }
 
 // compile returns the node for t, or marks the compiler failed when
 // the type's encoding cannot be reproduced directly. The node table
-// memoizes in-progress nodes so recursive shapes without pointers
-// (e.g. `type T struct{ Kids []T }`) compile to cyclic node graphs.
+// memoizes in-progress nodes so recursive shapes (e.g. `type T struct{
+// Kids []T }`, or linked lists through pointers) compile to cyclic
+// node graphs. A nil return means even the decode path is off the
+// table (decFailed); shapes that only the encoder cannot reproduce —
+// pointers, maps with composite keys — set encFailed but still yield a
+// complete node graph for the compiled decoder.
 func (c *progCompiler) compile(t reflect.Type) *progNode {
 	if n, ok := c.nodes[t]; ok {
 		return n
@@ -205,13 +239,28 @@ func (c *progCompiler) compile(t reflect.Type) *progNode {
 		n.elem = c.compile(t.Elem())
 		n.binPrefix = listBinPrefix(t.Elem())
 		n.soapAttr = soapListAttr(t.Elem())
+	case reflect.Ptr:
+		// Encoding pointers needs FromGo's alias tracking (a pointer
+		// seen twice becomes an id/ref pair); decoding does not — the
+		// materializer allocates per occurrence and resolves refs
+		// through the decoder's object table. Nested pointers stay
+		// reflective on both sides.
+		if t.Elem().Kind() == reflect.Ptr {
+			c.decFailed = true
+			return nil
+		}
+		c.encFailed = true
+		n.op = opPtr
+		n.elem = c.compile(t.Elem())
+		if c.decFailed {
+			return nil
+		}
 	case reflect.Map:
 		if !mapKeySortable(t.Key()) {
 			// The reflective path orders entries by fmt.Sprint of the
 			// *generic* key; reproducing that for composite keys is not
 			// worth the fidelity risk.
-			c.failed = true
-			return nil
+			c.encFailed = true
 		}
 		n.op = opMap
 		n.key = c.compile(t.Key())
@@ -228,7 +277,7 @@ func (c *progCompiler) compile(t reflect.Type) *progNode {
 				continue
 			}
 			child := c.compile(f.Type)
-			if c.failed {
+			if c.decFailed {
 				return nil
 			}
 			pf := progField{
@@ -245,13 +294,12 @@ func (c *progCompiler) compile(t reflect.Type) *progNode {
 		}
 		n.binPrefix = structBinPrefix(t, len(n.fields))
 	default:
-		// Pointers, interfaces, funcs, channels, complex numbers:
-		// aliasing, dynamic types or unsupported values — reflective
-		// territory.
-		c.failed = true
+		// Interfaces, funcs, channels, complex numbers: dynamic types
+		// or unsupported values — reflective territory on both sides.
+		c.decFailed = true
 		return nil
 	}
-	if c.failed {
+	if c.decFailed {
 		return nil
 	}
 	return n

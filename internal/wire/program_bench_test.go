@@ -91,3 +91,37 @@ func BenchmarkDecodeBinaryReflective(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkDecodeSOAPCompiled(b *testing.B) {
+	prog := mustProgram(b, refStruct{})
+	data, err := SOAP{}.Encode(refSample(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := reflect.TypeOf(refStruct{})
+	if _, ok := prog.DecodeSOAP(data, target, nil, ""); !ok {
+		b.Fatal("compiled SOAP decode bailed; benchmark would measure the fallback")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (SOAP{}).DecodeCompiled(prog, data, target, nil, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSOAPReflective(b *testing.B) {
+	data, err := SOAP{}.Encode(refSample(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := reflect.TypeOf(refStruct{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (SOAP{}).Decode(data, target, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

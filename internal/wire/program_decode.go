@@ -17,10 +17,19 @@ import (
 // fingerprint).
 //
 // The decoder is strictly optimistic: any shape it cannot reproduce
-// with certainty (multi-ref ids, cross-kind coercions the generic
-// materializer would attempt, truncated streams) makes it bail out
-// with ok=false, and the caller re-runs the reflective decoder, which
-// remains the authority for both values and errors.
+// with certainty (cross-kind coercions the generic materializer would
+// attempt, truncated streams, refs to objects it did not register)
+// makes it bail out with ok=false, and the caller re-runs the
+// reflective decoder, which remains the authority for both values and
+// errors.
+//
+// Pointer shapes decode directly via two-pass ref-id assignment,
+// mirroring the generic materializer's order exactly: at a pointer
+// position the destination pointer is allocated and registered in the
+// decoder's object table FIRST (pass one: id assignment), and its
+// fields are filled in SECOND (pass two), so backward references —
+// including references into the object's own subtree, i.e. cycles —
+// resolve to the same allocation, preserving aliasing.
 
 // DecodeBinary materializes a binary stream directly into a value of
 // type t (the program's type, or a pointer to it). resolve translates
@@ -31,7 +40,27 @@ import (
 // the stream or target is outside the compiled path and the caller
 // must fall back to the reflective decoder.
 func (p *Program) DecodeBinary(data []byte, t reflect.Type, resolve FieldResolver, fp string) (interface{}, bool) {
-	if !p.direct {
+	return p.decodeBinary(data, t, resolve, fp, "")
+}
+
+// DecodeBinaryObject is DecodeBinary restricted to streams whose
+// top-level value is an object of the named source type. The receive
+// protocol checks conformance against the envelope's declared type
+// name before decoding; a payload whose embedded type name differs
+// must take the reflective pipeline, whose binder rules on it with
+// full authority, so a mismatch bails out instead of decoding.
+func (p *Program) DecodeBinaryObject(data []byte, t reflect.Type, resolve FieldResolver, fp, srcName string) (interface{}, bool) {
+	if srcName == "" {
+		return nil, false
+	}
+	return p.decodeBinary(data, t, resolve, fp, srcName)
+}
+
+func (p *Program) decodeBinary(data []byte, t reflect.Type, resolve FieldResolver, fp, wantTop string) (interface{}, bool) {
+	if !p.decodeDirect {
+		return nil, false
+	}
+	if wantTop != "" && p.root.op != opStruct {
 		return nil, false
 	}
 	ptrDepth := 0
@@ -48,9 +77,25 @@ func (p *Program) DecodeBinary(data []byte, t reflect.Type, resolve FieldResolve
 	if !ok || magic != binMagic {
 		return nil, false
 	}
+	if r.pos < len(r.data) && r.data[r.pos] == tagNil {
+		// Top-level nil: the generic path materializes the zero of t
+		// itself — a nil pointer for a *T target, not a pointer to a
+		// zero T. A caller demanding a named object gets a bail-out
+		// instead: its reflective pipeline owns the error.
+		if wantTop != "" || r.len() != 1 {
+			return nil, false
+		}
+		return reflect.Zero(t).Interface(), true
+	}
 	out := reflect.New(p.Type)
-	d := progDecoder{prog: p, resolve: resolve, fp: fp}
-	if !d.decode(&r, p.root, out.Elem(), 0) {
+	d := progDecoder{prog: p, resolve: resolve, fp: fp, wantTop: wantTop}
+	// The generic materializer registers ids only at pointer positions;
+	// a *T target makes the top level one (ToGo's out.Kind() == Ptr).
+	var selfPtr reflect.Value
+	if ptrDepth == 1 {
+		selfPtr = out
+	}
+	if !d.decodeSelf(&r, p.root, selfPtr, out.Elem(), 0) {
 		return nil, false
 	}
 	if r.len() != 0 {
@@ -67,6 +112,27 @@ type progDecoder struct {
 	prog    *Program
 	resolve FieldResolver
 	fp      string
+
+	// wantTop, when set, requires the top-level value to be an object
+	// whose stream-embedded source type name matches it exactly (the
+	// DecodeBinaryObject/DecodeSOAPObject gate).
+	wantTop string
+
+	// refs is the object table of the two-pass ref-id assignment:
+	// stream id -> the pointer registered for it. Allocated lazily, so
+	// id-free streams (the steady state) never pay for it.
+	refs map[uint64]reflect.Value
+}
+
+// register records the pointer allocated for a stream id, mirroring
+// the generic materializer exactly: registration happens before the
+// object's fields are materialized, and a duplicate id overwrites the
+// earlier entry (later refs then resolve to the later object).
+func (d *progDecoder) register(id uint64, p reflect.Value) {
+	if d.refs == nil {
+		d.refs = make(map[uint64]reflect.Value, 4)
+	}
+	d.refs[id] = p
 }
 
 // byteReader is a minimal, allocation-free cursor over the stream.
@@ -125,6 +191,19 @@ func (r *byteReader) readString() (string, bool) {
 	return s, true
 }
 
+// readStrBytes reads a length-prefixed string without copying it out
+// of the stream; the slice is only valid until the stream buffer is
+// recycled, so callers must not retain it.
+func (r *byteReader) readStrBytes() ([]byte, bool) {
+	n, ok := r.readLen()
+	if !ok {
+		return nil, false
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, true
+}
+
 func (r *byteReader) readBytes(n int) ([]byte, bool) {
 	if n < 0 || n > r.len() {
 		return nil, false
@@ -137,6 +216,13 @@ func (r *byteReader) readBytes(n int) ([]byte, bool) {
 // decode parses one value into out (which is addressable and zeroed).
 // A false return aborts the whole compiled decode.
 func (d *progDecoder) decode(r *byteReader, n *progNode, out reflect.Value, depth int) bool {
+	return d.decodeSelf(r, n, reflect.Value{}, out, depth)
+}
+
+// decodeSelf is decode with the pointer registered for this position
+// (valid only when the caller sits at a pointer level, i.e. opPtr or a
+// *T top-level target).
+func (d *progDecoder) decodeSelf(r *byteReader, n *progNode, selfPtr, out reflect.Value, depth int) bool {
 	if depth > maxBinDepth {
 		return false
 	}
@@ -144,6 +230,12 @@ func (d *progDecoder) decode(r *byteReader, n *progNode, out reflect.Value, dept
 	if !ok {
 		return false
 	}
+	return d.decodeTag(r, n, tag, selfPtr, out, depth)
+}
+
+// decodeTag decodes one value whose leading tag byte has already been
+// consumed.
+func (d *progDecoder) decodeTag(r *byteReader, n *progNode, tag byte, selfPtr, out reflect.Value, depth int) bool {
 	if tag == tagNil {
 		// Generic materialization leaves the zero value in place.
 		return true
@@ -194,16 +286,11 @@ func (d *progDecoder) decode(r *byteReader, n *progNode, out reflect.Value, dept
 		if tag != tagString {
 			return false
 		}
-		s, ok := r.readString()
+		s, ok := r.readStrBytes()
 		if !ok {
 			return false
 		}
-		p := out.Addr()
-		um, isU := p.Interface().(encoding.TextUnmarshaler)
-		if !isU {
-			return false
-		}
-		return um.UnmarshalText([]byte(s)) == nil
+		return unmarshalTextInto(out, s)
 	case opBytes:
 		if tag != tagBytes {
 			return false
@@ -228,7 +315,34 @@ func (d *progDecoder) decode(r *byteReader, n *progNode, out reflect.Value, dept
 		out.SetBytes(buf)
 		return true
 	case opStruct:
-		return d.decodeStruct(r, n, tag, out, depth)
+		return d.decodeStruct(r, n, tag, selfPtr, out, depth)
+	case opPtr:
+		if tag == tagRef {
+			// Backward reference: must resolve to a pointer this decode
+			// registered, of exactly the target's type (the generic
+			// path's assignability check reduces to identity for
+			// concrete pointer types we register; anything else bails
+			// to the reflective authority).
+			id, ok := r.readUvarint()
+			if !ok || id == 0 {
+				return false
+			}
+			prev, found := d.refs[id]
+			if !found || prev.Type() != out.Type() {
+				return false
+			}
+			out.Set(prev)
+			return true
+		}
+		p := reflect.New(n.typ.Elem())
+		// Pass one of the two-pass ref-id assignment happens inside
+		// decodeStruct (the id is read there); the same stream depth is
+		// kept because the pointer level does not exist in the stream.
+		if !d.decodeTag(r, n.elem, tag, p, p.Elem(), depth) {
+			return false
+		}
+		out.Set(p)
+		return true
 	case opList:
 		if tag != tagList {
 			return false
@@ -292,19 +406,28 @@ func (d *progDecoder) decode(r *byteReader, n *progNode, out reflect.Value, dept
 	return false
 }
 
-func (d *progDecoder) decodeStruct(r *byteReader, n *progNode, tag byte, out reflect.Value, depth int) bool {
+func (d *progDecoder) decodeStruct(r *byteReader, n *progNode, tag byte, selfPtr, out reflect.Value, depth int) bool {
 	if tag != tagObject {
 		return false
 	}
-	srcName, ok := r.readString()
+	srcName, ok := r.readStrBytes()
 	if !ok {
 		return false
 	}
-	id, ok := r.readUvarint()
-	if !ok || id != 0 {
-		// Multi-ref streams need the generic materializer's object
-		// table.
+	if depth == 0 && d.wantTop != "" && string(srcName) != d.wantTop {
 		return false
+	}
+	id, ok := r.readUvarint()
+	if !ok {
+		return false
+	}
+	if id != 0 && selfPtr.IsValid() {
+		// Pass one: register the already-allocated pointer under the
+		// stream id before any field is filled, exactly as the generic
+		// materializer does (which is what makes cycles resolvable).
+		// At non-pointer positions the generic path ignores the id
+		// without registering it, and so do we.
+		d.register(id, selfPtr)
 	}
 	nfields, ok := r.readLen()
 	if !ok {
@@ -315,17 +438,17 @@ func (d *progDecoder) decodeStruct(r *byteReader, n *progNode, tag byte, out ref
 		// fields; bail before any table work.
 		return false
 	}
-	tab, ok := d.tableFor(n, srcName)
+	tab, ok := d.tableForBytes(n, srcName)
 	if !ok {
 		return false
 	}
 	var seen uint64 // first occurrence wins, as in Object.Field
 	for i := 0; i < nfields; i++ {
-		fname, ok := r.readString()
+		fname, ok := r.readStrBytes()
 		if !ok {
 			return false
 		}
-		fi, hit := tab[fname]
+		fi, hit := tab[string(fname)]
 		if hit && seen&(1<<uint(fi)) == 0 {
 			seen |= 1 << uint(fi)
 			f := &n.fields[fi]
@@ -339,6 +462,38 @@ func (d *progDecoder) decodeStruct(r *byteReader, n *progNode, tag byte, out ref
 		}
 	}
 	return true
+}
+
+// tableForBytes is tableFor with the source type name still in stream
+// bytes. The identity path never needs the name; the mapped path first
+// consults the node's single-entry hot cache, so the steady state (one
+// source type per node per peer) resolves without allocating a string
+// for the name or touching the sync.Map.
+func (d *progDecoder) tableForBytes(n *progNode, src []byte) (map[string]int, bool) {
+	if d.resolve == nil {
+		return n.nameTab, true
+	}
+	if d.fp != "" {
+		if e := n.lastTab.Load(); e != nil && e.fp == d.fp && string(src) == e.src {
+			return e.tab, true
+		}
+	}
+	tab, ok := d.tableFor(n, string(src))
+	if ok && d.fp != "" {
+		n.lastTab.Store(&resolvedTab{src: string(src), fp: d.fp, tab: tab})
+	}
+	return tab, ok
+}
+
+// unmarshalTextInto feeds text to out's encoding.TextUnmarshaler; the
+// bytes are not retained (the interface contract requires the
+// unmarshaler to copy what it keeps).
+func unmarshalTextInto(out reflect.Value, text []byte) bool {
+	um, isU := out.Addr().Interface().(encoding.TextUnmarshaler)
+	if !isU {
+		return false
+	}
+	return um.UnmarshalText(text) == nil
 }
 
 // tableFor returns the materializer table mapping source field names

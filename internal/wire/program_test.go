@@ -82,6 +82,32 @@ func TestProgramDirectEligibility(t *testing.T) {
 			t.Errorf("%T: expected fallback (non-direct) program", v)
 		}
 	}
+	// Decode eligibility is wider than encode eligibility: single-level
+	// pointers and composite map keys decode directly (the materializer
+	// side has no alias-tracking or ordering concern), while dynamic
+	// types stay reflective on both sides.
+	decodeDirect := []interface{}{
+		struct{ P *refPoint }{},
+		struct{ N struct{ P *int } }{},
+		struct{ M map[refPoint]int }{},
+	}
+	for _, v := range decodeDirect {
+		p := mustProgram(t, v)
+		if p.Direct() || !p.DecodeDirect() {
+			t.Errorf("%T: expected decode-only program (direct=%v decodeDirect=%v)", v, p.Direct(), p.DecodeDirect())
+		}
+	}
+	neither := []interface{}{
+		struct{ I interface{} }{},
+		struct{ F func() }{},
+		struct{ C chan int }{},
+		struct{ PP **int }{}, // nested pointer
+	}
+	for _, v := range neither {
+		if p := mustProgram(t, v); p.DecodeDirect() {
+			t.Errorf("%T: expected fully reflective program", v)
+		}
+	}
 }
 
 // TestCompiledEncodeMatchesReflective pins the tentpole guarantee:
@@ -326,37 +352,174 @@ func TestQuickCompiledDifferential(t *testing.T) {
 	}
 }
 
-// TestCompiledDecodeBailsToReflective feeds the compiled decoder
-// streams it must not handle (refs, coercion shapes) and checks the
-// codec-level result still matches the pure reflective result.
-func TestCompiledDecodeBailsToReflective(t *testing.T) {
+// TestCompiledDecodePointerGraphs pins the two-pass ref-id
+// assignment: aliased and cyclic pointer graphs decode through the
+// compiled fast path (no fallback) with aliasing preserved, under
+// both codecs.
+func TestCompiledDecodePointerGraphs(t *testing.T) {
 	type holder struct {
 		A *refPoint
 		B *refPoint
+		C *refPoint
 	}
 	p := &refPoint{X: 1, Y: 2}
-	aliased := holder{A: p, B: p}
-	data, err := Binary{}.Encode(aliased)
-	if err != nil {
-		t.Fatal(err)
-	}
+	aliased := holder{A: p, B: p} // C stays nil
 	prog := mustProgram(t, holder{})
-	if prog.Direct() {
-		t.Fatal("pointer-bearing type must not be direct")
+	if prog.Direct() || !prog.DecodeDirect() {
+		t.Fatal("pointer-bearing type must be decode-direct only")
 	}
-	want, err := Binary{}.Decode(data, reflect.TypeOf(holder{}), nil)
+	for _, c := range codecs {
+		t.Run(c.Name(), func(t *testing.T) {
+			data, err := c.Encode(aliased)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got interface{}
+			var ok bool
+			switch cc := c.(type) {
+			case Binary:
+				got, ok = prog.DecodeBinary(data, reflect.TypeOf(holder{}), nil, "")
+			case SOAP:
+				got, ok = prog.DecodeSOAP(data, reflect.TypeOf(holder{}), nil, "")
+			default:
+				t.Fatalf("unknown codec %T", cc)
+			}
+			if !ok {
+				t.Fatal("compiled decode bailed on an aliased pointer graph")
+			}
+			h := got.(holder)
+			if h.A == nil || h.A != h.B {
+				t.Fatal("aliasing lost")
+			}
+			if *h.A != *p {
+				t.Fatalf("value mismatch: %+v", *h.A)
+			}
+			if h.C != nil {
+				t.Fatal("nil pointer materialized non-nil")
+			}
+			want, err := c.Decode(data, reflect.TypeOf(holder{}), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("compiled pointer decode diverged from reflective")
+			}
+		})
+	}
+}
+
+type cyclicNode struct {
+	Name string
+	Next *cyclicNode
+}
+
+func TestCompiledDecodeCycles(t *testing.T) {
+	a := &cyclicNode{Name: "a"}
+	b := &cyclicNode{Name: "b", Next: a}
+	a.Next = b
+	prog := mustProgram(t, cyclicNode{})
+	target := reflect.TypeOf(&cyclicNode{})
+	for _, c := range codecs {
+		t.Run(c.Name(), func(t *testing.T) {
+			data, err := c.Encode(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got interface{}
+			var ok bool
+			switch c.(type) {
+			case Binary:
+				got, ok = prog.DecodeBinary(data, target, nil, "")
+			case SOAP:
+				got, ok = prog.DecodeSOAP(data, target, nil, "")
+			}
+			if !ok {
+				t.Fatal("compiled decode bailed on a cyclic graph")
+			}
+			ga := got.(*cyclicNode)
+			if ga.Name != "a" || ga.Next == nil || ga.Next.Name != "b" {
+				t.Fatalf("cycle structure lost: %+v", ga)
+			}
+			if ga.Next.Next != ga {
+				t.Fatal("cycle not closed back to the root allocation")
+			}
+		})
+	}
+}
+
+// TestCompiledDecodeBailsToReflective feeds the compiled decoder a
+// shape it has no node graph for (a dynamic interface field) and
+// checks the codec-level result still matches the pure reflective
+// result through the fallback.
+func TestCompiledDecodeBailsToReflective(t *testing.T) {
+	type dyn struct {
+		Label string
+		Any   interface{}
+	}
+	v := dyn{Label: "x", Any: int64(7)}
+	data, err := Binary{}.Encode(v)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Binary{}.DecodeCompiled(prog, data, reflect.TypeOf(holder{}), nil, "")
-	if err != nil {
-		t.Fatal(err)
+	prog := mustProgram(t, dyn{})
+	if prog.DecodeDirect() {
+		t.Fatal("interface-bearing type must not be decode-direct")
 	}
-	if !reflect.DeepEqual(got, want) {
+	want, wantErr := Binary{}.Decode(data, reflect.TypeOf(dyn{}), nil)
+	got, gotErr := Binary{}.DecodeCompiled(prog, data, reflect.TypeOf(dyn{}), nil, "")
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("fallback error mismatch: %v vs %v", gotErr, wantErr)
+	}
+	if wantErr == nil && !reflect.DeepEqual(got, want) {
 		t.Fatal("fallback decode diverged from reflective decode")
 	}
-	if got.(holder).A != got.(holder).B {
-		t.Fatal("aliasing lost")
+}
+
+// TestCompiledDecodeAllocsOnlyDestination pins the receive-side
+// guarantee: steady-state compiled decode of a pointer-target flat
+// struct allocates exactly the destination object — one allocation —
+// under both codecs, with and without a (fingerprinted) resolver.
+func TestCompiledDecodeAllocsOnlyDestination(t *testing.T) {
+	type flat struct {
+		ID   uint64
+		A, B int64
+		OK   bool
+	}
+	prog := mustProgram(t, flat{})
+	target := reflect.TypeOf(&flat{})
+	resolve := func(tt reflect.Type, src *Object, field string) string { return field }
+	for _, c := range codecs {
+		data, err := c.Encode(flat{ID: 1, A: -2, B: 3, OK: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decode := func(res FieldResolver, fp string) (interface{}, bool) {
+			if _, isBin := c.(Binary); isBin {
+				return prog.DecodeBinary(data, target, res, fp)
+			}
+			return prog.DecodeSOAP(data, target, res, fp)
+		}
+		for _, mode := range []struct {
+			name string
+			res  FieldResolver
+			fp   string
+		}{
+			{"identity", nil, ""},
+			{"resolver-memoized", resolve, "peer-test"},
+		} {
+			if _, ok := decode(mode.res, mode.fp); !ok {
+				t.Fatalf("%s/%s: compiled decode bailed", c.Name(), mode.name)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				out, ok := decode(mode.res, mode.fp)
+				if !ok || out.(*flat).A != -2 {
+					t.Fatal("decode failed mid-measurement")
+				}
+			})
+			if allocs > 1 {
+				t.Errorf("%s/%s: %v allocs per decode, want 1 (the destination)", c.Name(), mode.name, allocs)
+			}
+		}
 	}
 }
 

@@ -35,6 +35,10 @@ var soapPrimitives = map[string]bool{
 	soapDouble: true, soapString: true, soapBase64: true,
 }
 
+// maxSOAPDepth bounds element nesting so a deeply nested document
+// cannot exhaust the stack — the XML mirror of maxBinDepth.
+const maxSOAPDepth = 1000
+
 // EncodeSOAP renders a generic value as a SOAP-style XML envelope.
 // The working buffer is pooled; only the exact-size result slice is
 // allocated.
@@ -129,7 +133,7 @@ func DecodeSOAP(data []byte) (Value, error) {
 		if start, ok := tok.(xml.StartElement); ok {
 			depth++
 			if depth == 3 { // Envelope > Body > value
-				v, err := soapParse(dec, start)
+				v, err := soapParse(dec, start, 0)
 				if err != nil {
 					return nil, err
 				}
@@ -160,7 +164,10 @@ func DecodeSOAP(data []byte) (Value, error) {
 	}
 }
 
-func soapParse(dec *xml.Decoder, start xml.StartElement) (Value, error) {
+func soapParse(dec *xml.Decoder, start xml.StartElement, depth int) (Value, error) {
+	if depth > maxSOAPDepth {
+		return nil, fmt.Errorf("%w: nesting too deep", ErrBadStream)
+	}
 	var typ, id, href, nilAttr, elemType, keyType string
 	for _, a := range start.Attr {
 		switch a.Name.Local {
@@ -208,7 +215,7 @@ func soapParse(dec *xml.Decoder, start xml.StartElement) (Value, error) {
 	case soapList:
 		list := &List{ElemType: elemType}
 		err := forEachChild(dec, func(child xml.StartElement) error {
-			item, err := soapParse(dec, child)
+			item, err := soapParse(dec, child, depth+1)
 			if err != nil {
 				return err
 			}
@@ -228,7 +235,7 @@ func soapParse(dec *xml.Decoder, start xml.StartElement) (Value, error) {
 			var e Entry
 			slot := 0
 			err := forEachChild(dec, func(kv xml.StartElement) error {
-				v, err := soapParse(dec, kv)
+				v, err := soapParse(dec, kv, depth+1)
 				if err != nil {
 					return err
 				}
@@ -266,7 +273,7 @@ func soapParse(dec *xml.Decoder, start xml.StartElement) (Value, error) {
 			obj.ID = refID
 		}
 		err := forEachChild(dec, func(child xml.StartElement) error {
-			v, err := soapParse(dec, child)
+			v, err := soapParse(dec, child, depth+1)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,47 @@
+package xmlenc
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalEnvelope differentially fuzzes the compiled envelope
+// reader against the reflective parser: on any input, across repeated
+// calls (so the learned-shape fast path is exercised), the two must
+// agree on both the error outcome and the parsed envelope.
+func FuzzUnmarshalEnvelope(f *testing.F) {
+	env := templateFixture()
+	env.Payload = []byte("payload \x00\x01\x02")
+	for _, enc := range []PayloadEncoding{EncodingBinary, EncodingSOAP} {
+		env.Encoding = enc
+		doc, err := MarshalEnvelope(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(doc)
+		f.Add(doc[:len(doc)/2])
+		m := append([]byte(nil), doc...)
+		m[len(doc)/3] ^= 0x11
+		f.Add(m)
+	}
+	f.Add([]byte("<Message><TypeInfo/></Message>"))
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		er := &EnvelopeReader{}
+		var scratch []byte
+		for round := 0; round < 2; round++ {
+			want, wantErr := UnmarshalEnvelope(data)
+			var got *Envelope
+			var gotErr error
+			got, scratch, gotErr = er.Unmarshal(data, scratch)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("round %d: error mismatch reader=%v reflective=%v", round, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !envEqual(got, want) {
+				t.Fatalf("round %d: envelopes diverge\n reader %+v\n reflective %+v", round, got, want)
+			}
+		}
+	})
+}

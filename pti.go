@@ -69,6 +69,8 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pti/internal/borrowlend"
@@ -180,6 +182,16 @@ type Runtime struct {
 	codec    wire.Codec
 	policy   Policy
 	cacheCap int
+
+	// envReader recognizes repeated envelope shapes so steady-state
+	// Unmarshal skips encoding/xml; recvFP fingerprints this runtime's
+	// binder for compiled materializer-table memoization; recvBufs
+	// pools the payload scratch those fast parses decode into (every
+	// decoder downstream copies what it keeps, so the scratch is dead
+	// by the time Unmarshal returns).
+	envReader xmlenc.EnvelopeReader
+	recvFP    string
+	recvBufs  sync.Pool
 }
 
 // Option customizes a Runtime.
@@ -220,8 +232,13 @@ func New(opts ...Option) *Runtime {
 	r.cache = conform.NewCacheWithCapacity(r.cacheCap)
 	r.checker = conform.New(r.reg, conform.WithPolicy(r.policy), conform.WithCache(r.cache))
 	r.binder = proxy.NewBinder(r.reg, r.checker)
+	r.recvFP = fmt.Sprintf("runtime-binder-%d", runtimeSeq.Add(1))
 	return r
 }
+
+// runtimeSeq hands every runtime a distinct resolver fingerprint (see
+// the wire package's materializer-table memoization).
+var runtimeSeq atomic.Uint64
 
 // RegisterOption configures a type registration.
 type RegisterOption = registry.Option
@@ -253,12 +270,20 @@ func (r *Runtime) DeclareInterface(iface interface{}) error {
 
 // Describe builds (or retrieves) the TypeDescription of v's type.
 func (r *Runtime) Describe(v interface{}) (*TypeDescription, error) {
+	d, _, err := r.describeEntry(v)
+	return d, err
+}
+
+// describeEntry is Describe plus the registry entry when v's type is
+// registered — the receive path needs both and must not pay a second
+// lookup for the entry.
+func (r *Runtime) describeEntry(v interface{}) (*TypeDescription, *registry.Entry, error) {
 	t, ok := v.(reflect.Type)
 	if !ok {
 		t = reflect.TypeOf(v)
 	}
 	if t == nil {
-		return nil, fmt.Errorf("pti: Describe(nil)")
+		return nil, nil, fmt.Errorf("pti: Describe(nil)")
 	}
 	if t.Kind() == reflect.Ptr && t.Elem().Kind() == reflect.Interface {
 		t = t.Elem()
@@ -267,9 +292,10 @@ func (r *Runtime) Describe(v interface{}) (*TypeDescription, error) {
 		t = t.Elem()
 	}
 	if e, found := r.reg.LookupGo(t); found {
-		return e.Description, nil
+		return e.Description, e, nil
 	}
-	return typedesc.Describe(t)
+	d, err := typedesc.Describe(t)
+	return d, nil, err
 }
 
 // DescribeXML renders the XML type description of v's type — the
@@ -402,14 +428,40 @@ func (r *Runtime) ProgramFor(v interface{}) (*Program, error) {
 // Unmarshal parses an envelope and materializes the object as the
 // expected type, which the object's type must conform to. It returns
 // the bound value and the mapping used.
+//
+// Like Marshal, the steady state runs compiled end to end: the
+// envelope reader recognizes the document's shape from earlier calls
+// and skips encoding/xml, and the registered expected type's compiled
+// wire program decodes the payload straight into a fresh instance —
+// no generic value tree, no rebind. Anything off that path falls back
+// transparently to the reflective pipeline, which stays the authority
+// for values, errors and conformance.
 func (r *Runtime) Unmarshal(data []byte, expected interface{}) (interface{}, *Mapping, error) {
-	env, err := xmlenc.UnmarshalEnvelope(data)
+	sc, _ := r.recvBufs.Get().(*[]byte)
+	if sc == nil {
+		sc = new([]byte)
+	}
+	env, scratch, err := r.envReader.Unmarshal(data, *sc)
+	*sc = scratch
+	defer r.recvBufs.Put(sc)
 	if err != nil {
 		return nil, nil, err
 	}
 	codec, err := wire.ByName(string(env.Encoding))
 	if err != nil {
 		return nil, nil, err
+	}
+	ed, entry, edErr := r.describeEntry(expected)
+	if edErr == nil && entry != nil {
+		if prog, err := entry.Program(); err == nil {
+			if m, err := r.binder.Mapping(env.Type.Name, entry.Description); err == nil {
+				out, ok := codec.DecodeObjectFast(prog, env.Payload,
+					reflect.PtrTo(entry.Type), r.binder.FieldResolver(), r.recvFP, env.Type.Name)
+				if ok {
+					return out, m, nil
+				}
+			}
+		}
 	}
 	gv, err := codec.DecodeGeneric(env.Payload)
 	if err != nil {
@@ -419,9 +471,8 @@ func (r *Runtime) Unmarshal(data []byte, expected interface{}) (interface{}, *Ma
 	if !ok {
 		return nil, nil, fmt.Errorf("pti: payload is %T, not an object", gv)
 	}
-	ed, err := r.Describe(expected)
-	if err != nil {
-		return nil, nil, err
+	if edErr != nil {
+		return nil, nil, edErr
 	}
 	return r.binder.Bind(obj, ed.Ref())
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package pti
+
+// raceEnabled reports whether the race detector instruments this
+// build. Allocation pins skip under it: the runtime deliberately
+// randomizes sync.Pool reuse in race mode, so pooled paths show
+// extra allocations that do not exist in a normal build.
+const raceEnabled = true

@@ -1,0 +1,88 @@
+package pti
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pti/internal/fixtures"
+	"pti/internal/proxy"
+)
+
+// TestUnmarshalCompiledParity hammers Unmarshal through enough rounds
+// to engage every cache on the receive path — the learned envelope
+// shape, the compiled decode program, the memoized conformance
+// mapping — and asserts the result never drifts from the first
+// (reflective) round. The compiled path must be invisible except for
+// speed.
+func TestUnmarshalCompiledParity(t *testing.T) {
+	rt := newRuntime(t)
+	data, err := rt.Marshal(fixtures.PersonB{PersonName: "Parity", PersonAge: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, firstMapping, err := rt.Unmarshal(data, fixtures.PersonA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		out, mapping, err := rt.Unmarshal(data, fixtures.PersonA{})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(out, first) {
+			t.Fatalf("round %d: %+v != first %+v", i, out, first)
+		}
+		if (mapping == nil) != (firstMapping == nil) {
+			t.Fatalf("round %d: mapping presence drifted", i)
+		}
+	}
+	// Error behavior must not drift either: a non-conformant expected
+	// type keeps failing identically on the warm path.
+	_, _, coldErr := rt.Unmarshal(data, fixtures.StockQuoteA{})
+	if !errors.Is(coldErr, proxy.ErrNotBindable) {
+		t.Errorf("non-conformant expected type: %v", coldErr)
+	}
+	_, _, warmErr := rt.Unmarshal(data, fixtures.StockQuoteA{})
+	if warmErr == nil || coldErr == nil || warmErr.Error() != coldErr.Error() {
+		t.Errorf("warm error drifted: cold=%v warm=%v", coldErr, warmErr)
+	}
+}
+
+// TestUnmarshalSteadyStateAllocs proves the compiled receive path
+// actually carries the warm facade traffic: a reflective decode of
+// even this two-field struct costs dozens of allocations (a full
+// encoding/xml parse plus the generic value tree), so the pinned
+// budget below is only reachable when the learned-envelope fast path
+// and the compiled decoder are both engaged.
+func TestUnmarshalSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode randomizes sync.Pool reuse; the pin only holds in a normal build")
+	}
+	rt := newRuntime(t)
+	data, err := rt.Marshal(fixtures.PersonB{PersonName: "Steady", PersonAge: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expected interface{} = fixtures.PersonA{}
+	for i := 0; i < 4; i++ { // warm every cache
+		if _, _, err := rt.Unmarshal(data, expected); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		out, _, err := rt.Unmarshal(data, expected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(*fixtures.PersonA).Age != 7 {
+			t.Fatal("wrong value")
+		}
+	})
+	// The destination object, its one string field, the envelope
+	// header copy and one decoder-internal transient — an order of
+	// magnitude under the reflective pipeline.
+	if allocs > 4 {
+		t.Errorf("steady-state Unmarshal allocates %.1f/op, want <= 4", allocs)
+	}
+}
