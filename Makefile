@@ -24,6 +24,11 @@ BENCH_INVOKE_OUT ?= BENCH_PR6.json
 # Unmarshal time and allocation budget).
 BENCH_RECV_OUT ?= BENCH_PR7.json
 
+# Output artifact of `make bench-churn` — the PR 8 connection
+# lifecycle metrics (crash/restart waves over managed links: lineage
+# match rate, session resumes, redial counts against their budget).
+BENCH_CHURN_OUT ?= BENCH_PR8.json
+
 # Scratch artifacts `make bench-check` regenerates and diffs against
 # the committed baselines. Deliberately NOT the baseline files: the
 # gate must never overwrite a baseline and then diff it against
@@ -32,17 +37,18 @@ BENCH_CHECK_OUT ?= /tmp/pti-bench-check.json
 BENCH_FANOUT_CHECK_OUT ?= /tmp/pti-fanout-check.json
 BENCH_INVOKE_CHECK_OUT ?= /tmp/pti-invoke-check.json
 BENCH_RECV_CHECK_OUT ?= /tmp/pti-recv-check.json
+BENCH_CHURN_CHECK_OUT ?= /tmp/pti-churn-check.json
 
 # Coverage profile location and the ratcheting floor `make cover`
 # enforces via cmd/covercheck. Raise the floor as coverage grows;
 # never lower it.
 COVER_PROFILE ?= cover.out
-COVER_MIN ?= 78.0
+COVER_MIN ?= 80.0
 
 # Pinned staticcheck build, fetched on demand by `go run`.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-invoke bench-recv bench-check soak build
+.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-invoke bench-recv bench-churn bench-check soak churn build
 
 help:
 	@echo "Targets:"
@@ -73,9 +79,15 @@ help:
 	@echo "  bench-recv  compiled receive path: compiled vs reflective decode per"
 	@echo "              codec plus end-to-end Unmarshal time and alloc budget"
 	@echo "              -> $(BENCH_RECV_OUT) (override with BENCH_RECV_OUT=file)"
-	@echo "  bench-check regenerate scenario + fan-out + invoke + recv metrics into"
-	@echo "              scratch files (never the baselines) and diff against the"
-	@echo "              committed BENCH_PR4.json through BENCH_PR7.json"
+	@echo "  bench-churn connection-lifecycle churn: crash/restart waves over"
+	@echo "              managed links (lineage match rate, session resumes,"
+	@echo "              redials vs budget)"
+	@echo "              -> $(BENCH_CHURN_OUT) (override with BENCH_CHURN_OUT=file)"
+	@echo "  bench-check regenerate scenario + fan-out + invoke + recv + churn"
+	@echo "              metrics into scratch files (never the baselines) and diff"
+	@echo "              against the committed BENCH_PR4.json through BENCH_PR8.json"
+	@echo "  churn       the churn convergence scenario long-form under -race"
+	@echo "              (PTI_SOAK scales it; PTI_SEED=n replays a failure)"
 
 check: vet lint test-race
 
@@ -118,6 +130,12 @@ cover:
 soak:
 	PTI_SOAK=1 $(GO) test -race -run 'TestFabricSoak' -count=1 -v ./internal/transport
 
+# Long-form connection-lifecycle churn: 100+ peers on managed links,
+# three crash/restart waves, exactly-once lineage convergence under
+# the race detector on the virtual clock (see docs/health.md).
+churn:
+	PTI_SOAK=1 $(GO) test -race -run 'TestFabricChurnConvergence' -count=1 -v ./internal/transport
+
 # Full paper-table benchmark run.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -158,6 +176,13 @@ bench-invoke:
 bench-recv:
 	$(GO) run ./cmd/ptibench -exp recv -reps 2 -seed 42 -json $(BENCH_RECV_OUT)
 
+# Connection-lifecycle churn metrics: crash/restart waves over managed
+# links on the virtual clock — lineage match rate (must converge to
+# 1.0), sessions resumed per churned link, redial counts against the
+# committed budget.
+bench-churn:
+	$(GO) run ./cmd/ptibench -exp churn -reps 2 -seed 42 -json $(BENCH_CHURN_OUT)
+
 # The bench-regression gate: fresh metrics vs the committed baselines.
 bench-check:
 	@if [ "$(BENCH_CHECK_OUT)" = "BENCH_PR4.json" ]; then \
@@ -172,6 +197,9 @@ bench-check:
 	@if [ "$(BENCH_RECV_CHECK_OUT)" = "BENCH_PR7.json" ]; then \
 		echo "bench-check: BENCH_RECV_CHECK_OUT must not be the committed baseline"; exit 2; \
 	fi
+	@if [ "$(BENCH_CHURN_CHECK_OUT)" = "BENCH_PR8.json" ]; then \
+		echo "bench-check: BENCH_CHURN_CHECK_OUT must not be the committed baseline"; exit 2; \
+	fi
 	$(MAKE) bench-json BENCH_OUT=$(BENCH_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR4.json -candidate $(BENCH_CHECK_OUT)
 	$(MAKE) bench-fanout BENCH_FANOUT_OUT=$(BENCH_FANOUT_CHECK_OUT)
@@ -180,3 +208,5 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR6.json -candidate $(BENCH_INVOKE_CHECK_OUT)
 	$(MAKE) bench-recv BENCH_RECV_OUT=$(BENCH_RECV_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR7.json -candidate $(BENCH_RECV_CHECK_OUT)
+	$(MAKE) bench-churn BENCH_CHURN_OUT=$(BENCH_CHURN_CHECK_OUT)
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR8.json -candidate $(BENCH_CHURN_CHECK_OUT)

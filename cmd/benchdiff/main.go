@@ -35,11 +35,25 @@
 //     outright on the clean high-latency link
 //     (pipelined_ms < serialized_ms).
 //
+// Churn rules (the PR 8 connection-lifecycle artifact), matched on
+// name:
+//
+//   - every subscriber lineage must converge to exactly 1.0 — the
+//     reliable session resumed across each crash/restart rather than
+//     resetting, so no message was lost to the outage window;
+//   - sessions_resumed must cover every churned link and no queued
+//     frame may be abandoned;
+//   - redials must stay inside the committed budget (a redial storm
+//     is a backoff or failure-detector regression even when delivery
+//     still converges), and the run must finish inside its
+//     virtual-time stall budget.
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_PR4.json -candidate /tmp/bench.json [-tol 0.10]
 //	benchdiff -baseline BENCH_PR5.json -candidate /tmp/fanout.json
 //	benchdiff -baseline BENCH_PR6.json -candidate /tmp/invoke.json
+//	benchdiff -baseline BENCH_PR8.json -candidate /tmp/churn.json
 package main
 
 import (
@@ -102,6 +116,18 @@ const recvSOAPFloor = 2.0
 // capacity on the same profile.
 const invokeNoCollapseFraction = 0.5
 
+type churnRow struct {
+	Name             string  `json:"name"`
+	Churned          int     `json:"churned"`
+	MatchRate        float64 `json:"match_rate"`
+	SessionsResumed  uint64  `json:"sessions_resumed"`
+	Redials          uint64  `json:"redials"`
+	RedialBudget     uint64  `json:"redial_budget"`
+	QueueAbandoned   uint64  `json:"queue_abandoned"`
+	ElapsedVirtualMs float64 `json:"elapsed_virtual_ms"`
+	StallBudgetMs    float64 `json:"stall_budget_ms"`
+}
+
 type doc struct {
 	Seed           int64           `json:"seed"`
 	Scenarios      []scenario      `json:"scenarios"`
@@ -110,6 +136,7 @@ type doc struct {
 	InvokeRows     []invokeRow     `json:"invoke_rows"`
 	InvokePipeline *invokePipeline `json:"invoke_pipeline"`
 	RecvRows       []recvRow       `json:"recv_rows"`
+	ChurnRows      []churnRow      `json:"churn_rows"`
 }
 
 func load(path string) (doc, error) {
@@ -122,8 +149,9 @@ func load(path string) (doc, error) {
 		return d, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(d.Scenarios) == 0 && len(d.Rows) == 0 && d.SingleLoss == nil &&
-		len(d.InvokeRows) == 0 && d.InvokePipeline == nil && len(d.RecvRows) == 0 {
-		return d, fmt.Errorf("%s: no scenarios, fan-out, invoke or recv rows", path)
+		len(d.InvokeRows) == 0 && d.InvokePipeline == nil && len(d.RecvRows) == 0 &&
+		len(d.ChurnRows) == 0 {
+		return d, fmt.Errorf("%s: no scenarios, fan-out, invoke, recv or churn rows", path)
 	}
 	return d, nil
 }
@@ -167,6 +195,7 @@ func main() {
 	failures += diffFanout(base, cand, &checked)
 	failures += diffInvoke(base, cand, &checked)
 	failures += diffRecv(base, cand, &checked)
+	failures += diffChurn(base, cand, &checked)
 	if failures > 0 {
 		fmt.Printf("benchdiff: %d regression(s) against %s\n", failures, *baseline)
 		os.Exit(1)
@@ -408,6 +437,62 @@ func diffRecv(base, cand doc, checked *int) int {
 		known[r.Name] = true
 	}
 	for _, r := range cand.RecvRows {
+		if !known[r.Name] {
+			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit the baseline\n", r.Name)
+			failures++
+		}
+	}
+	return failures
+}
+
+// diffChurn gates the PR 8 lifecycle artifact: lineage coverage must
+// be exactly 1.0, every churned link must resume its session with no
+// abandoned frames, and the redial count and virtual elapsed time
+// must stay inside the baseline's committed budgets.
+func diffChurn(base, cand doc, checked *int) int {
+	failures := 0
+	got := make(map[string]churnRow, len(cand.ChurnRows))
+	for _, r := range cand.ChurnRows {
+		got[r.Name] = r
+	}
+	for _, want := range base.ChurnRows {
+		*checked++
+		have, ok := got[want.Name]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-24s missing from candidate\n", want.Name)
+			failures++
+		case have.MatchRate != 1.0:
+			fmt.Printf("FAIL %-24s match %.4f, churn lineages must converge to exactly 1.0\n",
+				want.Name, have.MatchRate)
+			failures++
+		case have.SessionsResumed < uint64(have.Churned):
+			fmt.Printf("FAIL %-24s resumed %d sessions for %d churned links (resets snuck in)\n",
+				want.Name, have.SessionsResumed, have.Churned)
+			failures++
+		case have.QueueAbandoned != 0:
+			fmt.Printf("FAIL %-24s abandoned %d queued frames, want 0\n",
+				want.Name, have.QueueAbandoned)
+			failures++
+		case want.RedialBudget > 0 && have.Redials > want.RedialBudget:
+			fmt.Printf("FAIL %-24s %d redials exceed the budget of %d (backoff regression?)\n",
+				want.Name, have.Redials, want.RedialBudget)
+			failures++
+		case want.StallBudgetMs > 0 && have.ElapsedVirtualMs > want.StallBudgetMs:
+			fmt.Printf("FAIL %-24s elapsed %.0fms exceeds the %.0fms stall budget (publisher stalled?)\n",
+				want.Name, have.ElapsedVirtualMs, want.StallBudgetMs)
+			failures++
+		default:
+			fmt.Printf("ok   %-24s match %.4f, resumed %d/%d, redials %d (budget %d), elapsed %.0fms\n",
+				want.Name, have.MatchRate, have.SessionsResumed, have.Churned,
+				have.Redials, want.RedialBudget, have.ElapsedVirtualMs)
+		}
+	}
+	known := make(map[string]bool, len(base.ChurnRows))
+	for _, r := range base.ChurnRows {
+		known[r.Name] = true
+	}
+	for _, r := range cand.ChurnRows {
 		if !known[r.Name] {
 			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit the baseline\n", r.Name)
 			failures++

@@ -16,6 +16,8 @@
 //	ptibench -exp ablations  # cache, permutations, name-only, descriptors
 //	ptibench -exp scenario -seed 42 -json BENCH_PR2.json
 //	                         # fabric fault-profile scenarios
+//	ptibench -exp churn -seed 42 -json BENCH_PR8.json
+//	                         # lifecycle churn: crash/restart waves
 package main
 
 import (
@@ -58,6 +60,7 @@ func run(exp string, reps int) error {
 		{"fanout", "Broadcast fan-out over the async send pipeline (queue/RTO/NACK)", expFanout},
 		{"invoke", "Pipelined invoke path under load (latency/goodput/shedding)", expInvoke},
 		{"recv", "Compiled receive path (decode + end-to-end unmarshal)", expRecv},
+		{"churn", "Connection-lifecycle churn (crash/restart waves, session resume)", expChurn},
 		{"match", "Conformance relation match rates (Section 2 comparisons)", expMatchRate},
 		{"ablations", "Design-choice ablations", expAblations},
 	}

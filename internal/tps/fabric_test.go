@@ -327,3 +327,138 @@ func TestAttachNodeBroadcastSurvivesBlackholedSubscriber(t *testing.T) {
 		t.Error("blackholed link never surfaced ErrPeerUnreachable")
 	}
 }
+
+// TestAttachNodeSurvivesSubscriberChurn runs the distributed broker
+// across a subscriber crash/restart cycle on a managed link: quotes
+// published into the outage ride the publisher's send queue, the
+// redial resumes the reliable session, and the broker — reattached on
+// restart exactly like a recovering process — ends with full coverage
+// and overlap bounded by the in-flight window.
+func TestAttachNodeSurvivesSubscriberChurn(t *testing.T) {
+	const window = 8
+	f := transport.NewFabric(6161, transport.WithVirtualClock())
+	defer f.Close()
+
+	regPub := registry.New()
+	if _, err := regPub.Register(fixtures.StockQuoteB{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddPeerWithRegistry("pub", regPub,
+		transport.WithReliableLinks(
+			transport.WithAdaptiveRTO(),
+			transport.WithWindow(window),
+			transport.WithSendQueue(256),
+			transport.WithOverflowPolicy(transport.OverflowError)),
+		transport.WithHeartbeat(50*time.Millisecond),
+		transport.WithSuspectAfter(200*time.Millisecond),
+		transport.WithRedialBackoff(10*time.Millisecond, 100*time.Millisecond),
+		transport.WithRequestTimeout(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	regSub := registry.New()
+	if _, err := regSub.Register(fixtures.StockQuoteA{}); err != nil {
+		t.Fatal(err)
+	}
+	broker := NewBroker(regSub)
+	var mu sync.Mutex
+	volumes := make(map[int]int)
+	if _, err := broker.Subscribe(fixtures.StockQuoteA{}, func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if q, ok := e.Bound.(*fixtures.StockQuoteA); ok {
+			volumes[q.Volume]++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Attaching through a peer option means every incarnation of the
+	// subscriber re-bridges itself into the broker before its links
+	// come back up — the restarted process re-running its init code.
+	attach := func(p *transport.Peer) {
+		if err := AttachPeer(broker, p, fixtures.StockQuoteA{}); err != nil {
+			t.Errorf("reattach: %v", err)
+		}
+	}
+	if _, err := f.AddPeerWithRegistry("sub", regSub,
+		transport.WithRequestTimeout(2*time.Second), attach); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ConnectManaged("pub", "sub", transport.FaultProfile{
+		Latency: 500 * time.Microsecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	pub := f.Node("pub").Peer()
+	publish := func(from, to int) {
+		t.Helper()
+		for i := from; i < to; i++ {
+			if _, err := pub.Broadcast(fixtures.StockQuoteB{
+				StockSymbol: "PTI", StockPrice: 1.0, StockVolume: i,
+			}); err != nil {
+				t.Fatalf("publish %d: %v", i, err)
+			}
+		}
+	}
+	covered := func(n int) func() bool {
+		return func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(volumes) >= n
+		}
+	}
+	waitFor := func(cond func() bool) bool {
+		deadline := time.Now().Add(60 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return true
+	}
+
+	publish(0, 10)
+	if !waitFor(covered(10)) {
+		t.Fatalf("pre-churn batch incomplete: %d/10 volumes", len(volumes))
+	}
+
+	if err := f.Crash("sub"); err != nil {
+		t.Fatal(err)
+	}
+	publish(10, 20) // queues into the outage; OverflowError makes a stall a failure
+	if _, err := f.Restart("sub"); err != nil {
+		t.Fatal(err)
+	}
+
+	if !waitFor(covered(20)) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("post-churn convergence failed: %d/20 volumes: %v", len(volumes), volumes)
+	}
+	mu.Lock()
+	dups := 0
+	for v, count := range volumes {
+		if count > 2 {
+			t.Errorf("volume %d delivered %d times", v, count)
+		}
+		if count > 1 {
+			dups++
+		}
+	}
+	mu.Unlock()
+	// An ack raced the crash at worst once per in-flight slot; beyond
+	// that a duplicate means the resume replayed delivered frames.
+	if dups > window {
+		t.Errorf("%d duplicated volumes, want <= window (%d)", dups, window)
+	}
+
+	st := pub.Stats().Snapshot()
+	if st.RelSessionsResumed == 0 {
+		t.Error("redial did not resume the reliable session")
+	}
+	if st.RelQueueAbandoned != 0 {
+		t.Errorf("RelQueueAbandoned = %d, want 0", st.RelQueueAbandoned)
+	}
+}

@@ -48,17 +48,33 @@ type Conn struct {
 	rel   atomic.Pointer[ReliableLink]
 	rrecv *relReceiver
 
+	// remote is the managing Remote when this conn belongs to a
+	// lifecycle-managed link (see health.go); Broadcast skips such
+	// conns because the Remote's send path owns them. lastHeard is
+	// the clock instant of the last frame read off the wire — the
+	// failure detector's liveness signal (any frame counts, so acks
+	// piggyback as heartbeats while traffic flows).
+	remote    *Remote
+	lastHeard atomic.Int64 // Clock.Now().UnixNano()
+
 	done chan struct{}
 }
 
-func newConn(p *Peer, rw net.Conn) *Conn {
+func newConn(p *Peer, rw net.Conn) *Conn { return newConnWith(p, rw, nil, nil) }
+
+// newConnWith builds a connection, optionally re-attaching a carried
+// reliable sender (a redial resuming a detached session) and binding
+// the conn to its managing Remote.
+func newConnWith(p *Peer, rw net.Conn, rel *ReliableLink, owner *Remote) *Conn {
 	c := &Conn{
 		peer:      p,
 		rw:        rw,
 		pending:   make(map[uint64]*pendingReply),
 		invokeSem: make(chan struct{}, p.invCfg.workers()),
+		remote:    owner,
 		done:      make(chan struct{}),
 	}
+	c.lastHeard.Store(p.clock.Now().UnixNano())
 	c.pacer.init(c)
 	c.rrecv = newRelReceiver(&p.stats,
 		func(m *Message) { p.handleRequest(c, m) },
@@ -69,10 +85,39 @@ func newConn(p *Peer, rw net.Conn) *Conn {
 		func(epoch uint64, seqs []uint64) {
 			_ = c.send(&Message{Type: MsgReliableNack, Body: encodeRelNack(epoch, seqs)})
 		})
-	if p.relCfg != nil {
-		c.rel.Store(newReliableLink(connRaw{c}, p.clock, &p.stats, *p.relCfg))
+	// Reliable-layer discards (stale epoch, resume-replay duplicates)
+	// surface as typed drop events but stay out of objectsDropped:
+	// the frame never counted as received, and the dedicated buckets
+	// (relStaleEpoch, relResumeDeduped) carry the accounting.
+	c.rrecv.drop = func(reason string) {
+		p.emit(EventDropped, typedesc.TypeRef{}, reason)
 	}
-	p.track(c)
+	var created *ReliableLink
+	switch {
+	case rel != nil:
+		c.rel.Store(rel)
+	case p.relCfg != nil:
+		created = newReliableLink(connRaw{c}, p.clock, &p.stats, *p.relCfg)
+		if owner != nil {
+			created.setManaged()
+		}
+		c.rel.Store(created)
+	}
+	if !p.track(c) {
+		// The peer closed while we were being built — a late accept,
+		// or a redial racing Peer.Close. Tear down promptly and never
+		// start the read loop, so nothing leaks past Close. A carried
+		// reliable link is left to its owning Remote's shutdown.
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		if created != nil {
+			created.shutdown(ErrClosed)
+		}
+		_ = rw.Close()
+		close(c.done)
+		return c
+	}
 	go c.readLoop()
 	return c
 }
@@ -138,17 +183,31 @@ func (c *Conn) readLoop() {
 			// The remote side died (EOF) or the stream broke: fail
 			// pending exchanges and reap the connection, so a peer
 			// whose counterpart crashed does not keep broadcasting
-			// into a dead conn.
+			// into a dead conn. The receiver's reliable session is
+			// saved first, so a resuming sender can continue it
+			// instead of replaying the committed prefix.
 			c.failPending()
 			c.stopReliable()
+			c.peer.saveRelSession(c.rrecv.seal())
 			_ = c.rw.Close()
 			c.peer.untrack(c)
 			return
 		}
 		c.peer.stats.bytesReceived.Add(uint64(n))
+		c.lastHeard.Store(c.peer.clock.Now().UnixNano())
 		switch m.Type {
-		case MsgTypeInfoReply, MsgCodeReply, MsgInvokeReply, MsgLookupReply, MsgError:
+		case MsgTypeInfoReply, MsgCodeReply, MsgInvokeReply, MsgLookupReply, MsgError, MsgResumeReply:
 			c.routeReply(m)
+		case MsgPing:
+			// Heartbeat probe: answer in place on the raw stream —
+			// liveness must not queue behind a stalled window.
+			_ = c.send(&Message{Type: MsgPong, Seq: m.Seq})
+		case MsgPong:
+			// The read itself refreshed lastHeard; nothing else to do.
+		case MsgResumeRequest:
+			// Resume handshakes are small and must answer before any
+			// queued dispatch, so handle them on the read loop.
+			c.handleResume(m)
 		case MsgReliableAck:
 			// Acks are cheap and order-insensitive: route them
 			// synchronously so window space frees the moment the
@@ -171,6 +230,24 @@ func (c *Conn) readLoop() {
 			c.peer.handleAsync(c, m)
 		}
 	}
+}
+
+// handleResume answers a redialing sender's resume request: if this
+// peer still holds the named reliable session — saved when the old
+// conn died, or live on another conn — this conn's receiver adopts it
+// and the reply advertises the last contiguous seq, so the sender
+// replays only the unacked window. Otherwise found=false tells the
+// sender to roll a fresh epoch and replay everything it still holds.
+func (c *Conn) handleResume(m *Message) {
+	epoch, err := decodeResumeReq(m.Body)
+	if err == nil {
+		if next, ok := c.peer.resumeSessionFor(epoch, c); ok {
+			c.rrecv.adopt(epoch, next)
+			_ = c.reply(m, MsgResumeReply, encodeResumeReply(epoch, next-1, true))
+			return
+		}
+	}
+	_ = c.reply(m, MsgResumeReply, encodeResumeReply(0, 0, false))
 }
 
 // routeReply hands a correlated reply to its waiting request, both

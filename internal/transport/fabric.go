@@ -250,6 +250,7 @@ type Node struct {
 	gen      int                     // restart generation, salts the link PRNGs
 	conns    map[string]*Conn        // live conns by remote node
 	profiles map[string]FaultProfile // last profile per remote, for restart
+	remotes  map[string]*Remote      // managed links (ConnectManaged), by remote node
 	crashed  bool
 }
 
@@ -263,12 +264,31 @@ func (n *Node) Peer() *Peer {
 	return n.peer
 }
 
-// ConnTo returns the node's live connection to a remote node.
+// ConnTo returns the node's live connection to a remote node. For a
+// managed link (ConnectManaged) the conn is owned by the Remote and
+// changes identity across redials; during an outage there is none.
 func (n *Node) ConnTo(remote string) (*Conn, bool) {
 	n.fab.mu.Lock()
-	defer n.fab.mu.Unlock()
 	c, ok := n.conns[remote]
-	return c, ok
+	rm := n.remotes[remote]
+	n.fab.mu.Unlock()
+	if ok && c != nil {
+		return c, true
+	}
+	if rm != nil {
+		if c := rm.Conn(); c != nil {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// ManagedTo returns the node's managed remote toward a neighbour
+// (see ConnectManaged), or nil.
+func (n *Node) ManagedTo(remote string) *Remote {
+	n.fab.mu.Lock()
+	defer n.fab.mu.Unlock()
+	return n.remotes[remote]
 }
 
 // AddPeer creates a named peer over the fabric's default registry.
@@ -299,6 +319,7 @@ func (f *Fabric) AddPeerWithRegistry(name string, reg *registry.Registry, opts .
 		peer:     NewPeer(reg, all...),
 		conns:    make(map[string]*Conn),
 		profiles: make(map[string]FaultProfile),
+		remotes:  make(map[string]*Remote),
 	}
 	f.nodes[name] = n
 	return n, nil
@@ -387,6 +408,94 @@ func (f *Fabric) connectLocked(a, b string, profAB, profBA FaultProfile) (*Conn,
 	na.profiles[b] = profAB
 	nb.profiles[a] = profBA
 	return ca, cb, nil
+}
+
+// ConnectManaged links from→to under lifecycle management (one
+// profile, both directions): the from side owns a Remote that
+// heartbeats the link, detects its failure, redials with backoff and
+// resumes the reliable session. Unlike Connect, the pair is excluded
+// from Restart's automatic re-linking — when either side comes back,
+// the Remote's redial re-establishes the link (a restarted manager
+// lost its Remotes with its peer and calls ConnectManaged again, as a
+// real process would).
+func (f *Fabric) ConnectManaged(from, to string, prof FaultProfile) (*Remote, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrFabricClosed
+	}
+	na, nb := f.nodes[from], f.nodes[to]
+	if na == nil {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, from)
+	}
+	if nb == nil {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	if na.crashed {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNodeCrashed, from)
+	}
+	peer := na.peer
+	// A managed pair must not also be an auto-relinked one: forget any
+	// profile memory a prior Connect left, so Restart keeps its hands
+	// off the pair.
+	delete(na.profiles, to)
+	delete(nb.profiles, from)
+	f.mu.Unlock()
+
+	rm, err := peer.ManageConn(to, f.managedDial(from, to, prof))
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	if !na.crashed && na.peer == peer {
+		na.remotes[to] = rm
+	}
+	f.mu.Unlock()
+	return rm, nil
+}
+
+// managedDial builds the DialFunc behind a managed pair: each call
+// replaces the pair's link with a fresh generation-salted one and
+// returns the from side's raw endpoint. Only the target side's *Conn*
+// is built here — the dialing side's is owned by its Remote.
+func (f *Fabric) managedDial(from, to string, prof FaultProfile) DialFunc {
+	return func() (net.Conn, error) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.closed {
+			return nil, ErrFabricClosed
+		}
+		na, nb := f.nodes[from], f.nodes[to]
+		if na == nil || na.crashed || na.peer == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNodeCrashed, from)
+		}
+		if nb == nil || nb.crashed || nb.peer == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNodeCrashed, to)
+		}
+		key := pairKeyOf(from, to)
+		if old := f.links[key]; old != nil {
+			old.closeAll()
+			f.retireLinkLocked(old)
+			delete(f.links, key)
+		}
+		l := &fabricLink{a: from, b: to}
+		salt := fmt.Sprintf("%s#%d->%s#%d", from, na.gen, to, nb.gen)
+		l.ab = newLinkDir(from+"->"+to, rngFor(f.seed, "ab|"+salt), prof, f.clock)
+		l.ba = newLinkDir(to+"->"+from, rngFor(f.seed, "ba|"+salt), prof, f.clock)
+		l.aEnd = &fabricEnd{link: l, out: l.ab, in: newFrameBuffer(), local: from, remote: to}
+		l.bEnd = &fabricEnd{link: l, out: l.ba, in: newFrameBuffer(), local: to, remote: from}
+		l.ab.dst = l.bEnd.in
+		l.ba.dst = l.aEnd.in
+		go l.ab.run()
+		go l.ba.run()
+		cb := newConn(nb.peer, l.bEnd)
+		f.links[key] = l
+		nb.conns[from] = cb
+		return l.aEnd, nil
+	}
 }
 
 func rngFor(seed int64, salt string) *rand.Rand {
@@ -483,17 +592,29 @@ func (f *Fabric) Crash(name string) error {
 	n.crashed = true
 	peer := n.peer
 	n.peer = nil
-	for remote := range n.conns {
-		if l := f.links[pairKeyOf(name, remote)]; l != nil {
-			l.closeAll()
-			f.retireLinkLocked(l)
-			delete(f.links, pairKeyOf(name, remote))
+	// Sweep by link, not by conn table: a managed pair's link exists
+	// without an entry in the manager's conn map (its conn lives on the
+	// Remote), and must be severed all the same so the surviving side's
+	// failure detector fires.
+	for key, l := range f.links {
+		if l.a != name && l.b != name {
+			continue
 		}
-		if rn := f.nodes[remote]; rn != nil {
+		other := l.a
+		if other == name {
+			other = l.b
+		}
+		l.closeAll()
+		f.retireLinkLocked(l)
+		delete(f.links, key)
+		if rn := f.nodes[other]; rn != nil {
 			delete(rn.conns, name)
 		}
 	}
 	n.conns = make(map[string]*Conn)
+	// The node's managed remotes die with its peer (Close shuts them
+	// down); a restarted node re-manages its links like a real process.
+	n.remotes = make(map[string]*Remote)
 	f.mu.Unlock()
 	// Close outside the fabric lock: Close waits for handler
 	// goroutines, which may be calling back into the fabric's conns.

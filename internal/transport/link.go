@@ -21,12 +21,19 @@ var _ Link = (*Conn)(nil)
 
 // Send writes a one-way message over the connection. When a reliable
 // sender is attached (WithReliableLinks, NewReliableLink), every
-// message except the reliable layer's own frames rides the
-// exactly-once in-order channel.
+// message except the reliable layer's own frames and the lifecycle
+// probes rides the exactly-once in-order channel: heartbeats must
+// measure the raw link (a ping queued behind a stalled window says
+// nothing about liveness), and the resume handshake runs before the
+// reliable channel is usable again.
 func (c *Conn) Send(m *Message) error {
-	if r := c.rel.Load(); r != nil &&
-		m.Type != MsgReliableData && m.Type != MsgReliableAck && m.Type != MsgReliableNack {
-		return r.Send(m)
+	if r := c.rel.Load(); r != nil {
+		switch m.Type {
+		case MsgReliableData, MsgReliableAck, MsgReliableNack,
+			MsgPing, MsgPong, MsgResumeRequest, MsgResumeReply:
+		default:
+			return r.Send(m)
+		}
 	}
 	return c.send(m)
 }

@@ -69,6 +69,18 @@ const (
 	// triggering immediate retransmission of the named frames instead
 	// of waiting out the sender's backoff timer.
 	MsgReliableNack
+	// MsgPing is a heartbeat probe from the failure detector; any
+	// frame counts as liveness, so pings only flow on idle links.
+	MsgPing
+	// MsgPong answers a ping, echoing its payload so the detector can
+	// fold the round trip into its RTT estimate.
+	MsgPong
+	// MsgResumeRequest opens the reliable-session resume handshake
+	// after a redial: the sender names the epoch it wants to continue.
+	MsgResumeRequest
+	// MsgResumeReply answers with the receiver's last contiguous
+	// (epoch, seq) so the sender replays only the unacked window.
+	MsgResumeReply
 )
 
 func (t MsgType) String() string {
@@ -99,6 +111,14 @@ func (t MsgType) String() string {
 		return "ReliableAck"
 	case MsgReliableNack:
 		return "ReliableNack"
+	case MsgPing:
+		return "Ping"
+	case MsgPong:
+		return "Pong"
+	case MsgResumeRequest:
+		return "ResumeRequest"
+	case MsgResumeReply:
+		return "ResumeReply"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

@@ -36,6 +36,15 @@ const (
 	// EventInvokeShed: an invocation was refused by load shedding
 	// (worker+queue budget exhausted).
 	EventInvokeShed
+	// EventPeerSuspect: the failure detector confirmed a silent remote
+	// and the reconnect loop took over the link.
+	EventPeerSuspect
+	// EventPeerQuarantined: the redial circuit breaker opened after
+	// too many consecutive dial failures.
+	EventPeerQuarantined
+	// EventPeerRecovered: a suspect or quarantined remote reconnected
+	// (detail names whether the reliable session was resumed).
+	EventPeerRecovered
 )
 
 var eventNames = map[EventKind]string{
@@ -50,6 +59,9 @@ var eventNames = map[EventKind]string{
 	EventDropped:            "dropped",
 	EventInvoked:            "invoked",
 	EventInvokeShed:         "invoke-shed",
+	EventPeerSuspect:        "peer-suspect",
+	EventPeerQuarantined:    "peer-quarantined",
+	EventPeerRecovered:      "peer-recovered",
 }
 
 // String returns the event kind's dashed name.

@@ -70,6 +70,7 @@ type Peer struct {
 	clock          Clock
 	relCfg         *ReliableConfig
 	invCfg         InvokeConfig
+	lifeCfg        LifecycleConfig
 	drainOnClose   time.Duration
 	stats          Stats
 
@@ -94,6 +95,7 @@ type Peer struct {
 	interests []*interest
 	exports   map[string]*export
 	conns     map[*Conn]struct{}
+	remotes   map[string]*Remote
 	codeSeen  map[string]bool
 	codeBlobs map[string]codeBlobCache
 	inflight  map[string]chan struct{}
@@ -101,6 +103,13 @@ type Peer struct {
 	acceptWG  sync.WaitGroup
 	handlerWG sync.WaitGroup
 	closed    bool
+
+	// relResume remembers, per sender epoch, the receive side's next
+	// expected seq at the moment a conn died — what a redialing sender
+	// is told during the resume handshake so it replays only the
+	// unacked window. Bounded FIFO (maxSavedRelSessions).
+	relResume      map[uint64]uint64
+	relResumeOrder []uint64
 
 	// closeCh is closed when the peer shuts down; pending
 	// request/reply exchanges select on it to fail fast with
@@ -208,11 +217,14 @@ func NewPeer(reg *registry.Registry, opts ...PeerOption) *Peer {
 			QueueDepth:  defaultInvokeQueueDepth,
 			MaxInflight: defaultInvokeMaxInflight,
 		},
+		lifeCfg:   defaultLifecycleConfig(),
 		exports:   make(map[string]*export),
 		conns:     make(map[*Conn]struct{}),
+		remotes:   make(map[string]*Remote),
 		codeSeen:  make(map[string]bool),
 		codeBlobs: make(map[string]codeBlobCache),
 		inflight:  make(map[string]chan struct{}),
+		relResume: make(map[uint64]uint64),
 		closeCh:   make(chan struct{}),
 	}
 	p.recvFP = fmt.Sprintf("peer-binder-%d", recvFPSeq.Add(1))
@@ -373,6 +385,10 @@ func (p *Peer) Close() error {
 	for c := range p.conns {
 		conns = append(conns, c)
 	}
+	remotes := make([]*Remote, 0, len(p.remotes))
+	for _, rm := range p.remotes {
+		remotes = append(remotes, rm)
+	}
 	p.mu.Unlock()
 
 	if ln != nil {
@@ -396,6 +412,13 @@ func (p *Peer) Close() error {
 			}
 		}
 		wg.Wait()
+	}
+	// Remotes first: their shutdown stops monitor and redial loops
+	// (a dial in flight finds the peer closed and discards its conn),
+	// then kills the carried reliable link so nothing resumes into a
+	// dead peer. Conn teardown below is idempotent with theirs.
+	for _, rm := range remotes {
+		rm.shutdown()
 	}
 	for _, c := range conns {
 		_ = c.Close()
@@ -425,16 +448,111 @@ func (p *Peer) pipelineBusy() bool {
 	return false
 }
 
-func (p *Peer) track(c *Conn) {
+// track registers a connection, refusing (false) once the peer has
+// closed — a late accept or a redial racing Close must tear itself
+// down instead of leaking a read loop past shutdown.
+func (p *Peer) track(c *Conn) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
 	p.conns[c] = struct{}{}
+	return true
 }
 
 func (p *Peer) untrack(c *Conn) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	delete(p.conns, c)
+}
+
+// maxSavedRelSessions bounds the saved-session map: epochs of conns
+// long dead are evicted FIFO, and a resume against an evicted epoch
+// simply falls back to the fresh-epoch path.
+const maxSavedRelSessions = 64
+
+// saveRelSession records a dying conn's receive-side reliable session
+// so a redialing sender can resume it. Epoch 0 (no reliable traffic
+// ever seen) is not worth saving.
+func (p *Peer) saveRelSession(epoch, next uint64) {
+	if epoch == 0 || next <= 1 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.relResume[epoch]; ok {
+		if next > prev {
+			p.relResume[epoch] = next
+		}
+		return
+	}
+	for len(p.relResumeOrder) >= maxSavedRelSessions {
+		delete(p.relResume, p.relResumeOrder[0])
+		p.relResumeOrder = p.relResumeOrder[1:]
+	}
+	p.relResume[epoch] = next
+	p.relResumeOrder = append(p.relResumeOrder, epoch)
+}
+
+// resumeSessionFor answers a resume handshake: the saved sessions
+// first, then the live conns (a half-open link may have died in one
+// direction only), excluding the conn asking.
+func (p *Peer) resumeSessionFor(epoch uint64, exclude *Conn) (next uint64, ok bool) {
+	if epoch == 0 {
+		return 0, false
+	}
+	p.mu.Lock()
+	next, ok = p.relResume[epoch]
+	conns := make([]*Conn, 0, len(p.conns))
+	for c := range p.conns {
+		if c != exclude {
+			conns = append(conns, c)
+		}
+	}
+	p.mu.Unlock()
+	if ok {
+		return next, true
+	}
+	for _, c := range conns {
+		// Sealing stops the predecessor conn's dispatch before its
+		// session is adopted; without it the old conn could deliver
+		// past the advertised point and the replay would duplicate.
+		if n, held := c.rrecv.sealIf(epoch); held {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// ManagedRemote returns the named managed remote (see ManageConn),
+// or nil.
+func (p *Peer) ManagedRemote(name string) *Remote {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.remotes[name]
+}
+
+// registerRemote claims a name in the peer's managed-remote table.
+func (p *Peer) registerRemote(rm *Remote) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPeerClosed
+	}
+	if _, ok := p.remotes[rm.name]; ok {
+		return fmt.Errorf("transport: remote %q already managed", rm.name)
+	}
+	p.remotes[rm.name] = rm
+	return nil
+}
+
+func (p *Peer) deregisterRemote(rm *Remote) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.remotes[rm.name] == rm {
+		delete(p.remotes, rm.name)
+	}
 }
 
 // handleAsync processes an incoming request off the read loop.
@@ -574,7 +692,14 @@ func (p *Peer) Broadcast(v interface{}) (int, error) {
 	p.mu.Lock()
 	conns := make([]*Conn, 0, len(p.conns))
 	for c := range p.conns {
+		if c.remote != nil {
+			continue // lifecycle-managed: the Remote's send path owns it
+		}
 		conns = append(conns, c)
+	}
+	remotes := make([]*Remote, 0, len(p.remotes))
+	for _, rm := range p.remotes {
+		remotes = append(remotes, rm)
 	}
 	p.mu.Unlock()
 
@@ -583,6 +708,16 @@ func (p *Peer) Broadcast(v interface{}) (int, error) {
 	for _, c := range conns {
 		if err := p.SendObject(c, v); err != nil {
 			errs = append(errs, fmt.Errorf("broadcast to %s: %w", c.RemoteLabel(), err))
+			continue
+		}
+		sent++
+	}
+	// Managed remotes ride their reliable link even while detached
+	// (the queue buffers across an outage); a quarantined remote's
+	// dead link fails fast instead of stalling the broadcast.
+	for _, rm := range remotes {
+		if err := rm.send(v); err != nil {
+			errs = append(errs, fmt.Errorf("broadcast to %s: %w", rm.Name(), err))
 			continue
 		}
 		sent++

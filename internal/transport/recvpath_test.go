@@ -172,7 +172,7 @@ func TestInflateIntoSteadyStateAllocs(t *testing.T) {
 		}
 		scratch = out
 	})
-	if allocs > 0 {
+	if allocs > 0 && !raceEnabled {
 		t.Errorf("warmed inflateInto allocates %.1f/op, want 0", allocs)
 	}
 }

@@ -431,6 +431,12 @@ type ReliableLink struct {
 	lastSendErr    error
 	closed         bool
 	err            error
+	// managed marks a link owned by a Remote (see health.go): a send
+	// failure or conn teardown detaches it — parks the machinery with
+	// the window intact — instead of killing it, so a redial can
+	// resume the session and replay the unacked frames.
+	managed  bool
+	detached bool
 
 	kick     chan struct{}
 	done     chan struct{}
@@ -509,23 +515,34 @@ func (l connRaw) Close() error                                  { return l.c.Clo
 // (WithSendQueue) Send enqueues and returns, with the overflow policy
 // deciding what a full queue does.
 func (r *ReliableLink) Send(m *Message) error {
-	if r.cfg.SendQueue > 0 {
+	isData := m.Type == MsgObject
+	if r.cfg.SendQueue > 0 && isData {
 		return r.enqueue(m)
 	}
-	isData := m.Type == MsgObject
+	// Control frames — correlated replies among them — skip the
+	// pipeline queue and admit directly, mirroring the receive side's
+	// reply bypass. A reply parked behind head-of-line-blocked data
+	// would deadlock the link: the peer's in-order dispatch may be
+	// waiting on that very reply, and no ack advances the window
+	// until the dispatch returns.
 	r.mu.Lock()
 	if err := r.admitLocked(isData); err != nil {
 		r.mu.Unlock()
 		return err
 	}
 	frame := r.registerLocked(m, isData)
+	raw := r.raw
 	r.mu.Unlock()
 
 	if r.stats != nil {
 		r.stats.relDataSent.Add(1)
 	}
-	if err := r.raw.Send(&Message{Type: MsgReliableData, Body: frame}); err != nil {
-		r.failSend(err)
+	if err := raw.Send(&Message{Type: MsgReliableData, Body: frame}); err != nil {
+		if r.failSend(err) {
+			// Detached, not dead: the frame is registered and the
+			// resume replay owns its delivery.
+			return nil
+		}
 		return err
 	}
 	r.kickLoop()
@@ -563,6 +580,11 @@ func (r *ReliableLink) admitStepLocked(isData bool) (wait bool, err error) {
 		return true, nil
 	}
 	if len(r.inflight) >= r.maxInflightTotal() {
+		if r.detached {
+			// A parked link accumulates backlog by design; give-up is
+			// the circuit breaker's call, not the admission rule's.
+			return true, nil
+		}
 		// Control frames bypass the window, so on a blackholed link
 		// (nothing acked, requests abandoned at the protocol layer)
 		// they would otherwise accumulate forever — and a frame can
@@ -706,7 +728,9 @@ func (r *ReliableLink) senderLoop() {
 			r.mu.Unlock()
 			return
 		}
-		if len(r.queue) == 0 {
+		if r.detached || len(r.queue) == 0 {
+			// A detached link parks: registered frames wait for the
+			// resume replay, queued ones for the window to reopen.
 			r.cond.Wait()
 			continue
 		}
@@ -724,17 +748,20 @@ func (r *ReliableLink) senderLoop() {
 		r.queue[0] = nil
 		r.queue = r.queue[1:]
 		frame := r.registerLocked(m, isData)
+		raw := r.raw
 		r.cond.Broadcast() // queue shrank: unblock full-queue enqueuers
 		r.mu.Unlock()
 
 		if r.stats != nil {
 			r.stats.relDataSent.Add(1)
 		}
-		if err := r.raw.Send(&Message{Type: MsgReliableData, Body: frame}); err != nil {
-			r.failSend(err)
-			return
+		if err := raw.Send(&Message{Type: MsgReliableData, Body: frame}); err != nil {
+			if !r.failSend(err) {
+				return
+			}
+		} else {
+			r.kickLoop()
 		}
-		r.kickLoop()
 		r.mu.Lock()
 	}
 }
@@ -789,7 +816,10 @@ func (r *ReliableLink) Flush(timeout time.Duration) error {
 func (r *ReliableLink) runnable() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed || len(r.queue) == 0 {
+	if r.closed || r.detached || len(r.queue) == 0 {
+		// A detached link cannot progress until a redial lands, and
+		// the redial's backoff timers need virtual time to advance —
+		// so a parked pipeline must never report busy.
 		return false
 	}
 	if r.nextSeq == 0 && len(r.inflight) > 0 {
@@ -806,7 +836,10 @@ func (r *ReliableLink) runnable() bool {
 // (Conn-attached reliable links route requests through the reliable
 // channel at the Conn layer instead — see Conn.request.)
 func (r *ReliableLink) Request(t MsgType, body []byte) (*Message, error) {
-	return r.raw.Request(t, body)
+	r.mu.Lock()
+	raw := r.raw
+	r.mu.Unlock()
+	return raw.Request(t, body)
 }
 
 // Ack processes a cumulative acknowledgement body, releasing every
@@ -859,7 +892,7 @@ func (r *ReliableLink) Nack(body []byte) {
 		return
 	}
 	r.mu.Lock()
-	if r.closed || epoch != r.epoch || !r.cfg.FastRetransmit {
+	if r.closed || r.detached || epoch != r.epoch || !r.cfg.FastRetransmit {
 		r.mu.Unlock()
 		return
 	}
@@ -877,13 +910,14 @@ func (r *ReliableLink) Nack(body []byte) {
 		e.deadline = now.Add(e.backoff)
 		due = append(due, e)
 	}
+	raw := r.raw
 	r.mu.Unlock()
 	if len(due) == 0 {
 		return
 	}
 	sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
 	for _, e := range due {
-		if err := r.raw.Send(&Message{Type: MsgReliableData, Body: e.frame}); err != nil {
+		if err := raw.Send(&Message{Type: MsgReliableData, Body: e.frame}); err != nil {
 			r.failSend(err)
 			return
 		}
@@ -922,6 +956,18 @@ func (r *ReliableLink) retransmitLoop() {
 		if r.closed {
 			r.mu.Unlock()
 			return
+		}
+		if r.detached {
+			// Parked across an outage: deadlines freeze until the
+			// resume replay rearms them, so no frame can give up (or
+			// burn retransmits into a dead raw link) while detached.
+			r.mu.Unlock()
+			select {
+			case <-r.kick:
+				continue
+			case <-r.done:
+				return
+			}
 		}
 		var earliest time.Time
 		for _, e := range r.inflight {
@@ -969,6 +1015,7 @@ func (r *ReliableLink) retransmitLoop() {
 			e.deadline = now.Add(e.backoff)
 			due = append(due, e)
 		}
+		raw := r.raw
 		r.mu.Unlock()
 		if gaveUp != nil {
 			r.fail(gaveUp)
@@ -978,8 +1025,10 @@ func (r *ReliableLink) retransmitLoop() {
 		// contiguity drain benefits from low seqs arriving first.
 		sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
 		for _, e := range due {
-			if err := r.raw.Send(&Message{Type: MsgReliableData, Body: e.frame}); err != nil {
-				r.failSend(err)
+			if err := raw.Send(&Message{Type: MsgReliableData, Body: e.frame}); err != nil {
+				if r.failSend(err) {
+					break // detached: park on the next pass
+				}
 				return
 			}
 			r.retransmits.Add(1)
@@ -1037,24 +1086,172 @@ func (r *ReliableLink) shutdown(err error) {
 func (r *ReliableLink) fail(err error) { r.shutdown(err) }
 
 // failSend records a raw send failure (so later give-up errors can
-// carry it) and fails the link.
-func (r *ReliableLink) failSend(err error) {
+// carry it) and fails the link — or, on a managed link, detaches it
+// and reports true: the window survives for the resume replay.
+func (r *ReliableLink) failSend(err error) bool {
 	r.mu.Lock()
 	if r.lastSendErr == nil {
 		r.lastSendErr = err
 	}
+	if r.managed && !r.closed {
+		r.detachLocked()
+		r.mu.Unlock()
+		r.kickLoop()
+		return true
+	}
 	r.closeLocked(err)
+	r.mu.Unlock()
+	return false
+}
+
+// detachLocked parks a managed link across an outage: loops idle,
+// window and queue stay intact. Caller holds r.mu.
+func (r *ReliableLink) detachLocked() {
+	if r.detached {
+		return
+	}
+	r.detached = true
+	r.cond.Broadcast()
+}
+
+// setManaged hands ownership of the link's lifecycle to a Remote:
+// teardown detaches instead of closing. Called before traffic flows.
+func (r *ReliableLink) setManaged() {
+	r.mu.Lock()
+	r.managed = true
 	r.mu.Unlock()
 }
 
+// sessionEpoch returns the epoch a resume handshake should name.
+func (r *ReliableLink) sessionEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// isClosed reports whether the link has been killed (as opposed to
+// detached); a quarantined Remote's carried link is dead and a redial
+// must start fresh.
+func (r *ReliableLink) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// resume points a detached (or freshly failing) link at a new raw
+// connection and replays the unacked window. With sameEpoch the
+// receiver still holds the session: frames at or below its advertised
+// cumulative ack are released unsent and the rest retransmit under
+// their old numbering. Otherwise the link rolls to a fresh epoch and
+// renumbers the surviving window from seq 1 — the receiver's epoch
+// reset then accepts the replay contiguously, and its saved-session
+// dedup (resumeCum) suppresses anything it had already committed.
+// Returns the number of frames put back on the wire.
+func (r *ReliableLink) resume(raw Link, sameEpoch bool, cum uint64) int {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return 0
+	}
+	r.raw = raw
+	if sameEpoch && cum > r.acked {
+		r.acked = cum
+		for seq, e := range r.inflight {
+			if seq <= cum {
+				delete(r.inflight, seq)
+				if e.data {
+					r.inflightData--
+				}
+			}
+		}
+	}
+	entries := make([]*relEntry, 0, len(r.inflight))
+	for _, e := range r.inflight {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	now := r.clock.Now()
+	rto := r.currentRTOLocked()
+	// Build fresh entries rather than mutating the old ones: a resend
+	// racing on another goroutine may still be reading the old frames.
+	fresh := make([]*relEntry, 0, len(entries))
+	if !sameEpoch {
+		r.epoch = nextRelEpoch()
+		r.acked = 0
+	}
+	for i, e := range entries {
+		seq, frame := e.seq, e.frame
+		if !sameEpoch {
+			seq = uint64(i + 1)
+			_, _, inner, err := decodeRelData(e.frame)
+			if err != nil {
+				continue // unreachable: this layer encoded the frame
+			}
+			frame = encodeRelData(r.epoch, seq, inner)
+		}
+		fresh = append(fresh, &relEntry{
+			seq:      seq,
+			data:     e.data,
+			frame:    frame,
+			sentAt:   now,
+			deadline: now.Add(rto),
+			backoff:  rto,
+			attempts: 1,
+		})
+	}
+	if !sameEpoch {
+		r.nextSeq = uint64(len(fresh)) + 1
+	}
+	r.inflight = make(map[uint64]*relEntry, len(fresh))
+	r.inflightData = 0
+	for _, e := range fresh {
+		r.inflight[e.seq] = e
+		if e.data {
+			r.inflightData++
+		}
+	}
+	r.detached = false
+	r.lastSendErr = nil
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.kickLoop()
+
+	replayed := 0
+	for _, e := range fresh {
+		if err := raw.Send(&Message{Type: MsgReliableData, Body: e.frame}); err != nil {
+			r.failSend(err)
+			break
+		}
+		replayed++
+		if r.stats != nil {
+			r.stats.relFramesReplayed.Add(1)
+		}
+	}
+	return replayed
+}
+
 // stop halts the reliable machinery without closing the underlying
-// link (the connection teardown paths own that).
-func (r *ReliableLink) stop() { r.shutdown(ErrClosed) }
+// link (the connection teardown paths own that). A managed link
+// detaches instead: its Remote decides when the session truly dies.
+func (r *ReliableLink) stop() {
+	r.mu.Lock()
+	if r.managed && !r.closed {
+		r.detachLocked()
+		r.mu.Unlock()
+		r.kickLoop()
+		return
+	}
+	r.closeLocked(ErrClosed)
+	r.mu.Unlock()
+}
 
 // Close stops the reliable machinery and closes the underlying link.
 func (r *ReliableLink) Close() error {
 	r.shutdown(ErrClosed)
-	return r.raw.Close()
+	r.mu.Lock()
+	raw := r.raw
+	r.mu.Unlock()
+	return raw.Close()
 }
 
 // ReliableLinkStats is a point-in-time snapshot of a sender's state.
@@ -1075,6 +1272,9 @@ type ReliableLinkStats struct {
 	Retransmits     uint64
 	FastRetransmits uint64
 	AcksReceived    uint64
+	// Detached reports a managed link parked across an outage,
+	// awaiting a redial's resume replay.
+	Detached bool
 }
 
 // Snapshot returns the sender's current counters.
@@ -1094,6 +1294,7 @@ func (r *ReliableLink) Snapshot() ReliableLinkStats {
 		RTTVar:         r.est.rttvar,
 		RTO:            r.currentRTOLocked(),
 		RTTSamples:     r.est.samples,
+		Detached:       r.detached,
 	}
 	r.mu.Unlock()
 	s.Retransmits = r.retransmits.Load()
@@ -1111,28 +1312,50 @@ var _ Link = (*ReliableLink)(nil)
 // recovers it once the window advances).
 const relRecvBuffer = 1024
 
+// relPending is one in-order frame awaiting dispatch. The (epoch,
+// seq) ride along so the drain goroutine can advance the delivered
+// watermark — and ack it — only after the handler returns. A nil m is
+// a correlated reply already routed at receive time; its seq still
+// counts toward the watermark when its turn comes.
+type relPending struct {
+	epoch, seq uint64
+	m          *Message
+}
+
 // relReceiver is the receive half of the reliable layer: dedup,
 // cumulative acks, gap-driven NACKs, and strictly in-order dispatch.
 // One is armed on every Conn, so receiving needs no opt-in.
+//
+// The cumulative ack certifies delivery to the application, not
+// arrival in the reorder buffer: deliv advances only after a frame's
+// handler returns, and that is the watermark every ack carries. A
+// receiver that crashes between receiving a frame and dispatching it
+// has therefore never acknowledged it, so the sender's resume replay
+// redelivers instead of losing it.
 type relReceiver struct {
 	stats *Stats // optional peer counters
 
 	mu          sync.Mutex
 	epoch       uint64
 	next        uint64 // next in-sequence seq to accept
+	deliv       uint64 // contiguous prefix whose handlers have returned
+	resumeCum   uint64 // adopted session's committed prefix, for replay dedup
 	buf         map[uint64]*Message
 	nacked      map[uint64]struct{} // gaps already reported this epoch
-	pending     []*Message
+	pending     []relPending
 	dispatching bool
+	closed      bool       // sealed at conn teardown: no accepts, no dispatch
+	idle        *sync.Cond // signalled when dispatching goes false
 
 	dispatch func(*Message)                    // in-order request dispatch
 	reply    func(*Message)                    // immediate correlated-reply routing
 	ack      func(epoch, cum uint64)           // ack transmission
 	nack     func(epoch uint64, seqs []uint64) // gap-report transmission (nil: disabled)
+	drop     func(reason string)               // typed drop-reason reporting (nil: disabled)
 }
 
 func newRelReceiver(stats *Stats, dispatch, reply func(*Message), ack func(epoch, cum uint64), nack func(epoch uint64, seqs []uint64)) *relReceiver {
-	return &relReceiver{
+	rr := &relReceiver{
 		stats:    stats,
 		next:     1,
 		buf:      make(map[uint64]*Message),
@@ -1142,6 +1365,8 @@ func newRelReceiver(stats *Stats, dispatch, reply func(*Message), ack func(epoch
 		ack:      ack,
 		nack:     nack,
 	}
+	rr.idle = sync.NewCond(&rr.mu)
+	return rr
 }
 
 // isRelReply reports whether an inner message is a correlated reply,
@@ -1164,18 +1389,37 @@ func (rr *relReceiver) handleData(body []byte) error {
 	}
 	var replyNow *Message
 	var missing []uint64
+	var dropReason string
 	rr.mu.Lock()
+	if rr.closed {
+		// Sealed at teardown: the frame is neither accepted nor
+		// acked, so the sender's replay redelivers it to whichever
+		// conn succeeds this one.
+		rr.mu.Unlock()
+		return nil
+	}
 	if epoch < rr.epoch {
 		// Ghost of a pre-restart sender: never redelivered, never
 		// acked (the old sender is gone; acking would be noise).
 		rr.mu.Unlock()
 		rr.countDeduped()
+		if rr.stats != nil {
+			rr.stats.relStaleEpoch.Add(1)
+		}
+		if rr.drop != nil {
+			rr.drop("stale epoch frame")
+		}
 		return nil
 	}
 	if epoch > rr.epoch {
 		// A restarted (or seq-wrapped) sender: fresh sequence space.
+		// Pending frames from the old epoch still dispatch (they were
+		// contiguous when accepted); they carry their own epoch so
+		// the drain never acks them under the new one.
 		rr.epoch = epoch
 		rr.next = 1
+		rr.deliv = 0
+		rr.resumeCum = 0
 		rr.buf = make(map[uint64]*Message)
 		rr.nacked = make(map[uint64]struct{})
 	}
@@ -1183,6 +1427,15 @@ func (rr *relReceiver) handleData(body []byte) error {
 	switch {
 	case seq < rr.next || buffered:
 		rr.countDeduped() // duplicate: suppressed, but re-acked below
+		if seq <= rr.resumeCum {
+			// A resume replay re-offering what the pre-outage session
+			// already committed: its own accounting bucket, so churn
+			// tests can tell replay dedup from wire-level duplicates.
+			if rr.stats != nil {
+				rr.stats.relResumeDeduped.Add(1)
+			}
+			dropReason = "resume replay duplicate"
+		}
 	case seq-rr.next >= relRecvBuffer: // subtraction: safe near seq wrap
 		// Too far ahead to hold; the ack below still reports where
 		// the contiguous prefix ends, and retransmit recovers this.
@@ -1202,10 +1455,8 @@ func (rr *relReceiver) handleData(body []byte) error {
 			}
 			delete(rr.buf, rr.next)
 			delete(rr.nacked, rr.next)
+			rr.pending = append(rr.pending, relPending{epoch: rr.epoch, seq: rr.next, m: m})
 			rr.next++
-			if m != nil {
-				rr.pending = append(rr.pending, m)
-			}
 		}
 		// Gap report: every seq below the newly buffered frame that
 		// is still missing after the drain is NACKed, once per
@@ -1224,7 +1475,7 @@ func (rr *relReceiver) handleData(body []byte) error {
 			}
 		}
 	}
-	cum := rr.next - 1
+	cum := rr.deliv
 	ackEpoch := rr.epoch
 	runDispatch := false
 	if len(rr.pending) > 0 && !rr.dispatching {
@@ -1235,6 +1486,9 @@ func (rr *relReceiver) handleData(body []byte) error {
 
 	if replyNow != nil {
 		rr.reply(replyNow)
+	}
+	if dropReason != "" && rr.drop != nil {
+		rr.drop(dropReason) // outside rr.mu: drop callbacks reach the observer
 	}
 	rr.ack(ackEpoch, cum)
 	if len(missing) > 0 {
@@ -1252,20 +1506,38 @@ func (rr *relReceiver) handleData(body []byte) error {
 // drain dispatches pending in-order messages until none remain. Only
 // one goroutine drains at a time; concurrent receptions append under
 // the lock, so dispatch order is exactly sequence order even though
-// frames arrive on racing handler goroutines.
+// frames arrive on racing handler goroutines. After each handler
+// returns, the delivered watermark advances and an ack carries it to
+// the sender — so an ack never certifies a frame whose handler has
+// not run. A seal mid-drain stops the loop after the in-flight
+// dispatch; the remaining pending frames stay unacked and the
+// sender's replay redelivers them.
 func (rr *relReceiver) drain() {
 	for {
 		rr.mu.Lock()
-		if len(rr.pending) == 0 {
+		if rr.closed || len(rr.pending) == 0 {
+			rr.pending = nil
 			rr.dispatching = false
+			rr.idle.Broadcast()
 			rr.mu.Unlock()
 			return
 		}
-		batch := rr.pending
-		rr.pending = nil
+		e := rr.pending[0]
+		rr.pending[0] = relPending{}
+		rr.pending = rr.pending[1:]
 		rr.mu.Unlock()
-		for _, m := range batch {
-			rr.dispatch(m)
+		if e.m != nil {
+			rr.dispatch(e.m)
+		}
+		rr.mu.Lock()
+		ackNow := e.epoch == rr.epoch
+		if ackNow && e.seq > rr.deliv {
+			rr.deliv = e.seq
+		}
+		cum := rr.deliv
+		rr.mu.Unlock()
+		if ackNow {
+			rr.ack(e.epoch, cum)
 		}
 	}
 }
@@ -1274,4 +1546,71 @@ func (rr *relReceiver) countDeduped() {
 	if rr.stats != nil {
 		rr.stats.relDeduped.Add(1)
 	}
+}
+
+// session reports the receiver's current (epoch, next-to-deliver):
+// the delivered prefix plus one, never the reorder buffer's high
+// mark, so a session advertised to a resuming sender can never skip
+// a frame whose handler did not run.
+func (rr *relReceiver) session() (epoch, next uint64) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	return rr.epoch, rr.deliv + 1
+}
+
+// seal freezes the receiver at conn teardown and returns the session
+// the owning peer should save. It waits out an in-flight dispatch —
+// its frame counts as delivered once the handler returns — and drops
+// the rest of the pending queue unacked, so the saved (epoch, next)
+// names exactly the delivered prefix: a resumed replay neither skips
+// an undelivered frame nor redelivers a delivered one.
+func (rr *relReceiver) seal() (epoch, next uint64) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	rr.closed = true
+	for rr.dispatching {
+		rr.idle.Wait()
+	}
+	rr.pending = nil
+	return rr.epoch, rr.deliv + 1
+}
+
+// sealIf seals the receiver only when it holds the named epoch's
+// session, returning its next-to-deliver. A resume handshake that
+// adopts a session from a conn still tearing down must stop that
+// conn's dispatch first — otherwise the predecessor would keep
+// delivering past the point the handshake advertised, and the replay
+// would duplicate into the same peer.
+func (rr *relReceiver) sealIf(epoch uint64) (next uint64, ok bool) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if rr.epoch != epoch {
+		return 0, false
+	}
+	rr.closed = true
+	for rr.dispatching {
+		rr.idle.Wait()
+	}
+	rr.pending = nil
+	return rr.deliv + 1, true
+}
+
+// adopt installs a saved session's (epoch, next) on a fresh receiver
+// so a resumed sender's replay continues where the pre-outage conn
+// left off: frames at or below next-1 are suppressed into the
+// resume-dedup bucket instead of being redelivered. Stale adoptions
+// (the receiver has since seen a newer epoch, or is already further
+// along) are ignored.
+func (rr *relReceiver) adopt(epoch, next uint64) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if rr.closed || epoch < rr.epoch || (epoch == rr.epoch && next <= rr.next) {
+		return
+	}
+	rr.epoch = epoch
+	rr.next = next
+	rr.deliv = next - 1
+	rr.resumeCum = next - 1
+	rr.buf = make(map[uint64]*Message)
+	rr.nacked = make(map[uint64]struct{})
 }

@@ -29,6 +29,14 @@ type Stats struct {
 	relFastRetransmits atomic.Uint64
 	relQueueDropped    atomic.Uint64
 	relQueueAbandoned  atomic.Uint64
+	relStaleEpoch      atomic.Uint64
+	relResumeDeduped   atomic.Uint64
+	relSessionsResumed atomic.Uint64
+	relFramesReplayed  atomic.Uint64
+	peerSuspects       atomic.Uint64
+	peerQuarantines    atomic.Uint64
+	peerRecoveries     atomic.Uint64
+	peerRedials        atomic.Uint64
 }
 
 // StatsSnapshot is an immutable copy of the counters.
@@ -65,6 +73,16 @@ type StatsSnapshot struct {
 	RelFastRetransmits uint64 // frames resent on NACK, ahead of their timer
 	RelQueueDropped    uint64 // queued frames shed by OverflowDropOldest
 	RelQueueAbandoned  uint64 // queued frames discarded by link shutdown
+	// Connection-lifecycle counters (zero unless the peer runs managed
+	// remotes; see health.go and docs/health.md).
+	RelStaleEpoch      uint64 // frames from an older epoch, dropped as ghosts
+	RelResumeDeduped   uint64 // resume-replay frames the receiver had already committed
+	RelSessionsResumed uint64 // redials that continued an existing reliable session
+	RelFramesReplayed  uint64 // in-flight frames replayed across a reconnect
+	PeerSuspects       uint64 // failure-detector suspect transitions
+	PeerQuarantines    uint64 // remotes quarantined by the redial circuit breaker
+	PeerRecoveries     uint64 // remotes that returned to healthy after suspect/quarantine
+	PeerRedials        uint64 // dial attempts made by the reconnect loop
 }
 
 // Snapshot returns the current counter values.
@@ -92,6 +110,14 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		RelFastRetransmits: s.relFastRetransmits.Load(),
 		RelQueueDropped:    s.relQueueDropped.Load(),
 		RelQueueAbandoned:  s.relQueueAbandoned.Load(),
+		RelStaleEpoch:      s.relStaleEpoch.Load(),
+		RelResumeDeduped:   s.relResumeDeduped.Load(),
+		RelSessionsResumed: s.relSessionsResumed.Load(),
+		RelFramesReplayed:  s.relFramesReplayed.Load(),
+		PeerSuspects:       s.peerSuspects.Load(),
+		PeerQuarantines:    s.peerQuarantines.Load(),
+		PeerRecoveries:     s.peerRecoveries.Load(),
+		PeerRedials:        s.peerRedials.Load(),
 	}
 }
 
@@ -119,4 +145,12 @@ func (s *Stats) Reset() {
 	s.relFastRetransmits.Store(0)
 	s.relQueueDropped.Store(0)
 	s.relQueueAbandoned.Store(0)
+	s.relStaleEpoch.Store(0)
+	s.relResumeDeduped.Store(0)
+	s.relSessionsResumed.Store(0)
+	s.relFramesReplayed.Store(0)
+	s.peerSuspects.Store(0)
+	s.peerQuarantines.Store(0)
+	s.peerRecoveries.Store(0)
+	s.peerRedials.Store(0)
 }

@@ -134,6 +134,15 @@ type (
 	FaultProfile = transport.FaultProfile
 	// Delivery is a received object.
 	Delivery = transport.Delivery
+	// ManagedRemote is a lifecycle-managed outbound link: the peer
+	// heartbeats it, redials it on failure and resumes its reliable
+	// session across the outage (see docs/health.md).
+	ManagedRemote = transport.Remote
+	// HealthState is a managed remote's failure-detector state.
+	HealthState = transport.HealthState
+	// DialFunc (re)establishes the raw byte stream behind a managed
+	// remote.
+	DialFunc = transport.DialFunc
 	// RemoteRef is a pass-by-reference proxy to a remote object.
 	RemoteRef = transport.RemoteRef
 	// Broker is a type-based publish/subscribe broker (Section 8).
@@ -579,6 +588,41 @@ func WithoutFastRetransmit() ReliableOption { return transport.WithoutFastRetran
 // counted in the peer's RelQueueAbandoned stat.
 func WithDrainOnClose(d time.Duration) PeerOption {
 	return transport.WithDrainOnClose(d)
+}
+
+// Managed-remote health states: healthy → suspect → quarantined (see
+// docs/health.md).
+const (
+	HealthHealthy     = transport.HealthHealthy
+	HealthSuspect     = transport.HealthSuspect
+	HealthQuarantined = transport.HealthQuarantined
+)
+
+// WithHeartbeat sets the liveness probe cadence of managed remotes
+// (default 500ms). Heartbeats piggyback on regular traffic — explicit
+// pings go out only on idle links.
+func WithHeartbeat(d time.Duration) PeerOption { return transport.WithHeartbeat(d) }
+
+// WithSuspectAfter sets the silence that marks a managed remote
+// suspect (default 4×heartbeat, floored by the measured RTT); twice
+// it confirms the failure and triggers reconnect.
+func WithSuspectAfter(d time.Duration) PeerOption { return transport.WithSuspectAfter(d) }
+
+// WithRedialBackoff shapes a managed remote's reconnect delays:
+// initial backoff, doubling per failure up to max (defaults 50ms, 2s).
+func WithRedialBackoff(initial, max time.Duration) PeerOption {
+	return transport.WithRedialBackoff(initial, max)
+}
+
+// WithMaxRedials quarantines a managed remote after n consecutive
+// failed redials — the circuit breaker against redial storms (default
+// 0 = never give up).
+func WithMaxRedials(n int) PeerOption { return transport.WithMaxRedials(n) }
+
+// WithQuarantineProbe keeps quarantined remotes half-open, probing
+// once per interval (default 0 = terminal until ManagedRemote.Retry).
+func WithQuarantineProbe(d time.Duration) PeerOption {
+	return transport.WithQuarantineProbe(d)
 }
 
 // PendingCall is one in-flight pipelined invocation started by
