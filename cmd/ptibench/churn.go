@@ -20,8 +20,9 @@ import (
 //   - every subscriber lineage (the union of its incarnations) must
 //     reach a 1.0 match rate — the reliable session resumed across
 //     the restart instead of resetting;
-//   - every churned link must resume its session (sessions_resumed >=
-//     churned) with zero abandoned queue frames;
+//   - every churned link must come back with a session — same-epoch
+//     resume or fresh-epoch replay (sessions_resumed + sessions_fresh
+//     >= churned) — with zero abandoned queue frames;
 //   - the redial loop must stay inside its committed budget — a
 //     regression in backoff or the failure detector shows up as a
 //     redial storm long before it breaks delivery;
@@ -37,6 +38,7 @@ type churnRow struct {
 	MatchRate        float64 `json:"match_rate"`
 	Duplicates       int     `json:"duplicates"`
 	SessionsResumed  uint64  `json:"sessions_resumed"`
+	SessionsFresh    uint64  `json:"sessions_fresh"`
 	FramesReplayed   uint64  `json:"frames_replayed"`
 	Redials          uint64  `json:"redials"`
 	RedialBudget     uint64  `json:"redial_budget"`
@@ -77,9 +79,9 @@ func expChurn(reps int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %-24s match %.0f%%  dups %d  resumed %d/%d  redials %d (budget %d)  elapsed %.0fms (budget %.0fms)\n",
-		row.Name, row.MatchRate*100, row.Duplicates, row.SessionsResumed, row.Churned,
-		row.Redials, row.RedialBudget, row.ElapsedVirtualMs, row.StallBudgetMs)
+	fmt.Printf("  %-24s match %.0f%%  dups %d  resumed+fresh %d+%d/%d  redials %d (budget %d)  elapsed %.0fms (budget %.0fms)\n",
+		row.Name, row.MatchRate*100, row.Duplicates, row.SessionsResumed, row.SessionsFresh,
+		row.Churned, row.Redials, row.RedialBudget, row.ElapsedVirtualMs, row.StallBudgetMs)
 
 	if *jsonOut != "" {
 		doc := churnDoc{Seed: *seed, ChurnRows: []churnRow{row}}
@@ -246,6 +248,7 @@ func runChurn(subs, churned, rounds, perRound int) (churnRow, error) {
 		MatchRate:        float64(covered) / float64(total*subs),
 		Duplicates:       dups,
 		SessionsResumed:  st.RelSessionsResumed,
+		SessionsFresh:    st.RelSessionsFresh,
 		FramesReplayed:   st.RelFramesReplayed,
 		Redials:          st.PeerRedials,
 		RedialBudget:     churnRedialBudget,

@@ -455,8 +455,8 @@ func TestAttachNodeSurvivesSubscriberChurn(t *testing.T) {
 	}
 
 	st := pub.Stats().Snapshot()
-	if st.RelSessionsResumed == 0 {
-		t.Error("redial did not resume the reliable session")
+	if st.RelSessionsResumed+st.RelSessionsFresh == 0 {
+		t.Error("redial neither resumed the reliable session nor replayed under a fresh epoch")
 	}
 	if st.RelQueueAbandoned != 0 {
 		t.Errorf("RelQueueAbandoned = %d, want 0", st.RelQueueAbandoned)

@@ -205,9 +205,11 @@ func (c *Conn) readLoop() {
 		case MsgPong:
 			// The read itself refreshed lastHeard; nothing else to do.
 		case MsgResumeRequest:
-			// Resume handshakes are small and must answer before any
-			// queued dispatch, so handle them on the read loop.
-			c.handleResume(m)
+			// The handshake may wait out a predecessor conn's in-flight
+			// dispatch (resumeSessionFor's seal), and that handler can
+			// itself be blocked on a reply that must arrive over this
+			// very conn — so the answer must come off the read loop.
+			c.peer.handleAsync(c, m)
 		case MsgReliableAck:
 			// Acks are cheap and order-insensitive: route them
 			// synchronously so window space frees the moment the
@@ -232,16 +234,23 @@ func (c *Conn) readLoop() {
 	}
 }
 
-// handleResume answers a redialing sender's resume request: if this
-// peer still holds the named reliable session — saved when the old
-// conn died, or live on another conn — this conn's receiver adopts it
-// and the reply advertises the last contiguous seq, so the sender
-// replays only the unacked window. Otherwise found=false tells the
-// sender to roll a fresh epoch and replay everything it still holds.
+// handleResume answers a redialing sender's resume request (off the
+// read loop — see the MsgResumeRequest routing): if this peer still
+// holds the named reliable session — saved when the old conn died, or
+// live on another conn — this conn's receiver adopts it and the reply
+// advertises the last contiguous seq, so the sender replays only the
+// unacked window. Otherwise found=false tells the sender to roll a
+// fresh epoch and replay everything it still holds.
 func (c *Conn) handleResume(m *Message) {
 	epoch, err := decodeResumeReq(m.Body)
 	if err == nil {
-		if next, ok := c.peer.resumeSessionFor(epoch, c); ok {
+		// Parked: the seal inside resumeSessionFor resolves through
+		// another handler's return or its own clock-backed timeout, so
+		// this wait must not hold the virtual clock still.
+		c.peer.park()
+		next, ok := c.peer.resumeSessionFor(epoch, c)
+		c.peer.unpark()
+		if ok {
 			c.rrecv.adopt(epoch, next)
 			_ = c.reply(m, MsgResumeReply, encodeResumeReply(epoch, next-1, true))
 			return

@@ -264,20 +264,24 @@ func TestFabricChurnConvergence(t *testing.T) {
 		}
 	}
 
-	// Lifecycle accounting on the publishers: every churned link
-	// resumed its session, nothing queued was abandoned or shed.
-	var resumed, replayed, abandoned, shed, redials, suspects uint64
+	// Lifecycle accounting on the publishers: every churned link came
+	// back with a session — same-epoch resume when the receiver
+	// survived, fresh-epoch replay after a process restart — and
+	// nothing queued was abandoned or shed.
+	var resumed, fresh, replayed, abandoned, shed, redials, suspects uint64
 	for _, p := range pubs {
 		st := f.Node(p).Peer().Stats().Snapshot()
 		resumed += st.RelSessionsResumed
+		fresh += st.RelSessionsFresh
 		replayed += st.RelFramesReplayed
 		abandoned += st.RelQueueAbandoned
 		shed += st.RelQueueDropped
 		redials += st.PeerRedials
 		suspects += st.PeerSuspects
 	}
-	if resumed < uint64(len(churn)) {
-		t.Fatalf("RelSessionsResumed = %d, want >= %d (one per churned link)", resumed, len(churn))
+	if resumed+fresh < uint64(len(churn)) {
+		t.Fatalf("sessions resumed+fresh = %d+%d, want >= %d (one per churned link)",
+			resumed, fresh, len(churn))
 	}
 	if abandoned != 0 {
 		t.Fatalf("RelQueueAbandoned = %d across clean restarts, want 0", abandoned)
@@ -288,8 +292,8 @@ func TestFabricChurnConvergence(t *testing.T) {
 	if redials == 0 || suspects == 0 {
 		t.Fatalf("lifecycle counters flat: redials=%d suspects=%d", redials, suspects)
 	}
-	t.Logf("churn converged: %d peers, %d churned, %d msgs/pub, resumed=%d replayed=%d redials=%d suspects=%d",
-		nSubs+len(pubs), len(churn), total, resumed, replayed, redials, suspects)
+	t.Logf("churn converged: %d peers, %d churned, %d msgs/pub, resumed=%d fresh=%d replayed=%d redials=%d suspects=%d",
+		nSubs+len(pubs), len(churn), total, resumed, fresh, replayed, redials, suspects)
 
 	// Receive-side accounting balance on every surviving subscriber.
 	if !waitUntil(30*time.Second, func() bool {

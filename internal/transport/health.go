@@ -539,10 +539,11 @@ func (rm *Remote) adopt(rw net.Conn) bool {
 		}
 		same := found && repEpoch == epoch
 		replayed := rel.resume(connRaw{c}, same, cum)
-		p.stats.relSessionsResumed.Add(1)
 		if same {
+			p.stats.relSessionsResumed.Add(1)
 			detail = fmt.Sprintf("session resumed at seq %d, %d frames replayed", cum, replayed)
 		} else {
+			p.stats.relSessionsFresh.Add(1)
 			detail = fmt.Sprintf("fresh epoch, %d frames replayed", replayed)
 		}
 	} else if fresh := c.rel.Load(); fresh != nil {

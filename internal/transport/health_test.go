@@ -301,8 +301,14 @@ func TestManagedResumeAcrossRestart(t *testing.T) {
 	}
 
 	st := pub.Stats().Snapshot()
-	if st.RelSessionsResumed < 1 {
-		t.Fatalf("RelSessionsResumed = %d, want >= 1", st.RelSessionsResumed)
+	// A restart builds a brand-new Peer, so the old receiver state is
+	// gone: the handshake must come back found=false and the sender
+	// must replay under a fresh epoch, never a same-epoch resume.
+	if st.RelSessionsFresh < 1 {
+		t.Fatalf("RelSessionsFresh = %d, want >= 1", st.RelSessionsFresh)
+	}
+	if st.RelSessionsResumed != 0 {
+		t.Fatalf("RelSessionsResumed = %d across a restart, want 0", st.RelSessionsResumed)
 	}
 	if st.RelQueueAbandoned != 0 {
 		t.Fatalf("RelQueueAbandoned = %d on a clean restart, want 0", st.RelQueueAbandoned)
@@ -561,5 +567,87 @@ func TestReliableDropBuckets(t *testing.T) {
 	rr.adopt(6, 99)
 	if e, n := rr.session(); e != 7 || n != 5 {
 		t.Fatalf("session after stale adopt = (%d,%d), want (7,5)", e, n)
+	}
+}
+
+// TestSealBoundedWaitTimesOut: sealIfWithin must not wait forever on
+// a wedged dispatch handler — the handler can itself be blocked on a
+// reply that only the resuming conn can carry, so an unbounded wait
+// deadlocks the peer. On timeout the seal rolls back: the live
+// session keeps delivering, and the handshake answers found=false.
+func TestSealBoundedWaitTimesOut(t *testing.T) {
+	var stats Stats
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var delivered []string
+	rr := newRelReceiver(&stats,
+		func(m *Message) {
+			<-release
+			mu.Lock()
+			delivered = append(delivered, string(m.Body))
+			mu.Unlock()
+		},
+		func(m *Message) {},
+		func(epoch, cum uint64) {},
+		nil)
+
+	feed := func(seq uint64, body string) {
+		if err := rr.handleData(encodeRelData(3, seq, &Message{Type: MsgObject, Body: []byte(body)})); err != nil {
+			t.Errorf("handleData(3,%d): %v", seq, err)
+		}
+	}
+	// handleData drains on the caller (the read loop, in production),
+	// so the wedged first dispatch must run on its own goroutine.
+	fed := make(chan struct{})
+	go func() { defer close(fed); feed(1, "a") }()
+	if !waitUntil(10*time.Second, func() bool {
+		rr.mu.Lock()
+		defer rr.mu.Unlock()
+		return rr.dispatching
+	}) {
+		t.Fatal("dispatch never entered the wedged handler")
+	}
+
+	if _, ok, timedOut := rr.sealIfWithin(99, realClock{}, time.Second); ok || timedOut {
+		t.Fatalf("seal of a foreign epoch = ok=%v timedOut=%v, want a plain miss", ok, timedOut)
+	}
+	if _, ok, timedOut := rr.sealIfWithin(3, realClock{}, 50*time.Millisecond); ok || !timedOut {
+		t.Fatalf("seal over a wedged handler = ok=%v timedOut=%v, want a timeout", ok, timedOut)
+	}
+
+	// The rollback must leave the session live: the next frame is
+	// still accepted, and both deliver once the handler unwedges.
+	feed(2, "b")
+	close(release)
+	<-fed
+	if !waitUntil(10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(delivered) == 2
+	}) {
+		t.Fatal("dispatch did not resume after the rolled-back seal")
+	}
+	if next, ok, timedOut := rr.sealIfWithin(3, realClock{}, time.Second); !ok || timedOut || next != 3 {
+		t.Fatalf("seal after drain = (%d,%v,%v), want (3,true,false)", next, ok, timedOut)
+	}
+}
+
+// TestResumeSessionConsumedOnHandout: a saved session may be handed
+// to exactly one resuming conn — an entry left behind would let a
+// later redial adopt a stale watermark and redeliver frames the
+// first adopter already committed to the application.
+func TestResumeSessionConsumedOnHandout(t *testing.T) {
+	p := NewPeer(registry.New(), WithName("handout"))
+	defer p.Close()
+
+	p.saveRelSession(9, 42)
+	if next, ok := p.resumeSessionFor(9, nil); !ok || next != 42 {
+		t.Fatalf("first handout = (%d,%v), want (42,true)", next, ok)
+	}
+	if next, ok := p.resumeSessionFor(9, nil); ok {
+		t.Fatalf("second handout = (%d,%v), want a miss (the entry must be consumed)", next, ok)
+	}
+	if _, ok := p.resumeSessionFor(0, nil); ok {
+		t.Fatal("epoch 0 is the no-session sentinel and must never resolve")
 	}
 }

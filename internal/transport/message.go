@@ -72,8 +72,8 @@ const (
 	// MsgPing is a heartbeat probe from the failure detector; any
 	// frame counts as liveness, so pings only flow on idle links.
 	MsgPing
-	// MsgPong answers a ping, echoing its payload so the detector can
-	// fold the round trip into its RTT estimate.
+	// MsgPong answers a ping, echoing its correlation seq; like any
+	// inbound frame, reading it refreshes the conn's liveness signal.
 	MsgPong
 	// MsgResumeRequest opens the reliable-session resume handshake
 	// after a redial: the sender names the epoch it wants to continue.

@@ -107,7 +107,11 @@ type Peer struct {
 	// relResume remembers, per sender epoch, the receive side's next
 	// expected seq at the moment a conn died — what a redialing sender
 	// is told during the resume handshake so it replays only the
-	// unacked window. Bounded FIFO (maxSavedRelSessions).
+	// unacked window. Epochs are globally unique (randomly seeded
+	// counter, see relEpochCounter), so the epoch alone names the
+	// sending link. Entries are consumed on handout — the adopting
+	// conn then holds the live watermark — and bounded FIFO
+	// (maxSavedRelSessions).
 	relResume      map[uint64]uint64
 	relResumeOrder []uint64
 
@@ -495,15 +499,33 @@ func (p *Peer) saveRelSession(epoch, next uint64) {
 	p.relResumeOrder = append(p.relResumeOrder, epoch)
 }
 
-// resumeSessionFor answers a resume handshake: the saved sessions
-// first, then the live conns (a half-open link may have died in one
-// direction only), excluding the conn asking.
+// resumeSessionFor answers a resume handshake from the saved sessions
+// and the live conns (a half-open link may have died in one direction
+// only), excluding the conn asking. A saved session is consumed on
+// handout: a sender whose handshake timed out and redials must reach
+// the current watermark through its adopter, never through this stale
+// snapshot. Every live conn still holding the epoch — the
+// predecessor, or an earlier adopter whose reply was lost — is sealed
+// before the session is advertised, so nothing keeps delivering past
+// the advertised point while the sender replays; the freshest
+// watermark wins. A seal that cannot complete within its bounded wait
+// fails the whole handshake (found=false): the sender falls back to a
+// fresh epoch rather than resuming behind a still-delivering conn.
 func (p *Peer) resumeSessionFor(epoch uint64, exclude *Conn) (next uint64, ok bool) {
 	if epoch == 0 {
 		return 0, false
 	}
 	p.mu.Lock()
 	next, ok = p.relResume[epoch]
+	if ok {
+		delete(p.relResume, epoch)
+		for i, e := range p.relResumeOrder {
+			if e == epoch {
+				p.relResumeOrder = append(p.relResumeOrder[:i], p.relResumeOrder[i+1:]...)
+				break
+			}
+		}
+	}
 	conns := make([]*Conn, 0, len(p.conns))
 	for c := range p.conns {
 		if c != exclude {
@@ -511,18 +533,16 @@ func (p *Peer) resumeSessionFor(epoch uint64, exclude *Conn) (next uint64, ok bo
 		}
 	}
 	p.mu.Unlock()
-	if ok {
-		return next, true
-	}
 	for _, c := range conns {
-		// Sealing stops the predecessor conn's dispatch before its
-		// session is adopted; without it the old conn could deliver
-		// past the advertised point and the replay would duplicate.
-		if n, held := c.rrecv.sealIf(epoch); held {
-			return n, true
+		n, held, timedOut := c.rrecv.sealIfWithin(epoch, p.clock, p.requestTimeout/2)
+		if timedOut {
+			return 0, false
+		}
+		if held && (!ok || n > next) {
+			next, ok = n, true
 		}
 	}
-	return 0, false
+	return next, ok
 }
 
 // ManagedRemote returns the named managed remote (see ManageConn),
@@ -602,6 +622,8 @@ func (p *Peer) handleRequest(c *Conn, m *Message) {
 		p.dispatchInvoke(c, m)
 	case MsgLookupRequest:
 		p.handleLookup(c, m)
+	case MsgResumeRequest:
+		c.handleResume(m)
 	default:
 		_ = c.replyError(m, fmt.Errorf("unexpected message %s", m.Type))
 	}

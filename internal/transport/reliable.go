@@ -1,6 +1,7 @@
 package transport
 
 import (
+	cryptorand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -54,10 +55,11 @@ import (
 // dispatch from deadlocking the description fetch it is waiting on.
 //
 // Epochs make restarts safe: each ReliableLink instance draws a fresh
-// epoch from a process-wide monotonic counter, and the receiver
-// resets its sequence state whenever a newer epoch appears — while
-// frames from an older epoch (ghosts of a pre-restart sender) are
-// silently discarded, never redelivered.
+// epoch from a process-wide monotonic counter (randomly seeded, so
+// epochs are unique across processes too — see relEpochCounter), and
+// the receiver resets its sequence state whenever a newer epoch
+// appears — while frames from an older epoch (ghosts of a pre-restart
+// sender) are silently discarded, never redelivered.
 
 // ErrReliableGaveUp fails a reliable link whose retransmissions
 // exhausted ReliableConfig.MaxAttempts.
@@ -284,8 +286,23 @@ func WithReliableLinks(opts ...ReliableOption) PeerOption {
 // relEpochCounter is the process-wide epoch source: every
 // ReliableLink instance gets a strictly greater epoch than any built
 // before it, which is what lets receivers tell a restarted sender
-// from a ghost of the old one.
+// from a ghost of the old one. The counter is seeded from crypto/rand
+// at startup because the resume handshake keys saved sessions by
+// epoch alone: two processes whose counters both started at 1 would
+// routinely present colliding epochs to a shared receiver, letting
+// one sender adopt — and seal — another sender's live session. A
+// random 62-bit starting point makes that collision vanishingly
+// unlikely while keeping within-process epochs strictly ordered.
 var relEpochCounter atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		// Top two bits clear: ~4.6e18 epochs of headroom before the
+		// counter could wrap toward 0, the "no session" sentinel.
+		relEpochCounter.Store(binary.BigEndian.Uint64(b[:]) >> 2)
+	}
+}
 
 func nextRelEpoch() uint64 { return relEpochCounter.Add(1) }
 
@@ -1575,24 +1592,52 @@ func (rr *relReceiver) seal() (epoch, next uint64) {
 	return rr.epoch, rr.deliv + 1
 }
 
-// sealIf seals the receiver only when it holds the named epoch's
-// session, returning its next-to-deliver. A resume handshake that
-// adopts a session from a conn still tearing down must stop that
-// conn's dispatch first — otherwise the predecessor would keep
-// delivering past the point the handshake advertised, and the replay
-// would duplicate into the same peer.
-func (rr *relReceiver) sealIf(epoch uint64) (next uint64, ok bool) {
+// sealIfWithin seals the receiver only when it holds the named
+// epoch's session, returning its next-to-deliver. A resume handshake
+// that adopts a session from a conn still live or tearing down must
+// stop that conn's dispatch first — otherwise the predecessor would
+// keep delivering past the point the handshake advertised, and the
+// replay would duplicate into the same peer. The wait for an
+// in-flight dispatch is bounded: the handler being waited out can
+// itself be blocked on an exchange whose reply must arrive over the
+// resuming conn, so on timeout the seal is rolled back — the
+// receiver keeps its session, and frames refused while briefly
+// sealed ride the sender's retransmit — and timedOut tells the
+// handshake to answer found=false instead of deadlocking the peer.
+func (rr *relReceiver) sealIfWithin(epoch uint64, clock Clock, timeout time.Duration) (next uint64, ok, timedOut bool) {
 	rr.mu.Lock()
 	defer rr.mu.Unlock()
 	if rr.epoch != epoch {
-		return 0, false
+		return 0, false, false
 	}
+	wasClosed := rr.closed
 	rr.closed = true
-	for rr.dispatching {
-		rr.idle.Wait()
+	if rr.dispatching {
+		var expired atomic.Bool
+		timer := clock.NewTimer(timeout)
+		watcherDone := make(chan struct{})
+		go func() {
+			select {
+			case <-timer.C():
+				expired.Store(true)
+				rr.mu.Lock()
+				rr.idle.Broadcast()
+				rr.mu.Unlock()
+			case <-watcherDone:
+			}
+		}()
+		for rr.dispatching && !expired.Load() {
+			rr.idle.Wait()
+		}
+		timer.Stop()
+		close(watcherDone)
+		if rr.dispatching {
+			rr.closed = wasClosed
+			return 0, false, true
+		}
 	}
 	rr.pending = nil
-	return rr.deliv + 1, true
+	return rr.deliv + 1, true, false
 }
 
 // adopt installs a saved session's (epoch, next) on a fresh receiver

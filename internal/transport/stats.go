@@ -32,6 +32,7 @@ type Stats struct {
 	relStaleEpoch      atomic.Uint64
 	relResumeDeduped   atomic.Uint64
 	relSessionsResumed atomic.Uint64
+	relSessionsFresh   atomic.Uint64
 	relFramesReplayed  atomic.Uint64
 	peerSuspects       atomic.Uint64
 	peerQuarantines    atomic.Uint64
@@ -78,6 +79,7 @@ type StatsSnapshot struct {
 	RelStaleEpoch      uint64 // frames from an older epoch, dropped as ghosts
 	RelResumeDeduped   uint64 // resume-replay frames the receiver had already committed
 	RelSessionsResumed uint64 // redials that continued an existing reliable session
+	RelSessionsFresh   uint64 // redials that rolled a fresh epoch and replayed from scratch
 	RelFramesReplayed  uint64 // in-flight frames replayed across a reconnect
 	PeerSuspects       uint64 // failure-detector suspect transitions
 	PeerQuarantines    uint64 // remotes quarantined by the redial circuit breaker
@@ -113,6 +115,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		RelStaleEpoch:      s.relStaleEpoch.Load(),
 		RelResumeDeduped:   s.relResumeDeduped.Load(),
 		RelSessionsResumed: s.relSessionsResumed.Load(),
+		RelSessionsFresh:   s.relSessionsFresh.Load(),
 		RelFramesReplayed:  s.relFramesReplayed.Load(),
 		PeerSuspects:       s.peerSuspects.Load(),
 		PeerQuarantines:    s.peerQuarantines.Load(),
@@ -148,6 +151,7 @@ func (s *Stats) Reset() {
 	s.relStaleEpoch.Store(0)
 	s.relResumeDeduped.Store(0)
 	s.relSessionsResumed.Store(0)
+	s.relSessionsFresh.Store(0)
 	s.relFramesReplayed.Store(0)
 	s.peerSuspects.Store(0)
 	s.peerQuarantines.Store(0)
