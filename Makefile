@@ -29,6 +29,11 @@ BENCH_RECV_OUT ?= BENCH_PR7.json
 # match rate, session resumes, redial counts against their budget).
 BENCH_CHURN_OUT ?= BENCH_PR8.json
 
+# Output artifact of `make bench-registry` — the PR 9 durable type
+# registry metrics (cold vs warm restart over the file store:
+# description fetches, warm preloads, time to first delivery).
+BENCH_REGISTRY_OUT ?= BENCH_PR9.json
+
 # Scratch artifacts `make bench-check` regenerates and diffs against
 # the committed baselines. Deliberately NOT the baseline files: the
 # gate must never overwrite a baseline and then diff it against
@@ -38,17 +43,18 @@ BENCH_FANOUT_CHECK_OUT ?= /tmp/pti-fanout-check.json
 BENCH_INVOKE_CHECK_OUT ?= /tmp/pti-invoke-check.json
 BENCH_RECV_CHECK_OUT ?= /tmp/pti-recv-check.json
 BENCH_CHURN_CHECK_OUT ?= /tmp/pti-churn-check.json
+BENCH_REGISTRY_CHECK_OUT ?= /tmp/pti-registry-check.json
 
 # Coverage profile location and the ratcheting floor `make cover`
 # enforces via cmd/covercheck. Raise the floor as coverage grows;
 # never lower it.
 COVER_PROFILE ?= cover.out
-COVER_MIN ?= 80.0
+COVER_MIN ?= 81.0
 
 # Pinned staticcheck build, fetched on demand by `go run`.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-invoke bench-recv bench-churn bench-check soak churn build
+.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-invoke bench-recv bench-churn bench-registry bench-check soak churn build
 
 help:
 	@echo "Targets:"
@@ -83,9 +89,13 @@ help:
 	@echo "              managed links (lineage match rate, session resumes,"
 	@echo "              redials vs budget)"
 	@echo "              -> $(BENCH_CHURN_OUT) (override with BENCH_CHURN_OUT=file)"
-	@echo "  bench-check regenerate scenario + fan-out + invoke + recv + churn"
-	@echo "              metrics into scratch files (never the baselines) and diff"
-	@echo "              against the committed BENCH_PR4.json through BENCH_PR8.json"
+	@echo "  bench-registry durable registry store: cold vs warm restart over the"
+	@echo "              file store (description fetches, warm preloads, TTFD)"
+	@echo "              -> $(BENCH_REGISTRY_OUT) (override with BENCH_REGISTRY_OUT=file)"
+	@echo "  bench-check regenerate scenario + fan-out + invoke + recv + churn +"
+	@echo "              registry metrics into scratch files (never the baselines)"
+	@echo "              and diff against the committed BENCH_PR4.json through"
+	@echo "              BENCH_PR9.json"
 	@echo "  churn       the churn convergence scenario long-form under -race"
 	@echo "              (PTI_SOAK scales it; PTI_SEED=n replays a failure)"
 
@@ -183,6 +193,13 @@ bench-recv:
 bench-churn:
 	$(GO) run ./cmd/ptibench -exp churn -reps 2 -seed 42 -json $(BENCH_CHURN_OUT)
 
+# Durable-registry metrics: a store-backed subscriber's cold first
+# contact vs its warm restart from the same directory — description
+# fetches (warm must be zero), store preloads and time to first
+# delivery on the virtual clock.
+bench-registry:
+	$(GO) run ./cmd/ptibench -exp registry -reps 2 -seed 42 -json $(BENCH_REGISTRY_OUT)
+
 # The bench-regression gate: fresh metrics vs the committed baselines.
 bench-check:
 	@if [ "$(BENCH_CHECK_OUT)" = "BENCH_PR4.json" ]; then \
@@ -200,6 +217,9 @@ bench-check:
 	@if [ "$(BENCH_CHURN_CHECK_OUT)" = "BENCH_PR8.json" ]; then \
 		echo "bench-check: BENCH_CHURN_CHECK_OUT must not be the committed baseline"; exit 2; \
 	fi
+	@if [ "$(BENCH_REGISTRY_CHECK_OUT)" = "BENCH_PR9.json" ]; then \
+		echo "bench-check: BENCH_REGISTRY_CHECK_OUT must not be the committed baseline"; exit 2; \
+	fi
 	$(MAKE) bench-json BENCH_OUT=$(BENCH_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR4.json -candidate $(BENCH_CHECK_OUT)
 	$(MAKE) bench-fanout BENCH_FANOUT_OUT=$(BENCH_FANOUT_CHECK_OUT)
@@ -210,3 +230,5 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR7.json -candidate $(BENCH_RECV_CHECK_OUT)
 	$(MAKE) bench-churn BENCH_CHURN_OUT=$(BENCH_CHURN_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR8.json -candidate $(BENCH_CHURN_CHECK_OUT)
+	$(MAKE) bench-registry BENCH_REGISTRY_OUT=$(BENCH_REGISTRY_CHECK_OUT)
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR9.json -candidate $(BENCH_REGISTRY_CHECK_OUT)

@@ -48,12 +48,23 @@
 //     still converges), and the run must finish inside its
 //     virtual-time stall budget.
 //
+// Registry rules (the PR 9 durable-store artifact), matched on name:
+//
+//   - the warm-restart row must report ZERO description fetches: a
+//     peer restarting over its file store answers every description
+//     need from disk, never the wire;
+//   - the warm row must preload at least one description and beat
+//     the cold row's time-to-first-delivery outright — the cold path
+//     pays the description round-trip, the warm path must not;
+//   - both rows must deliver every message they were sent.
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_PR4.json -candidate /tmp/bench.json [-tol 0.10]
 //	benchdiff -baseline BENCH_PR5.json -candidate /tmp/fanout.json
 //	benchdiff -baseline BENCH_PR6.json -candidate /tmp/invoke.json
 //	benchdiff -baseline BENCH_PR8.json -candidate /tmp/churn.json
+//	benchdiff -baseline BENCH_PR9.json -candidate /tmp/registry.json
 package main
 
 import (
@@ -129,6 +140,15 @@ type churnRow struct {
 	StallBudgetMs    float64 `json:"stall_budget_ms"`
 }
 
+type registryRow struct {
+	Name           string  `json:"name"`
+	Messages       int     `json:"messages"`
+	Delivered      int     `json:"delivered"`
+	DescFetches    uint64  `json:"desc_fetches"`
+	DescWarmLoaded uint64  `json:"desc_warm_loaded"`
+	TTFDMs         float64 `json:"ttfd_ms"`
+}
+
 type doc struct {
 	Seed           int64           `json:"seed"`
 	Scenarios      []scenario      `json:"scenarios"`
@@ -138,6 +158,7 @@ type doc struct {
 	InvokePipeline *invokePipeline `json:"invoke_pipeline"`
 	RecvRows       []recvRow       `json:"recv_rows"`
 	ChurnRows      []churnRow      `json:"churn_rows"`
+	RegistryRows   []registryRow   `json:"registry_rows"`
 }
 
 func load(path string) (doc, error) {
@@ -151,8 +172,8 @@ func load(path string) (doc, error) {
 	}
 	if len(d.Scenarios) == 0 && len(d.Rows) == 0 && d.SingleLoss == nil &&
 		len(d.InvokeRows) == 0 && d.InvokePipeline == nil && len(d.RecvRows) == 0 &&
-		len(d.ChurnRows) == 0 {
-		return d, fmt.Errorf("%s: no scenarios, fan-out, invoke, recv or churn rows", path)
+		len(d.ChurnRows) == 0 && len(d.RegistryRows) == 0 {
+		return d, fmt.Errorf("%s: no scenarios, fan-out, invoke, recv, churn or registry rows", path)
 	}
 	return d, nil
 }
@@ -197,6 +218,7 @@ func main() {
 	failures += diffInvoke(base, cand, &checked)
 	failures += diffRecv(base, cand, &checked)
 	failures += diffChurn(base, cand, &checked)
+	failures += diffRegistry(base, cand, &checked)
 	if failures > 0 {
 		fmt.Printf("benchdiff: %d regression(s) against %s\n", failures, *baseline)
 		os.Exit(1)
@@ -498,6 +520,77 @@ func diffChurn(base, cand doc, checked *int) int {
 			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit the baseline\n", r.Name)
 			failures++
 		}
+	}
+	return failures
+}
+
+// diffRegistry gates the PR 9 durable-store artifact: the warm
+// restart must fetch nothing over the wire, preload from disk, beat
+// the cold path's time-to-first-delivery and drop no messages. The
+// invariants are internal to the candidate — TTFD magnitudes track
+// the machine, so cold-vs-warm is the comparison, never run-vs-run.
+func diffRegistry(base, cand doc, checked *int) int {
+	failures := 0
+	got := make(map[string]registryRow, len(cand.RegistryRows))
+	for _, r := range cand.RegistryRows {
+		got[r.Name] = r
+	}
+	for _, want := range base.RegistryRows {
+		*checked++
+		have, ok := got[want.Name]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-24s missing from candidate\n", want.Name)
+			failures++
+			continue
+		case have.Delivered != have.Messages:
+			fmt.Printf("FAIL %-24s delivered %d/%d messages\n",
+				want.Name, have.Delivered, have.Messages)
+			failures++
+			continue
+		}
+		fmt.Printf("ok   %-24s delivered %d/%d, desc fetches %d, warm-loaded %d, ttfd %.3fms\n",
+			want.Name, have.Delivered, have.Messages, have.DescFetches,
+			have.DescWarmLoaded, have.TTFDMs)
+	}
+	known := make(map[string]bool, len(base.RegistryRows))
+	for _, r := range base.RegistryRows {
+		known[r.Name] = true
+	}
+	for _, r := range cand.RegistryRows {
+		if !known[r.Name] {
+			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit the baseline\n", r.Name)
+			failures++
+		}
+	}
+	if len(base.RegistryRows) == 0 {
+		return failures
+	}
+	cold, okCold := got["registry-cold"]
+	warm, okWarm := got["registry-warm"]
+	if !okCold || !okWarm {
+		// Presence failures were already counted above.
+		return failures
+	}
+	*checked++
+	switch {
+	case warm.DescFetches != 0:
+		fmt.Printf("FAIL %-24s %d description fetches after a warm restart, want 0\n",
+			warm.Name, warm.DescFetches)
+		failures++
+	case warm.DescWarmLoaded == 0:
+		fmt.Printf("FAIL %-24s warm restart preloaded no descriptions from the store\n", warm.Name)
+		failures++
+	case cold.DescFetches == 0:
+		fmt.Printf("FAIL %-24s cold start fetched nothing — the cold row is not cold\n", cold.Name)
+		failures++
+	case warm.TTFDMs >= cold.TTFDMs:
+		fmt.Printf("FAIL %-24s warm ttfd %.3fms does not beat cold %.3fms\n",
+			warm.Name, warm.TTFDMs, cold.TTFDMs)
+		failures++
+	default:
+		fmt.Printf("ok   %-24s warm ttfd %.3fms beats cold %.3fms with 0 fetches\n",
+			"registry-warm-vs-cold", warm.TTFDMs, cold.TTFDMs)
 	}
 	return failures
 }

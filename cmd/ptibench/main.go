@@ -18,6 +18,8 @@
 //	                         # fabric fault-profile scenarios
 //	ptibench -exp churn -seed 42 -json BENCH_PR8.json
 //	                         # lifecycle churn: crash/restart waves
+//	ptibench -exp registry -seed 42 -json BENCH_PR9.json
+//	                         # durable registry: cold vs warm restart
 package main
 
 import (
@@ -61,6 +63,7 @@ func run(exp string, reps int) error {
 		{"invoke", "Pipelined invoke path under load (latency/goodput/shedding)", expInvoke},
 		{"recv", "Compiled receive path (decode + end-to-end unmarshal)", expRecv},
 		{"churn", "Connection-lifecycle churn (crash/restart waves, session resume)", expChurn},
+		{"registry", "Durable registry store (cold vs warm restart)", expRegistry},
 		{"match", "Conformance relation match rates (Section 2 comparisons)", expMatchRate},
 		{"ablations", "Design-choice ablations", expAblations},
 	}

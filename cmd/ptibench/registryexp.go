@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"pti/internal/fixtures"
+	"pti/internal/registry"
+	"pti/internal/transport"
+)
+
+// The registry experiment measures the PR 9 durable type registry: a
+// subscriber backed by a file store takes its first delivery cold
+// (one wire description fetch), then crash/restarts and takes the
+// same stream warm — every description preloaded from disk. Results
+// are committed as BENCH_PR9.json and gated by cmd/benchdiff:
+//
+//   - the warm row must report ZERO description fetches — the whole
+//     point of the durable store is that a restart does not re-ask
+//     the network what it already learned;
+//   - the warm row must preload at least one description and beat
+//     the cold row's time-to-first-delivery outright (the cold path
+//     pays the description round-trip, the warm path does not);
+//   - both rows must deliver every message.
+
+// registryRow is one measured cell (cold or warm) of BENCH_PR9.json.
+type registryRow struct {
+	Name           string  `json:"name"`
+	Messages       int     `json:"messages"`
+	Delivered      int     `json:"delivered"`
+	DescFetches    uint64  `json:"desc_fetches"`
+	DescWarmLoaded uint64  `json:"desc_warm_loaded"`
+	DescStoreHits  uint64  `json:"desc_store_hits"`
+	TTFDMs         float64 `json:"ttfd_ms"`
+}
+
+// registryDoc is the committed BENCH_PR9.json layout.
+type registryDoc struct {
+	Seed         int64         `json:"seed"`
+	RegistryRows []registryRow `json:"registry_rows"`
+}
+
+// expRegistry runs the cold-vs-warm restart comparison on the virtual
+// clock and reports the description-fetch counters and TTFD per row.
+func expRegistry(reps int) error {
+	msgs := 10 * reps
+	fmt.Printf("  fabric seed: %d (rerun with -seed %d to replay)  [virtual clock]\n", *seed, *seed)
+	rows, err := runRegistry(msgs)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Printf("  %-16s delivered %d/%d  desc fetches %d  warm-loaded %d  ttfd %.3fms\n",
+			row.Name, row.Delivered, row.Messages, row.DescFetches, row.DescWarmLoaded, row.TTFDMs)
+	}
+	if *jsonOut != "" {
+		doc := registryDoc{Seed: *seed, RegistryRows: rows}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// runRegistry is one full cold/warm run: a publisher streams msgs
+// objects at a store-backed subscriber, the subscriber crashes and
+// warm-restarts from the same directory, and the stream repeats.
+func runRegistry(msgs int) ([]registryRow, error) {
+	f := transport.NewFabric(*seed, transport.WithVirtualClock())
+	defer func() { _ = f.Close() }()
+
+	dir, err := os.MkdirTemp("", "ptibench-registry-*")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	regPub := registry.New()
+	if _, err := regPub.Register(fixtures.PersonB{},
+		registry.WithConstructor("NewPersonB", fixtures.NewPersonB)); err != nil {
+		return nil, err
+	}
+	pub, err := f.AddPeerWithRegistry("pub", regPub)
+	if err != nil {
+		return nil, err
+	}
+	regSub := registry.New()
+	if _, err := regSub.Register(fixtures.PersonA{},
+		registry.WithConstructor("NewPersonA", fixtures.NewPersonA)); err != nil {
+		return nil, err
+	}
+	// WithStoreDir so the fabric Restart reopens the store from disk:
+	// the warm incarnation shares nothing with the cold one but the
+	// directory, exactly like a restarted process.
+	sub, err := f.AddPeerWithRegistry("sub", regSub, transport.WithStoreDir(dir))
+	if err != nil {
+		return nil, err
+	}
+	// A visible link latency so TTFD is dominated by round-trips: the
+	// cold path pays the description exchange on top of the delivery,
+	// the warm path only the delivery.
+	if _, _, err := f.Connect("pub", "sub", transport.FaultProfile{Latency: 2 * time.Millisecond}); err != nil {
+		return nil, err
+	}
+
+	// runPhase streams msgs objects and measures delivery count and
+	// virtual time to first delivery on the current sub incarnation.
+	runPhase := func(name string, node *transport.Node) (registryRow, error) {
+		delivered := make(chan struct{}, msgs)
+		var first time.Time
+		start := f.Clock().Now()
+		if err := node.Peer().OnReceive(fixtures.PersonA{}, func(d transport.Delivery) {
+			if first.IsZero() {
+				first = f.Clock().Now()
+			}
+			delivered <- struct{}{}
+		}); err != nil {
+			return registryRow{}, err
+		}
+		for i := 0; i < msgs; i++ {
+			if _, err := pub.Peer().Broadcast(fixtures.PersonB{PersonName: name, PersonAge: i}); err != nil {
+				return registryRow{}, err
+			}
+		}
+		got := 0
+		deadline := time.Now().Add(60 * time.Second)
+		for got < msgs && time.Now().Before(deadline) {
+			select {
+			case <-delivered:
+				got++
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		st := node.Peer().Stats().Snapshot()
+		return registryRow{
+			Name:           name,
+			Messages:       msgs,
+			Delivered:      got,
+			DescFetches:    st.TypeInfoRequests,
+			DescWarmLoaded: st.DescWarmLoaded,
+			DescStoreHits:  st.DescStoreHits,
+			TTFDMs:         float64(first.Sub(start).Nanoseconds()) / 1e6,
+		}, nil
+	}
+
+	cold, err := runPhase("registry-cold", sub)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Crash("sub"); err != nil {
+		return nil, err
+	}
+	sub2, err := f.Restart("sub")
+	if err != nil {
+		return nil, err
+	}
+	warm, err := runPhase("registry-warm", sub2)
+	if err != nil {
+		return nil, err
+	}
+	return []registryRow{cold, warm}, nil
+}

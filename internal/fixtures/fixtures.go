@@ -155,6 +155,49 @@ func (q *StockQuoteB) GetStockPrice() float64 { return q.StockPrice }
 // GetStockVolume returns the traded volume.
 func (q *StockQuoteB) GetStockVolume() int { return q.StockVolume }
 
+// ProfileV1 is the first revision of the logical "Profile" module,
+// used by the registry versioning tests: registered under the chain
+// name "Profile" (registry.WithTypeName) it becomes version 1.
+type ProfileV1 struct {
+	Name string
+	Age  int
+}
+
+// NewProfileV1 constructs a ProfileV1.
+func NewProfileV1(name string, age int) *ProfileV1 {
+	return &ProfileV1{Name: name, Age: age}
+}
+
+// GetName returns the profile's name.
+func (p *ProfileV1) GetName() string { return p.Name }
+
+// GetAge returns the profile's age.
+func (p *ProfileV1) GetAge() int { return p.Age }
+
+// ProfileV2 is the evolved "Profile": same logical module, one more
+// field and a renamed first member. Registered under the same chain
+// name it coexists with ProfileV1 as version 2 — the two have
+// distinct structural identities but one name.
+type ProfileV2 struct {
+	FullName string
+	Age      int
+	Email    string
+}
+
+// NewProfileV2 constructs a ProfileV2.
+func NewProfileV2(name string, age int, email string) *ProfileV2 {
+	return &ProfileV2{FullName: name, Age: age, Email: email}
+}
+
+// GetFullName returns the profile's name.
+func (p *ProfileV2) GetFullName() string { return p.FullName }
+
+// GetAge returns the profile's age.
+func (p *ProfileV2) GetAge() int { return p.Age }
+
+// GetEmail returns the profile's email address.
+func (p *ProfileV2) GetEmail() string { return p.Email }
+
 // Swapped has the same two-argument method as Swappee but with the
 // parameters in the opposite order, exercising the paper's argument
 // permutations (rule (iv)).

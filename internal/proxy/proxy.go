@@ -290,21 +290,31 @@ type Binder struct {
 	checker *conform.Checker
 
 	mu       sync.RWMutex
-	mappings map[string]*conform.Mapping // sourceTypeName|targetName -> mapping
+	mappings map[string]*conform.Mapping // srcName|srcIdentity|targetName -> mapping
 
-	// lastMapping is a single-entry memo over mappingFor keyed by the
-	// exact (source name, target description pointer) pair: the
+	// lastMapping is a single-entry memo over mappingForRef keyed by
+	// the exact (source ref, target description pointer) pair: the
 	// steady-state receive path asks for the same mapping on every
 	// message, and the map lookup's concatenated key is the only
-	// allocation left on that path.
-	lastMapping atomic.Pointer[mappingMemo]
+	// allocation left on that path. lastResolver memoizes the pinned
+	// field-resolver closure the same way.
+	lastMapping  atomic.Pointer[mappingMemo]
+	lastResolver atomic.Pointer[resolverMemo]
+}
+
+// resolverMemo is one memoized FieldResolverFor closure.
+type resolverMemo struct {
+	src typedesc.TypeRef
+	fn  wire.FieldResolver
 }
 
 // mappingMemo is one memoized Mapping result. The target is compared
 // by pointer: re-registration installs a fresh description, which
-// misses the memo and falls through to mappingFor.
+// misses the memo and falls through to mappingFor. The source is the
+// full ref — name and identity — so two versions of one logical name
+// never share a memo slot.
 type mappingMemo struct {
-	src    string
+	src    typedesc.TypeRef
 	target *typedesc.TypeDescription
 	m      *conform.Mapping
 }
@@ -328,15 +338,26 @@ func (b *Binder) Bind(obj *wire.Object, expected typedesc.TypeRef) (interface{},
 	if obj == nil {
 		return nil, nil, fmt.Errorf("%w: nil object", ErrBadArguments)
 	}
+	return b.BindRef(obj, typedesc.TypeRef{Name: obj.TypeName}, expected)
+}
+
+// BindRef is Bind with the object's source type pinned by full
+// reference (typically the envelope's): the identity selects the
+// exact version of the source description instead of the latest one
+// sharing its name.
+func (b *Binder) BindRef(obj *wire.Object, src typedesc.TypeRef, expected typedesc.TypeRef) (interface{}, *conform.Mapping, error) {
+	if obj == nil {
+		return nil, nil, fmt.Errorf("%w: nil object", ErrBadArguments)
+	}
 	entry, ok := b.reg.Lookup(expected)
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: no local implementation registered for %s", ErrNotBindable, expected)
 	}
-	m, err := b.mappingFor(obj.TypeName, entry.Description)
+	m, err := b.mappingForRef(src, entry.Description)
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := wire.ToGo(obj, reflect.PtrTo(entry.Type), b.resolveField)
+	out, err := wire.ToGo(obj, reflect.PtrTo(entry.Type), b.FieldResolverFor(src))
 	if err != nil {
 		return nil, nil, fmt.Errorf("proxy: bind %s as %s: %w", obj.TypeName, expected.Name, err)
 	}
@@ -352,14 +373,24 @@ func (b *Binder) FieldResolver() wire.FieldResolver { return b.resolveField }
 // to objects of the named source type materialized as the target
 // description. The compiled receive path needs it without a generic
 // object in hand; a non-nil error means the source does not conform
-// and Bind would refuse it too.
+// and Bind would refuse it too. Name-only resolution: the source
+// resolves to the latest version of its name — callers holding a full
+// ref (the envelope's) should use MappingRef.
 func (b *Binder) Mapping(sourceName string, target *typedesc.TypeDescription) (*conform.Mapping, error) {
-	if mm := b.lastMapping.Load(); mm != nil && mm.src == sourceName && mm.target == target {
+	return b.MappingRef(typedesc.TypeRef{Name: sourceName}, target)
+}
+
+// MappingRef is Mapping with the source pinned by full type
+// reference: the identity resolves the exact version of the source
+// description, and the memo is keyed per (source ref, target), so
+// coexisting versions of one logical name get distinct mappings.
+func (b *Binder) MappingRef(src typedesc.TypeRef, target *typedesc.TypeDescription) (*conform.Mapping, error) {
+	if mm := b.lastMapping.Load(); mm != nil && mm.src == src && mm.target == target {
 		return mm.m, nil
 	}
-	m, err := b.mappingFor(sourceName, target)
+	m, err := b.mappingForRef(src, target)
 	if err == nil {
-		b.lastMapping.Store(&mappingMemo{src: sourceName, target: target, m: m})
+		b.lastMapping.Store(&mappingMemo{src: src, target: target, m: m})
 	}
 	return m, err
 }
@@ -373,6 +404,26 @@ func (b *Binder) BindValue(v wire.Value, t reflect.Type) (interface{}, error) {
 // resolveField is the wire.FieldResolver consulting conformance
 // mappings per (source type, target type) pair.
 func (b *Binder) resolveField(target reflect.Type, source *wire.Object, field string) string {
+	return b.resolveFieldRef(typedesc.TypeRef{}, target, source, field)
+}
+
+// FieldResolverFor returns a field resolver with the payload's root
+// type pinned to src: objects carrying src's bare name resolve
+// through src's exact version, while nested objects of other names
+// fall back to name resolution. The resolver is memoized per ref so
+// the compiled receive path allocates nothing in steady state.
+func (b *Binder) FieldResolverFor(src typedesc.TypeRef) wire.FieldResolver {
+	if mm := b.lastResolver.Load(); mm != nil && mm.src == src {
+		return mm.fn
+	}
+	fn := func(target reflect.Type, source *wire.Object, field string) string {
+		return b.resolveFieldRef(src, target, source, field)
+	}
+	b.lastResolver.Store(&resolverMemo{src: src, fn: fn})
+	return fn
+}
+
+func (b *Binder) resolveFieldRef(src typedesc.TypeRef, target reflect.Type, source *wire.Object, field string) string {
 	if source == nil || source.TypeName == "" {
 		return field
 	}
@@ -384,7 +435,11 @@ func (b *Binder) resolveField(target reflect.Type, source *wire.Object, field st
 	if err != nil {
 		return field
 	}
-	m, err := b.mappingFor(source.TypeName, td)
+	ref := typedesc.TypeRef{Name: source.TypeName}
+	if source.TypeName == src.Name {
+		ref = src
+	}
+	m, err := b.mappingForRef(ref, td)
 	if err != nil || m == nil {
 		return field
 	}
@@ -394,10 +449,13 @@ func (b *Binder) resolveField(target reflect.Type, source *wire.Object, field st
 	return field
 }
 
-// mappingFor returns (and memoizes) the conformance mapping from the
-// named source type onto the target description.
-func (b *Binder) mappingFor(sourceName string, target *typedesc.TypeDescription) (*conform.Mapping, error) {
-	key := sourceName + "|" + target.Name
+// mappingForRef returns (and memoizes) the conformance mapping from
+// the source ref onto the target description. The memo key carries
+// the source identity, so coexisting versions of one name hold
+// separate mappings; a bare name keys (and resolves) as the latest
+// version, the pre-versioning behavior.
+func (b *Binder) mappingForRef(src typedesc.TypeRef, target *typedesc.TypeDescription) (*conform.Mapping, error) {
+	key := src.Name + "|" + src.Identity.String() + "|" + target.Name
 	b.mu.RLock()
 	m, ok := b.mappings[key]
 	b.mu.RUnlock()
@@ -405,13 +463,13 @@ func (b *Binder) mappingFor(sourceName string, target *typedesc.TypeDescription)
 		return m, nil
 	}
 
-	r, err := b.checker.CheckRefs(typedesc.TypeRef{Name: sourceName}, target.Ref())
+	r, err := b.checker.CheckRefs(src, target.Ref())
 	if err != nil {
-		return nil, fmt.Errorf("proxy: check %s vs %s: %w", sourceName, target.Name, err)
+		return nil, fmt.Errorf("proxy: check %s vs %s: %w", src.Name, target.Name, err)
 	}
 	if !r.Conformant {
 		return nil, fmt.Errorf("%w: %s does not conform to %s: %s",
-			ErrNotBindable, sourceName, target.Name, r.Reason)
+			ErrNotBindable, src.Name, target.Name, r.Reason)
 	}
 	b.mu.Lock()
 	b.mappings[key] = r.Mapping

@@ -1,0 +1,381 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileStore is the crash-safe Store: records live as individual blob
+// files under dir/blobs indexed by a manifest.json, both written with
+// the tempfile+rename+fsync discipline so a crash at any instant
+// leaves either the old state or the new state, never a torn one.
+// Open verifies every blob against its manifest checksum and length;
+// corrupt or missing pieces are dropped (reported via a
+// CorruptionError wrapping ErrCorruptStore) and the valid subset
+// serves — a warm restart degrades to re-fetching the damaged
+// records rather than refusing to start.
+type FileStore struct {
+	dir    string
+	mu     sync.RWMutex
+	recs   map[RecordKind]map[string]map[uint64]manifestEntry
+	hub    *watchHub
+	closed bool
+}
+
+var _ Store = (*FileStore)(nil)
+
+// manifest is the fsync'd index: one entry per record, carrying
+// enough to detect any divergence between index and blob.
+type manifest struct {
+	Version int             `json:"version"`
+	Records []manifestEntry `json:"records"`
+}
+
+// manifestVersion guards the on-disk layout; a manifest from a future
+// layout is treated as corrupt rather than misread.
+const manifestVersion = 1
+
+type manifestEntry struct {
+	Kind      RecordKind `json:"kind"`
+	Ref       string     `json:"ref"`
+	Ver       uint64     `json:"version"`
+	Identity  string     `json:"identity,omitempty"`
+	Tombstone bool       `json:"tombstone,omitempty"`
+	File      string     `json:"file"`
+	SHA256    string     `json:"sha256"`
+	Size      int64      `json:"size"`
+}
+
+func (e manifestEntry) key() Key { return Key{Kind: e.Kind, Ref: e.Ref, Version: e.Ver} }
+
+// CorruptionError reports the records Open had to drop. It wraps
+// ErrCorruptStore so errors.Is classification works, and it is
+// returned alongside a usable store — callers treat it as a warning.
+type CorruptionError struct {
+	Dir     string
+	Dropped []string // human-readable "key: reason" lines
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("registry: corrupt store %s: dropped %d record(s): %s",
+		e.Dir, len(e.Dropped), strings.Join(e.Dropped, "; "))
+}
+
+// Unwrap makes errors.Is(err, ErrCorruptStore) true.
+func (e *CorruptionError) Unwrap() error { return ErrCorruptStore }
+
+const (
+	manifestName = "manifest.json"
+	blobDirName  = "blobs"
+	tmpSuffix    = ".tmp"
+)
+
+// OpenFileStore opens (creating if absent) the store rooted at dir.
+// On corruption the valid subset loads and the error is a
+// *CorruptionError wrapping ErrCorruptStore — the returned store is
+// still usable. Any other non-nil error means no store.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, blobDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("registry: open file store: %w", err)
+	}
+	fs := &FileStore{
+		dir:  dir,
+		recs: make(map[RecordKind]map[string]map[uint64]manifestEntry),
+		hub:  newWatchHub(),
+	}
+	var dropped []string
+
+	// Interrupted writes leave *.tmp files; they were never linked
+	// into the manifest, so removing them is always safe.
+	fs.sweepTempFiles()
+
+	raw, err := os.ReadFile(fs.manifestPath())
+	switch {
+	case os.IsNotExist(err):
+		// Fresh store.
+	case err != nil:
+		return nil, fmt.Errorf("registry: read manifest: %w", err)
+	default:
+		var m manifest
+		if jsonErr := json.Unmarshal(raw, &m); jsonErr != nil {
+			dropped = append(dropped, fmt.Sprintf("manifest: %v", jsonErr))
+		} else if m.Version != manifestVersion {
+			dropped = append(dropped, fmt.Sprintf("manifest: unsupported layout version %d", m.Version))
+		} else {
+			for _, e := range m.Records {
+				if reason := fs.verifyEntry(e); reason != "" {
+					dropped = append(dropped, fmt.Sprintf("%s: %s", e.key(), reason))
+					continue
+				}
+				fs.index(e)
+			}
+		}
+	}
+
+	if len(dropped) > 0 {
+		// Rewrite the manifest down to the surviving subset so the
+		// degradation is observed once, not on every open.
+		if err := fs.writeManifestLocked(); err != nil {
+			return nil, err
+		}
+		return fs, &CorruptionError{Dir: dir, Dropped: dropped}
+	}
+	return fs, nil
+}
+
+// verifyEntry checks one manifest entry against its blob; a non-empty
+// return is the drop reason.
+func (fs *FileStore) verifyEntry(e manifestEntry) string {
+	if !e.Kind.valid() || e.Ref == "" {
+		return "malformed entry"
+	}
+	if e.File != blobFileName(e.key()) {
+		return "blob path mismatch"
+	}
+	data, err := os.ReadFile(filepath.Join(fs.dir, e.File))
+	if err != nil {
+		return fmt.Sprintf("blob unreadable: %v", err)
+	}
+	if int64(len(data)) != e.Size {
+		return fmt.Sprintf("blob size %d != manifest %d", len(data), e.Size)
+	}
+	if got := (Record{Data: data}).Fingerprint(); got != e.SHA256 {
+		return "blob checksum mismatch"
+	}
+	return ""
+}
+
+func (fs *FileStore) manifestPath() string { return filepath.Join(fs.dir, manifestName) }
+
+// blobFileName is deterministic per key so rewrites of the same
+// version replace in place and verifyEntry can cross-check the path.
+func blobFileName(k Key) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, k.Ref)
+	// The fingerprint of the ref disambiguates refs that collide
+	// after sanitization.
+	refSum := (Record{Data: []byte(k.Ref)}).Fingerprint()[:12]
+	return filepath.Join(blobDirName, fmt.Sprintf("%s-%s-%s-v%d.bin", k.Kind, safe, refSum, k.Version))
+}
+
+func (fs *FileStore) sweepTempFiles() {
+	for _, d := range []string{fs.dir, filepath.Join(fs.dir, blobDirName)} {
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			continue
+		}
+		for _, ent := range entries {
+			if !ent.IsDir() && strings.HasSuffix(ent.Name(), tmpSuffix) {
+				_ = os.Remove(filepath.Join(d, ent.Name()))
+			}
+		}
+	}
+}
+
+func (fs *FileStore) index(e manifestEntry) {
+	byRef := fs.recs[e.Kind]
+	if byRef == nil {
+		byRef = make(map[string]map[uint64]manifestEntry)
+		fs.recs[e.Kind] = byRef
+	}
+	byVer := byRef[e.Ref]
+	if byVer == nil {
+		byVer = make(map[uint64]manifestEntry)
+		byRef[e.Ref] = byVer
+	}
+	byVer[e.Ver] = e
+}
+
+// atomicWrite lands data at path via tempfile + fsync + rename,
+// then fsyncs the parent directory so the rename itself is durable.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	return nil
+}
+
+// writeManifestLocked serializes the index and lands it atomically.
+// Callers hold fs.mu (or have exclusive access during Open).
+func (fs *FileStore) writeManifestLocked() error {
+	m := manifest{Version: manifestVersion}
+	for _, byRef := range fs.recs {
+		for _, byVer := range byRef {
+			for _, e := range byVer {
+				m.Records = append(m.Records, e)
+			}
+		}
+	}
+	sort.Slice(m.Records, func(i, j int) bool {
+		a, b := m.Records[i], m.Records[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Ref != b.Ref {
+			return a.Ref < b.Ref
+		}
+		return a.Ver < b.Ver
+	})
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry: encode manifest: %w", err)
+	}
+	if err := atomicWrite(fs.manifestPath(), append(data, '\n')); err != nil {
+		return fmt.Errorf("registry: write manifest: %w", err)
+	}
+	return nil
+}
+
+// Put implements Store. The blob lands atomically before the manifest
+// references it, so a crash between the two leaves an orphan blob (a
+// no-op on reload), never a dangling manifest entry.
+func (fs *FileStore) Put(rec Record) error {
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrStoreClosed
+	}
+	e := manifestEntry{
+		Kind:      rec.Key.Kind,
+		Ref:       rec.Key.Ref,
+		Ver:       rec.Key.Version,
+		Identity:  rec.Identity,
+		Tombstone: rec.Tombstone,
+		File:      blobFileName(rec.Key),
+		SHA256:    rec.Fingerprint(),
+		Size:      int64(len(rec.Data)),
+	}
+	if err := atomicWrite(filepath.Join(fs.dir, e.File), rec.Data); err != nil {
+		return fmt.Errorf("registry: write blob %s: %w", rec.Key, err)
+	}
+	fs.index(e)
+	if err := fs.writeManifestLocked(); err != nil {
+		return err
+	}
+	op := OpPut
+	if rec.Tombstone {
+		op = OpTombstone
+	}
+	fs.hub.publish(op, rec)
+	return nil
+}
+
+// Get implements Store.
+func (fs *FileStore) Get(key Key) (Record, bool, error) {
+	fs.mu.RLock()
+	byVer := fs.recs[key.Kind][key.Ref]
+	if len(byVer) == 0 {
+		fs.mu.RUnlock()
+		return Record{}, false, nil
+	}
+	v := key.Version
+	if v == 0 {
+		for ver := range byVer {
+			if ver > v {
+				v = ver
+			}
+		}
+	}
+	e, ok := byVer[v]
+	fs.mu.RUnlock()
+	if !ok {
+		return Record{}, false, nil
+	}
+	return fs.load(e)
+}
+
+// load reads one blob back, re-verifying the checksum so corruption
+// after Open still surfaces as a typed error rather than bad data.
+func (fs *FileStore) load(e manifestEntry) (Record, bool, error) {
+	data, err := os.ReadFile(filepath.Join(fs.dir, e.File))
+	if err != nil {
+		return Record{}, false, fmt.Errorf("%w: blob %s unreadable: %v", ErrCorruptStore, e.key(), err)
+	}
+	rec := Record{
+		Key:       e.key(),
+		Identity:  e.Identity,
+		Tombstone: e.Tombstone,
+		Data:      data,
+	}
+	if int64(len(data)) != e.Size || rec.Fingerprint() != e.SHA256 {
+		return Record{}, false, fmt.Errorf("%w: blob %s checksum mismatch", ErrCorruptStore, e.key())
+	}
+	return rec, true, nil
+}
+
+// List implements Store.
+func (fs *FileStore) List(kind RecordKind) ([]Record, error) {
+	fs.mu.RLock()
+	var entries []manifestEntry
+	for _, byVer := range fs.recs[kind] {
+		for _, e := range byVer {
+			entries = append(entries, e)
+		}
+	}
+	fs.mu.RUnlock()
+	out := make([]Record, 0, len(entries))
+	for _, e := range entries {
+		rec, ok, err := fs.load(e)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, rec)
+		}
+	}
+	sortRecords(out)
+	return out, nil
+}
+
+// Watch implements Store.
+func (fs *FileStore) Watch() (<-chan StoreEvent, func()) { return fs.hub.subscribe() }
+
+// Close implements Store.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	fs.closed = true
+	fs.mu.Unlock()
+	fs.hub.close()
+	return nil
+}
+
+// Dir returns the store's root directory.
+func (fs *FileStore) Dir() string { return fs.dir }

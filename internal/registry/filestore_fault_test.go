@@ -1,0 +1,192 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedStore writes two good records and returns the dir plus the blob
+// path of record A for the injection tests to damage.
+func seedStore(t *testing.T) (dir, blobA string) {
+	t.Helper()
+	dir = t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rec("A", 1, "alpha-payload")
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec("B", 1, "beta-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, filepath.Join(dir, blobFileName(a.Key))
+}
+
+// reopenDegraded reopens dir expecting a CorruptionError and returns
+// the usable store.
+func reopenDegraded(t *testing.T, dir string) *FileStore {
+	t.Helper()
+	s, err := OpenFileStore(dir)
+	if err == nil {
+		t.Fatal("corruption not reported")
+	}
+	if !errors.Is(err, ErrCorruptStore) {
+		t.Fatalf("err = %v, want ErrCorruptStore", err)
+	}
+	var ce *CorruptionError
+	if !errors.As(err, &ce) || len(ce.Dropped) == 0 {
+		t.Fatalf("err = %v, want *CorruptionError with dropped records", err)
+	}
+	if s == nil {
+		t.Fatal("degraded open returned no store")
+	}
+	return s
+}
+
+// requireSurvivor asserts record B (the undamaged one) still loads.
+func requireSurvivor(t *testing.T, s *FileStore) {
+	t.Helper()
+	got, ok, err := s.Get(Key{Kind: KindDescription, Ref: "B", Version: 1})
+	if err != nil || !ok || string(got.Data) != "beta-payload" {
+		t.Fatalf("survivor lost: %+v ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestFileStoreLoadTruncatedBlob(t *testing.T) {
+	dir, blobA := seedStore(t)
+	if err := os.WriteFile(blobA, []byte("alpha"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := reopenDegraded(t, dir)
+	defer func() { _ = s.Close() }()
+	if _, ok, _ := s.Get(Key{Kind: KindDescription, Ref: "A", Version: 1}); ok {
+		t.Fatal("truncated blob served")
+	}
+	requireSurvivor(t, s)
+}
+
+func TestFileStoreLoadFlippedBlobBytes(t *testing.T) {
+	dir, blobA := seedStore(t)
+	data, err := os.ReadFile(blobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xFF // same length, wrong checksum
+	if err := os.WriteFile(blobA, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := reopenDegraded(t, dir)
+	defer func() { _ = s.Close() }()
+	if _, ok, _ := s.Get(Key{Kind: KindDescription, Ref: "A", Version: 1}); ok {
+		t.Fatal("checksum-mismatched blob served")
+	}
+	requireSurvivor(t, s)
+}
+
+func TestFileStoreLoadMissingBlob(t *testing.T) {
+	dir, blobA := seedStore(t)
+	if err := os.Remove(blobA); err != nil {
+		t.Fatal(err)
+	}
+	s := reopenDegraded(t, dir)
+	defer func() { _ = s.Close() }()
+	requireSurvivor(t, s)
+}
+
+func TestFileStoreLoadCorruptManifest(t *testing.T) {
+	dir, _ := seedStore(t)
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := reopenDegraded(t, dir)
+	defer func() { _ = s.Close() }()
+	// A destroyed manifest loses the index; the store must still be
+	// empty-but-usable, never a panic or a refused open.
+	recs, err := s.List(KindDescription)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("List after manifest loss = %v err=%v, want empty", recs, err)
+	}
+	if err := s.Put(rec("C", 1, "gamma")); err != nil {
+		t.Fatalf("degraded store not writable: %v", err)
+	}
+}
+
+func TestFileStoreLoadFutureManifestVersion(t *testing.T) {
+	dir, _ := seedStore(t)
+	if err := os.WriteFile(filepath.Join(dir, manifestName),
+		[]byte(`{"version": 999, "records": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := reopenDegraded(t, dir)
+	defer func() { _ = s.Close() }()
+}
+
+// TestFileStoreDegradationObservedOnce pins that a degraded open
+// rewrites the manifest down to the surviving subset: the second open
+// is clean.
+func TestFileStoreDegradationObservedOnce(t *testing.T) {
+	dir, blobA := seedStore(t)
+	if err := os.Remove(blobA); err != nil {
+		t.Fatal(err)
+	}
+	s := reopenDegraded(t, dir)
+	_ = s.Close()
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("second open still degraded: %v", err)
+	}
+	defer func() { _ = s2.Close() }()
+	requireSurvivor(t, s2)
+}
+
+// FuzzStoreLoad feeds arbitrary bytes as the manifest of a store with
+// one good blob: Open must never panic, and must either succeed or
+// degrade with a typed corruption error.
+func FuzzStoreLoad(f *testing.F) {
+	f.Add([]byte(`{"version":1,"records":[]}`))
+	f.Add([]byte(`{torn`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"version":999}`))
+	f.Add([]byte(`{"version":1,"records":[{"kind":"desc","ref":"A","version":1,"file":"blobs/nope.bin","sha256":"x","size":3}]}`))
+	f.Add([]byte(`{"version":1,"records":[{"kind":"zzz","ref":"","version":0,"file":"../escape","sha256":"","size":-1}]}`))
+	f.Fuzz(func(t *testing.T, manifest []byte) {
+		dir := t.TempDir()
+		s, err := OpenFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(rec("Z", 1, "zeta")); err != nil {
+			t.Fatal(err)
+		}
+		_ = s.Close()
+		if err := os.WriteFile(filepath.Join(dir, manifestName), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := OpenFileStore(dir)
+		if err != nil && !errors.Is(err, ErrCorruptStore) {
+			t.Fatalf("open after fuzzed manifest: %v (want nil or ErrCorruptStore)", err)
+		}
+		if s2 == nil {
+			t.Fatal("no store back from fuzzed open")
+		}
+		// Whatever loaded must be internally consistent: every listed
+		// record must round-trip.
+		recs, err := s2.List(KindDescription)
+		if err != nil {
+			t.Fatalf("List on fuzz-loaded store: %v", err)
+		}
+		for _, r := range recs {
+			if _, _, err := s2.Get(r.Key); err != nil {
+				t.Fatalf("Get(%v) on fuzz-loaded store: %v", r.Key, err)
+			}
+		}
+		_ = s2.Close()
+	})
+}

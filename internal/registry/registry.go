@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -39,6 +40,17 @@ type Entry struct {
 	// DownloadPaths are where remote peers can fetch this type's
 	// description and code.
 	DownloadPaths []string
+	// Version is this entry's position in its logical type's version
+	// chain, assigned by Register: monotonically increasing per chain
+	// name, starting at 1. Versions coexist — registering an evolved
+	// type under the same name (WithTypeName) appends a new version
+	// while lookups pinned to the old identity keep resolving.
+	Version uint64
+
+	// tombstone marks a version removed by Unregister. The entry
+	// stays in its chain (version numbers never reuse) but every
+	// lookup skips it. Guarded by the owning registry's mu.
+	tombstone bool
 
 	// The identity (passthrough) invocation plan for this entry's
 	// pointer type, compiled once on first use. The transport layer
@@ -89,7 +101,10 @@ type generationed interface {
 // only job is making the fallback decision once.
 func (e *Entry) Program() (*wire.Program, error) {
 	e.progOnce.Do(func() {
-		e.prog, e.progErr = wire.CompileProgram(e.Type)
+		// The program's wire root name is the registered logical name
+		// (WithTypeName may differ from the Go spelling) so payloads
+		// self-describe under the same name the envelope references.
+		e.prog, e.progErr = wire.CompileProgramNamed(e.Type, e.Description.Name)
 	})
 	return e.prog, e.progErr
 }
@@ -214,45 +229,143 @@ func (e *Entry) Construct(name string, args ...interface{}) (interface{}, error)
 
 // Registry is the thread-safe store of entries. Its description
 // repository doubles as the typedesc.Resolver handed to conformance
-// checkers.
+// checkers. Every mutation writes through to the backing Store
+// (in-memory by default, a FileStore for warm restarts) and is
+// published on the store's change feed.
 type Registry struct {
 	mu     sync.RWMutex
-	byID   map[string]*Entry
-	byName map[string]*Entry
+	byID   map[string]*Entry // live entries by identity, every version
+	byName map[string]*Entry // latest live entry per chain name
+	chains map[string]*chain // full version history per chain name
 	repo   *typedesc.Repository
 	ifaces []reflect.Type
+	store  Store
 
 	// gen counts mutations (Register, DeclareInterface, Unregister);
 	// entry-level envelope snapshots compare against it to notice
-	// nested types changing underneath them.
+	// nested types changing underneath them, and memoized LookupGo
+	// misses use it as their validity token.
 	gen atomic.Uint64
 
 	// goMemo caches LookupGo results per Go type: deriving a type's
 	// reference fingerprints its whole structure, far too expensive
-	// for the per-receive lookups on the compiled path. Entries carry
-	// the generation they were computed at and are ignored after any
-	// registry mutation.
+	// for the per-receive lookups on the compiled path. Hits are
+	// validated against their chain's stamp — mutating one type's
+	// chain no longer evicts every other type's memo the way the old
+	// global-generation check did; misses still key off gen.
 	goMemo sync.Map // reflect.Type -> goMemoEntry
 }
 
-// goMemoEntry is one memoized LookupGo result (entry may be nil for a
-// memoized miss), valid only while gen matches the registry's.
+// chain is the version history of one logical type name. versions is
+// ascending by Version and keeps tombstoned entries in place so
+// version numbers never reuse.
+type chain struct {
+	name     string
+	versions []*Entry
+	// storedBase is the highest version the backing store knew for
+	// this name when the chain was first touched — a warm restart
+	// continues numbering where the previous incarnation stopped.
+	storedBase uint64
+	// storedLive maps identity -> stored version for live (non-
+	// tombstoned) records loaded from the store, so re-registering a
+	// known type after a restart reclaims its old version number.
+	storedLive map[string]uint64
+	// stamp bumps on every chain mutation; LookupGo memo hits carry
+	// the stamp they were computed at.
+	stamp atomic.Uint64
+}
+
+// latestLive returns the newest non-tombstoned version, or nil.
+func (c *chain) latestLive() *Entry {
+	for i := len(c.versions) - 1; i >= 0; i-- {
+		if !c.versions[i].tombstone {
+			return c.versions[i]
+		}
+	}
+	return nil
+}
+
+// nextVersion is one past the highest version ever seen, in memory or
+// in the store.
+func (c *chain) nextVersion() uint64 {
+	v := c.storedBase
+	if n := len(c.versions); n > 0 && c.versions[n-1].Version > v {
+		v = c.versions[n-1].Version
+	}
+	return v + 1
+}
+
+// goMemoEntry is one memoized LookupGo result. A hit (entry non-nil)
+// is valid while its chain's stamp is unchanged; a miss is valid
+// while the registry's generation is unchanged.
 type goMemoEntry struct {
 	entry *Entry
-	gen   uint64
+	chain *chain
+	stamp uint64
+}
+
+func (m goMemoEntry) valid(gen uint64) bool {
+	if m.chain != nil {
+		return m.chain.stamp.Load() == m.stamp
+	}
+	return m.stamp == gen
 }
 
 // Generation returns the registry's mutation counter.
 func (r *Registry) Generation() uint64 { return r.gen.Load() }
 
-// New returns an empty Registry.
+// New returns an empty Registry backed by an in-memory store.
 func New() *Registry {
-	return &Registry{
+	r, _ := NewWithStore(NewMemStore())
+	return r
+}
+
+// NewWithStore returns a Registry backed by s. Descriptions already
+// in the store warm the registry's resolver repository (latest live
+// version per name wins name lookups), and version numbering
+// continues from the store's high-water mark, so a process restarting
+// over a FileStore re-registers its types under their old versions
+// instead of starting cold. A *CorruptionError from opening s should
+// be handled by the caller; records that fail to decode here are
+// skipped.
+func NewWithStore(s Store) (*Registry, error) {
+	if s == nil {
+		s = NewMemStore()
+	}
+	r := &Registry{
 		byID:   make(map[string]*Entry),
 		byName: make(map[string]*Entry),
+		chains: make(map[string]*chain),
 		repo:   typedesc.NewRepository(),
+		store:  s,
 	}
+	recs, err := s.List(KindDescription)
+	if err != nil {
+		return nil, fmt.Errorf("registry: warm load: %w", err)
+	}
+	// Ascending (ref, version) order: later Adds win name resolution,
+	// so the latest live version ends up behind each name.
+	for _, rec := range recs {
+		if rec.Tombstone || len(rec.Data) == 0 {
+			continue
+		}
+		d, err := xmlenc.UnmarshalDescription(rec.Data)
+		if err != nil {
+			continue
+		}
+		_ = r.repo.Add(d)
+	}
+	return r, nil
 }
+
+// Store returns the backing store.
+func (r *Registry) Store() Store { return r.store }
+
+// Watch subscribes to the registry's change feed: one event per
+// mutation (register, new version, unregister tombstone), in total
+// order, carrying the affected description record. It is the backing
+// store's feed — peers sharing a store see each other's deltas.
+func (r *Registry) Watch() (<-chan StoreEvent, func()) { return r.store.Watch() }
 
 // Option customizes a registration.
 type Option func(*regOptions)
@@ -261,6 +374,7 @@ type regOptions struct {
 	ctorNames []string
 	ctorFns   []interface{}
 	paths     []string
+	typeName  string
 }
 
 // WithConstructor registers a constructor function under name.
@@ -275,6 +389,15 @@ func WithConstructor(name string, fn interface{}) Option {
 // type (Section 6.1).
 func WithDownloadPaths(paths ...string) Option {
 	return func(o *regOptions) { o.paths = append(o.paths, paths...) }
+}
+
+// WithTypeName registers the type under a logical name instead of its
+// Go canonical name, placing it in that name's version chain. This is
+// how an evolved Go type (a new struct with a new structural
+// identity) succeeds an older version of the same logical type:
+// register both under one name and they coexist as version 1 and 2.
+func WithTypeName(name string) Option {
+	return func(o *regOptions) { o.typeName = name }
 }
 
 // DeclareInterface registers an interface type so that (a) its
@@ -328,6 +451,9 @@ func (r *Registry) Register(v interface{}, opts ...Option) (*Entry, error) {
 		typedesc.WithInterfaces(r.ifaces...),
 		typedesc.WithDownloadPaths(o.paths...),
 	}
+	if o.typeName != "" {
+		descOpts = append(descOpts, typedesc.WithName(o.typeName))
+	}
 	for i, name := range o.ctorNames {
 		descOpts = append(descOpts, typedesc.WithConstructor(name, o.ctorFns[i]))
 	}
@@ -350,18 +476,94 @@ func (r *Registry) Register(v interface{}, opts ...Option) (*Entry, error) {
 		entry.Constructors[name] = fn
 	}
 
+	// Version assignment: re-registering a live identity refreshes
+	// that version in place; a known identity from the store reclaims
+	// its persisted version; anything else appends the next version.
+	c := r.chainLocked(d.Name)
+	id := d.Identity.String()
+	replaceIdx := -1
+	for i, e := range c.versions {
+		if !e.tombstone && e.Description.Identity.String() == id {
+			replaceIdx = i
+			break
+		}
+	}
+	switch {
+	case replaceIdx >= 0:
+		entry.Version = c.versions[replaceIdx].Version
+	case c.storedLive[id] != 0:
+		entry.Version = c.storedLive[id]
+	default:
+		entry.Version = c.nextVersion()
+	}
+
+	// Write-through before committing in-memory state, so a store
+	// failure leaves the registry unchanged.
+	xml, err := entry.DescriptionXML()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.store.Put(Record{
+		Key:      Key{Kind: KindDescription, Ref: d.Name, Version: entry.Version},
+		Identity: id,
+		Data:     xml,
+	}); err != nil {
+		return nil, err
+	}
+
 	if err := r.repo.Add(d); err != nil {
 		return nil, err
 	}
-	r.byID[d.Identity.String()] = entry
-	r.byName[d.Name] = entry
+	r.byID[id] = entry
+	if replaceIdx >= 0 {
+		c.versions[replaceIdx] = entry
+	} else {
+		c.versions = append(c.versions, entry)
+		sort.Slice(c.versions, func(i, j int) bool {
+			return c.versions[i].Version < c.versions[j].Version
+		})
+	}
+	// Name resolution always points at the latest live version, even
+	// when the registration just reclaimed an older slot.
+	if ll := c.latestLive(); ll != nil {
+		r.byName[d.Name] = ll
+		if ll != entry {
+			_ = r.repo.Add(ll.Description)
+		}
+	}
 
 	// Auto-describe reachable named types so nested conformance
 	// resolves (Section 5.2's "subtype description might already be
 	// available at the receiver side").
 	r.describeReachable(t, make(map[reflect.Type]bool))
+	c.stamp.Add(1)
 	r.gen.Add(1)
 	return entry, nil
+}
+
+// chainLocked returns (creating on first touch) the version chain for
+// name, seeding its numbering from the backing store so a warm
+// restart continues where the previous incarnation stopped.
+func (r *Registry) chainLocked(name string) *chain {
+	if c := r.chains[name]; c != nil {
+		return c
+	}
+	c := &chain{name: name, storedLive: make(map[string]uint64)}
+	if recs, err := r.store.List(KindDescription); err == nil {
+		for _, rec := range recs {
+			if rec.Key.Ref != name {
+				continue
+			}
+			if rec.Key.Version > c.storedBase {
+				c.storedBase = rec.Key.Version
+			}
+			if !rec.Tombstone && rec.Identity != "" {
+				c.storedLive[rec.Identity] = rec.Key.Version
+			}
+		}
+	}
+	r.chains[name] = c
+	return c
 }
 
 // describeReachable walks field/elem types, adding descriptions (not
@@ -410,10 +612,13 @@ func (r *Registry) addDescription(t reflect.Type) {
 	_ = r.repo.Add(d)
 }
 
-// Unregister removes a type's entry. Its description stays in the
-// repository (other descriptions may reference it); only the
-// implementation binding disappears — the local "assembly" was
-// unloaded.
+// Unregister tombstones a type's version: by identity it targets that
+// exact version, by name the latest live one. The tombstoned version
+// drops out of every lookup — name resolution falls back to the
+// previous live version, so unregistering v2 of a chain resurfaces v1
+// — while the version number stays burned (never reused) and the
+// change feed emits the removal. Descriptions stay in the repository;
+// other descriptions may reference them.
 func (r *Registry) Unregister(ref typedesc.TypeRef) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -424,20 +629,46 @@ func (r *Registry) Unregister(ref typedesc.TypeRef) bool {
 	if entry == nil && ref.Name != "" {
 		entry = r.byName[ref.Name]
 	}
-	if entry == nil {
+	if entry == nil || entry.tombstone {
 		return false
 	}
+	name := entry.Description.Name
+	entry.tombstone = true
 	delete(r.byID, entry.Description.Identity.String())
-	delete(r.byName, entry.Description.Name)
+	c := r.chains[name]
+	if c != nil {
+		if prev := c.latestLive(); prev != nil {
+			r.byName[name] = prev
+			_ = r.repo.Add(prev.Description)
+		} else {
+			delete(r.byName, name)
+		}
+		c.stamp.Add(1)
+	} else {
+		delete(r.byName, name)
+	}
 	r.gen.Add(1)
+	// The tombstone record replaces the live record at this version
+	// and rides the change feed. Best-effort: the in-memory removal
+	// is already committed and the bool contract predates the store.
+	_ = r.store.Put(Record{
+		Key:       Key{Kind: KindDescription, Ref: name, Version: entry.Version},
+		Identity:  entry.Description.Identity.String(),
+		Tombstone: true,
+	})
 	return true
 }
 
-// Lookup finds the entry for a type reference (identity first, then
-// name).
+// Lookup finds the live entry for a type reference: identity first
+// (an exact version), then name (the latest live version of that
+// chain). Tombstoned versions never resolve.
 func (r *Registry) Lookup(ref typedesc.TypeRef) (*Entry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	return r.lookupLocked(ref)
+}
+
+func (r *Registry) lookupLocked(ref typedesc.TypeRef) (*Entry, bool) {
 	if !ref.Identity.IsNil() {
 		if e, ok := r.byID[ref.Identity.String()]; ok {
 			return e, true
@@ -451,24 +682,90 @@ func (r *Registry) Lookup(ref typedesc.TypeRef) (*Entry, bool) {
 	return nil, false
 }
 
-// LookupGo finds the entry registered for a Go type. Results (hits
-// and misses alike) are memoized per type until the registry mutates,
-// so the steady-state receive path never re-fingerprints a type.
+// LookupVersion pins one version of a chain: version 0 means latest
+// (identical to Lookup), any other version resolves iff that exact
+// version is live. The chain is found by name, falling back to the
+// identity's chain.
+func (r *Registry) LookupVersion(ref typedesc.TypeRef, version uint64) (*Entry, bool) {
+	if version == 0 {
+		return r.Lookup(ref)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := r.chainForRefLocked(ref)
+	if c == nil {
+		return nil, false
+	}
+	for _, e := range c.versions {
+		if e.Version == version {
+			if e.tombstone {
+				return nil, false
+			}
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Versions returns the live version numbers of a type's chain in
+// ascending order (tombstoned versions are omitted).
+func (r *Registry) Versions(ref typedesc.TypeRef) []uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := r.chainForRefLocked(ref)
+	if c == nil {
+		return nil
+	}
+	out := make([]uint64, 0, len(c.versions))
+	for _, e := range c.versions {
+		if !e.tombstone {
+			out = append(out, e.Version)
+		}
+	}
+	return out
+}
+
+func (r *Registry) chainForRefLocked(ref typedesc.TypeRef) *chain {
+	if ref.Name != "" {
+		if c := r.chains[ref.Name]; c != nil {
+			return c
+		}
+	}
+	if !ref.Identity.IsNil() {
+		if e := r.byID[ref.Identity.String()]; e != nil {
+			return r.chains[e.Description.Name]
+		}
+	}
+	return nil
+}
+
+// LookupGo finds the entry registered for a Go type. Results are
+// memoized per type: hits stay valid until their own version chain
+// mutates (keyed by the chain's stamp, not the registry-wide
+// generation — registering type A no longer evicts type B's memo);
+// misses stay valid until any registry mutation.
 func (r *Registry) LookupGo(t reflect.Type) (*Entry, bool) {
 	for t.Kind() == reflect.Ptr {
 		t = t.Elem()
 	}
 	gen := r.gen.Load()
 	if v, ok := r.goMemo.Load(t); ok {
-		if m := v.(goMemoEntry); m.gen == gen {
+		if m := v.(goMemoEntry); m.valid(gen) {
 			return m.entry, m.entry != nil
 		}
 	}
-	e, ok := r.Lookup(typedesc.RefOf(t))
-	if !ok {
-		e = nil
+	r.mu.RLock()
+	e, ok := r.lookupLocked(typedesc.RefOf(t))
+	m := goMemoEntry{stamp: gen}
+	if ok {
+		m.entry = e
+		if c := r.chains[e.Description.Name]; c != nil {
+			m.chain = c
+			m.stamp = c.stamp.Load()
+		}
 	}
-	r.goMemo.Store(t, goMemoEntry{entry: e, gen: gen})
+	r.mu.RUnlock()
+	r.goMemo.Store(t, m)
 	return e, ok
 }
 

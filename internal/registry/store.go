@@ -1,0 +1,394 @@
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RecordKind namespaces the records a Store holds. The registry and
+// the transport layer persist three artifact families: marshaled type
+// descriptions, code blobs, and compiled-artifact fingerprints (the
+// integrity witnesses for descriptions a warm restart trusts without
+// re-fetching).
+type RecordKind string
+
+// Record kinds.
+const (
+	// KindDescription records hold a version's marshaled XML type
+	// description, keyed by the chain name.
+	KindDescription RecordKind = "desc"
+	// KindCodeBlob records hold the downloadable "assembly" bytes for
+	// a type identity.
+	KindCodeBlob RecordKind = "code"
+	// KindFingerprint records hold the sha256 fingerprint of the
+	// compiled artifacts derived from a (version, resolver
+	// fingerprint) pair — the witness a warm restart checks before
+	// trusting a stored description.
+	KindFingerprint RecordKind = "fp"
+)
+
+func (k RecordKind) valid() bool {
+	switch k {
+	case KindDescription, KindCodeBlob, KindFingerprint:
+		return true
+	}
+	return false
+}
+
+// Key names one record: a kind, the reference string the record is
+// filed under (a chain name for descriptions, a type identity for
+// code blobs, a composite artifact key for fingerprints) and a
+// version. Version 0 on Get means "latest stored version".
+type Key struct {
+	Kind    RecordKind
+	Ref     string
+	Version uint64
+}
+
+// String renders "kind/ref@version".
+func (k Key) String() string { return fmt.Sprintf("%s/%s@%d", k.Kind, k.Ref, k.Version) }
+
+// Record is one stored artifact. Identity carries the 128-bit type
+// identity of description and code records so lookups by identity
+// need not parse Data; Tombstone marks a version that was
+// unregistered (the record stays — pinned readers of older versions
+// keep resolving — but latest-version lookups skip it).
+type Record struct {
+	Key       Key
+	Identity  string
+	Tombstone bool
+	Data      []byte
+}
+
+// Clone deep-copies the record so store internals and callers never
+// alias one byte slice.
+func (r Record) Clone() Record {
+	c := r
+	c.Data = append([]byte(nil), r.Data...)
+	return c
+}
+
+// Fingerprint returns the sha256 hex fingerprint of the record's
+// data — what KindFingerprint records witness and what FileStore
+// verifies on load.
+func (r Record) Fingerprint() string {
+	sum := sha256.Sum256(r.Data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Op classifies a change-feed event.
+type Op int
+
+// Change-feed operations.
+const (
+	// OpPut: a record was stored (a registration or a new version).
+	OpPut Op = iota + 1
+	// OpTombstone: a version was tombstoned (unregistered).
+	OpTombstone
+)
+
+// String renders the op name.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpTombstone:
+		return "tombstone"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// StoreEvent is one change-feed delta. Seq is the store's total order:
+// it increases by exactly one per mutation, so a subscriber can detect
+// (and a future resync protocol can repair) a gap.
+type StoreEvent struct {
+	Seq    uint64
+	Op     Op
+	Record Record
+}
+
+// Store is the pluggable persistence interface behind the registry
+// and the transport layer's description/code caches: Put/Get/List
+// over namespaced, versioned records plus a Watch change feed. Two
+// implementations ship: MemStore (the process-local default) and
+// FileStore (crash-safe atomic-rename persistence for warm
+// restarts). All methods are safe for concurrent use.
+//
+// Ordering guarantee: every mutation receives a unique, strictly
+// increasing sequence number, and Watch delivers events to each
+// subscriber in sequence order without reordering (see
+// docs/registry.md for the full change-feed contract).
+type Store interface {
+	// Put stores rec, replacing any record under the same key, and
+	// publishes the change to watchers.
+	Put(rec Record) error
+	// Get returns the record under key. Version 0 resolves to the
+	// highest stored version for (Kind, Ref) — including tombstones,
+	// which callers wanting "latest live" must skip via
+	// Record.Tombstone.
+	Get(key Key) (Record, bool, error)
+	// List returns every record of a kind, sorted by (Ref, Version).
+	List(kind RecordKind) ([]Record, error)
+	// Watch subscribes to the change feed from the current point
+	// onward. Events arrive in sequence order; the subscription is
+	// buffered and never blocks writers. cancel unsubscribes and
+	// closes the channel.
+	Watch() (events <-chan StoreEvent, cancel func())
+	// Close releases the store. Watch channels close; further
+	// mutations fail with ErrStoreClosed.
+	Close() error
+}
+
+// Store errors.
+var (
+	// ErrStoreClosed fails mutations against a closed store.
+	ErrStoreClosed = errors.New("registry: store closed")
+	// ErrBadRecord rejects malformed records (unknown kind, empty
+	// ref) before they reach disk.
+	ErrBadRecord = errors.New("registry: bad record")
+	// ErrCorruptStore classifies load-time corruption (FileStore): a
+	// manifest that does not parse, a blob whose checksum or size
+	// diverges from its manifest entry, a truncated tempfile. Opens
+	// degrade — the valid subset loads — rather than fail; match with
+	// errors.Is and inspect via CorruptionError.
+	ErrCorruptStore = errors.New("registry: corrupt store")
+)
+
+func validateRecord(rec Record) error {
+	if !rec.Key.Kind.valid() {
+		return fmt.Errorf("%w: unknown kind %q", ErrBadRecord, rec.Key.Kind)
+	}
+	if rec.Key.Ref == "" {
+		return fmt.Errorf("%w: empty ref", ErrBadRecord)
+	}
+	return nil
+}
+
+// watchHub fans mutations out to subscribers. Each subscriber owns an
+// unbounded FIFO drained by its own goroutine, so a slow consumer
+// delays only itself and a Put never blocks on the feed.
+type watchHub struct {
+	mu     sync.Mutex
+	seq    uint64
+	subs   map[*watchSub]struct{}
+	closed bool
+}
+
+type watchSub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []StoreEvent
+	closed bool
+	ch     chan StoreEvent
+}
+
+func newWatchHub() *watchHub {
+	return &watchHub{subs: make(map[*watchSub]struct{})}
+}
+
+// publish assigns the next sequence number and enqueues the event for
+// every subscriber. The record is cloned once per publish; subscriber
+// channels share the clone read-only.
+func (h *watchHub) publish(op Op, rec Record) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	ev := StoreEvent{Seq: h.seq, Op: op, Record: rec.Clone()}
+	for s := range h.subs {
+		s.enqueue(ev)
+	}
+	return h.seq
+}
+
+func (h *watchHub) subscribe() (<-chan StoreEvent, func()) {
+	s := &watchSub{ch: make(chan StoreEvent, 16)}
+	s.cond = sync.NewCond(&s.mu)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(s.ch)
+		return s.ch, func() {}
+	}
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	go s.drain()
+	cancel := func() {
+		h.mu.Lock()
+		_, live := h.subs[s]
+		delete(h.subs, s)
+		h.mu.Unlock()
+		if live {
+			s.stop()
+		}
+	}
+	return s.ch, cancel
+}
+
+func (h *watchHub) close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := make([]*watchSub, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.subs = make(map[*watchSub]struct{})
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.stop()
+	}
+}
+
+func (s *watchSub) enqueue(ev StoreEvent) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, ev)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+func (s *watchSub) stop() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// drain moves queued events onto the subscriber channel in order,
+// closing it once stopped and empty.
+func (s *watchSub) drain() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			close(s.ch)
+			return
+		}
+		ev := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.ch <- ev
+	}
+}
+
+// MemStore is the in-memory Store: the process-local default that
+// backed the registry before persistence existed, now behind the same
+// interface as FileStore so callers swap freely.
+type MemStore struct {
+	mu     sync.RWMutex
+	recs   map[RecordKind]map[string]map[uint64]Record // kind -> ref -> version -> record
+	hub    *watchHub
+	closed bool
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty MemStore.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		recs: make(map[RecordKind]map[string]map[uint64]Record),
+		hub:  newWatchHub(),
+	}
+}
+
+// Put implements Store.
+func (m *MemStore) Put(rec Record) error {
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrStoreClosed
+	}
+	byRef := m.recs[rec.Key.Kind]
+	if byRef == nil {
+		byRef = make(map[string]map[uint64]Record)
+		m.recs[rec.Key.Kind] = byRef
+	}
+	byVer := byRef[rec.Key.Ref]
+	if byVer == nil {
+		byVer = make(map[uint64]Record)
+		byRef[rec.Key.Ref] = byVer
+	}
+	byVer[rec.Key.Version] = rec.Clone()
+	m.mu.Unlock()
+
+	op := OpPut
+	if rec.Tombstone {
+		op = OpTombstone
+	}
+	m.hub.publish(op, rec)
+	return nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(key Key) (Record, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	byVer := m.recs[key.Kind][key.Ref]
+	if len(byVer) == 0 {
+		return Record{}, false, nil
+	}
+	v := key.Version
+	if v == 0 {
+		for ver := range byVer {
+			if ver > v {
+				v = ver
+			}
+		}
+	}
+	rec, ok := byVer[v]
+	if !ok {
+		return Record{}, false, nil
+	}
+	return rec.Clone(), true, nil
+}
+
+// List implements Store.
+func (m *MemStore) List(kind RecordKind) ([]Record, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []Record
+	for _, byVer := range m.recs[kind] {
+		for _, rec := range byVer {
+			out = append(out, rec.Clone())
+		}
+	}
+	sortRecords(out)
+	return out, nil
+}
+
+// Watch implements Store.
+func (m *MemStore) Watch() (<-chan StoreEvent, func()) { return m.hub.subscribe() }
+
+// Close implements Store.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.hub.close()
+	return nil
+}
+
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Key.Ref != recs[j].Key.Ref {
+			return recs[i].Key.Ref < recs[j].Key.Ref
+		}
+		return recs[i].Key.Version < recs[j].Key.Version
+	})
+}

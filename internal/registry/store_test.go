@@ -1,0 +1,296 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// storeImpls runs a subtest against both Store implementations so the
+// contract stays identical between them.
+func storeImpls(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		s := NewMemStore()
+		defer func() { _ = s.Close() }()
+		fn(t, s)
+	})
+	t.Run("file", func(t *testing.T) {
+		s, err := OpenFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = s.Close() }()
+		fn(t, s)
+	})
+}
+
+func rec(ref string, ver uint64, data string) Record {
+	return Record{
+		Key:      Key{Kind: KindDescription, Ref: ref, Version: ver},
+		Identity: "id-" + ref,
+		Data:     []byte(data),
+	}
+}
+
+func TestStorePutGetLatest(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		for v := uint64(1); v <= 3; v++ {
+			if err := s.Put(rec("A", v, "payload")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, ok, err := s.Get(Key{Kind: KindDescription, Ref: "A", Version: 2})
+		if err != nil || !ok {
+			t.Fatalf("Get v2: ok=%v err=%v", ok, err)
+		}
+		if got.Key.Version != 2 {
+			t.Fatalf("pinned version = %d, want 2", got.Key.Version)
+		}
+		got, ok, err = s.Get(Key{Kind: KindDescription, Ref: "A"})
+		if err != nil || !ok {
+			t.Fatalf("Get latest: ok=%v err=%v", ok, err)
+		}
+		if got.Key.Version != 3 {
+			t.Fatalf("latest version = %d, want 3", got.Key.Version)
+		}
+		if _, ok, _ := s.Get(Key{Kind: KindDescription, Ref: "A", Version: 9}); ok {
+			t.Fatal("absent version resolved")
+		}
+		if _, ok, _ := s.Get(Key{Kind: KindCodeBlob, Ref: "A"}); ok {
+			t.Fatal("kind namespaces leaked")
+		}
+	})
+}
+
+func TestStoreListSorted(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		for _, r := range []Record{rec("B", 2, "b2"), rec("A", 1, "a1"), rec("B", 1, "b1")} {
+			if err := s.Put(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs, err := s.List(KindDescription)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []Key{
+			{KindDescription, "A", 1},
+			{KindDescription, "B", 1},
+			{KindDescription, "B", 2},
+		}
+		if len(recs) != len(want) {
+			t.Fatalf("List = %d records, want %d", len(recs), len(want))
+		}
+		for i, w := range want {
+			if recs[i].Key != w {
+				t.Fatalf("List[%d] = %v, want %v", i, recs[i].Key, w)
+			}
+		}
+	})
+}
+
+func TestStoreRejectsBadRecords(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		if err := s.Put(Record{Key: Key{Kind: "bogus", Ref: "X"}}); !errors.Is(err, ErrBadRecord) {
+			t.Fatalf("unknown kind: err = %v, want ErrBadRecord", err)
+		}
+		if err := s.Put(Record{Key: Key{Kind: KindDescription}}); !errors.Is(err, ErrBadRecord) {
+			t.Fatalf("empty ref: err = %v, want ErrBadRecord", err)
+		}
+	})
+}
+
+func TestStoreClose(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		if err := s.Put(rec("A", 1, "a")); err != nil {
+			t.Fatal(err)
+		}
+		events, cancel := s.Watch()
+		defer cancel()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(rec("A", 2, "a2")); !errors.Is(err, ErrStoreClosed) {
+			t.Fatalf("Put after Close: err = %v, want ErrStoreClosed", err)
+		}
+		select {
+		case _, open := <-events:
+			if open {
+				t.Fatal("watch channel delivered after Close")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("watch channel not closed by Close")
+		}
+	})
+}
+
+func TestStoreWatchOrderingAndOps(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		events, cancel := s.Watch()
+		defer cancel()
+		const n = 50
+		for v := uint64(1); v <= n; v++ {
+			r := rec("A", v, "x")
+			if v == n {
+				r.Tombstone = true
+			}
+			if err := s.Put(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var lastSeq uint64
+		for i := 0; i < n; i++ {
+			select {
+			case ev := <-events:
+				if ev.Seq <= lastSeq {
+					t.Fatalf("seq went %d -> %d; feed must be strictly increasing", lastSeq, ev.Seq)
+				}
+				lastSeq = ev.Seq
+				if ev.Record.Key.Version != uint64(i+1) {
+					t.Fatalf("event %d carries version %d; feed must preserve put order", i, ev.Record.Key.Version)
+				}
+				wantOp := OpPut
+				if i == n-1 {
+					wantOp = OpTombstone
+				}
+				if ev.Op != wantOp {
+					t.Fatalf("event %d op = %v, want %v", i, ev.Op, wantOp)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("event %d never arrived", i)
+			}
+		}
+	})
+}
+
+func TestStoreWatchNeverBlocksWriters(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		// A subscriber that never drains must not stall Put: the hub
+		// queues per subscriber and delivers from its own goroutine.
+		_, cancel := s.Watch()
+		defer cancel()
+		done := make(chan error, 1)
+		go func() {
+			for v := uint64(1); v <= 200; v++ {
+				if err := s.Put(rec("A", v, "x")); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Put blocked behind an undrained watcher")
+		}
+	})
+}
+
+func TestStoreWatchCancelStopsDelivery(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		events, cancel := s.Watch()
+		cancel()
+		if err := s.Put(rec("A", 1, "x")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case _, open := <-events:
+			if open {
+				t.Fatal("event delivered after cancel")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("cancel did not close the channel")
+		}
+	})
+}
+
+func TestFileStoreReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec("A", 1, "alpha")); err != nil {
+		t.Fatal(err)
+	}
+	tomb := rec("A", 2, "")
+	tomb.Tombstone = true
+	if err := s.Put(tomb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{
+		Key:      Key{Kind: KindCodeBlob, Ref: "id-A", Version: 1},
+		Identity: "id-A",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() { _ = s2.Close() }()
+	got, ok, err := s2.Get(Key{Kind: KindDescription, Ref: "A", Version: 1})
+	if err != nil || !ok {
+		t.Fatalf("reopen Get: ok=%v err=%v", ok, err)
+	}
+	if string(got.Data) != "alpha" || got.Identity != "id-A" {
+		t.Fatalf("reopened record diverged: %+v", got)
+	}
+	latest, ok, err := s2.Get(Key{Kind: KindDescription, Ref: "A"})
+	if err != nil || !ok || !latest.Tombstone {
+		t.Fatalf("latest after reopen = %+v ok=%v err=%v, want the tombstone", latest, ok, err)
+	}
+	code, err := s2.List(KindCodeBlob)
+	if err != nil || len(code) != 1 || code[0].Identity != "id-A" {
+		t.Fatalf("code records after reopen = %v err=%v", code, err)
+	}
+}
+
+func TestFileStoreSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec("A", 1, "alpha")); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	// A crash mid-write leaves orphan tempfiles; reopen must clear
+	// them without touching committed state.
+	for _, p := range []string{
+		filepath.Join(dir, manifestName+tmpSuffix),
+		filepath.Join(dir, blobDirName, "orphan.bin"+tmpSuffix),
+	} {
+		if err := os.WriteFile(p, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen with tempfiles: %v", err)
+	}
+	defer func() { _ = s2.Close() }()
+	if _, ok, _ := s2.Get(Key{Kind: KindDescription, Ref: "A", Version: 1}); !ok {
+		t.Fatal("committed record lost")
+	}
+	for _, p := range []string{
+		filepath.Join(dir, manifestName+tmpSuffix),
+		filepath.Join(dir, blobDirName, "orphan.bin"+tmpSuffix),
+	} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("tempfile %s not swept (err=%v)", p, err)
+		}
+	}
+}

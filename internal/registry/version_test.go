@@ -1,0 +1,269 @@
+package registry
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pti/internal/fixtures"
+	"pti/internal/typedesc"
+)
+
+func registerProfiles(t *testing.T, r *Registry) (v1, v2 *Entry) {
+	t.Helper()
+	v1, err := r.Register(fixtures.ProfileV1{},
+		WithTypeName("Profile"),
+		WithConstructor("NewProfileV1", fixtures.NewProfileV1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err = r.Register(fixtures.ProfileV2{},
+		WithTypeName("Profile"),
+		WithConstructor("NewProfileV2", fixtures.NewProfileV2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v1, v2
+}
+
+func TestVersionChainCoexistence(t *testing.T) {
+	r := New()
+	v1, v2 := registerProfiles(t, r)
+	if v1.Version != 1 || v2.Version != 2 {
+		t.Fatalf("versions = %d, %d; want 1, 2", v1.Version, v2.Version)
+	}
+	if v1.Description.Name != "Profile" || v2.Description.Name != "Profile" {
+		t.Fatalf("chain names = %q, %q; want Profile", v1.Description.Name, v2.Description.Name)
+	}
+	if v1.Description.Identity == v2.Description.Identity {
+		t.Fatal("distinct structures must keep distinct identities")
+	}
+
+	// Name resolves latest; identities pin their exact versions.
+	if e, ok := r.Lookup(typedesc.TypeRef{Name: "Profile"}); !ok || e != v2 {
+		t.Fatalf("Lookup by name = %v, want v2", e)
+	}
+	if e, ok := r.Lookup(typedesc.TypeRef{Identity: v1.Description.Identity}); !ok || e != v1 {
+		t.Fatalf("Lookup v1 identity = %v, want v1", e)
+	}
+
+	// LookupVersion pins; version 0 is latest.
+	if e, ok := r.LookupVersion(typedesc.TypeRef{Name: "Profile"}, 1); !ok || e != v1 {
+		t.Fatalf("LookupVersion(1) = %v, want v1", e)
+	}
+	if e, ok := r.LookupVersion(typedesc.TypeRef{Name: "Profile"}, 2); !ok || e != v2 {
+		t.Fatalf("LookupVersion(2) = %v, want v2", e)
+	}
+	if e, ok := r.LookupVersion(typedesc.TypeRef{Name: "Profile"}, 0); !ok || e != v2 {
+		t.Fatalf("LookupVersion(0) = %v, want latest (v2)", e)
+	}
+	if _, ok := r.LookupVersion(typedesc.TypeRef{Name: "Profile"}, 3); ok {
+		t.Fatal("absent version resolved")
+	}
+	// The identity also finds the chain.
+	if e, ok := r.LookupVersion(typedesc.TypeRef{Identity: v2.Description.Identity}, 1); !ok || e != v1 {
+		t.Fatalf("LookupVersion via identity = %v, want v1", e)
+	}
+
+	if got := r.Versions(typedesc.TypeRef{Name: "Profile"}); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Versions = %v, want [1 2]", got)
+	}
+
+	// Both Go types resolve their own entries.
+	if e, ok := r.LookupGo(reflect.TypeOf(&fixtures.ProfileV1{})); !ok || e != v1 {
+		t.Fatalf("LookupGo(V1) = %v, want v1", e)
+	}
+	if e, ok := r.LookupGo(reflect.TypeOf(&fixtures.ProfileV2{})); !ok || e != v2 {
+		t.Fatalf("LookupGo(V2) = %v, want v2", e)
+	}
+}
+
+func TestVersionedUnregisterTombstonesLatest(t *testing.T) {
+	r := New()
+	v1, v2 := registerProfiles(t, r)
+
+	// Tombstoning the latest resurfaces the previous live version for
+	// name resolution while the tombstoned identity goes dark.
+	if !r.Unregister(typedesc.TypeRef{Name: "Profile"}) {
+		t.Fatal("Unregister latest failed")
+	}
+	if e, ok := r.Lookup(typedesc.TypeRef{Name: "Profile"}); !ok || e != v1 {
+		t.Fatalf("Lookup after tombstone = %v, want fallback to v1", e)
+	}
+	if _, ok := r.Lookup(typedesc.TypeRef{Identity: v2.Description.Identity}); ok {
+		t.Fatal("tombstoned identity still resolves")
+	}
+	if _, ok := r.LookupVersion(typedesc.TypeRef{Name: "Profile"}, 2); ok {
+		t.Fatal("tombstoned version still resolves")
+	}
+	if got := r.Versions(typedesc.TypeRef{Name: "Profile"}); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Versions after tombstone = %v, want [1]", got)
+	}
+	// Double unregister of the same version reports false...
+	if r.Unregister(typedesc.TypeRef{Identity: v2.Description.Identity}) {
+		t.Fatal("second Unregister of v2 succeeded")
+	}
+	// ...while by name it now targets v1, emptying the chain.
+	if !r.Unregister(typedesc.TypeRef{Name: "Profile"}) {
+		t.Fatal("Unregister of resurfaced v1 failed")
+	}
+	if _, ok := r.Lookup(typedesc.TypeRef{Name: "Profile"}); ok {
+		t.Fatal("empty chain still resolves by name")
+	}
+
+	// Version numbers are burned: a re-registration appends version 3.
+	v3, err := r.Register(fixtures.ProfileV1{}, WithTypeName("Profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Version != 3 {
+		t.Fatalf("post-tombstone registration version = %d, want 3", v3.Version)
+	}
+}
+
+func TestReRegisterSameIdentityKeepsVersion(t *testing.T) {
+	r := New()
+	v1a, err := r.Register(fixtures.ProfileV1{}, WithTypeName("Profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1b, err := r.Register(fixtures.ProfileV1{}, WithTypeName("Profile"),
+		WithConstructor("NewProfileV1", fixtures.NewProfileV1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1b.Version != v1a.Version {
+		t.Fatalf("re-registering the same structure bumped %d -> %d", v1a.Version, v1b.Version)
+	}
+	if e, _ := r.Lookup(typedesc.TypeRef{Name: "Profile"}); e != v1b {
+		t.Fatal("re-registration did not refresh the entry")
+	}
+}
+
+func TestRegistryWatchFeed(t *testing.T) {
+	r := New()
+	events, cancel := r.Watch()
+	defer cancel()
+
+	v1, v2 := registerProfiles(t, r)
+	r.Unregister(typedesc.TypeRef{Name: "Profile"})
+
+	type want struct {
+		op  Op
+		ver uint64
+		id  string
+	}
+	wants := []want{
+		{OpPut, 1, v1.Description.Identity.String()},
+		{OpPut, 2, v2.Description.Identity.String()},
+		{OpTombstone, 2, v2.Description.Identity.String()},
+	}
+	var lastSeq uint64
+	for i, w := range wants {
+		select {
+		case ev := <-events:
+			if ev.Seq <= lastSeq {
+				t.Fatalf("feed seq not increasing: %d then %d", lastSeq, ev.Seq)
+			}
+			lastSeq = ev.Seq
+			if ev.Op != w.op || ev.Record.Key.Version != w.ver || ev.Record.Identity != w.id {
+				t.Fatalf("event %d = %v %v %s, want %v v%d %s",
+					i, ev.Op, ev.Record.Key, ev.Record.Identity, w.op, w.ver, w.id)
+			}
+			if ev.Record.Key.Ref != "Profile" || ev.Record.Key.Kind != KindDescription {
+				t.Fatalf("event %d key = %v", i, ev.Record.Key)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("event %d never arrived", i)
+		}
+	}
+}
+
+func TestWarmRestartReclaimsVersions(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewWithStore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := registerProfiles(t, r1)
+	_ = s.Close()
+
+	// "Restart": a fresh registry over a reopened store.
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s2.Close() }()
+	r2, err := NewWithStore(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Descriptions are already resolvable before any registration.
+	if d, err := r2.Resolve(typedesc.TypeRef{Identity: v1.Description.Identity}); err != nil || d.Name != "Profile" {
+		t.Fatalf("warm resolve v1: %v, %v", d, err)
+	}
+	if d, err := r2.Resolve(typedesc.TypeRef{Name: "Profile"}); err != nil ||
+		d.Identity != v2.Description.Identity {
+		t.Fatalf("warm resolve by name should be latest: %v, %v", d, err)
+	}
+
+	// Re-registering reclaims the persisted version numbers, in
+	// either order.
+	w2, err := r2.Register(fixtures.ProfileV2{}, WithTypeName("Profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Version != 2 {
+		t.Fatalf("V2 reclaimed version %d, want 2", w2.Version)
+	}
+	w1, err := r2.Register(fixtures.ProfileV1{}, WithTypeName("Profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Version != 1 {
+		t.Fatalf("V1 reclaimed version %d, want 1", w1.Version)
+	}
+	// Latest-by-name is still v2 even though v1 registered last.
+	if e, ok := r2.Lookup(typedesc.TypeRef{Name: "Profile"}); !ok || e.Version != 2 {
+		t.Fatalf("Lookup by name after reclaim = %+v, want version 2", e)
+	}
+	// A genuinely new structure continues past the stored high water.
+	w3, err := r2.Register(fixtures.PersonA{}, WithTypeName("Profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.Version != 3 {
+		t.Fatalf("new structure got version %d, want 3", w3.Version)
+	}
+}
+
+func TestLookupGoMemoSurvivesOtherChains(t *testing.T) {
+	r := New()
+	v1, _ := r.Register(fixtures.ProfileV1{}, WithTypeName("Profile"))
+	e1, ok := r.LookupGo(reflect.TypeOf(&fixtures.ProfileV1{}))
+	if !ok || e1 != v1 {
+		t.Fatalf("LookupGo = %v", e1)
+	}
+	// Mutating an unrelated chain must not evict the memo: the memo
+	// validates against its own chain's stamp now, so the same entry
+	// pointer comes back.
+	if _, err := r.Register(fixtures.PersonA{}); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := r.LookupGo(reflect.TypeOf(&fixtures.ProfileV1{})); !ok || e != e1 {
+		t.Fatalf("memo evicted by unrelated registration: %v", e)
+	}
+	// Mutating its own chain must refresh it.
+	v1b, err := r.Register(fixtures.ProfileV1{}, WithTypeName("Profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := r.LookupGo(reflect.TypeOf(&fixtures.ProfileV1{})); !ok || e != v1b {
+		t.Fatalf("memo stale after own-chain mutation: %v, want %v", e, v1b)
+	}
+}

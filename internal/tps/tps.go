@@ -316,7 +316,12 @@ func (b *Broker) buildEvent(event interface{}, t reflect.Type, desc *typedesc.Ty
 			gv, err := wire.FromGo(event)
 			if err == nil {
 				if obj, ok := gv.(*wire.Object); ok {
-					if bound, _, err := b.binder.Bind(obj, s.desc.Ref()); err == nil {
+					// The event self-describes under its chain name
+					// and exact version, mirroring the wire path:
+					// a V1 event must bind through V1's members even
+					// when V2 is the latest holder of the name.
+					obj.TypeName = desc.Name
+					if bound, _, err := b.binder.BindRef(obj, desc.Ref(), s.desc.Ref()); err == nil {
 						ev.Bound = bound
 					}
 				}

@@ -292,3 +292,75 @@ func TestSubscribePatternErrors(t *testing.T) {
 		t.Error("nil handler accepted")
 	}
 }
+
+// profileInterest is a subscriber-side type written independently of
+// both registered Profile generations: its members are a token
+// subset of each, so it conforms to version 1 and version 2 alike.
+type profileInterest struct {
+	Name string
+	Age  int
+}
+
+func (p *profileInterest) GetName() string { return p.Name }
+func (p *profileInterest) GetAge() int     { return p.Age }
+
+// TestVersionedTypeDelivery drives the PR 9 version chains through
+// the broker: two structural generations registered under one
+// logical name publish side by side, and a single subscription
+// receives both with the per-version member translation applied
+// (V2's FullName lands in the interest's Name).
+func TestVersionedTypeDelivery(t *testing.T) {
+	reg := registry.New()
+	e1, err := reg.Register(fixtures.ProfileV1{}, registry.WithTypeName("Profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := reg.Register(fixtures.ProfileV2{}, registry.WithTypeName("Profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Version != 1 || e2.Version != 2 {
+		t.Fatalf("versions = %d, %d; want 1, 2", e1.Version, e2.Version)
+	}
+
+	// Bound materialization requires the subscriber's type to be
+	// locally constructible, i.e. registered.
+	if _, err := reg.Register(profileInterest{}); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewBroker(reg)
+	var got []Event
+	if _, err := b.Subscribe(profileInterest{}, func(e Event) { got = append(got, e) }); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ev := range []interface{}{
+		&fixtures.ProfileV1{Name: "ann", Age: 30},
+		&fixtures.ProfileV2{FullName: "bob", Age: 41, Email: "bob@example.com"},
+	} {
+		n, err := b.Publish(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("Publish(%T) delivered %d, want 1", ev, n)
+		}
+	}
+
+	if len(got) != 2 {
+		t.Fatalf("handler saw %d events, want 2", len(got))
+	}
+	want := map[string]int{"ann": 30, "bob": 41}
+	for _, e := range got {
+		p, ok := e.Bound.(*profileInterest)
+		if !ok {
+			t.Fatalf("Bound = %T", e.Bound)
+		}
+		age, known := want[p.Name]
+		if !known || p.Age != age {
+			t.Errorf("bound = %+v, want one of %v", p, want)
+		}
+		delete(want, p.Name)
+	}
+}

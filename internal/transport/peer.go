@@ -74,6 +74,20 @@ type Peer struct {
 	drainOnClose   time.Duration
 	stats          Stats
 
+	// store, when set (WithStore), is the peer's durable description
+	// and code-seen cache: warm-loaded into the remote repository at
+	// construction, consulted by ensureDescription before the wire,
+	// written through on every fetch, and subscribed for change-feed
+	// deltas. storeWatchCancel tears the subscription down on Close.
+	store            registry.Store
+	ownStore         bool
+	storeWatchCancel func()
+
+	// recvFPVersion memoizes the per-source-version materializer
+	// fingerprint (recvFP + source identity) so the steady-state
+	// compiled receive path doesn't re-concatenate it per delivery.
+	recvFPVersion atomic.Pointer[fpMemo]
+
 	// envReader recognizes repeated envelope shapes on the receive
 	// path (the receive-side counterpart of the entry's envelope
 	// template); recvFP fingerprints this peer's binder for the
@@ -205,6 +219,37 @@ func WithClock(c Clock) PeerOption {
 	}
 }
 
+// WithStore attaches a registry store as the peer's durable
+// description/code cache. Descriptions and code-seen markers already
+// in the store are warm-loaded at construction (a restarted peer
+// serves traffic with zero description fetches — see
+// docs/registry.md), ensureDescription consults the store before
+// asking the wire, every wire-fetched description is written through,
+// and the store's change feed is applied to the remote repository so
+// peers sharing a store learn each other's registrations without
+// re-downloading.
+func WithStore(s registry.Store) PeerOption {
+	return func(p *Peer) { p.store = s }
+}
+
+// WithStoreDir is WithStore over a crash-safe file store opened (or
+// created) at dir each time the option is applied. Under fabric
+// Restart the rebuilt peer re-applies its options, so the directory
+// is re-opened from disk — exactly a process warm restart. The peer
+// owns the store and closes it with Close. A corrupt store degrades
+// per record (the valid subset warms the peer); an unopenable one
+// leaves the peer cold.
+func WithStoreDir(dir string) PeerOption {
+	return func(p *Peer) {
+		s, err := registry.OpenFileStore(dir)
+		if err != nil && !errors.Is(err, registry.ErrCorruptStore) {
+			return
+		}
+		p.store = s
+		p.ownStore = true
+	}
+}
+
 // NewPeer builds a peer around a local registry.
 func NewPeer(reg *registry.Registry, opts ...PeerOption) *Peer {
 	p := &Peer{
@@ -236,7 +281,60 @@ func NewPeer(reg *registry.Registry, opts ...PeerOption) *Peer {
 	for _, opt := range opts {
 		opt(p)
 	}
+	p.initStore()
 	return p
+}
+
+// initStore warm-loads the attached store and subscribes to its
+// change feed. Load failures are tolerated record by record — a
+// degraded store serves what it can and the rest falls back to the
+// wire.
+func (p *Peer) initStore() {
+	if p.store == nil {
+		return
+	}
+	if recs, err := p.store.List(registry.KindDescription); err == nil {
+		for _, rec := range recs {
+			if rec.Tombstone || len(rec.Data) == 0 {
+				continue
+			}
+			d, err := xmlenc.UnmarshalDescription(rec.Data)
+			if err != nil {
+				continue
+			}
+			if p.remote.Add(d) == nil {
+				p.stats.descWarmLoaded.Add(1)
+			}
+		}
+	}
+	p.mu.Lock()
+	for _, id := range registry.CodeSeenIdentities(p.store) {
+		p.codeSeen[id] = true
+	}
+	p.mu.Unlock()
+	events, cancel := p.store.Watch()
+	p.storeWatchCancel = cancel
+	go p.applyStoreEvents(events)
+}
+
+// applyStoreEvents folds change-feed deltas into the remote
+// repository: registrations and new versions become resolvable
+// without a wire fetch. Tombstones are ignored here — identity-pinned
+// resolution of already-received objects must keep working.
+func (p *Peer) applyStoreEvents(events <-chan registry.StoreEvent) {
+	for ev := range events {
+		if ev.Record.Key.Kind != registry.KindDescription ||
+			ev.Record.Tombstone || len(ev.Record.Data) == 0 {
+			continue
+		}
+		d, err := xmlenc.UnmarshalDescription(ev.Record.Data)
+		if err != nil {
+			continue
+		}
+		if p.remote.Add(d) == nil {
+			p.stats.descFeedApplied.Add(1)
+		}
+	}
 }
 
 // Stats exposes the peer's counters.
@@ -384,6 +482,7 @@ func (p *Peer) Close() error {
 	}
 	p.closed = true
 	close(p.closeCh)
+	watchCancel := p.storeWatchCancel
 	ln := p.listener
 	conns := make([]*Conn, 0, len(p.conns))
 	for c := range p.conns {
@@ -395,6 +494,12 @@ func (p *Peer) Close() error {
 	}
 	p.mu.Unlock()
 
+	if watchCancel != nil {
+		watchCancel()
+	}
+	if p.ownStore && p.store != nil {
+		_ = p.store.Close()
+	}
 	if ln != nil {
 		_ = ln.Close()
 	}
@@ -653,7 +758,18 @@ func (p *Peer) SendObject(l Link, v interface{}) error {
 
 	scratch := wire.GetScratch()
 	defer wire.PutScratch(scratch)
-	payload, err := p.codec.EncodeCompiled(prog, (*scratch)[:0], v)
+	var payload []byte
+	var err error
+	if wireName := entry.Description.Name; (prog == nil || !prog.Direct()) &&
+		wireName != typedesc.CanonicalName(entry.Type) {
+		// The compiled program stamps the registered name on the fast
+		// path; the reflective fallback must rename the root the same
+		// way or receivers could not resolve the payload's self-
+		// description against the envelope ref.
+		payload, err = p.encodeRenamed((*scratch)[:0], v, wireName)
+	} else {
+		payload, err = p.codec.EncodeCompiled(prog, (*scratch)[:0], v)
+	}
 	if cap(payload) > cap(*scratch) {
 		*scratch = payload // keep the growth for the next send
 	}
@@ -745,6 +861,33 @@ func (p *Peer) Broadcast(v interface{}) (int, error) {
 		sent++
 	}
 	return sent, errors.Join(errs...)
+}
+
+// encodeRenamed is the reflective encode path for entries registered
+// under a logical name that differs from their Go type name: the
+// generic value tree is built, its root object renamed, and the tree
+// encoded with the peer's codec.
+func (p *Peer) encodeRenamed(dst []byte, v interface{}, name string) ([]byte, error) {
+	gv, err := wire.FromGo(v)
+	if err != nil {
+		return dst, err
+	}
+	if obj, ok := gv.(*wire.Object); ok {
+		obj.TypeName = name
+	}
+	var data []byte
+	switch p.codec.(type) {
+	case wire.SOAP:
+		data, err = wire.EncodeSOAP(gv)
+	case wire.Binary:
+		data, err = wire.EncodeBinary(gv)
+	default:
+		data, err = p.codec.Encode(v)
+	}
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, data...), nil
 }
 
 // ConnCount returns the number of live connections.
@@ -1051,9 +1194,14 @@ func (p *Peer) decodeObject(codec wire.Codec, payload []byte) (*wire.Object, err
 // conformance.
 func (p *Peer) bindPayload(e *registry.Entry, codec wire.Codec, env *xmlenc.Envelope) (interface{}, *conform.Mapping, error) {
 	if prog, err := e.Program(); err == nil {
-		if m, err := p.binder.Mapping(env.Type.Name, e.Description); err == nil {
+		// The full envelope ref (name + identity) keys both the
+		// mapping and the materializer tables, so two coexisting
+		// versions of one logical type name compile and cache separate
+		// field translations instead of sharing the latest one.
+		if m, err := p.binder.MappingRef(env.Type, e.Description); err == nil {
 			out, ok := codec.DecodeObjectFast(prog, env.Payload,
-				reflect.PtrTo(e.Type), p.binder.FieldResolver(), p.recvFP, env.Type.Name)
+				reflect.PtrTo(e.Type), p.binder.FieldResolverFor(env.Type),
+				p.recvFPFor(env.Type), env.Type.Name)
 			if ok {
 				p.stats.compiledDeliveries.Add(1)
 				return out, m, nil
@@ -1064,14 +1212,36 @@ func (p *Peer) bindPayload(e *registry.Entry, codec wire.Codec, env *xmlenc.Enve
 	if err != nil {
 		return nil, nil, err
 	}
-	return p.binder.Bind(obj, e.Description.Ref())
+	return p.binder.BindRef(obj, env.Type, e.Description.Ref())
+}
+
+// fpMemo is the memoized per-source-version materializer fingerprint.
+type fpMemo struct {
+	id typedesc.TypeRef
+	fp string
+}
+
+// recvFPFor returns the materializer fingerprint for payloads of the
+// given source ref: the peer's binder fingerprint qualified by the
+// source identity, so compiled decode tables are keyed per (version,
+// resolver fingerprint) rather than shared across versions of a name.
+func (p *Peer) recvFPFor(src typedesc.TypeRef) string {
+	if m := p.recvFPVersion.Load(); m != nil && m.id == src {
+		return m.fp
+	}
+	fp := p.recvFP + "|" + src.Identity.String()
+	p.recvFPVersion.Store(&fpMemo{id: src, fp: fp})
+	return fp
 }
 
 // ensureDescription returns the description for ref, asking the
 // remote peer only on a cache miss (the optimistic protocol's
-// on-demand step). Concurrent misses for the same type collapse into
-// one request (single flight), so a burst of objects of a new type
-// costs one round trip, not one per object.
+// on-demand step): local registry, then remote repository, then the
+// attached store, and only then the wire. Concurrent misses for the
+// same type (the full ref — name and identity, so distinct versions
+// never share a flight) collapse into one request (single flight), so
+// a flash crowd of objects of a new type costs one round trip, not
+// one per object.
 func (p *Peer) ensureDescription(l Link, ref typedesc.TypeRef) (*typedesc.TypeDescription, error) {
 	for attempt := 0; attempt < 3; attempt++ {
 		if d, err := p.reg.Resolve(ref); err == nil {
@@ -1080,6 +1250,10 @@ func (p *Peer) ensureDescription(l Link, ref typedesc.TypeRef) (*typedesc.TypeDe
 		}
 		if d, err := p.remote.Resolve(ref); err == nil {
 			p.stats.descriptorHits.Add(1)
+			return d, nil
+		}
+		if d := p.storeDescription(ref); d != nil {
+			p.stats.descStoreHits.Add(1)
 			return d, nil
 		}
 		leader, wait := p.claim("desc|" + ref.String())
@@ -1092,6 +1266,36 @@ func (p *Peer) ensureDescription(l Link, ref typedesc.TypeRef) (*typedesc.TypeDe
 		return d, err
 	}
 	return nil, fmt.Errorf("transport: type info for %s: fetch did not converge", ref)
+}
+
+// storeDescription consults the attached store for ref, folding a hit
+// into the remote repository so subsequent lookups resolve in memory.
+func (p *Peer) storeDescription(ref typedesc.TypeRef) *typedesc.TypeDescription {
+	if p.store == nil {
+		return nil
+	}
+	rec, ok := registry.FindDescription(p.store, ref)
+	if !ok {
+		return nil
+	}
+	d, err := xmlenc.UnmarshalDescription(rec.Data)
+	if err != nil {
+		return nil
+	}
+	if err := p.remote.Add(d); err != nil {
+		return nil
+	}
+	return d
+}
+
+// storeLearnedDescription writes a wire-fetched description through
+// to the attached store so the next incarnation of this peer starts
+// warm. Best-effort: a store failure never fails the delivery.
+func (p *Peer) storeLearnedDescription(d *typedesc.TypeDescription) {
+	if p.store == nil {
+		return
+	}
+	_ = registry.StoreDescription(p.store, d)
 }
 
 func (p *Peer) fetchDescription(l Link, ref typedesc.TypeRef) (*typedesc.TypeDescription, error) {
@@ -1110,6 +1314,7 @@ func (p *Peer) fetchDescription(l Link, ref typedesc.TypeRef) (*typedesc.TypeDes
 	if err := p.remote.Add(d); err != nil {
 		return nil, err
 	}
+	p.storeLearnedDescription(d)
 	return d, nil
 }
 
@@ -1132,6 +1337,7 @@ func (p *Peer) fetchFromDownloadPaths(env *xmlenc.Envelope) (*typedesc.TypeDescr
 	if err := p.remote.Add(d); err != nil {
 		return nil, err
 	}
+	p.storeLearnedDescription(d)
 	return d, nil
 }
 
@@ -1195,9 +1401,15 @@ func (p *Peer) codeSeenBefore(d *typedesc.TypeDescription) bool {
 }
 
 func (p *Peer) markCodeSeen(d *typedesc.TypeDescription) {
+	id := d.Identity.String()
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.codeSeen[d.Identity.String()] = true
+	p.codeSeen[id] = true
+	p.mu.Unlock()
+	// Persist the marker so a warm restart skips the code exchange
+	// along with the description fetch.
+	if p.store != nil {
+		_ = registry.MarkCodeSeen(p.store, id)
+	}
 }
 
 // --- server-side request handlers ------------------------------------

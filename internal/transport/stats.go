@@ -21,6 +21,9 @@ type Stats struct {
 	invokesShed        atomic.Uint64
 	invokePanics       atomic.Uint64
 	descriptorHits     atomic.Uint64
+	descStoreHits      atomic.Uint64
+	descWarmLoaded     atomic.Uint64
+	descFeedApplied    atomic.Uint64
 	relDataSent        atomic.Uint64
 	relRetransmits     atomic.Uint64
 	relAcksReceived    atomic.Uint64
@@ -62,6 +65,11 @@ type StatsSnapshot struct {
 	InvokesShed      uint64 // invoke requests refused by load shedding
 	InvokePanics     uint64 // exported methods that panicked (recovered)
 	DescriptorHits   uint64
+	// Registry-store counters (zero unless the peer runs WithStore;
+	// see docs/registry.md).
+	DescStoreHits   uint64 // descriptions served from the store instead of the wire
+	DescWarmLoaded  uint64 // descriptions preloaded from the store at peer construction
+	DescFeedApplied uint64 // change-feed description deltas applied to the remote repo
 	// Reliable-layer counters (zero unless WithReliableLinks is on or
 	// a reliable remote is sending to this peer).
 	RelDataSent     uint64 // reliable frames first-sent (excl. retransmits)
@@ -104,6 +112,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		InvokesShed:        s.invokesShed.Load(),
 		InvokePanics:       s.invokePanics.Load(),
 		DescriptorHits:     s.descriptorHits.Load(),
+		DescStoreHits:      s.descStoreHits.Load(),
+		DescWarmLoaded:     s.descWarmLoaded.Load(),
+		DescFeedApplied:    s.descFeedApplied.Load(),
 		RelDataSent:        s.relDataSent.Load(),
 		RelRetransmits:     s.relRetransmits.Load(),
 		RelAcksReceived:    s.relAcksReceived.Load(),
@@ -140,6 +151,9 @@ func (s *Stats) Reset() {
 	s.invokesShed.Store(0)
 	s.invokePanics.Store(0)
 	s.descriptorHits.Store(0)
+	s.descStoreHits.Store(0)
+	s.descWarmLoaded.Store(0)
+	s.descFeedApplied.Store(0)
 	s.relDataSent.Store(0)
 	s.relRetransmits.Store(0)
 	s.relAcksReceived.Store(0)

@@ -24,6 +24,7 @@ type builderOptions struct {
 	ctorNames     []string
 	downloadPaths []string
 	identity      guid.GUID
+	name          string
 }
 
 // WithInterfaces declares interface types this type is known to
@@ -57,6 +58,15 @@ func WithIdentity(id guid.GUID) Option {
 	return func(o *builderOptions) { o.identity = id }
 }
 
+// WithName overrides the description's name instead of using the Go
+// type's canonical name. The identity stays structural, so an evolved
+// Go type described under its predecessor's logical name gets the
+// same name with a distinct identity — the shape version chains are
+// built from.
+func WithName(name string) Option {
+	return func(o *builderOptions) { o.name = name }
+}
+
 // Describe builds the TypeDescription of t by introspection
 // (Section 5.1: "the reflective capabilities of the object-oriented
 // platform are used"). The resulting description is flat: members
@@ -84,6 +94,9 @@ func Describe(t reflect.Type, opts ...Option) (*TypeDescription, error) {
 		Name:          CanonicalName(t),
 		Kind:          kind,
 		DownloadPaths: append([]string(nil), o.downloadPaths...),
+	}
+	if o.name != "" {
+		d.Name = o.name
 	}
 
 	switch kind {

@@ -152,6 +152,24 @@ func CompileProgram(t reflect.Type) (*Program, error) {
 	return p, nil
 }
 
+// CompileProgramNamed compiles like CompileProgram but stamps rootName
+// as the wire type name of the program's root struct. Peers that
+// register a Go type under a logical chain name publish payloads whose
+// self-describing root matches the envelope's type reference — the
+// registered name — rather than the local Go spelling, so receivers
+// resolve the payload through the same ref the envelope pins.
+func CompileProgramNamed(t reflect.Type, rootName string) (*Program, error) {
+	p, err := CompileProgram(t)
+	if err != nil || p.root == nil || rootName == "" {
+		return p, err
+	}
+	if p.root.op == opStruct && rootName != canonicalTypeName(p.Type) {
+		p.root.soapAttr = soapAttrFor(rootName)
+		p.root.binPrefix = structBinPrefixNamed(rootName, len(p.root.fields))
+	}
+	return p, nil
+}
+
 // Direct reports whether the program has a compiled encode fast path;
 // a non-direct program exists only to make the fallback decision once
 // per type instead of once per call.
@@ -343,8 +361,12 @@ func appendStringBytes(dst []byte, s string) []byte {
 // never alias, so the object id is always zero and the field count is
 // fixed at compile time.
 func structBinPrefix(t reflect.Type, nfields int) []byte {
+	return structBinPrefixNamed(canonicalTypeName(t), nfields)
+}
+
+func structBinPrefixNamed(name string, nfields int) []byte {
 	dst := []byte{tagObject}
-	dst = appendStringBytes(dst, canonicalTypeName(t))
+	dst = appendStringBytes(dst, name)
 	dst = appendUvarintBytes(dst, 0) // id
 	dst = appendUvarintBytes(dst, uint64(nfields))
 	return dst

@@ -63,6 +63,27 @@
 // (pointer graphs, interfaces) fall back transparently to the
 // reflective codec, which remains authoritative and benchmarked side
 // by side (`make bench-wire`).
+//
+// # Configuration
+//
+// Every knob of the facade is a functional option, collected in
+// options.go under five documented groups: runtime options (policy,
+// codec, cache bound — see Option), registration options
+// (constructors, download paths, logical type names — see
+// RegisterOption), peer reliability options (the reliable delivery
+// layer — see PeerOption and ReliableOption), peer lifecycle options
+// (failure detection, redial, quarantine), and fabric options
+// (simulation — see FabricOption). Each group has a runnable example
+// in example_options_test.go.
+//
+// # Durable registry
+//
+// The registry behind a Runtime persists through a pluggable Store
+// (store.go): NewWithStore opens a Runtime over a durable store,
+// WithStoreDir gives a transport peer a crash-safe file store so a
+// warm restart re-serves every description it already learned with
+// zero wire fetches, and WithTypeName places evolved Go types in one
+// logical version chain. See docs/registry.md.
 package pti
 
 import (
@@ -71,7 +92,6 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"pti/internal/borrowlend"
 	"pti/internal/conform"
@@ -203,35 +223,15 @@ type Runtime struct {
 	recvBufs  sync.Pool
 }
 
-// Option customizes a Runtime.
-type Option func(*Runtime)
-
-// WithPolicy sets the conformance policy (default RelaxedPolicy(1)).
-func WithPolicy(p Policy) Option {
-	return func(r *Runtime) { r.policy = p }
-}
-
-// WithSOAP selects the SOAP XML payload codec (default is binary).
-func WithSOAP() Option {
-	return func(r *Runtime) { r.codec = wire.SOAP{} }
-}
-
-// WithBinary selects the binary payload codec.
-func WithBinary() Option {
-	return func(r *Runtime) { r.codec = wire.Binary{} }
-}
-
-// WithCacheCapacity bounds the runtime's conformance cache — and the
-// cache of every peer it builds — to roughly n entries with
-// second-chance eviction (0 = unbounded, the default).
-func WithCacheCapacity(n int) Option {
-	return func(r *Runtime) { r.cacheCap = n }
-}
-
-// New builds a Runtime.
+// New builds a Runtime over an in-memory registry. Use NewWithStore
+// to back the registry with a durable Store instead.
 func New(opts ...Option) *Runtime {
+	return buildRuntime(registry.New(), opts...)
+}
+
+func buildRuntime(reg *registry.Registry, opts ...Option) *Runtime {
 	r := &Runtime{
-		reg:    registry.New(),
+		reg:    reg,
 		codec:  wire.Binary{},
 		policy: RelaxedPolicy(1),
 	}
@@ -248,21 +248,6 @@ func New(opts ...Option) *Runtime {
 // runtimeSeq hands every runtime a distinct resolver fingerprint (see
 // the wire package's materializer-table memoization).
 var runtimeSeq atomic.Uint64
-
-// RegisterOption configures a type registration.
-type RegisterOption = registry.Option
-
-// WithConstructor declares a constructor for the registered type
-// (rule (v) of the conformance rules compares constructors).
-func WithConstructor(name string, fn interface{}) RegisterOption {
-	return registry.WithConstructor(name, fn)
-}
-
-// WithDownloadPaths attaches download locations to the registered
-// type (Section 6.1).
-func WithDownloadPaths(paths ...string) RegisterOption {
-	return registry.WithDownloadPaths(paths...)
-}
 
 // Register adds a local type (an instance or reflect.Type) to the
 // runtime.
@@ -486,145 +471,6 @@ func (r *Runtime) Unmarshal(data []byte, expected interface{}) (interface{}, *Ma
 	return r.binder.Bind(obj, ed.Ref())
 }
 
-// PeerOption customizes a transport peer built by NewPeer; see the
-// transport package's options (Eager, WithCompression, WithObserver,
-// WithRequestTimeout, ...).
-type PeerOption = transport.PeerOption
-
-// ProtocolEvent is one protocol trace record (Figure 1 steps made
-// visible); attach a tracer with WithObserver.
-type ProtocolEvent = transport.Event
-
-// WithObserver traces the peer's protocol exchanges.
-func WithObserver(obs func(ProtocolEvent)) PeerOption {
-	return transport.WithObserver(obs)
-}
-
-// Eager switches a peer to the non-optimistic baseline: every object
-// ships with its full type description and code blob inline.
-func Eager() PeerOption { return transport.Eager() }
-
-// ReliableOption tunes the reliable delivery layer (window size,
-// retransmit timers, backoff, send pipeline); see the transport
-// package's options.
-type ReliableOption = transport.ReliableOption
-
-// OverflowPolicy selects what a full reliable send queue does with
-// the next enqueue: block the caller, shed the oldest queued object
-// frame, or fail fast.
-type OverflowPolicy = transport.OverflowPolicy
-
-// Overflow policies for WithSendQueue.
-const (
-	OverflowBlock      = transport.OverflowBlock
-	OverflowDropOldest = transport.OverflowDropOldest
-	OverflowError      = transport.OverflowError
-)
-
-// ErrPeerUnreachable classifies a reliable link's give-up: the remote
-// end stopped acknowledging and the link abandoned it. Match with
-// errors.Is against the aggregate error Peer.Broadcast returns.
-var ErrPeerUnreachable = transport.ErrPeerUnreachable
-
-// WithReliableLinks upgrades every connection the peer owns to
-// exactly-once in-order delivery: sequence framing, cumulative acks,
-// retransmit with exponential backoff and a bounded in-flight window
-// — reliability built above the unreliable link rather than assumed
-// from TCP (see docs/reliable.md).
-func WithReliableLinks(opts ...ReliableOption) PeerOption {
-	return transport.WithReliableLinks(opts...)
-}
-
-// WithWindow bounds unacked object frames in flight per connection
-// (default 32).
-func WithWindow(n int) ReliableOption { return transport.WithWindow(n) }
-
-// WithRetransmitTimeout sets the initial per-frame retransmit timer
-// (default 20ms; the pre-measurement fallback under WithAdaptiveRTO).
-func WithRetransmitTimeout(d time.Duration) ReliableOption {
-	return transport.WithRetransmitTimeout(d)
-}
-
-// WithMaxBackoff caps the doubled retransmit interval and the
-// adaptive RTO (default 640ms).
-func WithMaxBackoff(d time.Duration) ReliableOption { return transport.WithMaxBackoff(d) }
-
-// WithMaxAttempts bounds transmissions per frame before the link
-// gives up on its peer with a typed error matching ErrPeerUnreachable
-// (default 0 = unlimited).
-func WithMaxAttempts(n int) ReliableOption { return transport.WithMaxAttempts(n) }
-
-// WithSendQueue enables the asynchronous per-connection send
-// pipeline: Send/Broadcast enqueue into a bounded queue of n frames
-// and return immediately, a dedicated sender goroutine drains each
-// connection, and a stalled peer fills only its own queue — a
-// reliable Broadcast can no longer be held hostage by its worst
-// connection.
-func WithSendQueue(n int) ReliableOption { return transport.WithSendQueue(n) }
-
-// WithOverflowPolicy picks what a full send queue does (default
-// OverflowBlock).
-func WithOverflowPolicy(p OverflowPolicy) ReliableOption {
-	return transport.WithOverflowPolicy(p)
-}
-
-// WithAdaptiveRTO derives each link's retransmit timeout from its
-// measured round-trip time (SRTT + 4·RTTVAR, Jacobson/Karels, Karn
-// sampling) instead of a fixed timer.
-func WithAdaptiveRTO() ReliableOption { return transport.WithAdaptiveRTO() }
-
-// WithMinRTO floors the adaptive RTO (default 2ms); set it above the
-// path's worst round trip to rule out spurious retransmits on steady
-// links.
-func WithMinRTO(d time.Duration) ReliableOption { return transport.WithMinRTO(d) }
-
-// WithoutFastRetransmit disables NACK-driven resends, leaving the
-// backoff timer as the only loss-recovery path (the ablation
-// baseline).
-func WithoutFastRetransmit() ReliableOption { return transport.WithoutFastRetransmit() }
-
-// WithDrainOnClose makes Peer.Close flush queued reliable frames for
-// up to d before tearing connections down; whatever cannot drain is
-// counted in the peer's RelQueueAbandoned stat.
-func WithDrainOnClose(d time.Duration) PeerOption {
-	return transport.WithDrainOnClose(d)
-}
-
-// Managed-remote health states: healthy → suspect → quarantined (see
-// docs/health.md).
-const (
-	HealthHealthy     = transport.HealthHealthy
-	HealthSuspect     = transport.HealthSuspect
-	HealthQuarantined = transport.HealthQuarantined
-)
-
-// WithHeartbeat sets the liveness probe cadence of managed remotes
-// (default 500ms). Heartbeats piggyback on regular traffic — explicit
-// pings go out only on idle links.
-func WithHeartbeat(d time.Duration) PeerOption { return transport.WithHeartbeat(d) }
-
-// WithSuspectAfter sets the silence that marks a managed remote
-// suspect (default 4×heartbeat, floored by the measured RTT); twice
-// it confirms the failure and triggers reconnect.
-func WithSuspectAfter(d time.Duration) PeerOption { return transport.WithSuspectAfter(d) }
-
-// WithRedialBackoff shapes a managed remote's reconnect delays:
-// initial backoff, doubling per failure up to max (defaults 50ms, 2s).
-func WithRedialBackoff(initial, max time.Duration) PeerOption {
-	return transport.WithRedialBackoff(initial, max)
-}
-
-// WithMaxRedials quarantines a managed remote after n consecutive
-// failed redials — the circuit breaker against redial storms (default
-// 0 = never give up).
-func WithMaxRedials(n int) PeerOption { return transport.WithMaxRedials(n) }
-
-// WithQuarantineProbe keeps quarantined remotes half-open, probing
-// once per interval (default 0 = terminal until ManagedRemote.Retry).
-func WithQuarantineProbe(d time.Duration) PeerOption {
-	return transport.WithQuarantineProbe(d)
-}
-
 // PendingCall is one in-flight pipelined invocation started by
 // RemoteRef.CallAsync; Wait collects its out-of-order reply.
 type PendingCall = transport.PendingCall
@@ -654,36 +500,6 @@ var (
 	// serving peer recovered and keeps serving.
 	ErrRemotePanic = transport.ErrRemotePanic
 )
-
-// WithInvokeConcurrency bounds the server side of the pipelined
-// invoke path per connection: workers concurrent executions,
-// queueDepth waiting beyond that, the rest shed with a reply matching
-// ErrInvokeQueueFull.
-func WithInvokeConcurrency(workers, queueDepth int) PeerOption {
-	return transport.WithInvokeConcurrency(workers, queueDepth)
-}
-
-// WithInvokePacing bounds the client side: at most maxInflight
-// invokes in flight per connection, tightened to budget/SRTT once the
-// reliable link has measured the round trip (budget 0 disables the
-// SRTT term).
-func WithInvokePacing(maxInflight int, budget time.Duration) PeerOption {
-	return transport.WithInvokePacing(maxInflight, budget)
-}
-
-// WithInvokeFailFast makes a full client-side pacing window fail
-// immediately with ErrInvokeQueueFull instead of blocking.
-func WithInvokeFailFast() PeerOption { return transport.WithInvokeFailFast() }
-
-// FabricOption customizes a simulation fabric built by
-// Runtime.NewFabric.
-type FabricOption = transport.FabricOption
-
-// WithVirtualClock runs the fabric on a discrete event clock: link
-// latency, request timeouts and retransmit timers jump to the next
-// scheduled deadline instead of sleeping, compressing long scenario
-// runs into real seconds while keeping seed replay intact.
-func WithVirtualClock() FabricOption { return transport.WithVirtualClock() }
 
 // NewPeer builds a transport peer sharing this runtime's registry and
 // policy.
