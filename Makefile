@@ -34,6 +34,12 @@ BENCH_CHURN_OUT ?= BENCH_PR8.json
 # description fetches, warm preloads, time to first delivery).
 BENCH_REGISTRY_OUT ?= BENCH_PR9.json
 
+# Output artifact of `make bench-scale` — the PR 10 fabric
+# scalability metrics (fan-out + crash wave at two fleet sizes:
+# match rate, peak goroutines per peer, scheduler ops per frame,
+# wall clock against the CI budget).
+BENCH_SCALE_OUT ?= BENCH_PR10.json
+
 # Scratch artifacts `make bench-check` regenerates and diffs against
 # the committed baselines. Deliberately NOT the baseline files: the
 # gate must never overwrite a baseline and then diff it against
@@ -44,17 +50,18 @@ BENCH_INVOKE_CHECK_OUT ?= /tmp/pti-invoke-check.json
 BENCH_RECV_CHECK_OUT ?= /tmp/pti-recv-check.json
 BENCH_CHURN_CHECK_OUT ?= /tmp/pti-churn-check.json
 BENCH_REGISTRY_CHECK_OUT ?= /tmp/pti-registry-check.json
+BENCH_SCALE_CHECK_OUT ?= /tmp/pti-scale-check.json
 
 # Coverage profile location and the ratcheting floor `make cover`
 # enforces via cmd/covercheck. Raise the floor as coverage grows;
 # never lower it.
 COVER_PROFILE ?= cover.out
-COVER_MIN ?= 81.0
+COVER_MIN ?= 82.0
 
 # Pinned staticcheck build, fetched on demand by `go run`.
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-invoke bench-recv bench-churn bench-registry bench-check soak churn build
+.PHONY: help check vet lint test test-race cover bench bench-plan bench-wire bench-json bench-fanout bench-invoke bench-recv bench-churn bench-registry bench-scale bench-check soak churn scale build
 
 help:
 	@echo "Targets:"
@@ -92,12 +99,19 @@ help:
 	@echo "  bench-registry durable registry store: cold vs warm restart over the"
 	@echo "              file store (description fetches, warm preloads, TTFD)"
 	@echo "              -> $(BENCH_REGISTRY_OUT) (override with BENCH_REGISTRY_OUT=file)"
+	@echo "  bench-scale fabric scalability: fan-out + crash wave at two fleet"
+	@echo "              sizes (match rate, goroutines/peer, scheduler ops/frame,"
+	@echo "              wall clock vs the CI budget)"
+	@echo "              -> $(BENCH_SCALE_OUT) (override with BENCH_SCALE_OUT=file)"
 	@echo "  bench-check regenerate scenario + fan-out + invoke + recv + churn +"
-	@echo "              registry metrics into scratch files (never the baselines)"
-	@echo "              and diff against the committed BENCH_PR4.json through"
-	@echo "              BENCH_PR9.json"
+	@echo "              registry + scale metrics into scratch files (never the"
+	@echo "              baselines) and diff against the committed BENCH_PR4.json"
+	@echo "              through BENCH_PR10.json"
 	@echo "  churn       the churn convergence scenario long-form under -race"
 	@echo "              (PTI_SOAK scales it; PTI_SEED=n replays a failure)"
+	@echo "  scale       500-peer fabric convergence under -race on the virtual"
+	@echo "              clock (PTI_SCALE_PEERS=n overrides the fleet size;"
+	@echo "              PTI_SEED=n replays a failure)"
 
 check: vet lint test-race
 
@@ -145,6 +159,15 @@ soak:
 # the race detector on the virtual clock (see docs/health.md).
 churn:
 	PTI_SOAK=1 $(GO) test -race -run 'TestFabricChurnConvergence' -count=1 -v ./internal/transport
+
+# Fabric scalability soak: 500 subscribers (1000 nightly via
+# PTI_SCALE_PEERS) fanned out from a small publisher tier with a 10%
+# crash wave, on the virtual clock under the race detector. The
+# timeout doubles as the CI wall-clock budget — a busy probe or
+# scheduler that regressed to O(peers·links) times out instead of
+# grinding through.
+scale:
+	PTI_SCALE_PEERS=$${PTI_SCALE_PEERS:-500} $(GO) test -race -run 'TestFabricScale' -count=1 -timeout 20m -v ./internal/transport
 
 # Full paper-table benchmark run.
 bench:
@@ -200,6 +223,14 @@ bench-churn:
 bench-registry:
 	$(GO) run ./cmd/ptibench -exp registry -reps 2 -seed 42 -json $(BENCH_REGISTRY_OUT)
 
+# Fabric scalability metrics: broadcast fan-out plus a crash wave at
+# two fleet sizes on the virtual clock — match rate (must be exactly
+# 1.0), peak goroutines per peer (must stay flat across fleet sizes),
+# scheduler heap ops per frame (~2) and wall clock against the
+# committed CI budget.
+bench-scale:
+	$(GO) run ./cmd/ptibench -exp scale -seed 42 -json $(BENCH_SCALE_OUT)
+
 # The bench-regression gate: fresh metrics vs the committed baselines.
 bench-check:
 	@if [ "$(BENCH_CHECK_OUT)" = "BENCH_PR4.json" ]; then \
@@ -220,6 +251,9 @@ bench-check:
 	@if [ "$(BENCH_REGISTRY_CHECK_OUT)" = "BENCH_PR9.json" ]; then \
 		echo "bench-check: BENCH_REGISTRY_CHECK_OUT must not be the committed baseline"; exit 2; \
 	fi
+	@if [ "$(BENCH_SCALE_CHECK_OUT)" = "BENCH_PR10.json" ]; then \
+		echo "bench-check: BENCH_SCALE_CHECK_OUT must not be the committed baseline"; exit 2; \
+	fi
 	$(MAKE) bench-json BENCH_OUT=$(BENCH_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR4.json -candidate $(BENCH_CHECK_OUT)
 	$(MAKE) bench-fanout BENCH_FANOUT_OUT=$(BENCH_FANOUT_CHECK_OUT)
@@ -232,3 +266,5 @@ bench-check:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR8.json -candidate $(BENCH_CHURN_CHECK_OUT)
 	$(MAKE) bench-registry BENCH_REGISTRY_OUT=$(BENCH_REGISTRY_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR9.json -candidate $(BENCH_REGISTRY_CHECK_OUT)
+	$(MAKE) bench-scale BENCH_SCALE_OUT=$(BENCH_SCALE_CHECK_OUT)
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR10.json -candidate $(BENCH_SCALE_CHECK_OUT)

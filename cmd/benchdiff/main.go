@@ -58,6 +58,21 @@
 //     pays the description round-trip, the warm path must not;
 //   - both rows must deliver every message they were sent.
 //
+// Scale rules (the PR 10 scalability artifact), matched on name:
+//
+//   - every fleet size must deliver at a match rate of exactly 1.0
+//     with zero duplicates — scale must not cost the exactly-once
+//     contract;
+//   - every run must finish inside its committed wall-clock budget,
+//     the CI-viability bar: a busy probe or scheduler that went
+//     O(peers·links) again blows it by an order of magnitude;
+//   - scheduler ops per frame must stay at ~2 (one heap push + one
+//     pop per frame) — re-sorts and thrashing show up here;
+//   - peak goroutines must grow sublinearly in peers: the per-peer
+//     goroutine cost at the larger fleet must not exceed the smaller
+//     fleet's (within tolerance), proving idle links hold no parked
+//     goroutines and the scheduler pool stays fixed.
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_PR4.json -candidate /tmp/bench.json [-tol 0.10]
@@ -65,6 +80,7 @@
 //	benchdiff -baseline BENCH_PR6.json -candidate /tmp/invoke.json
 //	benchdiff -baseline BENCH_PR8.json -candidate /tmp/churn.json
 //	benchdiff -baseline BENCH_PR9.json -candidate /tmp/registry.json
+//	benchdiff -baseline BENCH_PR10.json -candidate /tmp/scale.json
 package main
 
 import (
@@ -73,6 +89,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 )
 
 type scenario struct {
@@ -149,6 +166,30 @@ type registryRow struct {
 	TTFDMs         float64 `json:"ttfd_ms"`
 }
 
+type scaleRow struct {
+	Name             string  `json:"name"`
+	Peers            int     `json:"peers"`
+	MatchRate        float64 `json:"match_rate"`
+	Duplicates       int     `json:"duplicates"`
+	PeakGoroutines   int     `json:"peak_goroutines"`
+	SchedOpsPerFrame float64 `json:"sched_ops_per_frame"`
+	ElapsedWallMs    float64 `json:"elapsed_wall_ms"`
+	WallBudgetMs     float64 `json:"wall_budget_ms"`
+}
+
+// scaleGoroutineSlack is the tolerance on the sublinearity check: the
+// per-peer goroutine cost at the larger fleet may exceed the smaller
+// fleet's by at most this factor, headroom for runtime background
+// goroutines without letting per-link parked goroutines creep back
+// (which would roughly double the per-peer cost, not +30%).
+const scaleGoroutineSlack = 1.3
+
+// scaleOpsCeiling bounds scheduler heap ops per delivered frame. The
+// steady state is exactly 2 (one push, one pop); modest headroom
+// covers frames abandoned in the heap at teardown, while a scheduler
+// that re-sorts or thrashes overshoots immediately.
+const scaleOpsCeiling = 2.25
+
 type doc struct {
 	Seed           int64           `json:"seed"`
 	Scenarios      []scenario      `json:"scenarios"`
@@ -159,6 +200,7 @@ type doc struct {
 	RecvRows       []recvRow       `json:"recv_rows"`
 	ChurnRows      []churnRow      `json:"churn_rows"`
 	RegistryRows   []registryRow   `json:"registry_rows"`
+	ScaleRows      []scaleRow      `json:"scale_rows"`
 }
 
 func load(path string) (doc, error) {
@@ -172,8 +214,8 @@ func load(path string) (doc, error) {
 	}
 	if len(d.Scenarios) == 0 && len(d.Rows) == 0 && d.SingleLoss == nil &&
 		len(d.InvokeRows) == 0 && d.InvokePipeline == nil && len(d.RecvRows) == 0 &&
-		len(d.ChurnRows) == 0 && len(d.RegistryRows) == 0 {
-		return d, fmt.Errorf("%s: no scenarios, fan-out, invoke, recv, churn or registry rows", path)
+		len(d.ChurnRows) == 0 && len(d.RegistryRows) == 0 && len(d.ScaleRows) == 0 {
+		return d, fmt.Errorf("%s: no scenarios, fan-out, invoke, recv, churn, registry or scale rows", path)
 	}
 	return d, nil
 }
@@ -219,6 +261,7 @@ func main() {
 	failures += diffRecv(base, cand, &checked)
 	failures += diffChurn(base, cand, &checked)
 	failures += diffRegistry(base, cand, &checked)
+	failures += diffScale(base, cand, &checked)
 	if failures > 0 {
 		fmt.Printf("benchdiff: %d regression(s) against %s\n", failures, *baseline)
 		os.Exit(1)
@@ -591,6 +634,96 @@ func diffRegistry(base, cand doc, checked *int) int {
 	default:
 		fmt.Printf("ok   %-24s warm ttfd %.3fms beats cold %.3fms with 0 fetches\n",
 			"registry-warm-vs-cold", warm.TTFDMs, cold.TTFDMs)
+	}
+	return failures
+}
+
+// diffScale gates the PR 10 scalability artifact: exactly-once
+// delivery at every fleet size, wall clock inside the committed
+// CI-viability budget, scheduler cost pinned at ~2 heap ops per
+// frame, and peak goroutines sublinear in peers. Wall times and
+// goroutine counts track the machine, so the budget and the
+// cross-fleet sublinearity ratio are the gates — never run-vs-run
+// magnitude comparisons.
+func diffScale(base, cand doc, checked *int) int {
+	failures := 0
+	got := make(map[string]scaleRow, len(cand.ScaleRows))
+	for _, r := range cand.ScaleRows {
+		got[r.Name] = r
+	}
+	for _, want := range base.ScaleRows {
+		*checked++
+		have, ok := got[want.Name]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-24s missing from candidate\n", want.Name)
+			failures++
+		case have.MatchRate != 1.0:
+			fmt.Printf("FAIL %-24s match %.4f, scale rows must deliver exactly 1.0\n",
+				want.Name, have.MatchRate)
+			failures++
+		case have.Duplicates != 0:
+			fmt.Printf("FAIL %-24s %d duplicate deliveries, want 0\n",
+				want.Name, have.Duplicates)
+			failures++
+		case want.WallBudgetMs > 0 && have.ElapsedWallMs > want.WallBudgetMs:
+			fmt.Printf("FAIL %-24s wall %.0fms exceeds the %.0fms CI budget (complexity regression?)\n",
+				want.Name, have.ElapsedWallMs, want.WallBudgetMs)
+			failures++
+		case have.SchedOpsPerFrame < 1.0 || have.SchedOpsPerFrame > scaleOpsCeiling:
+			fmt.Printf("FAIL %-24s %.2f scheduler ops/frame outside [1.00, %.2f] (heap thrash?)\n",
+				want.Name, have.SchedOpsPerFrame, scaleOpsCeiling)
+			failures++
+		case have.Peers <= 0 || have.PeakGoroutines <= 0:
+			fmt.Printf("FAIL %-24s degenerate row: %d peers, %d peak goroutines\n",
+				want.Name, have.Peers, have.PeakGoroutines)
+			failures++
+		default:
+			fmt.Printf("ok   %-24s match %.4f, %d peers, peak %d goroutines (%.1f/peer), %.2f ops/frame, wall %.0fms (budget %.0fms)\n",
+				want.Name, have.MatchRate, have.Peers, have.PeakGoroutines,
+				float64(have.PeakGoroutines)/float64(have.Peers),
+				have.SchedOpsPerFrame, have.ElapsedWallMs, want.WallBudgetMs)
+		}
+	}
+	known := make(map[string]bool, len(base.ScaleRows))
+	for _, r := range base.ScaleRows {
+		known[r.Name] = true
+	}
+	for _, r := range cand.ScaleRows {
+		if !known[r.Name] {
+			fmt.Printf("FAIL %-24s not in baseline — regenerate and commit the baseline\n", r.Name)
+			failures++
+		}
+	}
+	// Sublinearity: between every adjacent pair of fleet sizes in the
+	// candidate, the per-peer goroutine cost at the larger fleet must
+	// not exceed the smaller fleet's by more than the slack factor.
+	// Both sides come from the candidate, so the check gates the
+	// scaling shape, not absolute counts.
+	rows := make([]scaleRow, 0, len(cand.ScaleRows))
+	for _, r := range cand.ScaleRows {
+		if r.Peers > 0 && r.PeakGoroutines > 0 {
+			rows = append(rows, r)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Peers < rows[j].Peers })
+	for i := 1; i < len(rows); i++ {
+		small, big := rows[i-1], rows[i]
+		if small.Peers == big.Peers {
+			continue
+		}
+		*checked++
+		perSmall := float64(small.PeakGoroutines) / float64(small.Peers)
+		perBig := float64(big.PeakGoroutines) / float64(big.Peers)
+		pair := fmt.Sprintf("%s-vs-%s", small.Name, big.Name)
+		if perBig > perSmall*scaleGoroutineSlack {
+			fmt.Printf("FAIL %-24s %.1f goroutines/peer at %d peers vs %.1f at %d — superlinear growth (parked goroutines back?)\n",
+				pair, perBig, big.Peers, perSmall, small.Peers)
+			failures++
+		} else {
+			fmt.Printf("ok   %-24s goroutines/peer %.1f at %d peers vs %.1f at %d (slack %.1fx)\n",
+				pair, perBig, big.Peers, perSmall, small.Peers, scaleGoroutineSlack)
+		}
 	}
 	return failures
 }

@@ -1,0 +1,346 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The diff functions are the CI bench gate — each one is exercised
+// here on a healthy candidate (zero failures) and on the specific
+// regressions it exists to catch, so a gate that silently stops
+// failing shows up as a unit-test break rather than a green pipeline.
+
+func scenarioDoc() doc {
+	return doc{
+		Seed: 42,
+		Scenarios: []scenario{
+			{Profile: "lan", Reliable: true, MatchRate: 1.0},
+			{Profile: "chaos", Reliable: false, MatchRate: 0.8},
+		},
+	}
+}
+
+func TestDiffScenariosPassAndFail(t *testing.T) {
+	base := scenarioDoc()
+	checked := 0
+	if got := diffScenarios(base, scenarioDoc(), 0.10, &checked); got != 0 {
+		t.Fatalf("healthy candidate: %d failures, want 0", got)
+	}
+	if checked == 0 {
+		t.Fatal("healthy candidate: no checks ran")
+	}
+
+	cand := scenarioDoc()
+	cand.Scenarios[0].MatchRate = 0.999 // reliable must be exactly 1.0
+	if got := diffScenarios(base, cand, 0.10, &checked); got != 1 {
+		t.Fatalf("reliable drift: %d failures, want 1", got)
+	}
+
+	cand = scenarioDoc()
+	cand.Scenarios[1].MatchRate = 0.5 // outside tolerance
+	if got := diffScenarios(base, cand, 0.10, &checked); got != 1 {
+		t.Fatalf("unreliable drift: %d failures, want 1", got)
+	}
+
+	cand = scenarioDoc()
+	cand.Scenarios = append(cand.Scenarios, scenario{Profile: "wan", Reliable: true, MatchRate: 1.0})
+	if got := diffScenarios(base, cand, 0.10, &checked); got != 1 {
+		t.Fatalf("candidate-only row: %d failures, want 1", got)
+	}
+
+	if got := diffScenarios(base, doc{Seed: 42}, 0.10, &checked); got != len(base.Scenarios) {
+		t.Fatalf("empty candidate: %d failures, want %d", got, len(base.Scenarios))
+	}
+}
+
+func fanoutDoc() doc {
+	return doc{
+		Seed: 42,
+		Rows: []fanoutRow{
+			{Name: "fanout-rel", Reliable: true, MatchRate: 1.0, ElapsedVirtualMs: 100, StallBudgetMs: 500},
+		},
+		SingleLoss: &singleLoss{NackMs: 30, BackoffMs: 200},
+	}
+}
+
+func TestDiffFanoutPassAndFail(t *testing.T) {
+	base := fanoutDoc()
+	checked := 0
+	if got := diffFanout(base, fanoutDoc(), &checked); got != 0 {
+		t.Fatalf("healthy candidate: %d failures, want 0", got)
+	}
+
+	cand := fanoutDoc()
+	cand.Rows[0].ElapsedVirtualMs = 9000 // stall budget blown
+	if got := diffFanout(base, cand, &checked); got != 1 {
+		t.Fatalf("stall budget: %d failures, want 1", got)
+	}
+
+	cand = fanoutDoc()
+	cand.SingleLoss = &singleLoss{NackMs: 300, BackoffMs: 200} // NACK lost
+	if got := diffFanout(base, cand, &checked); got != 1 {
+		t.Fatalf("nack regression: %d failures, want 1", got)
+	}
+}
+
+func invokeDoc() doc {
+	return doc{
+		Seed: 42,
+		InvokeRows: []invokeRow{
+			{Profile: "slow", Load: "capacity", Completed: 100, Goodput: 50, P99Ms: 10},
+			{Profile: "slow", Load: "overload2x", Completed: 100, Goodput: 40, P99Ms: 20},
+		},
+		InvokePipeline: &invokePipeline{SerializedMs: 100, PipelinedMs: 20},
+	}
+}
+
+func TestDiffInvokePassAndFail(t *testing.T) {
+	base := invokeDoc()
+	checked := 0
+	if got := diffInvoke(base, invokeDoc(), &checked); got != 0 {
+		t.Fatalf("healthy candidate: %d failures, want 0", got)
+	}
+
+	cand := invokeDoc()
+	cand.InvokeRows[1].Goodput = 10 // collapsed under overload
+	if got := diffInvoke(base, cand, &checked); got != 1 {
+		t.Fatalf("goodput collapse: %d failures, want 1", got)
+	}
+
+	cand = invokeDoc()
+	cand.InvokeRows[0].Failures = 3 // non-shed failures
+	if got := diffInvoke(base, cand, &checked); got != 1 {
+		t.Fatalf("non-shed failures: %d failures, want 1", got)
+	}
+
+	cand = invokeDoc()
+	cand.InvokePipeline = &invokePipeline{SerializedMs: 100, PipelinedMs: 150}
+	if got := diffInvoke(base, cand, &checked); got != 1 {
+		t.Fatalf("pipelining regression: %d failures, want 1", got)
+	}
+}
+
+func recvDoc() doc {
+	return doc{
+		Seed: 42,
+		RecvRows: []recvRow{
+			{Name: "soap-decode", CompiledNs: 100, ReflectiveNs: 300, AllocsPerOp: 10},
+			{Name: "binary-decode", CompiledNs: 100, ReflectiveNs: 150, AllocsPerOp: 5},
+		},
+	}
+}
+
+func TestDiffRecvPassAndFail(t *testing.T) {
+	base := recvDoc()
+	checked := 0
+	if got := diffRecv(base, recvDoc(), &checked); got != 0 {
+		t.Fatalf("healthy candidate: %d failures, want 0", got)
+	}
+
+	cand := recvDoc()
+	cand.RecvRows[0].CompiledNs = 200 // 1.5x < the 2x SOAP floor
+	if got := diffRecv(base, cand, &checked); got != 1 {
+		t.Fatalf("soap floor: %d failures, want 1", got)
+	}
+
+	cand = recvDoc()
+	cand.RecvRows[1].AllocsPerOp = 50 // alloc budget blown
+	if got := diffRecv(base, cand, &checked); got != 1 {
+		t.Fatalf("alloc budget: %d failures, want 1", got)
+	}
+}
+
+func churnDoc() doc {
+	return doc{
+		Seed: 42,
+		ChurnRows: []churnRow{
+			{Name: "churn-3waves", Churned: 30, MatchRate: 1.0, SessionsResumed: 28,
+				SessionsFresh: 2, Redials: 50, RedialBudget: 400, ElapsedVirtualMs: 1000, StallBudgetMs: 30000},
+		},
+	}
+}
+
+func TestDiffChurnPassAndFail(t *testing.T) {
+	base := churnDoc()
+	checked := 0
+	if got := diffChurn(base, churnDoc(), &checked); got != 0 {
+		t.Fatalf("healthy candidate: %d failures, want 0", got)
+	}
+
+	cand := churnDoc()
+	cand.ChurnRows[0].MatchRate = 0.97
+	if got := diffChurn(base, cand, &checked); got != 1 {
+		t.Fatalf("lineage match: %d failures, want 1", got)
+	}
+
+	cand = churnDoc()
+	cand.ChurnRows[0].Redials = 500 // redial storm
+	if got := diffChurn(base, cand, &checked); got != 1 {
+		t.Fatalf("redial budget: %d failures, want 1", got)
+	}
+
+	cand = churnDoc()
+	cand.ChurnRows[0].QueueAbandoned = 4
+	if got := diffChurn(base, cand, &checked); got != 1 {
+		t.Fatalf("abandoned frames: %d failures, want 1", got)
+	}
+}
+
+func registryDoc() doc {
+	return doc{
+		Seed: 42,
+		RegistryRows: []registryRow{
+			{Name: "registry-cold", Messages: 10, Delivered: 10, DescFetches: 3, TTFDMs: 50},
+			{Name: "registry-warm", Messages: 10, Delivered: 10, DescFetches: 0, DescWarmLoaded: 3, TTFDMs: 5},
+		},
+	}
+}
+
+func TestDiffRegistryPassAndFail(t *testing.T) {
+	base := registryDoc()
+	checked := 0
+	if got := diffRegistry(base, registryDoc(), &checked); got != 0 {
+		t.Fatalf("healthy candidate: %d failures, want 0", got)
+	}
+
+	cand := registryDoc()
+	cand.RegistryRows[1].DescFetches = 2 // warm restart hit the wire
+	if got := diffRegistry(base, cand, &checked); got != 1 {
+		t.Fatalf("warm fetches: %d failures, want 1", got)
+	}
+
+	cand = registryDoc()
+	cand.RegistryRows[1].TTFDMs = 80 // warm slower than cold
+	if got := diffRegistry(base, cand, &checked); got != 1 {
+		t.Fatalf("warm ttfd: %d failures, want 1", got)
+	}
+
+	cand = registryDoc()
+	cand.RegistryRows[0].Delivered = 9
+	if got := diffRegistry(base, cand, &checked); got != 1 {
+		t.Fatalf("dropped delivery: %d failures, want 1", got)
+	}
+}
+
+func scaleDocFixture() doc {
+	return doc{
+		Seed: 42,
+		ScaleRows: []scaleRow{
+			{Name: "scale-150", Peers: 152, MatchRate: 1.0, PeakGoroutines: 950,
+				SchedOpsPerFrame: 2.0, ElapsedWallMs: 200, WallBudgetMs: 120000},
+			{Name: "scale-600", Peers: 605, MatchRate: 1.0, PeakGoroutines: 3300,
+				SchedOpsPerFrame: 2.0, ElapsedWallMs: 700, WallBudgetMs: 120000},
+		},
+	}
+}
+
+func TestDiffScalePassAndFail(t *testing.T) {
+	base := scaleDocFixture()
+	checked := 0
+	if got := diffScale(base, scaleDocFixture(), &checked); got != 0 {
+		t.Fatalf("healthy candidate: %d failures, want 0", got)
+	}
+	// Two rows plus the sublinearity pair.
+	if checked != 3 {
+		t.Fatalf("healthy candidate: %d checks, want 3", checked)
+	}
+
+	cand := scaleDocFixture()
+	cand.ScaleRows[0].MatchRate = 0.999 // scale must not cost delivery
+	if got := diffScale(base, cand, &checked); got != 1 {
+		t.Fatalf("match rate: %d failures, want 1", got)
+	}
+
+	cand = scaleDocFixture()
+	cand.ScaleRows[1].Duplicates = 2
+	if got := diffScale(base, cand, &checked); got != 1 {
+		t.Fatalf("duplicates: %d failures, want 1", got)
+	}
+
+	cand = scaleDocFixture()
+	cand.ScaleRows[1].ElapsedWallMs = 130000 // CI budget blown
+	if got := diffScale(base, cand, &checked); got != 1 {
+		t.Fatalf("wall budget: %d failures, want 1", got)
+	}
+
+	cand = scaleDocFixture()
+	cand.ScaleRows[0].SchedOpsPerFrame = 3.5 // heap thrash
+	if got := diffScale(base, cand, &checked); got != 1 {
+		t.Fatalf("ops/frame: %d failures, want 1", got)
+	}
+
+	// Superlinear goroutine growth: per-peer cost at the larger fleet
+	// beyond the smaller fleet's cost times the slack factor.
+	cand = scaleDocFixture()
+	cand.ScaleRows[1].PeakGoroutines = cand.ScaleRows[1].Peers * 20
+	if got := diffScale(base, cand, &checked); got != 1 {
+		t.Fatalf("sublinearity: %d failures, want 1", got)
+	}
+
+	// Flat growth inside the slack passes even when the absolute
+	// count rises.
+	cand = scaleDocFixture()
+	cand.ScaleRows[1].PeakGoroutines = 4200 // 6.9/peer vs 6.25/peer, < 1.3x
+	if got := diffScale(base, cand, &checked); got != 0 {
+		t.Fatalf("within slack: %d failures, want 0", got)
+	}
+
+	cand = scaleDocFixture()
+	cand.ScaleRows = cand.ScaleRows[:1] // missing fleet size
+	if got := diffScale(base, cand, &checked); got != 1 {
+		t.Fatalf("missing row: %d failures, want 1", got)
+	}
+
+	cand = scaleDocFixture()
+	cand.ScaleRows = append(cand.ScaleRows, scaleRow{Name: "scale-900", Peers: 910,
+		MatchRate: 1.0, PeakGoroutines: 5000, SchedOpsPerFrame: 2.0, WallBudgetMs: 120000})
+	if got := diffScale(base, cand, &checked); got != 1 {
+		t.Fatalf("candidate-only row: %d failures, want 1", got)
+	}
+}
+
+func writeDoc(t *testing.T, d doc) string {
+	t.Helper()
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoad(t *testing.T) {
+	d, err := load(writeDoc(t, scaleDocFixture()))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(d.ScaleRows) != 2 || d.Seed != 42 {
+		t.Fatalf("load: got %d scale rows, seed %d", len(d.ScaleRows), d.Seed)
+	}
+
+	// A doc with no recognized sections is an authoring error, not an
+	// empty-but-valid artifact.
+	if _, err := load(writeDoc(t, doc{Seed: 42})); err == nil {
+		t.Fatal("load accepted a doc with no sections")
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("load accepted a missing file")
+	}
+}
+
+func TestKeyHelpers(t *testing.T) {
+	if got := key(scenario{Profile: "lan", Reliable: true}); got != "lan+rel" {
+		t.Fatalf("key reliable: %q", got)
+	}
+	if got := key(scenario{Profile: "lan"}); got != "lan" {
+		t.Fatalf("key unreliable: %q", got)
+	}
+	if got := invokeKey(invokeRow{Profile: "slow", Load: "capacity"}); got != "slow/capacity" {
+		t.Fatalf("invokeKey: %q", got)
+	}
+}

@@ -20,6 +20,8 @@
 //	                         # lifecycle churn: crash/restart waves
 //	ptibench -exp registry -seed 42 -json BENCH_PR9.json
 //	                         # durable registry: cold vs warm restart
+//	ptibench -exp scale -seed 42 -json BENCH_PR10.json
+//	                         # fabric scalability: fan-out at two fleet sizes
 package main
 
 import (
@@ -63,6 +65,7 @@ func run(exp string, reps int) error {
 		{"invoke", "Pipelined invoke path under load (latency/goodput/shedding)", expInvoke},
 		{"recv", "Compiled receive path (decode + end-to-end unmarshal)", expRecv},
 		{"churn", "Connection-lifecycle churn (crash/restart waves, session resume)", expChurn},
+		{"scale", "Fabric scalability (fan-out + crash wave at two fleet sizes)", expScale},
 		{"registry", "Durable registry store (cold vs warm restart)", expRegistry},
 		{"match", "Conformance relation match rates (Section 2 comparisons)", expMatchRate},
 		{"ablations", "Design-choice ablations", expAblations},

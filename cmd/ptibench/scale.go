@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"pti/internal/fixtures"
+	"pti/internal/registry"
+	"pti/internal/transport"
+)
+
+// The scale experiment measures the PR 10 fabric scalability work:
+// the sharded frame scheduler, the O(1) busy probe and the lazily
+// spawned reliable loops, exercised by broadcast fan-out plus a crash
+// wave at two fleet sizes. Results are committed as BENCH_PR10.json
+// and gated by cmd/benchdiff:
+//
+//   - match rate must be exactly 1.0 at every fleet size — scale must
+//     not cost delivery;
+//   - the per-peer goroutine cost must stay flat as the fleet grows
+//     (sublinear total growth): the scheduler pool is fixed and idle
+//     reliable links hold no goroutines, so only the per-connection
+//     read loops scale with peers;
+//   - scheduler ops per frame must stay at ~2 (one heap push + one
+//     pop per frame) — a scheduler that re-sorts or thrashes shows up
+//     here;
+//   - each run must finish inside its committed wall-clock budget,
+//     the CI-viability bar.
+
+// scaleRow is one measured fleet size committed in BENCH_PR10.json.
+type scaleRow struct {
+	Name             string  `json:"name"`
+	Peers            int     `json:"peers"`
+	Messages         int     `json:"messages"`
+	MatchRate        float64 `json:"match_rate"`
+	Duplicates       int     `json:"duplicates"`
+	PeakGoroutines   int     `json:"peak_goroutines"`
+	SchedFrames      uint64  `json:"sched_frames"`
+	SchedOpsPerFrame float64 `json:"sched_ops_per_frame"`
+	SchedShards      int     `json:"sched_shards"`
+	PeersPerVirtualS float64 `json:"peers_per_virtual_sec"`
+	ElapsedVirtualMs float64 `json:"elapsed_virtual_ms"`
+	ElapsedWallMs    float64 `json:"elapsed_wall_ms"`
+	WallBudgetMs     float64 `json:"wall_budget_ms"`
+}
+
+// scaleDoc is the committed BENCH_PR10.json layout.
+type scaleDoc struct {
+	Seed      int64      `json:"seed"`
+	ScaleRows []scaleRow `json:"scale_rows"`
+}
+
+// scaleWallBudgetMs is the committed CI-viability budget per run:
+// generous against machine variance, tight against complexity
+// regressions — a scheduler or busy probe that went O(peers·links)
+// again blows it by an order of magnitude.
+const scaleWallBudgetMs = 120000
+
+// expScale runs the broadcast fan-out + crash wave soak at two fleet
+// sizes on the virtual clock and reports delivery, goroutine and
+// scheduler-cost metrics.
+func expScale(reps int) error {
+	fmt.Printf("  fabric seed: %d (rerun with -seed %d to replay)  [virtual clock]\n", *seed, *seed)
+	rows := make([]scaleRow, 0, 2)
+	for _, peers := range []int{150, 600} {
+		r, err := runScale(peers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s match %.0f%%  dups %d  peakGoroutines %d (%.1f/peer)  schedOps/frame %.2f  shards %d  virtual %.0fms  wall %.0fms (budget %.0fms)\n",
+			r.Name, r.MatchRate*100, r.Duplicates, r.PeakGoroutines,
+			float64(r.PeakGoroutines)/float64(r.Peers), r.SchedOpsPerFrame,
+			r.SchedShards, r.ElapsedVirtualMs, r.ElapsedWallMs, r.WallBudgetMs)
+		rows = append(rows, r)
+	}
+
+	if *jsonOut != "" {
+		doc := scaleDoc{Seed: *seed, ScaleRows: rows}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// runScale is one full scale run: nSubs subscribers split across
+// publishers (≤125 managed links each), four rounds of broadcast
+// fan-out with a 10% crash wave between rounds one and three.
+func runScale(nSubs int) (scaleRow, error) {
+	nPubs := (nSubs + 124) / 125
+	if nPubs < 2 {
+		nPubs = 2
+	}
+	rounds, perRound := 4, 4
+	total := rounds * perRound
+	wallStart := time.Now()
+
+	f := transport.NewFabric(*seed, transport.WithVirtualClock())
+	defer func() { _ = f.Close() }()
+	lan, _ := transport.NamedProfile("lan")
+
+	pubs := make([]string, nPubs)
+	for i := range pubs {
+		pubs[i] = fmt.Sprintf("pub%02d", i)
+		regPub := registry.New()
+		if _, err := regPub.Register(fixtures.PersonB{},
+			registry.WithConstructor("NewPersonB", fixtures.NewPersonB)); err != nil {
+			return scaleRow{}, err
+		}
+		if _, err := f.AddPeerWithRegistry(pubs[i], regPub,
+			transport.WithReliableLinks(
+				transport.WithAdaptiveRTO(),
+				transport.WithSendQueue(4*total),
+				transport.WithOverflowPolicy(transport.OverflowError)),
+			transport.WithHeartbeat(50*time.Millisecond),
+			transport.WithSuspectAfter(250*time.Millisecond),
+			transport.WithRedialBackoff(10*time.Millisecond, 100*time.Millisecond),
+			transport.WithRequestTimeout(2*time.Second)); err != nil {
+			return scaleRow{}, err
+		}
+	}
+
+	var logMu sync.Mutex
+	seenByNode := make(map[string][]map[int]int)
+	names := make([]string, nSubs)
+	for i := 0; i < nSubs; i++ {
+		name := fmt.Sprintf("sub%04d", i)
+		names[i] = name
+		reg := registry.New()
+		if _, err := reg.Register(fixtures.PersonA{},
+			registry.WithConstructor("NewPersonA", fixtures.NewPersonA)); err != nil {
+			return scaleRow{}, err
+		}
+		record := func(name string) transport.PeerOption {
+			return func(p *transport.Peer) {
+				seen := make(map[int]int)
+				logMu.Lock()
+				seenByNode[name] = append(seenByNode[name], seen)
+				logMu.Unlock()
+				_ = p.OnReceive(fixtures.PersonA{}, func(d transport.Delivery) {
+					logMu.Lock()
+					seen[d.Bound.(*fixtures.PersonA).Age]++
+					logMu.Unlock()
+				})
+			}
+		}(name)
+		if _, err := f.AddPeerWithRegistry(name, reg,
+			transport.WithRequestTimeout(2*time.Second), record); err != nil {
+			return scaleRow{}, err
+		}
+		if _, err := f.ConnectManaged(pubs[i%nPubs], name, lan); err != nil {
+			return scaleRow{}, err
+		}
+	}
+
+	var wave []string
+	for i := 0; i < nSubs && len(wave) < nSubs/10; i += 10 {
+		wave = append(wave, names[i])
+	}
+
+	peak := runtime.NumGoroutine()
+	sample := func() {
+		if n := runtime.NumGoroutine(); n > peak {
+			peak = n
+		}
+	}
+
+	virtualStart := f.Clock().Now()
+	publish := func(round int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, nPubs)
+		for i, p := range pubs {
+			wg.Add(1)
+			go func(i int, p string) {
+				defer wg.Done()
+				peer := f.Node(p).Peer()
+				for m := 0; m < perRound; m++ {
+					if _, err := peer.Broadcast(fixtures.PersonB{
+						PersonName: p, PersonAge: round*perRound + m}); err != nil {
+						errs <- fmt.Errorf("%s round %d msg %d: %w", p, round, m, err)
+						return
+					}
+				}
+			}(i, p)
+		}
+		wg.Wait()
+		close(errs)
+		sample()
+		return <-errs
+	}
+	for round := 0; round < rounds; round++ {
+		switch round {
+		case 1:
+			for _, n := range wave {
+				if err := f.Crash(n); err != nil {
+					return scaleRow{}, err
+				}
+			}
+		case 2:
+			for _, n := range wave {
+				if _, err := f.Restart(n); err != nil {
+					return scaleRow{}, err
+				}
+			}
+		}
+		if err := publish(round); err != nil {
+			return scaleRow{}, err
+		}
+	}
+
+	coverage := func(name string) (distinct, dups int) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		union := make(map[int]int)
+		for _, seen := range seenByNode[name] {
+			for id, n := range seen {
+				union[id] += n
+			}
+		}
+		for _, n := range union {
+			if n > 1 {
+				dups += n - 1
+			}
+		}
+		return len(union), dups
+	}
+	deadline := time.Now().Add(240 * time.Second)
+	converged := func() bool {
+		sample()
+		for _, name := range names {
+			if got, _ := coverage(name); got != total {
+				return false
+			}
+		}
+		return true
+	}
+	for time.Now().Before(deadline) && !converged() {
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsedVirtual := f.Clock().Now().Sub(virtualStart)
+	elapsedWall := time.Since(wallStart)
+
+	covered, dups := 0, 0
+	for _, name := range names {
+		got, d := coverage(name)
+		covered += got
+		dups += d
+	}
+	frames, heapOps, shards := f.SchedulerStats()
+	opsPerFrame := 0.0
+	if frames > 0 {
+		opsPerFrame = float64(heapOps) / float64(frames)
+	}
+	perVirtualS := 0.0
+	if elapsedVirtual > 0 {
+		perVirtualS = float64(nSubs+nPubs) / elapsedVirtual.Seconds()
+	}
+	return scaleRow{
+		Name:             fmt.Sprintf("scale-%d", nSubs),
+		Peers:            nSubs + nPubs,
+		Messages:         total,
+		MatchRate:        float64(covered) / float64(total*nSubs),
+		Duplicates:       dups,
+		PeakGoroutines:   peak,
+		SchedFrames:      frames,
+		SchedOpsPerFrame: opsPerFrame,
+		SchedShards:      shards,
+		PeersPerVirtualS: perVirtualS,
+		ElapsedVirtualMs: float64(elapsedVirtual.Nanoseconds()) / 1e6,
+		ElapsedWallMs:    float64(elapsedWall.Nanoseconds()) / 1e6,
+		WallBudgetMs:     scaleWallBudgetMs,
+	}, nil
+}

@@ -292,15 +292,15 @@ func (t *vtimer) Stop() bool {
 // Reset re-arms the timer at now+d, following the Stop-or-drained
 // contract of the Timer interface. A stale undrained tick is consumed
 // here so the re-armed timer can never deliver a fire from its
-// previous life.
+// previous life. A still-queued timer is re-keyed in place with
+// heap.Fix — one O(log n) sift instead of a Remove+Push pair — which
+// is the hot case: every reliable link re-arms one retransmit timer
+// per wake, so at 1000 peers this path dominates event-queue cost.
 func (t *vtimer) Reset(d time.Duration) bool {
 	c := t.clock
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	wasPending := !t.fired && t.index >= 0
-	if wasPending {
-		heap.Remove(&c.timers, t.index)
-	}
 	select {
 	case <-t.ch:
 	default:
@@ -308,10 +308,16 @@ func (t *vtimer) Reset(d time.Duration) bool {
 	t.fired = false
 	t.deadline = c.now.Add(d)
 	c.mutGen++
-	if d <= 0 {
+	switch {
+	case d <= 0:
+		if wasPending {
+			heap.Remove(&c.timers, t.index)
+		}
 		t.fired = true
 		t.ch <- c.now
-	} else {
+	case wasPending:
+		heap.Fix(&c.timers, t.index) // re-key in place
+	default:
 		heap.Push(&c.timers, t)
 	}
 	return wasPending

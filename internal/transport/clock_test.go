@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -83,6 +84,134 @@ func TestVirtualClockAutoAdvanceJumpsToDeadline(t *testing.T) {
 	}
 	if got := c.Now().Sub(vclockEpoch); got < 3*time.Hour {
 		t.Errorf("virtual now advanced %s, want >= 3h", got)
+	}
+}
+
+// TestVirtualTimerHeapMatchesNaiveModel is the event-queue property
+// test: the heap-backed timer queue — including Reset's in-place
+// heap.Fix re-key and Stop's heap.Remove — must be behaviourally
+// indistinguishable from a naive linear-scan reference model across
+// randomized interleavings of NewTimer, Advance, Reset and Stop.
+// After every operation the test compares, per timer: whether a tick
+// is deliverable, the timestamp it carries, the pending reports of
+// Stop and Reset, and the clock's pending-timer count. A third of the
+// ticks are deliberately left unread so later Resets exercise the
+// stale-tick drain path. PTI_SEED replays a failing interleaving.
+func TestVirtualTimerHeapMatchesNaiveModel(t *testing.T) {
+	seed := scenarioSeed(t, 424242)
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with PTI_SEED=%d", seed)
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed))
+	c := NewManualClock()
+	now := c.Now()
+
+	// Reference model: one entry per timer, advanced by scanning every
+	// entry linearly — the obviously-correct implementation the heap
+	// must match.
+	type modelTimer struct {
+		deadline time.Time
+		pending  bool      // armed, not yet fired or stopped
+		hasTick  bool      // fired with the tick not yet consumed
+		tick     time.Time // timestamp the unconsumed tick carries
+	}
+	var (
+		real  []Timer
+		model []*modelTimer
+	)
+	fireDue := func() {
+		for _, m := range model {
+			if m.pending && !m.deadline.After(now) {
+				m.pending = false
+				m.hasTick = true
+				m.tick = now
+			}
+		}
+	}
+	arm := func(m *modelTimer, d time.Duration) {
+		if d <= 0 {
+			m.pending = false
+			m.hasTick = true
+			m.tick = now
+		} else {
+			m.pending = true
+			m.deadline = now.Add(d)
+		}
+	}
+	randDur := func() time.Duration {
+		// Skewed toward small positive values, with occasional
+		// non-positive durations to exercise the fire-immediately path
+		// and exact collisions from the coarse 1ms grain.
+		return time.Duration(rng.Intn(32)-2) * time.Millisecond
+	}
+
+	check := func(step int) {
+		pending := 0
+		for i, m := range model {
+			if m.pending {
+				pending++
+			}
+			if rng.Intn(3) == 0 {
+				continue // leave the tick (if any) unread for a later Reset
+			}
+			select {
+			case ts := <-real[i].C():
+				if !m.hasTick {
+					t.Fatalf("step %d: timer %d fired but the model holds no tick", step, i)
+				}
+				if !ts.Equal(m.tick) {
+					t.Fatalf("step %d: timer %d tick %v, model %v", step, i, ts, m.tick)
+				}
+				m.hasTick = false
+			default:
+				if m.hasTick {
+					t.Fatalf("step %d: model holds a tick for timer %d but none was delivered", step, i)
+				}
+			}
+		}
+		if got := c.PendingTimers(); got != pending {
+			t.Fatalf("step %d: PendingTimers = %d, model %d", step, got, pending)
+		}
+	}
+
+	const steps = 4000
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3 && len(real) < 256:
+			d := randDur()
+			real = append(real, c.NewTimer(d))
+			m := &modelTimer{}
+			arm(m, d)
+			model = append(model, m)
+		case op < 6:
+			d := time.Duration(rng.Intn(20)) * time.Millisecond
+			c.Advance(d)
+			if target := now.Add(d); target.After(now) {
+				now = target
+			}
+			fireDue()
+		case op < 9 && len(real) > 0:
+			i := rng.Intn(len(real))
+			d := randDur()
+			wasPending := real[i].Reset(d)
+			m := model[i]
+			if wasPending != m.pending {
+				t.Fatalf("step %d: Reset(timer %d) pending = %v, model %v", step, i, wasPending, m.pending)
+			}
+			m.hasTick = false // Reset drains a stale unread tick
+			arm(m, d)
+		case len(real) > 0:
+			i := rng.Intn(len(real))
+			wasPending := real[i].Stop()
+			m := model[i]
+			if wasPending != m.pending {
+				t.Fatalf("step %d: Stop(timer %d) pending = %v, model %v", step, i, wasPending, m.pending)
+			}
+			m.pending = false // Stop leaves an already-delivered tick intact
+		}
+		check(step)
 	}
 }
 

@@ -97,7 +97,7 @@ func newConnWith(p *Peer, rw net.Conn, rel *ReliableLink, owner *Remote) *Conn {
 	case rel != nil:
 		c.rel.Store(rel)
 	case p.relCfg != nil:
-		created = newReliableLink(connRaw{c}, p.clock, &p.stats, *p.relCfg)
+		created = newReliableLink(connRaw{c}, p.clock, &p.stats, p.busyRef, *p.relCfg)
 		if owner != nil {
 			created.setManaged()
 		}

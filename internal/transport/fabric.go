@@ -93,6 +93,13 @@ type Fabric struct {
 	clock       Clock
 	vclock      *VirtualClock // owned; stopped on Close
 
+	// fb holds the O(1) busy-probe counters every fabric peer, link
+	// buffer and reliable pipeline maintains event-driven; fsched is
+	// the sharded frame scheduler all link directions deliver through
+	// (see sched.go). Both are fixed-size regardless of peer count.
+	fb     *fabricBusy
+	fsched *frameSched
+
 	mu      sync.Mutex
 	nodes   map[string]*Node
 	links   map[string]*fabricLink // key: unordered pair "a|b"
@@ -127,41 +134,33 @@ func WithFabricPeerOptions(opts ...PeerOption) FabricOption {
 func WithVirtualClock() FabricOption {
 	return func(f *Fabric) {
 		f.vclock = NewVirtualClock()
-		f.vclock.SetBusyFunc(f.busy)
 		f.clock = f.vclock
+		// The busy probe is installed by NewFabric once the frame
+		// scheduler exists: the probe reads f.fsched, and the clock's
+		// auto-advancer starts probing the instant SetBusyFunc lands.
 	}
 }
 
 // busy reports whether the fabric still has runnable work in flight:
-// delivered frames waiting in a receive buffer, or a peer handler
-// actually executing (as opposed to parked on a clock-backed wait).
-// The virtual clock's advancer holds time still while busy, so a
+// delivered frames waiting in a receive buffer, a peer handler
+// actually executing (as opposed to parked on a clock-backed wait),
+// or a reliable send pipeline with a transmittable head frame. The
+// virtual clock's advancer holds time still while busy, so a
 // goroutine-scheduled round trip on a zero-latency link can never
 // lose a race against its own timeout deadline.
+//
+// The answer is three atomic loads plus an O(shards) scheduler check:
+// every contributor maintains its counter at its own state
+// transitions (frameBuffer on empty↔nonempty edges, Peer on handler
+// enter/park/unpark/exit, ReliableLink on every admission-state
+// change), and the scheduler reports due-but-undelivered frames whose
+// timers have already consumed themselves. The 20kHz probe therefore
+// costs O(1) in peers and links.
 func (f *Fabric) busy() bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for _, l := range f.links {
-		if l.aEnd.in.pending() || l.bEnd.in.pending() {
-			return true
-		}
+	if !f.fb.idle() {
+		return true
 	}
-	for _, n := range f.nodes {
-		if n.peer == nil {
-			continue
-		}
-		if n.peer.busyHandlers() > 0 {
-			return true
-		}
-		// A reliable send pipeline with a transmittable frame at its
-		// head is runnable work too: the sender goroutine is about to
-		// put it on the wire, and the clock must not race past a
-		// timeout deadline first.
-		if n.peer.pipelineBusy() {
-			return true
-		}
-	}
-	return false
+	return f.fsched.busy(f.clock.Now())
 }
 
 // NamedProfile returns one of the canonical fault profiles the soak
@@ -225,11 +224,28 @@ func NewFabric(seed int64, opts ...FabricOption) *Fabric {
 		clock: realClock{},
 		nodes: make(map[string]*Node),
 		links: make(map[string]*fabricLink),
+		fb:    &fabricBusy{},
 	}
 	for _, opt := range opts {
 		opt(f)
 	}
+	// After the options: WithVirtualClock may have swapped f.clock,
+	// and the scheduler's shard timers must run on the final clock.
+	// The busy probe is installed last — it reads f.fsched, so the
+	// auto-advancer must not see the fabric half-built.
+	f.fsched = newFrameSched(f.clock)
+	if f.vclock != nil {
+		f.vclock.SetBusyFunc(f.busy)
+	}
 	return f
+}
+
+// SchedulerStats reports the sharded frame scheduler's cumulative
+// counters: frames accepted for delivery, heap operations performed,
+// and the (fixed) shard count — the observability hook behind the
+// scale benchmark's ops-per-frame row.
+func (f *Fabric) SchedulerStats() (frames, heapOps uint64, shards int) {
+	return f.fsched.frames.Load(), f.fsched.heapOps.Load(), len(f.fsched.shards)
 }
 
 // Seed returns the fabric's seed — print it when a scenario fails so
@@ -310,7 +326,7 @@ func (f *Fabric) AddPeerWithRegistry(name string, reg *registry.Registry, opts .
 	if _, ok := f.nodes[name]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateNode, name)
 	}
-	all := append(append([]PeerOption{WithName(name), WithClock(f.clock)}, f.defaultOpts...), opts...)
+	all := append(append([]PeerOption{WithName(name), WithClock(f.clock), withFabricBusy(f.fb)}, f.defaultOpts...), opts...)
 	n := &Node{
 		fab:      f,
 		name:     name,
@@ -389,14 +405,12 @@ func (f *Fabric) connectLocked(a, b string, profAB, profBA FaultProfile) (*Conn,
 	// restart generations): deterministic per direction, fresh — but
 	// reproducibly so — after a crash/restart.
 	salt := fmt.Sprintf("%s#%d->%s#%d", a, na.gen, b, nb.gen)
-	l.ab = newLinkDir(a+"->"+b, rngFor(f.seed, "ab|"+salt), profAB, f.clock)
-	l.ba = newLinkDir(b+"->"+a, rngFor(f.seed, "ba|"+salt), profBA, f.clock)
-	l.aEnd = &fabricEnd{link: l, out: l.ab, in: newFrameBuffer(), local: a, remote: b}
-	l.bEnd = &fabricEnd{link: l, out: l.ba, in: newFrameBuffer(), local: b, remote: a}
+	l.ab = newLinkDir(a+"->"+b, rngFor(f.seed, "ab|"+salt), profAB, f.clock, f.fsched)
+	l.ba = newLinkDir(b+"->"+a, rngFor(f.seed, "ba|"+salt), profBA, f.clock, f.fsched)
+	l.aEnd = &fabricEnd{link: l, out: l.ab, in: newFrameBuffer(f.fb), local: a, remote: b}
+	l.bEnd = &fabricEnd{link: l, out: l.ba, in: newFrameBuffer(f.fb), local: b, remote: a}
 	l.ab.dst = l.bEnd.in
 	l.ba.dst = l.aEnd.in
-	go l.ab.run()
-	go l.ba.run()
 
 	ca := newConn(na.peer, l.aEnd)
 	cb := newConn(nb.peer, l.bEnd)
@@ -483,14 +497,12 @@ func (f *Fabric) managedDial(from, to string, prof FaultProfile) DialFunc {
 		}
 		l := &fabricLink{a: from, b: to}
 		salt := fmt.Sprintf("%s#%d->%s#%d", from, na.gen, to, nb.gen)
-		l.ab = newLinkDir(from+"->"+to, rngFor(f.seed, "ab|"+salt), prof, f.clock)
-		l.ba = newLinkDir(to+"->"+from, rngFor(f.seed, "ba|"+salt), prof, f.clock)
-		l.aEnd = &fabricEnd{link: l, out: l.ab, in: newFrameBuffer(), local: from, remote: to}
-		l.bEnd = &fabricEnd{link: l, out: l.ba, in: newFrameBuffer(), local: to, remote: from}
+		l.ab = newLinkDir(from+"->"+to, rngFor(f.seed, "ab|"+salt), prof, f.clock, f.fsched)
+		l.ba = newLinkDir(to+"->"+from, rngFor(f.seed, "ba|"+salt), prof, f.clock, f.fsched)
+		l.aEnd = &fabricEnd{link: l, out: l.ab, in: newFrameBuffer(f.fb), local: from, remote: to}
+		l.bEnd = &fabricEnd{link: l, out: l.ba, in: newFrameBuffer(f.fb), local: to, remote: from}
 		l.ab.dst = l.bEnd.in
 		l.ba.dst = l.aEnd.in
-		go l.ab.run()
-		go l.ba.run()
 		cb := newConn(nb.peer, l.bEnd)
 		f.links[key] = l
 		nb.conns[from] = cb
@@ -684,6 +696,10 @@ func (f *Fabric) Close() error {
 			firstErr = err
 		}
 	}
+	// Scheduler shards stop after the peers (their teardown may still
+	// be draining frames) and before the clock (a shard parked on a
+	// stopped clock's timer would never wake).
+	f.fsched.stop()
 	if f.vclock != nil {
 		f.vclock.Stop()
 	}
@@ -779,48 +795,41 @@ func (l *fabricLink) closeAll() {
 	l.bEnd.in.close()
 }
 
-// packet is one in-flight frame.
-type packet struct {
-	data []byte
-	due  time.Time
-	seq  uint64
-}
-
 // linkDir carries frames one way across a link, applying the fault
 // schedule. Each Write call on a fabric endpoint is exactly one
 // protocol frame (WriteMessage emits a frame in a single Write), so
 // faults operate on whole frames and never corrupt the framing.
+// In-flight frames live in the fabric's sharded scheduler (see
+// sched.go) rather than a per-direction queue, so a direction costs
+// no goroutine of its own.
 type linkDir struct {
 	name  string // "a->b"
 	dst   *frameBuffer
 	clock Clock
+	fs    *frameSched
+	shard *schedShard // fixed stripe of fs, by name hash
 
 	mu        sync.Mutex
 	rng       *rand.Rand
 	prof      FaultProfile
 	cut       bool
 	frames    uint64 // frames offered (decision counter)
-	nextSeq   uint64 // delivery tiebreaker
 	lastDue   time.Time
 	busyUntil time.Time
-	queue     []*packet // sorted by (due, seq)
 	sched     []FaultDecision
 	closed    bool
-
-	kick chan struct{}
-	done chan struct{}
 
 	sent, delivered, dropped, duped, reordered, cutDrops atomic.Uint64
 }
 
-func newLinkDir(name string, rng *rand.Rand, prof FaultProfile, clock Clock) *linkDir {
+func newLinkDir(name string, rng *rand.Rand, prof FaultProfile, clock Clock, fs *frameSched) *linkDir {
 	return &linkDir{
 		name:  name,
 		rng:   rng,
 		prof:  prof,
 		clock: clock,
-		kick:  make(chan struct{}, 1),
-		done:  make(chan struct{}),
+		fs:    fs,
+		shard: fs.shardFor(name),
 	}
 }
 
@@ -838,14 +847,12 @@ func (d *linkDir) setCut(cut bool) {
 
 func (d *linkDir) close() {
 	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		return
-	}
 	d.closed = true
-	d.queue = nil
 	d.mu.Unlock()
-	close(d.done)
+	// Frames still queued in the scheduler deliver into closed state
+	// and are discarded by deliver()'s closed check — the counters are
+	// exact the moment close returns, because deliver serializes on
+	// d.mu.
 }
 
 // send schedules one frame. The four random draws happen
@@ -911,23 +918,20 @@ func (d *linkDir) send(b []byte) (int, error) {
 			d.lastDue = due
 		}
 		data := append([]byte(nil), b...)
-		d.enqueueLocked(&packet{data: data, due: due, seq: d.nextSeq})
-		d.nextSeq++
+		// Enqueued under d.mu: the shard's arrival tiebreaker then
+		// preserves this direction's send order across equal deadlines.
+		d.fs.frames.Add(1)
+		d.shard.enqueue(d, data, due)
 		if dec.Dup {
 			d.duped.Add(1)
-			d.enqueueLocked(&packet{data: data, due: due.Add(time.Millisecond), seq: d.nextSeq})
-			d.nextSeq++
+			d.fs.frames.Add(1)
+			d.shard.enqueue(d, data, due.Add(time.Millisecond))
 		}
 	}
 	if len(d.sched) < maxScheduleLen {
 		d.sched = append(d.sched, dec)
 	}
 	d.mu.Unlock()
-
-	select {
-	case d.kick <- struct{}{}:
-	default:
-	}
 	return len(b), nil
 }
 
@@ -948,59 +952,21 @@ func (d *linkDir) takeSchedule() []FaultDecision {
 	return out
 }
 
-// enqueueLocked inserts by (due, seq). Queues are short-lived; linear
-// insertion keeps the worker trivially correct.
-func (d *linkDir) enqueueLocked(p *packet) {
-	i := sort.Search(len(d.queue), func(i int) bool {
-		q := d.queue[i]
-		return q.due.After(p.due) || (q.due.Equal(p.due) && q.seq > p.seq)
-	})
-	d.queue = append(d.queue, nil)
-	copy(d.queue[i+1:], d.queue[i:])
-	d.queue[i] = p
-}
-
-// run delivers queued frames when they come due.
-func (d *linkDir) run() {
-	for {
-		d.mu.Lock()
-		if d.closed {
-			d.mu.Unlock()
-			return
-		}
-		if len(d.queue) == 0 {
-			d.mu.Unlock()
-			select {
-			case <-d.kick:
-				continue
-			case <-d.done:
-				return
-			}
-		}
-		p := d.queue[0]
-		if wait := d.clock.Until(p.due); wait > 0 {
-			d.mu.Unlock()
-			t := d.clock.NewTimer(wait)
-			select {
-			case <-t.C():
-			case <-d.kick: // an earlier-due packet may have arrived
-				t.Stop()
-			case <-d.done:
-				t.Stop()
-				return
-			}
-			continue
-		}
-		d.queue = d.queue[1:]
-		// Deliver while still holding d.mu: close() serializes on the
-		// same lock, so once closeAll returns no delivery is mid-
-		// flight and a retirement snapshot of the counters is exact.
-		// (push takes only the buffer's own lock; no cycle.)
-		if d.dst.push(p.data) {
-			d.delivered.Add(1)
-		}
+// deliver hands one due frame to the destination buffer, called by
+// the scheduler shard with no shard lock held. Delivery happens under
+// d.mu: close() serializes on the same lock, so once closeAll returns
+// no delivery is mid-flight and a retirement snapshot of the counters
+// is exact. (push takes only the buffer's own lock; no cycle.)
+func (d *linkDir) deliver(data []byte) {
+	d.mu.Lock()
+	if d.closed {
 		d.mu.Unlock()
+		return
 	}
+	if d.dst.push(data) {
+		d.delivered.Add(1)
+	}
+	d.mu.Unlock()
 }
 
 // --- endpoint: a net.Conn over the fabric -----------------------------
@@ -1034,18 +1000,42 @@ func (a fabricAddr) String() string  { return string(a) }
 
 // frameBuffer is the receive side of a fabric endpoint: delivered
 // frame bytes accumulate and Read drains them, blocking while empty.
-// After close, buffered bytes still drain before EOF.
+// After close, buffered bytes still drain before EOF. The buffer
+// maintains the fabric's pending-frames busy counter on its
+// empty↔nonempty edges (the `counted` flag tracks its contribution),
+// so the virtual clock's probe never scans buffers.
 type frameBuffer struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	data   []byte
-	closed bool
+	busy *fabricBusy
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	data    []byte
+	counted bool
+	closed  bool
 }
 
-func newFrameBuffer() *frameBuffer {
-	b := &frameBuffer{}
+func newFrameBuffer(busy *fabricBusy) *frameBuffer {
+	b := &frameBuffer{busy: busy}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// syncBusyLocked reconciles the buffer's busy-counter contribution
+// with its state: counted while it holds undrained bytes on a live
+// endpoint. A closed buffer withdraws its claim — its remaining bytes
+// drain on a dying conn's read loop and must not hold virtual time
+// still if that reader never comes.
+func (b *frameBuffer) syncBusyLocked() {
+	want := len(b.data) > 0 && !b.closed
+	if want == b.counted {
+		return
+	}
+	b.counted = want
+	if want {
+		b.busy.frames.Add(1)
+	} else {
+		b.busy.frames.Add(-1)
+	}
 }
 
 // push appends delivered frame bytes, reporting whether the buffer
@@ -1058,6 +1048,7 @@ func (b *frameBuffer) push(p []byte) bool {
 		return false
 	}
 	b.data = append(b.data, p...)
+	b.syncBusyLocked()
 	b.cond.Broadcast()
 	return true
 }
@@ -1073,19 +1064,14 @@ func (b *frameBuffer) Read(p []byte) (int, error) {
 	}
 	n := copy(p, b.data)
 	b.data = b.data[n:]
+	b.syncBusyLocked()
 	return n, nil
-}
-
-// pending reports whether delivered bytes await a reader.
-func (b *frameBuffer) pending() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.data) > 0
 }
 
 func (b *frameBuffer) close() {
 	b.mu.Lock()
 	b.closed = true
+	b.syncBusyLocked()
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }

@@ -173,10 +173,10 @@ func (p *Peer) dispatchInvoke(c *Conn, m *Message) {
 	// through the gap, and the semaphore wait is parked because a
 	// queued invoke makes no progress of its own.
 	p.handlerWG.Add(1)
-	p.activeHandlers.Add(1)
+	p.handlerEnter()
 	go func() {
 		defer p.handlerWG.Done()
-		defer p.activeHandlers.Add(-1)
+		defer p.handlerExit()
 		defer c.invokeQueued.Add(-1)
 		p.park()
 		select {

@@ -105,6 +105,12 @@ type Peer struct {
 	activeHandlers atomic.Int64
 	parkedHandlers atomic.Int64
 
+	// busyRef, when set (fabric-built peers), is the fabric's shared
+	// busy-probe aggregate: handler enter/park/unpark/exit mirror into
+	// its handlers counter, and the peer's reliable links maintain its
+	// pipelines counter, so the fabric's probe is O(1) in peers.
+	busyRef *fabricBusy
+
 	mu        sync.Mutex
 	interests []*interest
 	exports   map[string]*export
@@ -141,6 +147,13 @@ type PeerOption func(*Peer)
 // WithName labels the peer in diagnostics.
 func WithName(name string) PeerOption {
 	return func(p *Peer) { p.name = name }
+}
+
+// withFabricBusy shares the owning fabric's busy-probe counters with
+// the peer (internal: the fabric prepends it to every peer it builds,
+// and Restart re-applies it with the rest of the node's options).
+func withFabricBusy(fb *fabricBusy) PeerOption {
+	return func(p *Peer) { p.busyRef = fb }
 }
 
 // rebuildChecker reconstructs the checker and binder around the
@@ -537,26 +550,6 @@ func (p *Peer) Close() error {
 	return nil
 }
 
-// pipelineBusy reports whether any connection's reliable send
-// pipeline has a frame it could put on the wire right now — the
-// send-side contribution to the virtual clock's busy probe (see
-// Fabric.busy): time must not jump to a timeout deadline while a
-// sender goroutine is mid-drain.
-func (p *Peer) pipelineBusy() bool {
-	p.mu.Lock()
-	conns := make([]*Conn, 0, len(p.conns))
-	for c := range p.conns {
-		conns = append(conns, c)
-	}
-	p.mu.Unlock()
-	for _, c := range conns {
-		if r := c.rel.Load(); r != nil && r.runnable() {
-			return true
-		}
-	}
-	return false
-}
-
 // track registers a connection, refusing (false) once the peer has
 // closed — a late accept or a redial racing Close must tear itself
 // down instead of leaking a read loop past shutdown.
@@ -683,12 +676,29 @@ func (p *Peer) deregisterRemote(rm *Remote) {
 // handleAsync processes an incoming request off the read loop.
 func (p *Peer) handleAsync(c *Conn, m *Message) {
 	p.handlerWG.Add(1)
-	p.activeHandlers.Add(1)
+	p.handlerEnter()
 	go func() {
 		defer p.handlerWG.Done()
-		defer p.activeHandlers.Add(-1)
+		defer p.handlerExit()
 		p.handleRequest(c, m)
 	}()
+}
+
+// handlerEnter/handlerExit bracket a handler's lifetime on the
+// counters: the peer's own active count, and — on a fabric peer — the
+// shared busy aggregate the virtual clock probes.
+func (p *Peer) handlerEnter() {
+	p.activeHandlers.Add(1)
+	if p.busyRef != nil {
+		p.busyRef.handlers.Add(1)
+	}
+}
+
+func (p *Peer) handlerExit() {
+	p.activeHandlers.Add(-1)
+	if p.busyRef != nil {
+		p.busyRef.handlers.Add(-1)
+	}
 }
 
 // park/unpark bracket a clock-backed wait on a handler's code path
@@ -698,17 +708,18 @@ func (p *Peer) handleAsync(c *Conn, m *Message) {
 // call sites — never from Conn.request itself, which application
 // goroutines also use; a parked non-handler must not cancel out a
 // handler that is genuinely executing.
-func (p *Peer) park()   { p.parkedHandlers.Add(1) }
-func (p *Peer) unpark() { p.parkedHandlers.Add(-1) }
-
-// busyHandlers reports how many handlers are executing rather than
-// parked — the peer's contribution to the virtual clock's busy probe.
-func (p *Peer) busyHandlers() int64 {
-	n := p.activeHandlers.Load() - p.parkedHandlers.Load()
-	if n < 0 {
-		return 0
+func (p *Peer) park() {
+	p.parkedHandlers.Add(1)
+	if p.busyRef != nil {
+		p.busyRef.handlers.Add(-1)
 	}
-	return n
+}
+
+func (p *Peer) unpark() {
+	p.parkedHandlers.Add(-1)
+	if p.busyRef != nil {
+		p.busyRef.handlers.Add(1)
+	}
 }
 
 func (p *Peer) handleRequest(c *Conn, m *Message) {

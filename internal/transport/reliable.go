@@ -455,6 +455,22 @@ type ReliableLink struct {
 	managed  bool
 	detached bool
 
+	// busyRef, when set, is the owning fabric's shared busy counter:
+	// wasRunnable mirrors this link's contribution to its pipelines
+	// count, reconciled by updateRunnableLocked at every admission-state
+	// transition. Nil for standalone links.
+	busyRef     *fabricBusy
+	wasRunnable bool
+
+	// senderActive/retransActive track the lazily spawned loops. An
+	// idle link — nothing queued, nothing in flight — holds no
+	// goroutines at all; enqueue, registration and resume respawn the
+	// loop they need, and each loop exits (clearing its flag inside the
+	// same critical section as the exit decision, so a concurrent
+	// respawn can never observe a stale flag) when its work drains.
+	senderActive  bool
+	retransActive bool
+
 	kick     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
@@ -480,12 +496,14 @@ func NewReliableLink(l Link, clock Clock, opts ...ReliableOption) *ReliableLink 
 	raw := l
 	var stats *Stats
 	var conn *Conn
+	var fb *fabricBusy
 	if c, ok := l.(*Conn); ok {
 		conn = c
 		raw = connRaw{c}
 		stats = &c.peer.stats
+		fb = c.peer.busyRef
 	}
-	r := newReliableLink(raw, clock, stats, cfg)
+	r := newReliableLink(raw, clock, stats, fb, cfg)
 	if conn != nil {
 		// Replacing an attached sender must stop the old one, or its
 		// retransmit loop would resend old-epoch frames (which the
@@ -497,11 +515,12 @@ func NewReliableLink(l Link, clock Clock, opts ...ReliableOption) *ReliableLink 
 	return r
 }
 
-func newReliableLink(raw Link, clock Clock, stats *Stats, cfg ReliableConfig) *ReliableLink {
+func newReliableLink(raw Link, clock Clock, stats *Stats, fb *fabricBusy, cfg ReliableConfig) *ReliableLink {
 	r := &ReliableLink{
 		raw:      raw,
 		clock:    clock,
 		stats:    stats,
+		busyRef:  fb,
 		cfg:      cfg,
 		epoch:    nextRelEpoch(),
 		nextSeq:  1,
@@ -510,10 +529,11 @@ func newReliableLink(raw Link, clock Clock, stats *Stats, cfg ReliableConfig) *R
 		done:     make(chan struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
-	go r.retransmitLoop()
-	if cfg.SendQueue > 0 {
-		go r.senderLoop()
-	}
+	// No goroutines yet: the sender and retransmit loops spawn lazily
+	// on the first queued or registered frame (ensureSenderLocked /
+	// ensureRetransLocked) and exit when their work drains. A fabric of
+	// 1000 mostly idle managed links therefore parks zero goroutines
+	// here instead of two per connection.
 	return r
 }
 
@@ -548,6 +568,8 @@ func (r *ReliableLink) Send(m *Message) error {
 		return err
 	}
 	frame := r.registerLocked(m, isData)
+	r.ensureRetransLocked()
+	r.updateRunnableLocked()
 	raw := r.raw
 	r.mu.Unlock()
 
@@ -716,7 +738,9 @@ func (r *ReliableLink) enqueue(m *Message) error {
 	if len(r.queue) > r.queuePeak {
 		r.queuePeak = len(r.queue)
 	}
-	r.cond.Broadcast() // wake the sender goroutine
+	r.ensureSenderLocked()
+	r.updateRunnableLocked()
+	r.cond.Broadcast() // wake an already-running sender goroutine
 	r.mu.Unlock()
 	return nil
 }
@@ -732,39 +756,47 @@ func (r *ReliableLink) oldestQueuedDataLocked() int {
 	return -1
 }
 
-// senderLoop is the pipeline's dedicated drain goroutine: it moves
-// frames from the bounded queue into the sequence space as window
-// room appears, so enqueuers never wait on the network. The head is
-// re-read after every wait — an OverflowDropOldest enqueue may have
-// shed it, and the admission rule (window for data, none for
-// control) must follow the frame actually at the head.
+// senderLoop is the pipeline's drain goroutine, spawned lazily by
+// ensureSenderLocked: it moves frames from the bounded queue into the
+// sequence space as window room appears, so enqueuers never wait on
+// the network. The head is re-read after every wait — an
+// OverflowDropOldest enqueue may have shed it, and the admission rule
+// (window for data, none for control) must follow the frame actually
+// at the head. The loop exits — instead of parking — when the queue
+// drains, the link closes, or it detaches; the flag clears in the
+// same critical section as the exit decision so the next enqueue (or
+// resume) respawns without racing a stale flag.
 func (r *ReliableLink) senderLoop() {
 	r.mu.Lock()
 	for {
-		if r.closed {
+		if r.closed || r.detached || len(r.queue) == 0 {
+			r.senderActive = false
 			r.mu.Unlock()
 			return
-		}
-		if r.detached || len(r.queue) == 0 {
-			// A detached link parks: registered frames wait for the
-			// resume replay, queued ones for the window to reopen.
-			r.cond.Wait()
-			continue
 		}
 		m := r.queue[0]
 		isData := m.Type == MsgObject
 		wait, err := r.admitStepLocked(isData)
 		if err != nil {
+			r.senderActive = false
 			r.mu.Unlock()
 			return
 		}
 		if wait {
+			// The head is not admittable (window full, or the old epoch
+			// is still draining): the pipeline is stalled on an ack, not
+			// runnable, so its busy contribution must drop before the
+			// wait or the virtual clock could never advance to the
+			// retransmit deadline that produces that ack.
+			r.updateRunnableLocked()
 			r.cond.Wait()
 			continue
 		}
 		r.queue[0] = nil
 		r.queue = r.queue[1:]
 		frame := r.registerLocked(m, isData)
+		r.ensureRetransLocked()
+		r.updateRunnableLocked()
 		raw := r.raw
 		r.cond.Broadcast() // queue shrank: unblock full-queue enqueuers
 		r.mu.Unlock()
@@ -774,6 +806,9 @@ func (r *ReliableLink) senderLoop() {
 		}
 		if err := raw.Send(&Message{Type: MsgReliableData, Body: frame}); err != nil {
 			if !r.failSend(err) {
+				r.mu.Lock()
+				r.senderActive = false
+				r.mu.Unlock()
 				return
 			}
 		} else {
@@ -825,14 +860,13 @@ func (r *ReliableLink) Flush(timeout time.Duration) error {
 	}
 }
 
-// runnable reports whether the pipeline's sender goroutine has work
-// it could perform right now: a queued head frame that the window (or
+// runnableLocked reports whether the pipeline's sender has work it
+// could perform right now: a queued head frame that the window (or
 // epoch roll) would admit. It is the link's contribution to the
 // virtual clock's busy probe — time must not advance past a request
-// timeout while queued frames are still being put on the wire.
-func (r *ReliableLink) runnable() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// timeout while queued frames are still being put on the wire. Caller
+// holds r.mu.
+func (r *ReliableLink) runnableLocked() bool {
 	if r.closed || r.detached || len(r.queue) == 0 {
 		// A detached link cannot progress until a redial lands, and
 		// the redial's backoff timers need virtual time to advance —
@@ -846,6 +880,49 @@ func (r *ReliableLink) runnable() bool {
 		return false
 	}
 	return true
+}
+
+// updateRunnableLocked reconciles the link's contribution to the
+// fabric's shared pipelines counter after any state change that could
+// flip runnability: enqueue, head admission, ack drain, detach, close,
+// resume. The counter replaces the per-link scan the fabric's busy
+// probe used to do — O(1) loads at probe time, maintained here at the
+// transition edges. Caller holds r.mu.
+func (r *ReliableLink) updateRunnableLocked() {
+	if r.busyRef == nil {
+		return
+	}
+	now := r.runnableLocked()
+	if now == r.wasRunnable {
+		return
+	}
+	r.wasRunnable = now
+	if now {
+		r.busyRef.pipelines.Add(1)
+	} else {
+		r.busyRef.pipelines.Add(-1)
+	}
+}
+
+// ensureSenderLocked spawns the pipeline's sender goroutine when
+// there is queued work and no loop alive to drain it. Caller holds
+// r.mu.
+func (r *ReliableLink) ensureSenderLocked() {
+	if r.cfg.SendQueue <= 0 || r.senderActive || r.closed || r.detached || len(r.queue) == 0 {
+		return
+	}
+	r.senderActive = true
+	go r.senderLoop()
+}
+
+// ensureRetransLocked spawns the retransmit loop when frames are in
+// flight and no loop is alive to time them. Caller holds r.mu.
+func (r *ReliableLink) ensureRetransLocked() {
+	if r.retransActive || r.closed || r.detached || len(r.inflight) == 0 {
+		return
+	}
+	r.retransActive = true
+	go r.retransmitLoop()
 }
 
 // Request passes through to the underlying link: correlated
@@ -887,6 +964,8 @@ func (r *ReliableLink) Ack(body []byte) {
 			}
 		}
 	}
+	r.ensureSenderLocked()
+	r.updateRunnableLocked()
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	r.acksReceived.Add(1)
@@ -949,7 +1028,12 @@ func (r *ReliableLink) Nack(body []byte) {
 // retransmitLoop resends unacked frames when their deadlines pass,
 // doubling each frame's backoff per attempt. One timer is re-armed
 // across waits (Timer.Reset) so the loop costs no per-wake
-// allocation.
+// allocation. The loop is spawned lazily by ensureRetransLocked and
+// exits — instead of parking — once nothing is in flight, the link
+// detaches (deadlines freeze until the resume replay rearms them and
+// respawns the loop), or it closes; the flag clears in the same
+// critical section as the exit decision so a concurrent registration
+// can never see a stale flag and skip the respawn.
 func (r *ReliableLink) retransmitLoop() {
 	var timer Timer
 	wait := func(d time.Duration) bool { // false: shut down
@@ -970,21 +1054,10 @@ func (r *ReliableLink) retransmitLoop() {
 	}
 	for {
 		r.mu.Lock()
-		if r.closed {
+		if r.closed || r.detached || len(r.inflight) == 0 {
+			r.retransActive = false
 			r.mu.Unlock()
 			return
-		}
-		if r.detached {
-			// Parked across an outage: deadlines freeze until the
-			// resume replay rearms them, so no frame can give up (or
-			// burn retransmits into a dead raw link) while detached.
-			r.mu.Unlock()
-			select {
-			case <-r.kick:
-				continue
-			case <-r.done:
-				return
-			}
 		}
 		var earliest time.Time
 		for _, e := range r.inflight {
@@ -992,19 +1065,13 @@ func (r *ReliableLink) retransmitLoop() {
 				earliest = e.deadline
 			}
 		}
-		if earliest.IsZero() {
-			r.mu.Unlock()
-			select {
-			case <-r.kick:
-				continue
-			case <-r.done:
-				return
-			}
-		}
 		now := r.clock.Now()
 		if d := earliest.Sub(now); d > 0 {
 			r.mu.Unlock()
 			if !wait(d) {
+				r.mu.Lock()
+				r.retransActive = false
+				r.mu.Unlock()
 				return
 			}
 			continue
@@ -1036,6 +1103,9 @@ func (r *ReliableLink) retransmitLoop() {
 		r.mu.Unlock()
 		if gaveUp != nil {
 			r.fail(gaveUp)
+			r.mu.Lock()
+			r.retransActive = false
+			r.mu.Unlock()
 			return
 		}
 		// Resend in sequence order: deterministic, and the receiver's
@@ -1044,8 +1114,11 @@ func (r *ReliableLink) retransmitLoop() {
 		for _, e := range due {
 			if err := raw.Send(&Message{Type: MsgReliableData, Body: e.frame}); err != nil {
 				if r.failSend(err) {
-					break // detached: park on the next pass
+					break // detached: exit on the next pass
 				}
+				r.mu.Lock()
+				r.retransActive = false
+				r.mu.Unlock()
 				return
 			}
 			r.retransmits.Add(1)
@@ -1088,6 +1161,7 @@ func (r *ReliableLink) closeLocked(err error) {
 		}
 		r.queue = nil
 	}
+	r.updateRunnableLocked()
 	r.cond.Broadcast()
 	r.stopOnce.Do(func() { close(r.done) })
 }
@@ -1128,6 +1202,7 @@ func (r *ReliableLink) detachLocked() {
 		return
 	}
 	r.detached = true
+	r.updateRunnableLocked()
 	r.cond.Broadcast()
 }
 
@@ -1229,6 +1304,12 @@ func (r *ReliableLink) resume(raw Link, sameEpoch bool, cum uint64) int {
 	}
 	r.detached = false
 	r.lastSendErr = nil
+	// Reattached with a rebuilt in-flight set and (possibly) queued
+	// frames: respawn whichever loops the work needs and restore the
+	// busy contribution the detach dropped.
+	r.ensureSenderLocked()
+	r.ensureRetransLocked()
+	r.updateRunnableLocked()
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	r.kickLoop()
